@@ -1,0 +1,220 @@
+//! Promise/future plumbing with task-scheduled continuations — the
+//! dependency mechanism AMT programs express their graphs with.
+//!
+//! A [`Promise`] is the write side; its [`Future`] is the read side.
+//! Continuations registered with [`Future::then`] run as pool tasks once
+//! the value arrives (never inline in the setter when a pool is
+//! attached, mirroring HPX's `future::then` semantics).
+
+use crate::sched::Pool;
+use lci_fabric::sync::SpinLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct FutState<T> {
+    value: SpinLock<Option<Arc<T>>>,
+    conts: SpinLock<Vec<Box<dyn FnOnce(Arc<T>) + Send>>>,
+    ready: AtomicBool,
+    pool: SpinLock<Option<Arc<Pool>>>,
+}
+
+/// Write side of a future.
+pub struct Promise<T> {
+    state: Arc<FutState<T>>,
+}
+
+/// Read side of a promise.
+#[derive(Clone)]
+pub struct Future<T> {
+    state: Arc<FutState<T>>,
+}
+
+/// Creates a connected promise/future pair. Continuations are spawned on
+/// `pool` when provided, otherwise run inline at set time.
+pub fn channel<T: Send + Sync + 'static>(pool: Option<Arc<Pool>>) -> (Promise<T>, Future<T>) {
+    let state = Arc::new(FutState {
+        value: SpinLock::new(None),
+        conts: SpinLock::new(Vec::new()),
+        ready: AtomicBool::new(false),
+        pool: SpinLock::new(pool),
+    });
+    (Promise { state: state.clone() }, Future { state })
+}
+
+impl<T: Send + Sync + 'static> Promise<T> {
+    /// Fulfils the promise, firing continuations.
+    pub fn set(self, value: T) {
+        let v = Arc::new(value);
+        *self.state.value.lock() = Some(v.clone());
+        self.state.ready.store(true, Ordering::Release);
+        let conts: Vec<_> = std::mem::take(&mut *self.state.conts.lock());
+        let pool = self.state.pool.lock().clone();
+        for c in conts {
+            let v = v.clone();
+            match &pool {
+                Some(p) => p.spawn(move || c(v)),
+                None => c(v),
+            }
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Future<T> {
+    /// Whether the value has arrived.
+    pub fn is_ready(&self) -> bool {
+        self.state.ready.load(Ordering::Acquire)
+    }
+
+    /// The value, if ready (shared).
+    pub fn get(&self) -> Option<Arc<T>> {
+        if !self.is_ready() {
+            return None;
+        }
+        self.state.value.lock().clone()
+    }
+
+    /// Registers a continuation; runs as a pool task (or inline if the
+    /// value already arrived and no pool is attached).
+    pub fn then(&self, f: impl FnOnce(Arc<T>) + Send + 'static) {
+        // Fast path: already ready.
+        if self.is_ready() {
+            let v = self.state.value.lock().clone().expect("ready without value");
+            let pool = self.state.pool.lock().clone();
+            match pool {
+                Some(p) => p.spawn(move || f(v)),
+                None => f(v),
+            }
+            return;
+        }
+        let mut conts = self.state.conts.lock();
+        // Re-check under the lock (set may have raced).
+        if self.is_ready() {
+            drop(conts);
+            let v = self.state.value.lock().clone().expect("ready without value");
+            let pool = self.state.pool.lock().clone();
+            match pool {
+                Some(p) => p.spawn(move || f(v)),
+                None => f(v),
+            }
+            return;
+        }
+        conts.push(Box::new(f));
+    }
+
+    /// Spin-waits for the value, running `progress` between polls.
+    pub fn wait_with(&self, mut progress: impl FnMut()) -> Arc<T> {
+        while !self.is_ready() {
+            progress();
+            std::hint::spin_loop();
+        }
+        self.get().expect("ready without value")
+    }
+}
+
+/// A future that completes when `n` constituent events complete.
+pub struct Latch {
+    remaining: std::sync::atomic::AtomicUsize,
+    promise: SpinLock<Option<Promise<()>>>,
+    future: Future<()>,
+}
+
+impl Latch {
+    /// Creates a latch expecting `n` count-downs.
+    pub fn new(n: usize, pool: Option<Arc<Pool>>) -> Arc<Latch> {
+        let (p, f) = channel(pool);
+        let latch = Latch {
+            remaining: std::sync::atomic::AtomicUsize::new(n),
+            promise: SpinLock::new(Some(p)),
+            future: f,
+        };
+        if n == 0 {
+            latch.promise.lock().take().unwrap().set(());
+        }
+        Arc::new(latch)
+    }
+
+    /// Counts down one event.
+    pub fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(p) = self.promise.lock().take() {
+                p.set(());
+            }
+        }
+    }
+
+    /// The latch's completion future.
+    pub fn future(&self) -> Future<()> {
+        self.future.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn set_then_get() {
+        let (p, f) = channel::<u32>(None);
+        assert!(!f.is_ready());
+        p.set(5);
+        assert!(f.is_ready());
+        assert_eq!(*f.get().unwrap(), 5);
+    }
+
+    #[test]
+    fn continuation_before_set() {
+        let (p, f) = channel::<u32>(None);
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        f.then(move |v| {
+            h.store(*v as u64, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 0);
+        p.set(77);
+        assert_eq!(hit.load(Ordering::SeqCst), 77);
+    }
+
+    #[test]
+    fn continuation_after_set() {
+        let (p, f) = channel::<u32>(None);
+        p.set(9);
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        f.then(move |v| {
+            h.store(*v as u64, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn continuations_run_on_pool() {
+        let pool = Arc::new(Pool::new(2));
+        let (p, f) = channel::<u32>(Some(pool.clone()));
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        f.then(move |v| {
+            h.store(*v as u64 + Pool::current_worker().unwrap() as u64 * 0, Ordering::SeqCst);
+        });
+        p.set(31);
+        pool.wait_quiescent();
+        assert_eq!(hit.load(Ordering::SeqCst), 31);
+    }
+
+    #[test]
+    fn latch_counts() {
+        let latch = Latch::new(3, None);
+        assert!(!latch.future().is_ready());
+        latch.count_down();
+        latch.count_down();
+        assert!(!latch.future().is_ready());
+        latch.count_down();
+        assert!(latch.future().is_ready());
+    }
+
+    #[test]
+    fn zero_latch_ready_immediately() {
+        let latch = Latch::new(0, None);
+        assert!(latch.future().is_ready());
+    }
+}

@@ -1,0 +1,642 @@
+//! octo-mini: a rotating-star Barnes-Hut simulation (the Octo-Tiger
+//! stand-in of paper §5.4 / Fig. 7).
+//!
+//! Octo-Tiger simulates stellar systems with adaptive octrees and fast
+//! multipole methods on HPX. octo-mini keeps the communication-relevant
+//! skeleton: a star of particles (dense rotating sphere) is partitioned
+//! across ranks; every step each rank
+//!
+//! 1. builds a local octree and reduces it to a *multipole summary*
+//!    (coarse pseudo-particles),
+//! 2. exchanges summaries with every other rank via parcels,
+//! 3. fans the force computation out as scheduler tasks (local tree via
+//!    Barnes-Hut traversal + remote summaries as point masses),
+//! 4. integrates (leapfrog) and migrates particles that crossed slab
+//!    boundaries to their new owner via parcels.
+//!
+//! Communication is therefore fine-grained, asynchronous, issued from
+//! many worker threads, and progressed by idle workers — the pattern the
+//! paper's Fig. 7 stresses. The reported metric is time per step.
+
+use crate::parcel::Parcelport;
+use crate::sched::Pool;
+use lci_fabric::Fabric;
+use lcw::{World, WorldConfig};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One particle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Particle {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OctoConfig {
+    /// Global particle count (split across ranks).
+    pub n_particles: usize,
+    /// Steps to run.
+    pub steps: usize,
+    /// Barnes-Hut opening angle.
+    pub theta: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Worker threads per rank.
+    pub nthreads: usize,
+    /// Particles per force task.
+    pub chunk: usize,
+    /// Communication backend.
+    pub world: WorldConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Gravitational softening.
+    pub eps: f64,
+}
+
+impl Default for OctoConfig {
+    fn default() -> Self {
+        Self {
+            n_particles: 2_000,
+            steps: 3,
+            theta: 0.5,
+            dt: 1e-3,
+            nthreads: 2,
+            chunk: 128,
+            world: WorldConfig::new(
+                lcw::BackendKind::Lci,
+                lcw::Platform::Expanse,
+                lcw::ResourceMode::Dedicated(2),
+            ),
+            seed: 1,
+            eps: 1e-2,
+        }
+    }
+}
+
+/// Per-run statistics.
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// Wall time of each step.
+    pub step_times: Vec<Duration>,
+    /// Parcels sent by this rank.
+    pub parcels_sent: u64,
+    /// Local particle count at the end (migration moves them around).
+    pub final_local_particles: usize,
+    /// Sum of |v| over local particles (sanity/verification).
+    pub momentum_proxy: f64,
+}
+
+/// Star radius; ranks own x-slabs of [-R, R].
+const R: f64 = 1.0;
+
+/// Initializes the rotating star: uniform dense sphere with solid-body
+/// rotation around z. Deterministic: every rank generates the full set
+/// and keeps its slab.
+fn init_particles(cfg: &OctoConfig, rank: usize, nranks: usize) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let omega = 0.5; // angular velocity
+    let mut mine = Vec::new();
+    for _ in 0..cfg.n_particles {
+        // Rejection-sample the unit sphere.
+        let p = loop {
+            let x = rng.gen_range(-1.0..1.0);
+            let y = rng.gen_range(-1.0..1.0);
+            let z = rng.gen_range(-1.0..1.0);
+            if x * x + y * y + z * z <= 1.0 {
+                break [x * R, y * R, z * R];
+            }
+        };
+        let vel = [-omega * p[1], omega * p[0], 0.0];
+        if owner_of(p[0], nranks) == rank {
+            mine.push(Particle { pos: p, vel, mass: 1.0 / cfg.n_particles as f64 });
+        }
+    }
+    mine
+}
+
+/// Slab owner of coordinate `x`.
+fn owner_of(x: f64, nranks: usize) -> usize {
+    let t = ((x + R) / (2.0 * R)).clamp(0.0, 0.999_999);
+    (t * nranks as f64) as usize
+}
+
+// ---------------------------------------------------------------------
+// Octree
+// ---------------------------------------------------------------------
+
+/// Octree node (array-based).
+struct Node {
+    center: [f64; 3],
+    half: f64,
+    com: [f64; 3],
+    mass: f64,
+    /// Index of the first child; -1 for leaves.
+    child: i32,
+    /// Particle indices (leaves only).
+    bucket: Vec<u32>,
+}
+
+/// A Barnes-Hut octree over a particle snapshot.
+pub struct Octree {
+    nodes: Vec<Node>,
+}
+
+const BUCKET: usize = 16;
+
+impl Octree {
+    /// Builds a tree over `parts`.
+    pub fn build(parts: &[Particle]) -> Octree {
+        let mut tree = Octree {
+            nodes: vec![Node {
+                center: [0.0; 3],
+                half: R * 1.5,
+                com: [0.0; 3],
+                mass: 0.0,
+                child: -1,
+                bucket: Vec::new(),
+            }],
+        };
+        for i in 0..parts.len() {
+            tree.insert(0, i as u32, parts);
+        }
+        tree.summarize(0, parts);
+        tree
+    }
+
+    fn insert(&mut self, node: usize, pi: u32, parts: &[Particle]) {
+        if self.nodes[node].child < 0 {
+            self.nodes[node].bucket.push(pi);
+            if self.nodes[node].bucket.len() > BUCKET {
+                self.split(node, parts);
+            }
+            return;
+        }
+        let c = self.child_of(node, parts[pi as usize].pos);
+        self.insert(c, pi, parts);
+    }
+
+    fn child_of(&self, node: usize, pos: [f64; 3]) -> usize {
+        let n = &self.nodes[node];
+        let mut idx = 0usize;
+        for d in 0..3 {
+            if pos[d] >= n.center[d] {
+                idx |= 1 << d;
+            }
+        }
+        n.child as usize + idx
+    }
+
+    fn split(&mut self, node: usize, parts: &[Particle]) {
+        let first = self.nodes.len() as i32;
+        let (center, half) = (self.nodes[node].center, self.nodes[node].half);
+        for i in 0..8 {
+            let mut c = center;
+            for d in 0..3 {
+                c[d] += if i & (1 << d) != 0 { half / 2.0 } else { -half / 2.0 };
+            }
+            self.nodes.push(Node {
+                center: c,
+                half: half / 2.0,
+                com: [0.0; 3],
+                mass: 0.0,
+                child: -1,
+                bucket: Vec::new(),
+            });
+        }
+        self.nodes[node].child = first;
+        let bucket = std::mem::take(&mut self.nodes[node].bucket);
+        for pi in bucket {
+            let c = self.child_of(node, parts[pi as usize].pos);
+            self.insert(c, pi, parts);
+        }
+    }
+
+    fn summarize(&mut self, node: usize, parts: &[Particle]) -> (f64, [f64; 3]) {
+        let child = self.nodes[node].child;
+        let mut mass = 0.0;
+        let mut com = [0.0; 3];
+        if child < 0 {
+            for &pi in &self.nodes[node].bucket {
+                let p = &parts[pi as usize];
+                mass += p.mass;
+                for d in 0..3 {
+                    com[d] += p.mass * p.pos[d];
+                }
+            }
+        } else {
+            for i in 0..8 {
+                let (m, c) = self.summarize(child as usize + i, parts);
+                mass += m;
+                for d in 0..3 {
+                    com[d] += m * c[d];
+                }
+            }
+        }
+        if mass > 0.0 {
+            for d in com.iter_mut() {
+                *d /= mass;
+            }
+        }
+        self.nodes[node].mass = mass;
+        self.nodes[node].com = com;
+        (mass, com)
+    }
+
+    /// Gravitational acceleration at `pos` via Barnes-Hut traversal.
+    pub fn accel(&self, pos: [f64; 3], theta: f64, eps: f64, parts: &[Particle]) -> [f64; 3] {
+        let mut acc = [0.0; 3];
+        let mut stack = vec![0usize];
+        while let Some(ni) = stack.pop() {
+            let n = &self.nodes[ni];
+            if n.mass == 0.0 {
+                continue;
+            }
+            let dx = [n.com[0] - pos[0], n.com[1] - pos[1], n.com[2] - pos[2]];
+            let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+            let d = d2.sqrt();
+            if n.child < 0 || (2.0 * n.half) / (d + 1e-12) < theta {
+                if n.child < 0 {
+                    // Direct sum over the leaf bucket (excludes self by
+                    // the softening; exact self-force is zero distance).
+                    for &pi in &n.bucket {
+                        let p = &parts[pi as usize];
+                        let dx =
+                            [p.pos[0] - pos[0], p.pos[1] - pos[1], p.pos[2] - pos[2]];
+                        let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps * eps;
+                        let inv = 1.0 / (d2 * d2.sqrt());
+                        for k in 0..3 {
+                            acc[k] += p.mass * dx[k] * inv;
+                        }
+                    }
+                } else {
+                    let d2e = d2 + eps * eps;
+                    let inv = 1.0 / (d2e * d2e.sqrt());
+                    for k in 0..3 {
+                        acc[k] += n.mass * dx[k] * inv;
+                    }
+                }
+            } else {
+                for i in 0..8 {
+                    stack.push(n.child as usize + i);
+                }
+            }
+        }
+        acc
+    }
+
+    /// The root's total mass and centre of mass.
+    pub fn root_summary(&self) -> (f64, [f64; 3]) {
+        (self.nodes[0].mass, self.nodes[0].com)
+    }
+
+    /// Extracts coarse pseudo-particles: nodes at `depth` (or leaves
+    /// above it) as point masses — the multipole summary sent to peers.
+    pub fn summary(&self, depth: usize) -> Vec<([f64; 3], f64)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((ni, d)) = stack.pop() {
+            let n = &self.nodes[ni];
+            if n.mass == 0.0 {
+                continue;
+            }
+            if n.child < 0 || d >= depth {
+                out.push((n.com, n.mass));
+            } else {
+                for i in 0..8 {
+                    stack.push((n.child as usize + i, d + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+fn encode_pseudo(ps: &[([f64; 3], f64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ps.len() * 32);
+    for (com, m) in ps {
+        for c in com {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    out
+}
+
+fn decode_pseudo(data: &[u8]) -> Vec<([f64; 3], f64)> {
+    data.chunks_exact(32)
+        .map(|c| {
+            let f = |i: usize| f64::from_le_bytes(c[i * 8..(i + 1) * 8].try_into().unwrap());
+            ([f(0), f(1), f(2)], f(3))
+        })
+        .collect()
+}
+
+fn encode_particles(ps: &[Particle]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ps.len() * 56);
+    for p in ps {
+        for v in p.pos.iter().chain(p.vel.iter()).chain(std::iter::once(&p.mass)) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_particles(data: &[u8]) -> Vec<Particle> {
+    data.chunks_exact(56)
+        .map(|c| {
+            let f = |i: usize| f64::from_le_bytes(c[i * 8..(i + 1) * 8].try_into().unwrap());
+            Particle { pos: [f(0), f(1), f(2)], vel: [f(3), f(4), f(5)], mass: f(6) }
+        })
+        .collect()
+}
+
+struct Inbox {
+    summaries: Mutex<Vec<([f64; 3], f64)>>,
+    summaries_from: AtomicUsize,
+    migrants: Mutex<Vec<Particle>>,
+    migrants_from: AtomicUsize,
+}
+
+/// Runs octo-mini on `rank`; every rank calls this with identical `cfg`.
+pub fn run_octo_rank(fabric: Arc<Fabric>, rank: usize, cfg: OctoConfig) -> StepStats {
+    let nranks = fabric.nranks();
+    let pool = Arc::new(Pool::new(cfg.nthreads));
+    let world = World::new(fabric.clone(), rank, cfg.world);
+    let port = Parcelport::new(&world, pool.clone());
+
+    let inbox = Arc::new(Inbox {
+        summaries: Mutex::new(Vec::new()),
+        summaries_from: AtomicUsize::new(0),
+        migrants: Mutex::new(Vec::new()),
+        migrants_from: AtomicUsize::new(0),
+    });
+
+    // Action 0: multipole summary from a peer.
+    let ib = inbox.clone();
+    port.register_action(move |_src, data| {
+        let ps = decode_pseudo(&data);
+        ib.summaries.lock().extend(ps);
+        ib.summaries_from.fetch_add(1, Ordering::AcqRel);
+    });
+    // Action 1: migrated particles.
+    let ib = inbox.clone();
+    port.register_action(move |_src, data| {
+        let ps = decode_particles(&data);
+        ib.migrants.lock().extend(ps);
+        ib.migrants_from.fetch_add(1, Ordering::AcqRel);
+    });
+    port.attach();
+    fabric.oob_barrier();
+
+    let mut particles = init_particles(&cfg, rank, nranks);
+    let mut step_times = Vec::with_capacity(cfg.steps);
+
+    for _step in 0..cfg.steps {
+        let t0 = Instant::now();
+
+        // Phase 1: local tree + summary exchange. Parcels are issued
+        // concurrently from pool tasks — the multithreaded posting
+        // pattern of AMT runtimes (paper §5.4) — while idle workers
+        // progress the network.
+        let tree = Octree::build(&particles);
+        let summary = Arc::new(encode_pseudo(&tree.summary(3)));
+        for peer in (0..nranks).filter(|&p| p != rank) {
+            let port = port.clone();
+            let summary = summary.clone();
+            pool.spawn(move || port.send(peer, 0, &summary));
+        }
+        while inbox.summaries_from.load(Ordering::Acquire) < nranks - 1
+            || pool.pending() > 0
+        {
+            pool.help_progress();
+            std::thread::yield_now();
+        }
+        let remote: Vec<([f64; 3], f64)> = std::mem::take(&mut *inbox.summaries.lock());
+        inbox.summaries_from.store(0, Ordering::Release);
+
+        // Phase 2: force tasks over particle chunks.
+        let snapshot: Arc<Vec<Particle>> = Arc::new(particles.clone());
+        let tree = Arc::new(tree);
+        let remote = Arc::new(remote);
+        let results: Arc<Mutex<Vec<(usize, Vec<[f64; 3]>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let ntasks = snapshot.len().div_ceil(cfg.chunk).max(1);
+        for task in 0..ntasks {
+            let snapshot = snapshot.clone();
+            let tree = tree.clone();
+            let remote = remote.clone();
+            let results = results.clone();
+            let (theta, eps, chunk) = (cfg.theta, cfg.eps, cfg.chunk);
+            pool.spawn(move || {
+                let start = task * chunk;
+                let end = (start + chunk).min(snapshot.len());
+                let mut acc = Vec::with_capacity(end - start);
+                for p in &snapshot[start..end] {
+                    let mut a = tree.accel(p.pos, theta, eps, &snapshot);
+                    for (com, m) in remote.iter() {
+                        let dx = [com[0] - p.pos[0], com[1] - p.pos[1], com[2] - p.pos[2]];
+                        let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps * eps;
+                        let inv = m / (d2 * d2.sqrt());
+                        for k in 0..3 {
+                            a[k] += dx[k] * inv;
+                        }
+                    }
+                    acc.push(a);
+                }
+                results.lock().push((start, acc));
+            });
+        }
+        while pool.pending() > 0 {
+            pool.help_progress();
+            std::thread::yield_now();
+        }
+
+        // Phase 3: integrate (Euler-Cromer) and migrate.
+        for (start, acc) in results.lock().drain(..) {
+            for (i, a) in acc.into_iter().enumerate() {
+                let p = &mut particles[start + i];
+                for k in 0..3 {
+                    p.vel[k] += cfg.dt * a[k];
+                    p.pos[k] += cfg.dt * p.vel[k];
+                }
+            }
+        }
+        let mut outgoing: Vec<Vec<Particle>> = vec![Vec::new(); nranks];
+        particles.retain(|p| {
+            let o = owner_of(p.pos[0], nranks);
+            if o == rank {
+                true
+            } else {
+                outgoing[o].push(*p);
+                false
+            }
+        });
+        for peer in (0..nranks).filter(|&p| p != rank) {
+            let port = port.clone();
+            let bytes = encode_particles(&outgoing[peer]);
+            pool.spawn(move || port.send(peer, 1, &bytes));
+        }
+        while inbox.migrants_from.load(Ordering::Acquire) < nranks - 1 || pool.pending() > 0 {
+            pool.help_progress();
+            std::thread::yield_now();
+        }
+        particles.extend(inbox.migrants.lock().drain(..));
+        inbox.migrants_from.store(0, Ordering::Release);
+
+        fabric.oob_barrier();
+        step_times.push(t0.elapsed());
+    }
+
+    let momentum_proxy = particles
+        .iter()
+        .map(|p| (p.vel[0] * p.vel[0] + p.vel[1] * p.vel[1] + p.vel[2] * p.vel[2]).sqrt())
+        .sum();
+    StepStats {
+        step_times,
+        parcels_sent: port.sent_count(),
+        final_local_particles: particles.len(),
+        momentum_proxy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcw::{BackendKind, Platform, ResourceMode};
+
+    fn small_cfg(backend: BackendKind) -> OctoConfig {
+        OctoConfig {
+            n_particles: 400,
+            steps: 2,
+            nthreads: 2,
+            chunk: 64,
+            world: WorldConfig::new(
+                backend,
+                Platform::Expanse,
+                if backend == BackendKind::Lci {
+                    ResourceMode::Dedicated(2)
+                } else {
+                    ResourceMode::Shared
+                },
+            ),
+            ..OctoConfig::default()
+        }
+    }
+
+    fn run(nranks: usize, cfg: OctoConfig) -> Vec<StepStats> {
+        let fabric = Fabric::new(nranks);
+        let handles: Vec<_> = (0..nranks)
+            .map(|r| {
+                let fabric = fabric.clone();
+                std::thread::spawn(move || run_octo_rank(fabric, r, cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn octree_accel_matches_direct_sum_when_theta_zero() {
+        let parts: Vec<Particle> = (0..100)
+            .map(|i| {
+                let f = i as f64 / 100.0;
+                Particle {
+                    pos: [f - 0.5, (f * 7.0) % 1.0 - 0.5, (f * 13.0) % 1.0 - 0.5],
+                    vel: [0.0; 3],
+                    mass: 0.01,
+                }
+            })
+            .collect();
+        let tree = Octree::build(&parts);
+        let probe = [0.3, -0.2, 0.1];
+        let eps = 1e-2;
+        // theta=0 forces full opening -> exact direct sum.
+        let a_tree = tree.accel(probe, 0.0, eps, &parts);
+        let mut a_direct = [0.0; 3];
+        for p in &parts {
+            let dx = [p.pos[0] - probe[0], p.pos[1] - probe[1], p.pos[2] - probe[2]];
+            let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps * eps;
+            let inv = 1.0 / (d2 * d2.sqrt());
+            for k in 0..3 {
+                a_direct[k] += p.mass * dx[k] * inv;
+            }
+        }
+        for k in 0..3 {
+            assert!((a_tree[k] - a_direct[k]).abs() < 1e-9, "{a_tree:?} vs {a_direct:?}");
+        }
+    }
+
+    #[test]
+    fn bh_approximation_close_to_direct() {
+        let parts: Vec<Particle> = (0..500)
+            .map(|i| {
+                let f = i as f64;
+                Particle {
+                    pos: [
+                        (f * 0.7).sin() * 0.8,
+                        (f * 1.3).cos() * 0.8,
+                        ((f * 0.37).sin() * 0.8),
+                    ],
+                    vel: [0.0; 3],
+                    mass: 0.002,
+                }
+            })
+            .collect();
+        let tree = Octree::build(&parts);
+        let probe = [0.0, 0.0, 0.9];
+        let exact = tree.accel(probe, 0.0, 1e-2, &parts);
+        let approx = tree.accel(probe, 0.5, 1e-2, &parts);
+        let norm = |v: [f64; 3]| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        let err = norm([exact[0] - approx[0], exact[1] - approx[1], exact[2] - approx[2]])
+            / norm(exact).max(1e-12);
+        assert!(err < 0.05, "BH relative error too large: {err}");
+    }
+
+    #[test]
+    fn conserves_global_particle_count() {
+        for nranks in [1usize, 2, 3] {
+            let stats = run(nranks, small_cfg(BackendKind::Lci));
+            let total: usize = stats.iter().map(|s| s.final_local_particles).sum();
+            assert_eq!(total, 400, "nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn parcels_flow_and_steps_timed() {
+        let stats = run(2, small_cfg(BackendKind::Lci));
+        for s in &stats {
+            assert_eq!(s.step_times.len(), 2);
+            // 1 summary + 1 migration parcel per peer per step.
+            assert_eq!(s.parcels_sent, 4);
+            assert!(s.momentum_proxy.is_finite());
+        }
+    }
+
+    #[test]
+    fn mpi_backend_runs() {
+        let stats = run(2, small_cfg(BackendKind::Mpi));
+        let total: usize = stats.iter().map(|s| s.final_local_particles).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn vci_backend_runs() {
+        let mut cfg = small_cfg(BackendKind::Vci);
+        cfg.world = WorldConfig::new(BackendKind::Vci, Platform::Delta, ResourceMode::Dedicated(2));
+        let stats = run(2, cfg);
+        let total: usize = stats.iter().map(|s| s.final_local_particles).sum();
+        assert_eq!(total, 400);
+    }
+}

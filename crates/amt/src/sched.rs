@@ -1,0 +1,231 @@
+//! A work-stealing task scheduler: the HPX thread-pool analog.
+//!
+//! Workers run tasks from their own deque, steal from peers or the
+//! global injector when empty, and invoke the *idle hook* when there is
+//! nothing to run — which is where an AMT runtime progresses its
+//! network (the all-worker setup of paper §5.3/§5.4).
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+type Task = Box<dyn FnOnce() + Send>;
+
+/// The idle hook: called by a worker (with its worker index) when it has
+/// no task to run. Returning `true` means useful work was done.
+pub type IdleHook = Box<dyn Fn(usize) -> bool + Send + Sync>;
+
+struct PoolShared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    idle: parking_lot::RwLock<Option<IdleHook>>,
+}
+
+thread_local! {
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// A work-stealing thread pool.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl Pool {
+    /// Starts a pool with `nthreads` workers.
+    pub fn new(nthreads: usize) -> Pool {
+        assert!(nthreads >= 1);
+        let workers: Vec<Worker<Task>> = (0..nthreads).map(|_| Worker::new_fifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: parking_lot::RwLock::new(None),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("amt-worker-{i}"))
+                    .spawn(move || worker_loop(i, w, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Pool { shared, handles, nthreads }
+    }
+
+    /// Number of workers.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Installs the idle hook (e.g. parcelport progress).
+    pub fn set_idle_hook(&self, hook: impl Fn(usize) -> bool + Send + Sync + 'static) {
+        *self.shared.idle.write() = Some(Box::new(hook));
+    }
+
+    /// Spawns a task.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.injector.push(Box::new(f));
+    }
+
+    /// Current worker index, or `None` when called from outside the pool.
+    pub fn current_worker() -> Option<usize> {
+        let id = WORKER_ID.with(|w| w.get());
+        (id != usize::MAX).then_some(id)
+    }
+
+    /// Number of spawned-but-unfinished tasks.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Blocks the calling (non-worker) thread until every spawned task
+    /// has finished. The caller must guarantee the task graph quiesces.
+    pub fn wait_quiescent(&self) {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs idle-hook work from the calling thread too (useful on the
+    /// rank main thread while waiting).
+    pub fn help_progress(&self) -> bool {
+        let idle = self.shared.idle.read();
+        match idle.as_ref() {
+            Some(hook) => hook(usize::MAX),
+            None => false,
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, local: Worker<Task>, shared: Arc<PoolShared>) {
+    WORKER_ID.with(|w| w.set(id));
+    let backoff = crossbeam::utils::Backoff::new();
+    loop {
+        // 1. Local deque.
+        let task = local.pop().or_else(|| {
+            // 2. Global injector (batch-steal into the local deque).
+            std::iter::repeat_with(|| shared.injector.steal_batch_and_pop(&local))
+                .find(|s| !s.is_retry())
+                .and_then(|s| s.success())
+                .or_else(|| {
+                    // 3. Steal from a sibling.
+                    shared
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != id)
+                        .map(|(_, s)| s.steal())
+                        .find_map(|s| s.success())
+                })
+        });
+        match task {
+            Some(t) => {
+                backoff.reset();
+                t();
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // 4. Idle: progress communication, then back off.
+                let did = {
+                    let idle = shared.idle.read();
+                    idle.as_ref().map(|h| h(id)).unwrap_or(false)
+                };
+                if did {
+                    backoff.reset();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = Pool::new(3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 0..1000u64 {
+            let sum = sum.clone();
+            pool.spawn(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let pool = Arc::new(Pool::new(2));
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let pool2 = pool.clone();
+            let count = count.clone();
+            pool.spawn(move || {
+                for _ in 0..10 {
+                    let c = count.clone();
+                    pool2.spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn idle_hook_invoked() {
+        let pool = Pool::new(2);
+        let polls = Arc::new(AtomicU64::new(0));
+        let p = polls.clone();
+        pool.set_idle_hook(move |_| {
+            p.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(polls.load(Ordering::Relaxed) > 0, "idle workers must poll");
+    }
+
+    #[test]
+    fn current_worker_inside_and_outside() {
+        assert!(Pool::current_worker().is_none());
+        let pool = Pool::new(2);
+        let seen = Arc::new(AtomicU64::new(u64::MAX));
+        let s = seen.clone();
+        pool.spawn(move || {
+            s.store(Pool::current_worker().unwrap() as u64, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert!(seen.load(Ordering::SeqCst) < 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the AMT substrate: scheduler task
+//! accounting, future/latch laws, octree physics invariants, and
+//! particle-serialization codecs.
+
+use amt::octo::{Octree, Particle};
+use amt::sched::Pool;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn arb_particles(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Particle>> {
+    proptest::collection::vec(
+        (
+            prop::array::uniform3(-1.0f64..1.0),
+            prop::array::uniform3(-0.1f64..0.1),
+            0.001f64..0.1,
+        )
+            .prop_map(|(pos, vel, mass)| Particle { pos, vel, mass }),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Octree total mass and centre of mass match the direct sums.
+    #[test]
+    fn octree_mass_conservation(parts in arb_particles(1..200)) {
+        let tree = Octree::build(&parts);
+        let (mass, com) = tree.root_summary();
+        let direct_mass: f64 = parts.iter().map(|p| p.mass).sum();
+        prop_assert!((mass - direct_mass).abs() < 1e-9);
+        for d in 0..3 {
+            let direct: f64 =
+                parts.iter().map(|p| p.mass * p.pos[d]).sum::<f64>() / direct_mass;
+            prop_assert!((com[d] - direct).abs() < 1e-9, "com[{d}]: {} vs {direct}", com[d]);
+        }
+    }
+
+    /// theta = 0 tree traversal equals the direct O(n) sum at any probe.
+    #[test]
+    fn accel_exact_at_theta_zero(parts in arb_particles(1..100), probe in prop::array::uniform3(-1.0f64..1.0)) {
+        let eps = 0.05;
+        let tree = Octree::build(&parts);
+        let a = tree.accel(probe, 0.0, eps, &parts);
+        let mut direct = [0.0f64; 3];
+        for p in &parts {
+            let dx = [p.pos[0] - probe[0], p.pos[1] - probe[1], p.pos[2] - probe[2]];
+            let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps * eps;
+            let inv = 1.0 / (d2 * d2.sqrt());
+            for k in 0..3 {
+                direct[k] += p.mass * dx[k] * inv;
+            }
+        }
+        for k in 0..3 {
+            prop_assert!((a[k] - direct[k]).abs() < 1e-9 * (1.0 + direct[k].abs()));
+        }
+    }
+
+    /// The coarse summary conserves mass at every cut depth.
+    #[test]
+    fn summary_mass_conserved(parts in arb_particles(1..150), depth in 0usize..6) {
+        let tree = Octree::build(&parts);
+        let summary = tree.summary(depth);
+        let total: f64 = summary.iter().map(|(_, m)| m).sum();
+        let direct: f64 = parts.iter().map(|p| p.mass).sum();
+        prop_assert!((total - direct).abs() < 1e-9);
+    }
+
+    /// Scheduler: every spawned task runs exactly once under arbitrary
+    /// task counts and pool widths.
+    #[test]
+    fn pool_runs_each_task_once(ntasks in 1usize..300, width in 1usize..4) {
+        let pool = Pool::new(width);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..ntasks {
+            let hits = hits.clone();
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_quiescent();
+        prop_assert_eq!(hits.load(Ordering::Relaxed), ntasks as u64);
+    }
+
+    /// Latch fires exactly at n count-downs.
+    #[test]
+    fn latch_threshold(n in 0usize..64) {
+        let latch = amt::future::Latch::new(n, None);
+        for i in 0..n {
+            prop_assert_eq!(latch.future().is_ready(), false, "early at {}/{}", i, n);
+            latch.count_down();
+        }
+        prop_assert!(latch.future().is_ready());
+    }
+}

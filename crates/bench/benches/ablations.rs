@@ -1,0 +1,245 @@
+//! Ablations of the design choices DESIGN.md calls out (paper §4):
+//!
+//! 1. **Trylock wrapper vs blocking locks** (§4.2.2) — multithreaded
+//!    message rate with the wrapper on vs off;
+//! 2. **ibv thread-domain strategy** (§4.2.3) — per_qp / all_qp / none;
+//! 3. **Completion-queue implementation** (§4.1.4) — FAA fixed array vs
+//!    LCRQ-class segmented queue, multithreaded push/pop throughput;
+//! 4. **Matching-engine bucket count** (§4.1.3) — load factor vs insert
+//!    throughput (the small-array fast path needs low load);
+//! 5. **Aggregation buffer size** (§5.3) — the paper notes larger
+//!    buffers narrow the LCI/GASNet gap but worsen load balance.
+
+use bench::{env_usize, iters, print_header, print_row, quick, thread_sweep};
+use kmer::{run_rank, KmerConfig, ReadSetConfig};
+use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingConfig, MatchingEngine};
+use lci_fabric::sync::LockDiscipline;
+use lci_fabric::{Fabric, TdStrategy};
+use lcw::{BackendKind, Platform, ResourceMode, WorldConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let iters = iters();
+    let threads = *thread_sweep().last().unwrap_or(&2);
+
+    // ------------------------------------------------------------------
+    // 1+2. Lock discipline and thread-domain strategy: message rate with
+    // a custom LCI runtime per variant (shared device: the contended
+    // case the wrapper exists for).
+    // ------------------------------------------------------------------
+    print_header("Ablation: trylock wrapper & td strategy (shared device msgrate)", &[
+        "variant", "threads", "Mmsg/s",
+    ]);
+    for (name, discipline, td) in [
+        ("trylock+per_qp (LCI default)", LockDiscipline::TryLock, TdStrategy::PerQp),
+        ("trylock+all_qp", LockDiscipline::TryLock, TdStrategy::AllQp),
+        ("blocking (stock stack)", LockDiscipline::Blocking, TdStrategy::None),
+    ] {
+        let rate = msgrate_lci_variant(discipline, td, threads, iters);
+        print_row(&[name.into(), threads.to_string(), format!("{rate:.4}")]);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Completion-queue implementations.
+    // ------------------------------------------------------------------
+    let per = if quick() { 20_000 } else { env_usize("BENCH_RESOURCE_OPS", 100_000) };
+    print_header("Ablation: completion queue impls (push/pop pairs)", &[
+        "impl", "threads", "Mops",
+    ]);
+    for t in thread_sweep() {
+        for (name, imp) in [
+            ("faa_array", CqImpl::FaaArray),
+            ("lcrq", CqImpl::Lcrq),
+            ("segmented(yardstick)", CqImpl::Segmented),
+        ] {
+            let q = CompQueue::new(CqConfig { imp, capacity: 8192 });
+            let mops = stress(t, per, |_, _| {
+                q.push(CompDesc::empty());
+                while q.pop().is_none() {
+                    std::thread::yield_now();
+                }
+            });
+            print_row(&[name.into(), t.to_string(), format!("{mops:.2}")]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Matching-engine bucket count (load factor).
+    // ------------------------------------------------------------------
+    print_header("Ablation: matching engine bucket count (insert pairs)", &[
+        "buckets", "threads", "Mops",
+    ]);
+    for buckets in [16usize, 256, 4096] {
+        let me: MatchingEngine<u64> =
+            MatchingEngine::with_config(MatchingConfig { buckets });
+        let mops = stress(threads, per, |tid, i| {
+            let key = ((tid as u64) << 32) | (i as u64 & 4095);
+            if me.insert(key, i as u64, MatchKind::Send).is_none() {
+                let _ = me.insert(key, i as u64, MatchKind::Recv);
+            }
+        });
+        print_row(&[buckets.to_string(), threads.to_string(), format!("{mops:.2}")]);
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Aggregation buffer size in the k-mer pipeline.
+    // ------------------------------------------------------------------
+    print_header("Ablation: k-mer aggregation buffer size", &["agg_bytes", "time_s"]);
+    let scale = if quick() { 1 } else { 2 };
+    let reads = ReadSetConfig {
+        genome_len: 10_000 * scale,
+        n_reads: 1_000 * scale,
+        read_len: 100,
+        error_rate: 0.01,
+        seed: 42,
+    };
+    for agg in [1024usize, 8192, 32768] {
+        let cfg = KmerConfig {
+            reads,
+            k: 31,
+            nthreads: 2,
+            agg_size: agg,
+            world: WorldConfig::new(
+                BackendKind::Lci,
+                Platform::Expanse,
+                ResourceMode::Dedicated(2),
+            ),
+            expected_distinct: reads.genome_len * 2,
+            max_count: 64,
+        };
+        let fabric = Fabric::new(2);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let fabric = fabric.clone();
+                std::thread::spawn(move || run_rank(fabric, r, cfg))
+            })
+            .collect();
+        let t = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().count_time.as_secs_f64())
+            .fold(0.0, f64::max);
+        print_row(&[agg.to_string(), format!("{t:.3}")]);
+    }
+}
+
+/// Thread-stress helper: op-pairs per second (Mops).
+fn stress(nthreads: usize, per: usize, op: impl Fn(usize, usize) + Send + Sync) -> f64 {
+    let op = Arc::new(op);
+    let go = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let op = op.clone();
+            let go = go.clone();
+            scope.spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                for i in 0..per {
+                    op(t, i);
+                }
+            });
+        }
+        go.store(true, Ordering::Release);
+    });
+    (nthreads * per) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// Message rate with an LCI runtime whose device uses the given lock
+/// discipline and thread-domain strategy, all threads sharing it.
+fn msgrate_lci_variant(
+    discipline: LockDiscipline,
+    td: TdStrategy,
+    nthreads: usize,
+    iters: usize,
+) -> f64 {
+    use lci::{Comp, PostResult, Runtime, RuntimeConfig};
+    let fabric = Fabric::new(2);
+    let elapsed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    let mk = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<std::sync::atomic::AtomicU64>| {
+        std::thread::spawn(move || {
+            let cfg = RuntimeConfig {
+                device: lci::DeviceConfig::ibv()
+                    .with_discipline(discipline)
+                    .with_td_strategy(td),
+                ..RuntimeConfig::small()
+            };
+            let rt = Runtime::new(fabric.clone(), rank, cfg).unwrap();
+            let cq = Comp::alloc_cq();
+            let rcomp = rt.register_rcomp(cq.clone());
+            assert_eq!(rcomp, 0);
+            fabric.oob_barrier();
+            let t0 = Instant::now();
+            let total = (nthreads * iters) as u64;
+            let served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            std::thread::scope(|scope| {
+                for t in 0..nthreads {
+                    let rt = rt.clone();
+                    let cq = cq.clone();
+                    let served = served.clone();
+                    scope.spawn(move || {
+                        let noop = Comp::alloc_handler(|_| {});
+                        if rank == 0 {
+                            for _ in 0..iters {
+                                loop {
+                                    match rt
+                                        .post_am_x(1, [0u8; 8].as_slice(), noop.clone(), 0)
+                                        .tag(t as u32)
+                                        .call()
+                                        .unwrap()
+                                    {
+                                        PostResult::Retry(_) => {
+                                            let _ = rt.progress();
+                                        }
+                                        _ => break,
+                                    }
+                                }
+                                loop {
+                                    let _ = rt.progress();
+                                    if cq.pop().is_some() {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        } else {
+                            while served.load(Ordering::Acquire) < total {
+                                let _ = rt.progress();
+                                while let Some(m) = cq.pop() {
+                                    loop {
+                                        match rt
+                                            .post_am_x(0, [0u8; 8].as_slice(), noop.clone(), 0)
+                                            .tag(m.tag)
+                                            .call()
+                                            .unwrap()
+                                        {
+                                            PostResult::Retry(_) => {
+                                                let _ = rt.progress();
+                                            }
+                                            _ => break,
+                                        }
+                                    }
+                                    served.fetch_add(1, Ordering::AcqRel);
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+            });
+            let dt = t0.elapsed();
+            fabric.oob_barrier();
+            if rank == 0 {
+                elapsed.store(dt.as_nanos() as u64, Ordering::Release);
+            }
+        })
+    };
+    let h0 = mk(0, fabric.clone(), elapsed.clone());
+    let h1 = mk(1, fabric, elapsed.clone());
+    h0.join().unwrap();
+    h1.join().unwrap();
+    (nthreads * iters) as f64 / (elapsed.load(Ordering::Acquire) as f64 / 1e9) / 1e6
+}

@@ -1,0 +1,35 @@
+//! Paper Figure 2: process-based message-rate microbenchmark.
+//!
+//! One process per core, one thread per process; each process ping-pongs
+//! 8-byte active messages with its peer on the other "node". The paper
+//! sweeps 1..128 processes/node on Expanse and Delta; this harness
+//! sweeps pairs up to `BENCH_MAX_THREADS` on both simulated platforms
+//! and prints the same series (lci / mpi / gasnet — aggregated
+//! unidirectional Mmsg/s).
+
+use bench::{
+    iters, lib_name, msgrate_process_based, platform_name, print_header, print_row, thread_sweep,
+};
+use lcw::{BackendKind, Platform};
+
+fn main() {
+    let pair_sweep = thread_sweep();
+    let iters = iters();
+    println!("# Fig 2: process-based message rate (8 B, ping-pong)");
+    println!(
+        "# paper: 1-128 processes/node, 100k iters; here: {pair_sweep:?} pairs, {iters} iters"
+    );
+    for platform in [Platform::Expanse, Platform::Delta] {
+        print_header(&format!("Fig2 {}", platform_name(platform)), &["pairs", "lib", "Mmsg/s"]);
+        for &pairs in &pair_sweep {
+            for backend in [BackendKind::Lci, BackendKind::Mpi, BackendKind::Gasnet] {
+                let rate = msgrate_process_based(backend, platform, pairs, iters);
+                print_row(&[
+                    pairs.to_string(),
+                    lib_name(backend).to_string(),
+                    format!("{rate:.4}"),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Paper Figure 3: thread-based message-rate microbenchmark.
+//!
+//! One process per "node", one thread per core; each thread ping-pongs
+//! 8-byte active messages with its peer thread. Four panels: dedicated
+//! vs shared resources × Expanse(ibv-sim) vs Delta(ofi-sim).
+//!
+//! Series per panel (as in the paper):
+//! * dedicated: lci (one device/thread), mpix (one VCI/thread) — the
+//!   paper notes Cray-MPICH and GASNet-EX do not support this mode;
+//! * shared: lci, mpi, mpix(1 VCI ≙ mpi with the VCI code path), gasnet.
+
+use bench::{
+    iters, lib_name, msgrate_thread_based, platform_name, print_header, print_row, thread_sweep,
+};
+use lcw::{BackendKind, Platform, ResourceMode};
+
+fn main() {
+    let sweep = thread_sweep();
+    let iters = iters();
+    println!("# Fig 3: thread-based message rate (8 B, ping-pong)");
+    println!("# paper: 1-128 threads, 100k iters; here: {sweep:?} threads, {iters} iters");
+
+    for platform in [Platform::Expanse, Platform::Delta] {
+        // Dedicated-resource panels (Fig 3a / 3c).
+        print_header(
+            &format!("Fig3 dedicated {}", platform_name(platform)),
+            &["threads", "lib", "Mmsg/s"],
+        );
+        for &t in &sweep {
+            for backend in [BackendKind::Lci, BackendKind::Vci] {
+                let rate = msgrate_thread_based(
+                    backend,
+                    platform,
+                    ResourceMode::Dedicated(t),
+                    t,
+                    iters,
+                    8,
+                );
+                print_row(&[t.to_string(), lib_name(backend).to_string(), format!("{rate:.4}")]);
+            }
+        }
+
+        // Shared-resource panels (Fig 3b / 3d).
+        print_header(
+            &format!("Fig3 shared {}", platform_name(platform)),
+            &["threads", "lib", "Mmsg/s"],
+        );
+        for &t in &sweep {
+            for backend in
+                [BackendKind::Lci, BackendKind::Mpi, BackendKind::Gasnet]
+            {
+                let rate =
+                    msgrate_thread_based(backend, platform, ResourceMode::Shared, t, iters, 8);
+                print_row(&[t.to_string(), lib_name(backend).to_string(), format!("{rate:.4}")]);
+            }
+        }
+    }
+}

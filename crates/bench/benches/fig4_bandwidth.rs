@@ -1,0 +1,53 @@
+//! Paper Figure 4: thread-based bandwidth microbenchmark.
+//!
+//! Fixed thread count (paper: 64 to stay on one socket; here
+//! `BENCH_MAX_THREADS`), message size swept 16 B → 1 MiB, send-receive
+//! streams, unidirectional MiB/s. Four panels: dedicated vs shared ×
+//! Expanse vs Delta. GASNet is absent (no send-receive support in its
+//! LCW backend, as in the paper).
+
+use bench::{
+    bandwidth_thread_based, env_usize, lib_name, platform_name, print_header, print_row, quick,
+};
+use lcw::{BackendKind, Platform, ResourceMode};
+
+fn main() {
+    let nthreads = env_usize("BENCH_MAX_THREADS", 4).max(1);
+    let sizes: Vec<usize> = if quick() {
+        vec![16, 4096]
+    } else {
+        vec![16, 256, 4096, 65536, 262144, 1 << 20]
+    };
+    let base_iters = if quick() { 5 } else { env_usize("BENCH_BW_ITERS", 40) };
+    println!("# Fig 4: thread-based bandwidth (send-receive, window=8)");
+    println!("# paper: 64 threads, 16B-1MiB; here: {nthreads} threads, sizes {sizes:?}");
+
+    for platform in [Platform::Expanse, Platform::Delta] {
+        for (mode_name, mode) in
+            [("dedicated", ResourceMode::Dedicated(nthreads)), ("shared", ResourceMode::Shared)]
+        {
+            print_header(
+                &format!("Fig4 {mode_name} {}", platform_name(platform)),
+                &["size_B", "lib", "MiB/s"],
+            );
+            for &size in &sizes {
+                // Fewer iterations for big messages, like the paper's 1k.
+                let iters = (base_iters * 4096 / size.max(4096)).max(3);
+                let libs: &[BackendKind] = if mode_name == "dedicated" {
+                    &[BackendKind::Lci, BackendKind::Vci]
+                } else {
+                    &[BackendKind::Lci, BackendKind::Mpi]
+                };
+                for &backend in libs {
+                    let bw =
+                        bandwidth_thread_based(backend, platform, mode, nthreads, size, iters);
+                    print_row(&[
+                        size.to_string(),
+                        lib_name(backend).to_string(),
+                        format!("{bw:.1}"),
+                    ]);
+                }
+            }
+        }
+    }
+}

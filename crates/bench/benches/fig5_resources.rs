@@ -1,0 +1,87 @@
+//! Paper Figure 5: maximum throughput of individual LCI resources over
+//! thread counts.
+//!
+//! Threads hammer one shared instance of each resource with the method
+//! pairs used on the communication critical path:
+//!
+//! * completion queue — push/pop pairs (paper: ~18 Mops at 128 threads,
+//!   bounded by fetch-and-add on the shared counters);
+//! * matching engine — insert pairs (a send insert matched by a recv
+//!   insert; paper: ~260 Mops);
+//! * packet pool — get/put pairs (thread-local deques; paper: ~800
+//!   Mops, the best scaler).
+//!
+//! The paper's conclusion to reproduce: packet pool ≻ matching engine ≻
+//! completion queue, with the CQ the only resource worth replicating
+//! per thread.
+
+use bench::{env_usize, print_header, print_row, quick, thread_sweep};
+use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool, PacketPoolConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs `per_thread` op-pairs on every thread; returns Mops (op pairs/s).
+fn measure(nthreads: usize, per_thread: usize, op: impl Fn(usize, usize) + Send + Sync) -> f64 {
+    let op = Arc::new(op);
+    let start = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let op = op.clone();
+            let start = start.clone();
+            scope.spawn(move || {
+                while !start.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                for i in 0..per_thread {
+                    op(t, i);
+                }
+            });
+        }
+        start.store(true, Ordering::Release);
+    });
+    let dt = t0.elapsed();
+    (nthreads * per_thread) as f64 / dt.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let per = if quick() { 10_000 } else { env_usize("BENCH_RESOURCE_OPS", 100_000) };
+    let sweep = thread_sweep();
+    println!("# Fig 5: individual resource throughput (shared instance)");
+    println!("# paper: 100k op-pairs/thread, 1-128 threads; here: {per} op-pairs, {sweep:?} threads");
+
+    print_header("Fig5 resource throughput", &["threads", "resource", "Mops"]);
+    for &t in &sweep {
+        // Completion queue (FAA-array impl, the paper's default).
+        let cq = CompQueue::new(CqConfig { imp: CqImpl::FaaArray, capacity: 8192 });
+        let mops = measure(t, per, |_, _| {
+            cq.push(CompDesc::empty());
+            while cq.pop().is_none() {
+                std::hint::spin_loop();
+            }
+        });
+        print_row(&[t.to_string(), "comp_queue".into(), format!("{mops:.2}")]);
+
+        // Matching engine: alternating send/recv inserts with per-thread
+        // keys (the common no-contention case the hashtable optimizes).
+        let me: MatchingEngine<u64> = MatchingEngine::new();
+        let mops = measure(t, per, |tid, i| {
+            let key = ((tid as u64) << 32) | (i as u64 & 1023);
+            if me.insert(key, i as u64, MatchKind::Send).is_none() {
+                let _ = me.insert(key, i as u64, MatchKind::Recv);
+            }
+        });
+        print_row(&[t.to_string(), "matching_engine".into(), format!("{mops:.2}")]);
+
+        // Packet pool: get/put pairs (tail locality).
+        let pool =
+            PacketPool::new(PacketPoolConfig { payload_size: 64, count: t * 64 }).unwrap();
+        let mops = measure(t, per, |_, _| {
+            if let Some(p) = pool.get() {
+                drop(p);
+            }
+        });
+        print_row(&[t.to_string(), "packet_pool".into(), format!("{mops:.2}")]);
+    }
+}

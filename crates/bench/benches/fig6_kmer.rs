@@ -1,0 +1,96 @@
+//! Paper Figure 6: k-mer counting strong scaling.
+//!
+//! Fixed dataset (chr14-shaped synthetic reads), rank count swept;
+//! series: multithreaded LCI, multithreaded GASNet, and the
+//! single-threaded reference mode (HipMer/UPC++-style: one thread per
+//! rank, more ranks for the same core budget). The paper's shapes to
+//! reproduce: LCI-mt ≥ GASNet-mt (35-55% at scale), and multithreading
+//! beats the one-process-per-core reference once load imbalance bites.
+
+use bench::{env_usize, print_header, print_row, quick};
+use kmer::{run_rank, serial_reference, KmerConfig, ReadSetConfig};
+use lci_fabric::Fabric;
+use lcw::{BackendKind, Platform, ResourceMode, WorldConfig};
+
+fn run_config(nranks: usize, cfg: KmerConfig) -> (f64, u64) {
+    let fabric = Fabric::new(nranks);
+    let handles: Vec<_> = (0..nranks)
+        .map(|r| {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || run_rank(fabric, r, cfg))
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let max_t = results.iter().map(|r| r.count_time.as_secs_f64()).fold(0.0, f64::max);
+    (max_t, results[0].distinct)
+}
+
+fn main() {
+    let scale = if quick() { 1 } else { env_usize("BENCH_KMER_SCALE", 4) };
+    let reads = ReadSetConfig {
+        genome_len: 20_000 * scale,
+        n_reads: 2_000 * scale,
+        read_len: 100,
+        error_rate: 0.01,
+        seed: 42,
+    };
+    let base = KmerConfig {
+        reads,
+        k: 31,
+        nthreads: 2,
+        agg_size: 8192,
+        world: WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Dedicated(2)),
+        expected_distinct: reads.genome_len * 2,
+        max_count: 64,
+    };
+    println!("# Fig 6: k-mer counting strong scaling");
+    println!(
+        "# paper: chr14 (37M reads, 1.8G k-mers, k=51), 1-32 nodes; here: {} reads, k={}, scaled sweeps",
+        reads.n_reads, base.k
+    );
+    let serial = serial_reference(&base, 1);
+    println!("# serial reference: {:.3}s, distinct={}", serial.count_time.as_secs_f64(), serial.distinct);
+
+    let rank_sweep: Vec<usize> = if quick() { vec![2] } else { vec![2, 4] };
+    print_header("Fig6 k-mer counting", &["ranks", "mode", "time_s", "distinct"]);
+    for &nranks in &rank_sweep {
+        // Multithreaded LCI (all-worker, dedicated devices).
+        let cfg = KmerConfig {
+            world: WorldConfig::new(
+                BackendKind::Lci,
+                Platform::Expanse,
+                ResourceMode::Dedicated(base.nthreads),
+            ),
+            ..base
+        };
+        let (t, d) = run_config(nranks, cfg);
+        print_row(&[nranks.to_string(), "lci-mt".into(), format!("{t:.3}"), d.to_string()]);
+
+        // Multithreaded GASNet (all-worker on the shared endpoint).
+        let cfg = KmerConfig {
+            world: WorldConfig::new(BackendKind::Gasnet, Platform::Expanse, ResourceMode::Shared),
+            ..base
+        };
+        let (t, d) = run_config(nranks, cfg);
+        print_row(&[nranks.to_string(), "gasnet-mt".into(), format!("{t:.3}"), d.to_string()]);
+
+        // Single-threaded reference mode: one thread per rank, twice the
+        // ranks (same total workers) — the HipMer/UPC++ layout.
+        let cfg = KmerConfig {
+            nthreads: 1,
+            world: WorldConfig::new(
+                BackendKind::Gasnet,
+                Platform::Expanse,
+                ResourceMode::Shared,
+            ),
+            ..base
+        };
+        let (t, d) = run_config(nranks * base.nthreads, cfg);
+        print_row(&[
+            format!("{}(x1thr)", nranks * base.nthreads),
+            "ref-st".into(),
+            format!("{t:.3}"),
+            d.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Paper Figure 7: Octo-Tiger (octo-mini) strong scaling over the AMT
+//! runtime — time per step for the LCI, standard-MPI, and MPICH-VCI
+//! (mpix) parcelports, plus the paper's resource-count observation:
+//! mpix needs ~8 VCIs to peak while LCI peaks at 1-2 devices.
+
+use amt::{run_octo_rank, OctoConfig};
+use bench::{env_usize, print_header, print_row, quick};
+use lci_fabric::Fabric;
+use lcw::{BackendKind, Platform, ResourceMode, WorldConfig};
+
+fn run(nranks: usize, cfg: OctoConfig) -> f64 {
+    let fabric = Fabric::new(nranks);
+    let handles: Vec<_> = (0..nranks)
+        .map(|r| {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || run_octo_rank(fabric, r, cfg))
+        })
+        .collect();
+    let stats: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Time per step: mean over steps of the max across ranks.
+    let steps = stats[0].step_times.len();
+    (0..steps)
+        .map(|s| stats.iter().map(|st| st.step_times[s].as_secs_f64()).fold(0.0, f64::max))
+        .sum::<f64>()
+        / steps as f64
+}
+
+fn main() {
+    let nthreads = env_usize("BENCH_MAX_THREADS", 4).clamp(1, 8);
+    let n_particles = if quick() { 400 } else { env_usize("BENCH_OCTO_PARTICLES", 3000) };
+    let steps = if quick() { 1 } else { 3 };
+    let base = OctoConfig {
+        n_particles,
+        steps,
+        nthreads,
+        chunk: 64,
+        world: WorldConfig::new(
+            BackendKind::Lci,
+            Platform::Expanse,
+            ResourceMode::Dedicated(nthreads),
+        ),
+        ..OctoConfig::default()
+    };
+    println!("# Fig 7: octo-mini (rotating star) time per step");
+    println!(
+        "# paper: Octo-Tiger on HPX, Expanse+Delta; here: {n_particles} particles, {nthreads} workers/rank, {steps} steps"
+    );
+
+    let rank_sweep: Vec<usize> = if quick() { vec![2] } else { vec![2, 4] };
+    for platform in [Platform::Expanse, Platform::Delta] {
+        print_header(
+            &format!(
+                "Fig7 {}",
+                if platform == Platform::Expanse { "expanse(ibv-sim)" } else { "delta(ofi-sim)" }
+            ),
+            &["ranks", "parcelport", "s/step"],
+        );
+        for &nranks in &rank_sweep {
+            for (name, backend, mode) in [
+                ("lci", BackendKind::Lci, ResourceMode::Dedicated(nthreads)),
+                ("mpi", BackendKind::Mpi, ResourceMode::Shared),
+                ("mpix", BackendKind::Vci, ResourceMode::Dedicated(nthreads)),
+            ] {
+                let cfg = OctoConfig { world: WorldConfig::new(backend, platform, mode), ..base };
+                let t = run(nranks, cfg);
+                print_row(&[nranks.to_string(), name.into(), format!("{t:.4}")]);
+            }
+        }
+    }
+
+    // The resource-count observation: LCI device count vs mpix VCI count.
+    print_header("Fig7 resource-count sweep (2 ranks, expanse)", &["lib", "resources", "s/step"]);
+    for devs in [1usize, 2] {
+        let cfg = OctoConfig {
+            world: WorldConfig::new(
+                BackendKind::Lci,
+                Platform::Expanse,
+                ResourceMode::Dedicated(devs),
+            ),
+            // Parcelport endpoints follow the pool size; cap workers to
+            // the device count for the sweep.
+            nthreads: devs.max(1),
+            ..base
+        };
+        let t = run(2, cfg);
+        print_row(&["lci".into(), devs.to_string(), format!("{t:.4}")]);
+    }
+    for vcis in [1usize, 2, 4] {
+        let cfg = OctoConfig {
+            world: WorldConfig::new(
+                BackendKind::Vci,
+                Platform::Expanse,
+                ResourceMode::Dedicated(vcis),
+            ),
+            nthreads: vcis.max(1),
+            ..base
+        };
+        let t = run(2, cfg);
+        print_row(&["mpix".into(), vcis.to_string(), format!("{t:.4}")]);
+    }
+}

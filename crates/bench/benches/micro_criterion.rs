@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the single-threaded hot paths: the
+//! statistically-rigorous counterpart of the figure harnesses, useful
+//! for regression-tracking individual resources (paper §4.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lci::{
+    Comp, CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool,
+    PacketPoolConfig, PostResult, Runtime, RuntimeConfig,
+};
+use lci_fabric::Fabric;
+
+fn bench_comp_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comp_queue");
+    g.throughput(Throughput::Elements(1));
+    for (name, imp) in [
+        ("faa_array", CqImpl::FaaArray),
+        ("lcrq", CqImpl::Lcrq),
+        ("segmented", CqImpl::Segmented),
+    ] {
+        let q = CompQueue::new(CqConfig { imp, capacity: 8192 });
+        g.bench_function(format!("push_pop/{name}"), |b| {
+            b.iter(|| {
+                q.push(CompDesc::empty());
+                std::hint::black_box(q.pop());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching_engine");
+    g.throughput(Throughput::Elements(2));
+    let me: MatchingEngine<u64> = MatchingEngine::new();
+    let mut key = 0u64;
+    g.bench_function("insert_match_pair", |b| {
+        b.iter(|| {
+            key = key.wrapping_add(1) & 0xFFFF;
+            assert!(me.insert(key, 1, MatchKind::Send).is_none());
+            assert!(me.insert(key, 2, MatchKind::Recv).is_some());
+        })
+    });
+    g.finish();
+}
+
+fn bench_packet_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_pool");
+    g.throughput(Throughput::Elements(1));
+    let pool = PacketPool::new(PacketPoolConfig { payload_size: 8192, count: 64 }).unwrap();
+    g.bench_function("get_put", |b| {
+        b.iter(|| {
+            let p = pool.get().unwrap();
+            std::hint::black_box(&p);
+        })
+    });
+    g.finish();
+}
+
+fn bench_post_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("post_path");
+    g.throughput(Throughput::Elements(1));
+    // Single-rank fabric: self-send exercises the full post+progress path.
+    let fabric = Fabric::new(1);
+    let rt = Runtime::new(fabric, 0, RuntimeConfig::small()).unwrap();
+    let cq = Comp::alloc_cq();
+    let rcomp = rt.register_rcomp(cq.clone());
+    let noop = Comp::alloc_handler(|_| {});
+
+    g.bench_function("am_inject_selfsend_8B", |b| {
+        b.iter(|| {
+            loop {
+                match rt.post_am(0, [0u8; 8].as_slice(), noop.clone(), rcomp).unwrap() {
+                    PostResult::Retry(_) => {
+                        rt.progress().unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            loop {
+                rt.progress().unwrap();
+                if cq.pop().is_some() {
+                    break;
+                }
+            }
+        })
+    });
+
+    g.bench_function("am_bcopy_selfsend_1KiB", |b| {
+        let payload = vec![0u8; 1024];
+        b.iter_batched(
+            || payload.clone(),
+            |p| {
+                loop {
+                    match rt.post_am(0, p.as_slice(), noop.clone(), rcomp).unwrap() {
+                        PostResult::Retry(_) => {
+                            rt.progress().unwrap();
+                        }
+                        _ => break,
+                    }
+                }
+                loop {
+                    rt.progress().unwrap();
+                    if cq.pop().is_some() {
+                        break;
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_wire_header(c: &mut Criterion) {
+    use lci::proto::{Header, MsgType};
+    use lci::MatchingPolicy;
+    let mut g = c.benchmark_group("wire_header");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let h = Header::new(MsgType::Eager, MatchingPolicy::RankTag, 12345, 678);
+            let imm = std::hint::black_box(h.encode());
+            std::hint::black_box(Header::decode(imm).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_comp_queue, bench_matching_engine, bench_packet_pool, bench_post_path, bench_wire_header
+}
+criterion_main!(benches);

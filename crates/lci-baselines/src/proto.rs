@@ -1,0 +1,113 @@
+//! Wire-header encoding for the baseline libraries.
+//!
+//! Deliberately *not* shared with the `lci` crate: each library defines
+//! its own protocol, exactly as MPICH and GASNet-EX do in reality. The
+//! layout happens to be similar (64-bit immediate: type, tag, aux).
+
+/// Message types on the baseline wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BType {
+    /// Eager two-sided message.
+    Eager = 1,
+    /// Rendezvous ready-to-send (payload: send_id u32 + size u64).
+    Rts = 2,
+    /// Rendezvous ready-to-receive (payload: send_id u32 + recv_id u32 +
+    /// rkey u32).
+    Rtr = 3,
+    /// Rendezvous finish (write-immediate, aux = recv_id).
+    Fin = 4,
+    /// Active message (aux = handler index).
+    Am = 5,
+}
+
+impl BType {
+    /// Decodes the type bits.
+    pub fn from_bits(v: u64) -> Option<BType> {
+        Some(match v {
+            1 => BType::Eager,
+            2 => BType::Rts,
+            3 => BType::Rtr,
+            4 => BType::Fin,
+            5 => BType::Am,
+            _ => return None,
+        })
+    }
+}
+
+/// Encodes a baseline header.
+pub fn encode(ty: BType, tag: u32, aux: u32) -> u64 {
+    ((ty as u64) << 60) | ((tag as u64) << 24) | (aux as u64 & 0xFF_FFFF)
+}
+
+/// Decodes a baseline header into `(type, tag, aux)`.
+pub fn decode(imm: u64) -> Option<(BType, u32, u32)> {
+    let ty = BType::from_bits((imm >> 60) & 0xF)?;
+    let tag = ((imm >> 24) & 0xFFFF_FFFF) as u32;
+    let aux = (imm & 0xFF_FFFF) as u32;
+    Some((ty, tag, aux))
+}
+
+/// RTS payload codec.
+pub fn encode_rts(send_id: u32, size: u64) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    out[..4].copy_from_slice(&send_id.to_le_bytes());
+    out[4..].copy_from_slice(&size.to_le_bytes());
+    out
+}
+
+/// Decodes an RTS payload.
+pub fn decode_rts(b: &[u8]) -> Option<(u32, u64)> {
+    if b.len() < 12 {
+        return None;
+    }
+    Some((
+        u32::from_le_bytes(b[..4].try_into().ok()?),
+        u64::from_le_bytes(b[4..12].try_into().ok()?),
+    ))
+}
+
+/// RTR payload codec.
+pub fn encode_rtr(send_id: u32, recv_id: u32, rkey: u32) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    out[..4].copy_from_slice(&send_id.to_le_bytes());
+    out[4..8].copy_from_slice(&recv_id.to_le_bytes());
+    out[8..].copy_from_slice(&rkey.to_le_bytes());
+    out
+}
+
+/// Decodes an RTR payload.
+pub fn decode_rtr(b: &[u8]) -> Option<(u32, u32, u32)> {
+    if b.len() < 12 {
+        return None;
+    }
+    Some((
+        u32::from_le_bytes(b[..4].try_into().ok()?),
+        u32::from_le_bytes(b[4..8].try_into().ok()?),
+        u32::from_le_bytes(b[8..12].try_into().ok()?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        for ty in [BType::Eager, BType::Rts, BType::Rtr, BType::Fin, BType::Am] {
+            let imm = encode(ty, 0xFEED_1234, 0x00AB_CD);
+            let (t, tag, aux) = decode(imm).unwrap();
+            assert_eq!(t, ty);
+            assert_eq!(tag, 0xFEED_1234);
+            assert_eq!(aux, 0x00AB_CD);
+        }
+        assert!(decode(0).is_none());
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        assert_eq!(decode_rts(&encode_rts(3, 1 << 33)).unwrap(), (3, 1 << 33));
+        assert_eq!(decode_rtr(&encode_rtr(3, 9, 77)).unwrap(), (3, 9, 77));
+        assert!(decode_rts(&[0; 3]).is_none());
+        assert!(decode_rtr(&[0; 3]).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the baseline libraries: header codecs and
+//! channel delivery semantics (in-order wildcard matching, arbitrary
+//! message sizes spanning eager and rendezvous).
+
+use lci_baselines::channel::{Channel, ChannelConfig};
+use lci_baselines::proto;
+use lci_baselines::{ANY_SOURCE, ANY_TAG};
+use lci_fabric::Fabric;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Baseline wire headers round-trip.
+    #[test]
+    fn header_roundtrip(ty in 1u64..6, tag in any::<u32>(), aux in 0u32..(1 << 24)) {
+        let t = proto::BType::from_bits(ty).unwrap();
+        let (t2, tag2, aux2) = proto::decode(proto::encode(t, tag, aux)).unwrap();
+        prop_assert_eq!(t2, t);
+        prop_assert_eq!(tag2, tag);
+        prop_assert_eq!(aux2, aux);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Arbitrary message sizes (eager and rendezvous) arrive intact and
+    /// ANY/ANY receives observe arrival order.
+    #[test]
+    fn channel_delivery_in_order(sizes in proptest::collection::vec(1usize..20_000, 1..6)) {
+        let fabric = Fabric::new(2);
+        let cfg = ChannelConfig::default();
+        let a = Arc::new(Channel::new(fabric.clone(), 0, cfg));
+        let b = Arc::new(Channel::new(fabric, 1, cfg));
+
+        let reqs: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| a.isend(1, a.dev_id(), vec![i as u8; s], i as u32))
+            .collect();
+
+        // Drive both sides until all sends complete (rendezvous needs
+        // the receiver posted, so interleave the receives).
+        let mut received = Vec::new();
+        for _ in 0..sizes.len() {
+            let r = b.irecv(ANY_SOURCE, ANY_TAG, 32_000);
+            loop {
+                a.progress();
+                b.progress();
+                if r.is_done() {
+                    break;
+                }
+            }
+            received.push(r.take_status().unwrap());
+        }
+        for req in &reqs {
+            a.wait(req);
+        }
+        // In-order delivery: tags ascend in arrival order for a single
+        // sender (eager messages overtake rendezvous only if posted
+        // later... the baseline queues preserve per-pair order because
+        // each message fully matches before the next receive is posted).
+        for (i, st) in received.iter().enumerate() {
+            prop_assert_eq!(st.tag, i as u32);
+            prop_assert_eq!(st.data.len(), sizes[i]);
+            prop_assert!(st.data.iter().all(|&x| x == i as u8));
+        }
+    }
+
+    /// Tag-specific receives pick exactly the matching message whatever
+    /// order things arrived in.
+    #[test]
+    fn channel_tag_matching(perm in Just(()) , ntags in 2usize..6) {
+        let _ = perm;
+        let fabric = Fabric::new(2);
+        let cfg = ChannelConfig::default();
+        let a = Arc::new(Channel::new(fabric.clone(), 0, cfg));
+        let b = Arc::new(Channel::new(fabric, 1, cfg));
+        for t in 0..ntags {
+            let s = a.isend(1, a.dev_id(), vec![t as u8; 10 + t], t as u32);
+            a.wait(&s);
+        }
+        for _ in 0..200 {
+            b.progress();
+        }
+        // Receive in reverse tag order.
+        for t in (0..ntags).rev() {
+            let r = b.irecv(0, t as u32, 64);
+            let st = b.wait(&r);
+            prop_assert_eq!(st.data.len(), 10 + t);
+            prop_assert!(st.data.iter().all(|&x| x == t as u8));
+        }
+    }
+}

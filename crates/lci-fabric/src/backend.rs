@@ -1,0 +1,318 @@
+//! The network backend layer (paper §4.2.1).
+//!
+//! LCI isolates network backends from its core runtime with a small
+//! wrapper operating on two resources: a *network context* (global
+//! resources, one per runtime) and *network devices* (critical-path
+//! resources, any number per context). All critical-path operations —
+//! posting sends/recvs/writes/reads, polling completions, registering
+//! memory — go through a device. The backend is **not** required to do tag
+//! matching or handle unexpected messages: the LCI progress engine keeps
+//! enough receives pre-posted.
+
+use crate::fabric::{Fabric, RxEndpoint, DEFAULT_RX_CAPACITY};
+use crate::mem::{MemoryRegion, Rkey};
+use crate::sim_ibv::IbvDevice;
+use crate::sim_ofi::OfiDevice;
+use crate::sync::LockDiscipline;
+use crate::types::{Cqe, CqeKind, DevId, NetResult, Rank, RecvBufDesc, WireMsg, WireMsgKind};
+use std::sync::Arc;
+
+/// Which simulated provider a device uses.
+///
+/// Both run on the same [`Fabric`]; they differ only in lock placement,
+/// mirroring the paper's libibverbs (§4.2.3) vs libfabric (§4.2.4)
+/// analysis. In the benchmarks, `Ibv` plays the role of SDSC Expanse
+/// (InfiniBand) and `Ofi` the role of NCSA Delta (Slingshot-11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Fine-grained locks: per-QP, per-CQ, per-SRQ spinlocks with
+    /// configurable thread-domain strategies.
+    Ibv,
+    /// Coarse endpoint lock: one spinlock serializes post and poll;
+    /// registration goes through a mutex-protected cache.
+    Ofi,
+}
+
+/// How queue pairs share posting locks on the ibv backend — the
+/// `ibv_td_strategy` device attribute of paper §4.2.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TdStrategy {
+    /// One thread domain (lock) per queue pair: threads posting to
+    /// different targets never interfere. The default.
+    PerQp,
+    /// A single thread domain for all queue pairs of the device;
+    /// recommended when each thread owns a dedicated device.
+    AllQp,
+    /// No thread domains: the provider falls back to one *blocking* lock
+    /// shared by all queue pairs (LCI cannot trylock-wrap a lock it does
+    /// not control).
+    None,
+}
+
+/// Device creation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Provider selection.
+    pub backend: BackendKind,
+    /// Thread-domain strategy (ibv backend only).
+    pub td_strategy: TdStrategy,
+    /// Lock acquisition discipline for wrapped locks: LCI uses
+    /// [`LockDiscipline::TryLock`] (the §4.2.2 trylock wrapper); stock
+    /// library behaviour is [`LockDiscipline::Blocking`].
+    pub discipline: LockDiscipline,
+    /// RX ring capacity (inbound flow-control window).
+    pub rx_capacity: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::Ibv,
+            td_strategy: TdStrategy::PerQp,
+            discipline: LockDiscipline::TryLock,
+            rx_capacity: DEFAULT_RX_CAPACITY,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Config preset for the ibv-like backend (Expanse stand-in).
+    pub fn ibv() -> Self {
+        Self::default()
+    }
+
+    /// Config preset for the ofi-like backend (Delta stand-in).
+    pub fn ofi() -> Self {
+        Self { backend: BackendKind::Ofi, ..Self::default() }
+    }
+
+    /// Sets the lock discipline.
+    pub fn with_discipline(mut self, d: LockDiscipline) -> Self {
+        self.discipline = d;
+        self
+    }
+
+    /// Sets the thread-domain strategy.
+    pub fn with_td_strategy(mut self, s: TdStrategy) -> Self {
+        self.td_strategy = s;
+        self
+    }
+
+    /// Sets the RX ring capacity.
+    pub fn with_rx_capacity(mut self, c: usize) -> Self {
+        self.rx_capacity = c;
+        self
+    }
+}
+
+/// A network device: the critical-path resource. Two threads operating on
+/// different devices never interfere (paper §4.2.1); interference *within*
+/// a device depends on the backend's lock granularity.
+pub trait NetDevice: Send + Sync {
+    /// The owning rank.
+    fn rank(&self) -> Rank;
+    /// This device's index on its rank.
+    fn dev_id(&self) -> DevId;
+    /// The configuration the device was created with.
+    fn config(&self) -> &DeviceConfig;
+
+    /// Posts a two-sided send toward `(target, target_dev)`. The payload
+    /// is staged immediately (the send buffer may be reused as soon as
+    /// the `SendDone` completion is polled; in this simulation it may be
+    /// reused on return, but portable callers must wait for the CQE).
+    fn post_send(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        data: &[u8],
+        imm: u64,
+        ctx: u64,
+    ) -> NetResult<()>;
+
+    /// Pre-posts a receive buffer to the shared receive queue.
+    fn post_recv(&self, desc: RecvBufDesc) -> NetResult<()>;
+
+    /// Polls for up to `max` completions, appending them to `out`.
+    /// Returns the number of completions delivered. Under the trylock
+    /// discipline a busy lower-level lock surfaces as
+    /// `Err(Retry(LockBusy))`.
+    fn poll_cq(&self, out: &mut Vec<Cqe>, max: usize) -> NetResult<usize>;
+
+    /// RDMA-writes `data` into the remote registered region `rkey` at
+    /// `offset`. With `imm`, additionally consumes a pre-posted receive at
+    /// `(target, target_dev)` to deliver a `WriteImmRecv` completion.
+    fn post_write(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        data: &[u8],
+        rkey: Rkey,
+        offset: usize,
+        imm: Option<u64>,
+        ctx: u64,
+    ) -> NetResult<()>;
+
+    /// RDMA-reads from the remote registered region `rkey` at `offset`
+    /// into `local` (length = `local.len`). Completes with a `ReadDone`
+    /// carrying `local.ctx`.
+    fn post_read(&self, target: Rank, local: RecvBufDesc, rkey: Rkey, offset: usize)
+        -> NetResult<()>;
+
+    /// Registers local memory for remote access.
+    fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion>;
+
+    /// Deregisters a region.
+    fn deregister(&self, mr: &MemoryRegion) -> NetResult<()>;
+
+    /// Number of currently pre-posted receives (used by the LCI progress
+    /// engine to decide when to replenish).
+    fn posted_recvs(&self) -> usize;
+
+    /// Tears the device down: closes its RX endpoint (subsequent sends
+    /// to it fail fatally), and hands back every undelivered completion
+    /// and every still-posted receive buffer so the owner can reclaim
+    /// the contexts (buffers, packets) they reference.
+    fn teardown(&self) -> (Vec<Cqe>, Vec<RecvBufDesc>);
+}
+
+/// Per-rank handle onto the fabric; creates devices.
+#[derive(Clone)]
+pub struct NetContext {
+    fabric: Arc<Fabric>,
+    rank: Rank,
+}
+
+impl NetContext {
+    /// Opens the context for `rank` on `fabric`.
+    pub fn new(fabric: Arc<Fabric>, rank: Rank) -> Self {
+        assert!(rank < fabric.nranks(), "rank {rank} out of range");
+        Self { fabric, rank }
+    }
+
+    /// This context's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total ranks on the fabric.
+    pub fn nranks(&self) -> usize {
+        self.fabric.nranks()
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Creates a device with the given configuration.
+    pub fn create_device(&self, cfg: DeviceConfig) -> Arc<dyn NetDevice> {
+        let rx = Arc::new(RxEndpoint::new(cfg.rx_capacity));
+        let dev_id = self.fabric.add_device(self.rank, rx.clone());
+        match cfg.backend {
+            BackendKind::Ibv => {
+                Arc::new(IbvDevice::new(self.fabric.clone(), self.rank, dev_id, rx, cfg))
+            }
+            BackendKind::Ofi => {
+                Arc::new(OfiDevice::new(self.fabric.clone(), self.rank, dev_id, rx, cfg))
+            }
+        }
+    }
+}
+
+/// Copies a delivered wire message into a pre-posted receive buffer and
+/// builds the corresponding CQE. Shared by both backends (stands in for
+/// NIC DMA + CQE write).
+pub(crate) fn deliver_into(msg: &WireMsg, desc: &RecvBufDesc) -> NetResult<Cqe> {
+    match msg.kind {
+        WireMsgKind::Send => {
+            let data = msg.payload.as_slice();
+            if data.len() > desc.len {
+                return Err(crate::types::NetError::fatal(format!(
+                    "receive buffer too small: {} < {}",
+                    desc.len,
+                    data.len()
+                )));
+            }
+            // SAFETY: the RecvBufDesc contract guarantees the region is
+            // valid for writes and unaliased while posted.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), desc.ptr, data.len());
+            }
+            Ok(Cqe {
+                kind: CqeKind::RecvDone,
+                ctx: desc.ctx,
+                imm: msg.imm,
+                len: data.len(),
+                src_rank: msg.src_rank,
+                src_dev: msg.src_dev,
+            })
+        }
+        WireMsgKind::WriteImm => Ok(Cqe {
+            kind: CqeKind::WriteImmRecv,
+            ctx: desc.ctx,
+            imm: msg.imm,
+            len: 0,
+            src_rank: msg.src_rank,
+            src_dev: msg.src_dev,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WirePayload;
+
+    #[test]
+    fn deliver_into_copies_payload() {
+        let mut buf = vec![0u8; 32];
+        // SAFETY: buf outlives the descriptor use.
+        let desc = unsafe { RecvBufDesc::new(buf.as_mut_ptr(), buf.len(), 7) };
+        let msg = WireMsg {
+            src_rank: 3,
+            src_dev: 1,
+            imm: 99,
+            kind: WireMsgKind::Send,
+            payload: WirePayload::from_slice(&[1, 2, 3, 4]),
+        };
+        let cqe = deliver_into(&msg, &desc).unwrap();
+        assert_eq!(cqe.kind, CqeKind::RecvDone);
+        assert_eq!(cqe.ctx, 7);
+        assert_eq!(cqe.imm, 99);
+        assert_eq!(cqe.len, 4);
+        assert_eq!(cqe.src_rank, 3);
+        assert_eq!(&buf[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deliver_into_rejects_overflow() {
+        let mut buf = vec![0u8; 2];
+        let desc = unsafe { RecvBufDesc::new(buf.as_mut_ptr(), buf.len(), 0) };
+        let msg = WireMsg {
+            src_rank: 0,
+            src_dev: 0,
+            imm: 0,
+            kind: WireMsgKind::Send,
+            payload: WirePayload::from_slice(&[1, 2, 3]),
+        };
+        assert!(deliver_into(&msg, &desc).is_err());
+    }
+
+    #[test]
+    fn deliver_write_imm_no_copy() {
+        let mut buf = vec![9u8; 4];
+        let desc = unsafe { RecvBufDesc::new(buf.as_mut_ptr(), buf.len(), 5) };
+        let msg = WireMsg {
+            src_rank: 1,
+            src_dev: 0,
+            imm: 0xDEAD,
+            kind: WireMsgKind::WriteImm,
+            payload: WirePayload::None,
+        };
+        let cqe = deliver_into(&msg, &desc).unwrap();
+        assert_eq!(cqe.kind, CqeKind::WriteImmRecv);
+        assert_eq!(cqe.imm, 0xDEAD);
+        assert_eq!(cqe.len, 0);
+        assert_eq!(buf, vec![9u8; 4]); // untouched
+    }
+}

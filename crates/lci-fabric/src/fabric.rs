@@ -1,0 +1,313 @@
+//! The fabric: rank registry, RX endpoints (the "wire"), and out-of-band
+//! bootstrap (the PMI stand-in).
+
+use crate::mem::RegistrationTable;
+use crate::sync::MpmcArray;
+use crate::types::{DevId, NetError, NetResult, Rank, RetryReason, WireMsg};
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default RX-ring capacity (messages in flight toward one device).
+pub const DEFAULT_RX_CAPACITY: usize = 4096;
+
+/// The receive half of a device as seen from the rest of the fabric:
+/// a bounded multi-producer ring standing in for the NIC's inbound
+/// pipeline. Senders push; only the owning device pops (during its
+/// `poll_cq`).
+pub struct RxEndpoint {
+    ring: SegQueue<WireMsg>,
+    /// Approximate occupancy, used to bound the ring. `SegQueue` is
+    /// unbounded; the counter provides flow control (RNR backpressure).
+    occupancy: AtomicUsize,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl RxEndpoint {
+    /// Creates an endpoint with the given ring capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: SegQueue::new(),
+            occupancy: AtomicUsize::new(0),
+            capacity,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Pushes a message toward the owning device.
+    pub fn push(&self, msg: WireMsg) -> NetResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(NetError::fatal("target device closed"));
+        }
+        // Optimistically reserve a slot; back out on overflow. This keeps
+        // the push path lock-free (senders to the same target contend only
+        // on the atomic, like the NIC's inbound FIFO).
+        let prev = self.occupancy.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.capacity {
+            self.occupancy.fetch_sub(1, Ordering::AcqRel);
+            return Err(NetError::Retry(RetryReason::RxFull));
+        }
+        self.ring.push(msg);
+        Ok(())
+    }
+
+    /// Pops the next inbound message, if any. Only the owning device
+    /// calls this.
+    pub fn pop(&self) -> Option<WireMsg> {
+        let msg = self.ring.pop()?;
+        self.occupancy.fetch_sub(1, Ordering::AcqRel);
+        Some(msg)
+    }
+
+    /// Occupancy snapshot (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.occupancy.load(Ordering::Acquire)
+    }
+
+    /// Marks the endpoint closed; subsequent pushes fail fatally.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether the endpoint has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Out-of-band bootstrap state: a tiny PMI. Real LCI bootstraps through
+/// PMI1/PMI2/PMIx/MPI; our ranks share an address space, so a barrier and
+/// an allgather suffice.
+struct Oob {
+    mutex: Mutex<OobInner>,
+    cond: Condvar,
+}
+
+struct OobInner {
+    barrier_count: usize,
+    barrier_gen: usize,
+    gather: Vec<Option<Vec<u8>>>,
+}
+
+/// The simulated interconnect: connects `nranks` ranks, owns the device
+/// registry and the memory registration table.
+pub struct Fabric {
+    nranks: usize,
+    /// Per-rank device registry: `(rank, dev_id) -> RxEndpoint`.
+    /// MPMC arrays (paper §4.1.1): appended at device creation, read
+    /// lock-free on every send.
+    endpoints: Vec<MpmcArray<Arc<RxEndpoint>>>,
+    mem: RegistrationTable,
+    oob: Oob,
+}
+
+impl Fabric {
+    /// Creates a fabric connecting `nranks` ranks.
+    pub fn new(nranks: usize) -> Arc<Self> {
+        assert!(nranks >= 1, "fabric needs at least one rank");
+        Arc::new(Self {
+            nranks,
+            endpoints: (0..nranks).map(|_| MpmcArray::with_capacity(4)).collect(),
+            mem: RegistrationTable::new(),
+            oob: Oob {
+                mutex: Mutex::new(OobInner {
+                    barrier_count: 0,
+                    barrier_gen: 0,
+                    gather: vec![None; nranks],
+                }),
+                cond: Condvar::new(),
+            },
+        })
+    }
+
+    /// Number of ranks the fabric connects.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The global memory registration table.
+    pub fn mem(&self) -> &RegistrationTable {
+        &self.mem
+    }
+
+    /// Registers a new device for `rank`; returns its [`DevId`].
+    pub(crate) fn add_device(&self, rank: Rank, ep: Arc<RxEndpoint>) -> DevId {
+        assert!(rank < self.nranks, "rank {rank} out of range");
+        self.endpoints[rank].push(ep)
+    }
+
+    /// Looks up a target endpoint for a send (lock-free read).
+    pub(crate) fn endpoint(&self, rank: Rank, dev: DevId) -> NetResult<Arc<RxEndpoint>> {
+        if rank >= self.nranks {
+            return Err(NetError::fatal(format!("rank {rank} out of range")));
+        }
+        self.endpoints[rank]
+            .read(dev)
+            .ok_or(NetError::Retry(RetryReason::PeerNotReady))
+    }
+
+    /// Number of devices currently created on `rank`.
+    pub fn device_count(&self, rank: Rank) -> usize {
+        self.endpoints[rank].len()
+    }
+
+    /// Out-of-band barrier across all ranks (bootstrap only; do not use on
+    /// the data path).
+    pub fn oob_barrier(&self) {
+        let mut g = self.oob.mutex.lock().expect("oob poisoned");
+        let gen = g.barrier_gen;
+        g.barrier_count += 1;
+        if g.barrier_count == self.nranks {
+            g.barrier_count = 0;
+            g.barrier_gen += 1;
+            self.oob.cond.notify_all();
+        } else {
+            while g.barrier_gen == gen {
+                g = self.oob.cond.wait(g).expect("oob poisoned");
+            }
+        }
+    }
+
+    /// Out-of-band allgather: every rank contributes `data`; all ranks
+    /// receive everyone's contribution, rank-ordered. Bootstrap only.
+    ///
+    /// Built from three barriers (write / read / reset) so consecutive
+    /// rounds can never interleave.
+    pub fn oob_allgather(&self, rank: Rank, data: Vec<u8>) -> Vec<Vec<u8>> {
+        {
+            let mut g = self.oob.mutex.lock().expect("oob poisoned");
+            g.gather[rank] = Some(data);
+        }
+        self.oob_barrier(); // every slot written
+        let result: Vec<Vec<u8>> = {
+            let g = self.oob.mutex.lock().expect("oob poisoned");
+            g.gather.iter().map(|o| o.clone().expect("allgather slot missing")).collect()
+        };
+        self.oob_barrier(); // every rank has read
+        if rank == 0 {
+            let mut g = self.oob.mutex.lock().expect("oob poisoned");
+            for slot in g.gather.iter_mut() {
+                *slot = None;
+            }
+        }
+        self.oob_barrier(); // reset visible before any next-round write
+        result
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric").field("nranks", &self.nranks).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{WireMsgKind, WirePayload};
+
+    fn msg(i: u64) -> WireMsg {
+        WireMsg {
+            src_rank: 0,
+            src_dev: 0,
+            imm: i,
+            kind: WireMsgKind::Send,
+            payload: WirePayload::None,
+        }
+    }
+
+    #[test]
+    fn rx_endpoint_fifo_and_bound() {
+        let ep = RxEndpoint::new(2);
+        ep.push(msg(1)).unwrap();
+        ep.push(msg(2)).unwrap();
+        let e = ep.push(msg(3)).unwrap_err();
+        assert_eq!(e, NetError::Retry(RetryReason::RxFull));
+        assert_eq!(ep.pop().unwrap().imm, 1);
+        ep.push(msg(3)).unwrap();
+        assert_eq!(ep.pop().unwrap().imm, 2);
+        assert_eq!(ep.pop().unwrap().imm, 3);
+        assert!(ep.pop().is_none());
+    }
+
+    #[test]
+    fn rx_endpoint_close() {
+        let ep = RxEndpoint::new(4);
+        ep.close();
+        assert!(matches!(ep.push(msg(1)), Err(NetError::Fatal(_))));
+    }
+
+    #[test]
+    fn fabric_device_registry() {
+        let f = Fabric::new(2);
+        let ep = Arc::new(RxEndpoint::new(4));
+        let id = f.add_device(1, ep.clone());
+        assert_eq!(id, 0);
+        assert!(Arc::ptr_eq(&f.endpoint(1, 0).unwrap(), &ep));
+        assert!(matches!(
+            f.endpoint(1, 5),
+            Err(NetError::Retry(RetryReason::PeerNotReady))
+        ));
+        assert!(f.endpoint(7, 0).is_err());
+    }
+
+    #[test]
+    fn oob_barrier_synchronizes() {
+        let f = Fabric::new(4);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = f.clone();
+                let flag = flag.clone();
+                std::thread::spawn(move || {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                    f.oob_barrier();
+                    assert_eq!(flag.load(Ordering::SeqCst), 4);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oob_allgather_collects_all() {
+        let f = Fabric::new(3);
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    let out = f.oob_allgather(r, vec![r as u8; r + 1]);
+                    assert_eq!(out.len(), 3);
+                    for (i, v) in out.iter().enumerate() {
+                        assert_eq!(v, &vec![i as u8; i + 1]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oob_allgather_two_rounds() {
+        let f = Fabric::new(2);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    for round in 0..2u8 {
+                        let out = f.oob_allgather(r, vec![round * 10 + r as u8]);
+                        assert_eq!(out, vec![vec![round * 10], vec![round * 10 + 1]]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

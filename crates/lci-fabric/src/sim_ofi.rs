@@ -1,0 +1,329 @@
+//! The ofi-like backend (paper §4.2.4).
+//!
+//! Mirrors the libfabric cxi/verbs provider lock structure: **one spinlock
+//! per endpoint** guards `post_send`, `post_recv` *and* `poll_cq`, so a
+//! worker thread posting and a progress thread polling the same device
+//! always contend. Memory (de)registration goes through a per-domain
+//! registration cache protected by a mutex (the pthread mutex the paper
+//! mentions), and — matching the paper — registration is *not* wrapped in
+//! a trylock because a registration failure cannot be back-propagated.
+//!
+//! LCI wraps the endpoint lock in a single trylock (§4.2.4); baselines use
+//! blocking acquisition (`LockDiscipline::Blocking`), which is how stock
+//! MPI implementations drive libfabric.
+
+use crate::backend::{deliver_into, DeviceConfig, NetDevice};
+use crate::fabric::{Fabric, RxEndpoint};
+use crate::mem::{MemoryRegion, Rkey};
+use crate::sync::SpinLock;
+use crate::types::{
+    Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg,
+    WireMsgKind, WirePayload,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Everything the endpoint lock protects.
+struct EpState {
+    srq: VecDeque<RecvBufDesc>,
+    cq: VecDeque<Cqe>,
+    posted: u64,
+}
+
+/// The ofi-like device.
+pub struct OfiDevice {
+    fabric: Arc<Fabric>,
+    rank: Rank,
+    dev_id: DevId,
+    cfg: DeviceConfig,
+    rx: Arc<RxEndpoint>,
+    /// The single endpoint lock (paper §4.2.4): post and poll serialize.
+    ep: SpinLock<EpState>,
+    /// Per-domain registration cache behind a mutex.
+    reg_cache: Mutex<HashMap<(usize, usize), MemoryRegion>>,
+    posted_recvs: AtomicUsize,
+}
+
+impl OfiDevice {
+    /// Creates the device. Called by
+    /// [`NetContext::create_device`](crate::backend::NetContext::create_device).
+    pub(crate) fn new(
+        fabric: Arc<Fabric>,
+        rank: Rank,
+        dev_id: DevId,
+        rx: Arc<RxEndpoint>,
+        cfg: DeviceConfig,
+    ) -> Self {
+        Self {
+            fabric,
+            rank,
+            dev_id,
+            cfg,
+            rx,
+            ep: SpinLock::new(EpState { srq: VecDeque::new(), cq: VecDeque::new(), posted: 0 }),
+            reg_cache: Mutex::new(HashMap::new()),
+            posted_recvs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquires the endpoint lock per the configured discipline.
+    #[inline]
+    fn lock_ep(&self) -> NetResult<crate::sync::SpinGuard<'_, EpState>> {
+        self.cfg
+            .discipline
+            .acquire(&self.ep)
+            .ok_or(NetError::Retry(RetryReason::LockBusy))
+    }
+
+    /// Drains inbound traffic into the CQ. Caller holds the endpoint
+    /// lock. The receive descriptor is taken before the wire message is
+    /// popped so the ring stays strictly FIFO (see the ibv backend for
+    /// the overtaking-deadlock rationale).
+    fn deliver_inbound(&self, st: &mut EpState, budget: usize) -> NetResult<()> {
+        for _ in 0..budget {
+            let Some(desc) = st.srq.pop_front() else { break };
+            let Some(msg) = self.rx.pop() else {
+                st.srq.push_front(desc);
+                break;
+            };
+            self.posted_recvs.fetch_sub(1, Ordering::AcqRel);
+            let cqe = deliver_into(&msg, &desc)?;
+            st.cq.push_back(cqe);
+        }
+        Ok(())
+    }
+}
+
+impl NetDevice for OfiDevice {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn dev_id(&self) -> DevId {
+        self.dev_id
+    }
+
+    fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    fn post_send(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        data: &[u8],
+        imm: u64,
+        ctx: u64,
+    ) -> NetResult<()> {
+        let ep_remote = self.fabric.endpoint(target, target_dev)?;
+        let mut st = self.lock_ep()?;
+        ep_remote.push(WireMsg {
+            src_rank: self.rank,
+            src_dev: self.dev_id,
+            imm,
+            kind: WireMsgKind::Send,
+            payload: WirePayload::from_slice(data),
+        })?;
+        st.posted += 1;
+        st.cq.push_back(Cqe::local(CqeKind::SendDone, ctx));
+        Ok(())
+    }
+
+    fn post_recv(&self, desc: RecvBufDesc) -> NetResult<()> {
+        let mut st = self.lock_ep()?;
+        st.srq.push_back(desc);
+        self.posted_recvs.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn poll_cq(&self, out: &mut Vec<Cqe>, max: usize) -> NetResult<usize> {
+        let mut st = self.lock_ep()?;
+        self.deliver_inbound(&mut st, max.max(64))?;
+        let n = max.min(st.cq.len());
+        out.extend(st.cq.drain(..n));
+        Ok(n)
+    }
+
+    fn post_write(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        data: &[u8],
+        rkey: Rkey,
+        offset: usize,
+        imm: Option<u64>,
+        ctx: u64,
+    ) -> NetResult<()> {
+        let base = self.fabric.mem().validate(rkey, offset, data.len())?;
+        let mut st = self.lock_ep()?;
+        // SAFETY: bounds validated against a live registration; region is
+        // externally-shared bytes per the registration contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), base as *mut u8, data.len());
+        }
+        if let Some(imm) = imm {
+            let ep_remote = self.fabric.endpoint(target, target_dev)?;
+            ep_remote.push(WireMsg {
+                src_rank: self.rank,
+                src_dev: self.dev_id,
+                imm,
+                kind: WireMsgKind::WriteImm,
+                payload: WirePayload::None,
+            })?;
+        }
+        st.posted += 1;
+        st.cq.push_back(Cqe::local(CqeKind::WriteDone, ctx));
+        Ok(())
+    }
+
+    fn post_read(
+        &self,
+        target: Rank,
+        local: RecvBufDesc,
+        rkey: Rkey,
+        offset: usize,
+    ) -> NetResult<()> {
+        let _ = target;
+        let base = self.fabric.mem().validate(rkey, offset, local.len)?;
+        let mut st = self.lock_ep()?;
+        // SAFETY: bounds validated; local buffer validity is the
+        // RecvBufDesc contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(base as *const u8, local.ptr, local.len);
+        }
+        st.posted += 1;
+        let mut cqe = Cqe::local(CqeKind::ReadDone, local.ctx);
+        cqe.len = local.len;
+        st.cq.push_back(cqe);
+        Ok(())
+    }
+
+    fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion> {
+        // The registration cache mutex is acquired blockingly: LCI has no
+        // way to back-propagate a registration retry (paper §4.2.4).
+        let mut cache = self.reg_cache.lock();
+        let key = (ptr as usize, len);
+        if let Some(mr) = cache.get(&key) {
+            return Ok(*mr);
+        }
+        let mr = self.fabric.mem().register(self.rank, ptr, len);
+        cache.insert(key, mr);
+        Ok(mr)
+    }
+
+    fn deregister(&self, mr: &MemoryRegion) -> NetResult<()> {
+        let mut cache = self.reg_cache.lock();
+        cache.remove(&(mr.base, mr.len));
+        self.fabric.mem().deregister(mr);
+        Ok(())
+    }
+
+    fn posted_recvs(&self) -> usize {
+        self.posted_recvs.load(Ordering::Acquire)
+    }
+
+    fn teardown(&self) -> (Vec<Cqe>, Vec<RecvBufDesc>) {
+        self.rx.close();
+        let mut st = self.ep.lock();
+        let cqes: Vec<Cqe> = st.cq.drain(..).collect();
+        let descs: Vec<RecvBufDesc> = st.srq.drain(..).collect();
+        self.posted_recvs.store(0, Ordering::Release);
+        (cqes, descs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NetContext;
+
+    fn pair() -> (Arc<dyn NetDevice>, Arc<dyn NetDevice>) {
+        let fabric = Fabric::new(2);
+        let cfg = DeviceConfig::ofi();
+        let d0 = NetContext::new(fabric.clone(), 0).create_device(cfg);
+        let d1 = NetContext::new(fabric, 1).create_device(cfg);
+        (d0, d1)
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (d0, d1) = pair();
+        let mut rbuf = vec![0u8; 64];
+        let desc = unsafe { RecvBufDesc::new(rbuf.as_mut_ptr(), rbuf.len(), 21) };
+        d1.post_recv(desc).unwrap();
+        d0.post_send(1, 0, b"ofi", 5, 1).unwrap();
+
+        let mut cqes = Vec::new();
+        d0.poll_cq(&mut cqes, 8).unwrap();
+        assert_eq!(cqes[0].kind, CqeKind::SendDone);
+
+        cqes.clear();
+        d1.poll_cq(&mut cqes, 8).unwrap();
+        assert_eq!(cqes[0].kind, CqeKind::RecvDone);
+        assert_eq!(cqes[0].ctx, 21);
+        assert_eq!(cqes[0].imm, 5);
+        assert_eq!(&rbuf[..3], b"ofi");
+    }
+
+    #[test]
+    fn registration_cache_hits() {
+        let (d0, _d1) = pair();
+        let buf = vec![0u8; 256];
+        let a = d0.register(buf.as_ptr(), buf.len()).unwrap();
+        let b = d0.register(buf.as_ptr(), buf.len()).unwrap();
+        assert_eq!(a.rkey, b.rkey, "cache should return the same registration");
+        d0.deregister(&a).unwrap();
+        let c = d0.register(buf.as_ptr(), buf.len()).unwrap();
+        assert_ne!(a.rkey, c.rkey, "after dereg a fresh registration is made");
+    }
+
+    #[test]
+    fn rdma_write_and_read() {
+        let (d0, d1) = pair();
+        let mut region = vec![0u8; 64];
+        let mr = d1.register(region.as_ptr(), region.len()).unwrap();
+        d0.post_write(1, 0, &[7u8; 8], mr.rkey, 0, None, 2).unwrap();
+        let mut cqes = Vec::new();
+        d0.poll_cq(&mut cqes, 4).unwrap();
+        assert_eq!(cqes[0].kind, CqeKind::WriteDone);
+        assert_eq!(&region[..8], &[7u8; 8]);
+
+        let mut dst = vec![0u8; 8];
+        let desc = unsafe { RecvBufDesc::new(dst.as_mut_ptr(), dst.len(), 4) };
+        d0.post_read(1, desc, mr.rkey, 0).unwrap();
+        cqes.clear();
+        d0.poll_cq(&mut cqes, 4).unwrap();
+        assert_eq!(cqes[0].kind, CqeKind::ReadDone);
+        assert_eq!(dst, vec![7u8; 8]);
+        // keep region alive past the RDMA ops
+        region[0] = region[0].wrapping_add(0);
+    }
+
+    #[test]
+    fn endpoint_lock_busy_surfaces_as_retry() {
+        let fabric = Fabric::new(1);
+        let dev = NetContext::new(fabric, 0).create_device(DeviceConfig::ofi());
+        // Downcast trick: hold the lock by calling poll on another thread
+        // in a loop, and observe retries here. On 1 core collisions may
+        // not occur; this test only checks nothing deadlocks.
+        let dev2 = dev.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s2 = stop.clone();
+        let t = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while !s2.load(Ordering::Relaxed) {
+                let _ = dev2.poll_cq(&mut out, 1);
+                out.clear();
+            }
+        });
+        let mut out = Vec::new();
+        for _ in 0..50_000 {
+            let _ = dev.poll_cq(&mut out, 1);
+            out.clear();
+        }
+        stop.store(true, Ordering::Relaxed);
+        t.join().unwrap();
+    }
+}

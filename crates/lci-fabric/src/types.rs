@@ -1,0 +1,277 @@
+//! Common identifier, descriptor, and error types for the fabric layer.
+
+/// A process-like endpoint of the fabric. The paper runs one OS process
+/// per rank; this reproduction runs ranks as threads of one process (see
+/// DESIGN.md), so a `Rank` is just an index into the fabric.
+pub type Rank = usize;
+
+/// Index of a network device within a rank. Devices are created in the
+/// same order on every rank in all our workloads, so `(rank, DevId)`
+/// addresses a unique queue-pair peer, like a connected RC queue pair.
+pub type DevId = usize;
+
+/// Maximum payload carried inline inside a wire slot without touching the
+/// heap — models NIC inline data / injected sends.
+pub const INLINE_MAX: usize = 64;
+
+/// Why an operation could not be carried out *right now*.
+///
+/// The LCI runtime maps these to its user-visible `retry` status category
+/// (paper §3.2.5); baselines typically spin instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryReason {
+    /// The target device's RX ring is full (flow-control backpressure).
+    RxFull,
+    /// A trylock-wrapped lower-level lock was busy (paper §4.2.2).
+    LockBusy,
+    /// The local packet/buffer pool had nothing to hand out.
+    NoPacket,
+    /// Too many operations outstanding (send-queue depth exhausted).
+    QueueFull,
+    /// The target device does not exist (yet); resources may still be
+    /// bootstrapping.
+    PeerNotReady,
+}
+
+impl std::fmt::Display for RetryReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RetryReason::RxFull => "target RX ring full",
+            RetryReason::LockBusy => "lower-level lock busy",
+            RetryReason::NoPacket => "no packet available",
+            RetryReason::QueueFull => "send queue full",
+            RetryReason::PeerNotReady => "peer device not ready",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fabric-layer errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The operation should be resubmitted later.
+    Retry(RetryReason),
+    /// The operation failed permanently (bad rank, bad rkey, out-of-bounds
+    /// RDMA, device closed, ...).
+    Fatal(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Retry(r) => write!(f, "retry: {r}"),
+            NetError::Fatal(m) => write!(f, "fatal network error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for fabric operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+impl NetError {
+    /// Convenience constructor for fatal errors.
+    pub fn fatal(msg: impl Into<String>) -> Self {
+        NetError::Fatal(msg.into())
+    }
+
+    /// Whether this error is retryable.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, NetError::Retry(_))
+    }
+}
+
+/// Payload staged on the wire.
+///
+/// Tiny messages ride inline in the ring slot (like NIC inline sends);
+/// larger eager messages are staged through one heap buffer — the analog
+/// of the NIC reading the send buffer over PCIe. RDMA never uses this
+/// path.
+#[derive(Clone, Debug)]
+pub enum WirePayload {
+    /// No payload (pure notification, e.g. RDMA-write immediate).
+    None,
+    /// Payload stored inline.
+    Inline { data: [u8; INLINE_MAX], len: u8 },
+    /// Payload staged on the heap.
+    Heap(Box<[u8]>),
+}
+
+impl WirePayload {
+    /// Builds a payload from a byte slice, choosing inline vs heap.
+    pub fn from_slice(src: &[u8]) -> Self {
+        if src.is_empty() {
+            WirePayload::None
+        } else if src.len() <= INLINE_MAX {
+            let mut data = [0u8; INLINE_MAX];
+            data[..src.len()].copy_from_slice(src);
+            WirePayload::Inline { data, len: src.len() as u8 }
+        } else {
+            WirePayload::Heap(src.into())
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            WirePayload::None => &[],
+            WirePayload::Inline { data, len } => &data[..*len as usize],
+            WirePayload::Heap(b) => b,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            WirePayload::None => 0,
+            WirePayload::Inline { len, .. } => *len as usize,
+            WirePayload::Heap(b) => b.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A message in flight on the simulated wire (one RX-ring slot).
+#[derive(Debug)]
+pub struct WireMsg {
+    /// Sending rank.
+    pub src_rank: Rank,
+    /// Sending device on `src_rank`.
+    pub src_dev: DevId,
+    /// 64-bit immediate data, available to the upper layer. (Real verbs
+    /// grants 32 bits; we grant 64 and let the LCI layer pack its
+    /// protocol header into it.)
+    pub imm: u64,
+    /// Message kind.
+    pub kind: WireMsgKind,
+    /// Staged payload (empty for write-immediate notifications).
+    pub payload: WirePayload,
+}
+
+/// Kind of wire message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMsgKind {
+    /// A two-sided send; consumes a pre-posted receive at the target.
+    Send,
+    /// RDMA-write-with-immediate notification; consumes a pre-posted
+    /// receive at the target but carries no payload (data was written
+    /// directly into registered memory).
+    WriteImm,
+}
+
+/// Completion-queue entry kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeKind {
+    /// A `post_send` finished; the send buffer may be reused.
+    SendDone,
+    /// A pre-posted receive was filled by an incoming send.
+    RecvDone,
+    /// An RDMA write finished locally.
+    WriteDone,
+    /// An RDMA read finished locally; the local buffer is filled.
+    ReadDone,
+    /// A pre-posted receive was consumed by an incoming
+    /// RDMA-write-with-immediate (carries `imm`, zero-length data).
+    WriteImmRecv,
+}
+
+/// A completion-queue entry returned by `poll_cq`.
+#[derive(Clone, Debug)]
+pub struct Cqe {
+    /// What completed.
+    pub kind: CqeKind,
+    /// Opaque user context supplied at post time (for local completions)
+    /// or at receive-post time (for receive completions).
+    pub ctx: u64,
+    /// Immediate data (receive-side entries).
+    pub imm: u64,
+    /// Number of bytes delivered (receive-side entries).
+    pub len: usize,
+    /// Source rank (receive-side entries).
+    pub src_rank: Rank,
+    /// Source device (receive-side entries).
+    pub src_dev: DevId,
+}
+
+impl Cqe {
+    /// Builds a local (send/write/read) completion.
+    pub fn local(kind: CqeKind, ctx: u64) -> Self {
+        Cqe { kind, ctx, imm: 0, len: 0, src_rank: usize::MAX, src_dev: usize::MAX }
+    }
+}
+
+/// Descriptor of a pre-posted receive buffer handed to the device.
+///
+/// The memory is owned by the upper layer (an LCI packet, a baseline's
+/// staging buffer, ...) and must stay valid until the matching `RecvDone`
+/// completion is polled — the same contract as `ibv_post_srq_recv`.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvBufDesc {
+    /// Base address of the writable region.
+    pub ptr: *mut u8,
+    /// Capacity in bytes.
+    pub len: usize,
+    /// Opaque context returned in the completion.
+    pub ctx: u64,
+}
+
+// SAFETY: the descriptor is an address + promise; the upper layer
+// guarantees the pointed-to region outlives the posted receive and is not
+// accessed concurrently while posted (documented contract, as in verbs).
+unsafe impl Send for RecvBufDesc {}
+
+impl RecvBufDesc {
+    /// Creates a descriptor for a raw region.
+    ///
+    /// # Safety
+    /// `ptr..ptr+len` must be valid for writes until the receive
+    /// completion for this descriptor is polled, and must not be read or
+    /// written by the application in that window.
+    pub unsafe fn new(ptr: *mut u8, len: usize, ctx: u64) -> Self {
+        RecvBufDesc { ptr, len, ctx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_payload_inline_roundtrip() {
+        let src = [7u8; 48];
+        let p = WirePayload::from_slice(&src);
+        assert!(matches!(p, WirePayload::Inline { .. }));
+        assert_eq!(p.as_slice(), &src);
+        assert_eq!(p.len(), 48);
+    }
+
+    #[test]
+    fn wire_payload_heap_roundtrip() {
+        let src: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let p = WirePayload::from_slice(&src);
+        assert!(matches!(p, WirePayload::Heap(_)));
+        assert_eq!(p.as_slice(), &src[..]);
+    }
+
+    #[test]
+    fn wire_payload_empty() {
+        let p = WirePayload::from_slice(&[]);
+        assert!(matches!(p, WirePayload::None));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn neterror_display_and_retry() {
+        let e = NetError::Retry(RetryReason::RxFull);
+        assert!(e.is_retry());
+        assert!(e.to_string().contains("RX ring full"));
+        let f = NetError::fatal("boom");
+        assert!(!f.is_retry());
+        assert!(f.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the fabric's core data structures.
+
+use lci_fabric::sync::{MpmcArray, SpinLock};
+use lci_fabric::types::{WireMsg, WireMsgKind, WirePayload};
+use lci_fabric::{DeviceConfig, Fabric, NetContext, RecvBufDesc};
+use proptest::prelude::*;
+
+proptest! {
+    /// WirePayload round-trips arbitrary byte strings and picks the
+    /// inline representation iff they fit.
+    #[test]
+    fn wire_payload_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let p = WirePayload::from_slice(&data);
+        prop_assert_eq!(p.as_slice(), &data[..]);
+        prop_assert_eq!(p.len(), data.len());
+        match &p {
+            WirePayload::None => prop_assert!(data.is_empty()),
+            WirePayload::Inline { .. } => prop_assert!((1..=64).contains(&data.len())),
+            WirePayload::Heap(_) => prop_assert!(data.len() > 64),
+        }
+    }
+
+    /// MpmcArray: a sequence of pushes/stores/clears behaves like a
+    /// Vec<Option<T>> model.
+    #[test]
+    fn mpmc_array_matches_model(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let arr: MpmcArray<u64> = MpmcArray::with_capacity(2);
+        let mut model: Vec<Option<u64>> = Vec::new();
+        let mut counter = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    counter += 1;
+                    let idx = arr.push(counter);
+                    model.push(Some(counter));
+                    prop_assert_eq!(idx, model.len() - 1);
+                }
+                1 if !model.is_empty() => {
+                    counter += 1;
+                    let idx = counter as usize % model.len();
+                    arr.store(idx, counter);
+                    model[idx] = Some(counter);
+                }
+                _ if !model.is_empty() => {
+                    let idx = counter as usize % model.len();
+                    arr.clear_at(idx);
+                    model[idx] = None;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(arr.len(), model.len());
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(arr.read(i), *v);
+        }
+        prop_assert_eq!(arr.read(model.len() + 1), None);
+    }
+
+    /// The registration table validates exactly the in-bounds accesses.
+    #[test]
+    fn registration_bounds(len in 1usize..4096, offset in 0usize..8192, access in 1usize..8192) {
+        let fabric = Fabric::new(1);
+        let buf = vec![0u8; len];
+        let mr = fabric.mem().register(0, buf.as_ptr(), len);
+        let ok = fabric.mem().validate(mr.rkey, offset, access).is_ok();
+        prop_assert_eq!(ok, offset.checked_add(access).is_some_and(|e| e <= len));
+    }
+
+    /// Messages delivered through a device preserve content, immediate
+    /// data, and source identity for arbitrary payloads.
+    #[test]
+    fn device_delivery_integrity(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..1500), 1..16),
+        imm_seed in any::<u64>(),
+    ) {
+        let fabric = Fabric::new(2);
+        let d0 = NetContext::new(fabric.clone(), 0).create_device(DeviceConfig::ibv());
+        let d1 = NetContext::new(fabric, 1).create_device(DeviceConfig::ofi());
+
+        // Pre-post enough receives on the ofi device.
+        let mut bufs: Vec<Vec<u8>> = (0..payloads.len()).map(|_| vec![0u8; 2048]).collect();
+        for (i, b) in bufs.iter_mut().enumerate() {
+            // SAFETY: buffers outlive the deliveries below.
+            let desc = unsafe { RecvBufDesc::new(b.as_mut_ptr(), b.len(), i as u64) };
+            d1.post_recv(desc).unwrap();
+        }
+        for (i, p) in payloads.iter().enumerate() {
+            let imm = imm_seed.wrapping_add(i as u64);
+            d0.post_send(1, 0, p, imm, 0).unwrap();
+        }
+        let mut seen = vec![false; payloads.len()];
+        let mut cqes = Vec::new();
+        while seen.iter().any(|s| !s) {
+            cqes.clear();
+            d1.poll_cq(&mut cqes, 16).unwrap();
+            for c in &cqes {
+                if c.kind == lci_fabric::CqeKind::RecvDone {
+                    let slot = c.ctx as usize;
+                    prop_assert!(!seen[slot]);
+                    seen[slot] = true;
+                    // Find which payload this was by imm.
+                    let idx = (c.imm.wrapping_sub(imm_seed)) as usize;
+                    prop_assert_eq!(c.len, payloads[idx].len());
+                    prop_assert_eq!(&bufs[slot][..c.len], &payloads[idx][..]);
+                    prop_assert_eq!(c.src_rank, 0);
+                }
+            }
+        }
+    }
+
+    /// SpinLock under arbitrary interleaved add/sub sequences conserves
+    /// the running total.
+    #[test]
+    fn spinlock_conserves(ops in proptest::collection::vec(-50i64..50, 1..100)) {
+        let lock = SpinLock::new(0i64);
+        let expected: i64 = ops.iter().sum();
+        std::thread::scope(|s| {
+            for chunk in ops.chunks(10) {
+                let chunk = chunk.to_vec();
+                let lock = &lock;
+                s.spawn(move || {
+                    for v in chunk {
+                        *lock.lock() += v;
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(*lock.lock(), expected);
+    }
+}

@@ -1,0 +1,150 @@
+//! The backlog queue (paper §4.1.5): stores communication requests that
+//! can neither be submitted right now nor back-propagated to the user —
+//! typically control messages the progress engine must send (RTR, FIN
+//! writes, signals) when the network send queue is full.
+//!
+//! Such situations are expected to be rare, so this is a plain queue with
+//! a spinlock; an atomic flag saves the progress engine from polling an
+//! empty backlog.
+
+use crate::types::Rank;
+use lci_fabric::sync::SpinLock;
+use lci_fabric::{DevId, Rkey};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A postponed request.
+pub(crate) enum Backlogged {
+    /// An eager control/data message to (rank, dev): payload + header.
+    Ctrl { target: Rank, target_dev: DevId, payload: Vec<u8>, imm: u64 },
+    /// The rendezvous data write: payload written to (rkey, 0) with an
+    /// immediate FIN.
+    RdvWrite {
+        target: Rank,
+        target_dev: DevId,
+        send_id: u32,
+        rkey: Rkey,
+        imm: u64,
+    },
+    /// A user-level eager send whose retry was disallowed at post time.
+    /// The flattened payload rides here; the in-flight operation context
+    /// (buffer + completion) rides in `ctx`.
+    UserSend {
+        target: Rank,
+        target_dev: DevId,
+        data: Vec<u8>,
+        imm: u64,
+        ctx: u64,
+    },
+}
+
+/// The backlog queue resource.
+pub(crate) struct Backlog {
+    queue: SpinLock<VecDeque<Backlogged>>,
+    nonempty: AtomicBool,
+}
+
+impl Backlog {
+    pub fn new() -> Self {
+        Self { queue: SpinLock::new(VecDeque::new()), nonempty: AtomicBool::new(false) }
+    }
+
+    /// Enqueues a postponed request.
+    pub fn push(&self, item: Backlogged) {
+        let mut q = self.queue.lock();
+        q.push_back(item);
+        self.nonempty.store(true, Ordering::Release);
+    }
+
+    /// Re-inserts a request at the front (it must retry before anything
+    /// queued behind it to preserve rendezvous pairing fairness).
+    pub fn push_front(&self, item: Backlogged) {
+        let mut q = self.queue.lock();
+        q.push_front(item);
+        self.nonempty.store(true, Ordering::Release);
+    }
+
+    /// Dequeues the oldest request, if any. The fast path is a single
+    /// atomic load when the backlog is empty.
+    pub fn pop(&self) -> Option<Backlogged> {
+        if !self.nonempty.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut q = self.queue.lock();
+        let item = q.pop_front();
+        if q.is_empty() {
+            self.nonempty.store(false, Ordering::Release);
+        }
+        item
+    }
+
+    /// Approximate number of postponed requests.
+    pub fn len(&self) -> usize {
+        if !self.nonempty.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.queue.lock().len()
+    }
+
+    /// Whether the backlog appears empty (single atomic load).
+    pub fn is_empty(&self) -> bool {
+        !self.nonempty.load(Ordering::Acquire)
+    }
+}
+
+impl Default for Backlog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(tag: u64) -> Backlogged {
+        Backlogged::Ctrl { target: 0, target_dev: 0, payload: vec![], imm: tag }
+    }
+
+    fn imm_of(b: &Backlogged) -> u64 {
+        match b {
+            Backlogged::Ctrl { imm, .. } => *imm,
+            Backlogged::RdvWrite { imm, .. } => *imm,
+            Backlogged::UserSend { imm, .. } => *imm,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let b = Backlog::new();
+        assert!(b.is_empty());
+        b.push(ctrl(1));
+        b.push(ctrl(2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(imm_of(&b.pop().unwrap()), 1);
+        assert_eq!(imm_of(&b.pop().unwrap()), 2);
+        assert!(b.pop().is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn push_front_retries_first() {
+        let b = Backlog::new();
+        b.push(ctrl(1));
+        let first = b.pop().unwrap();
+        b.push(ctrl(2));
+        b.push_front(first);
+        assert_eq!(imm_of(&b.pop().unwrap()), 1);
+        assert_eq!(imm_of(&b.pop().unwrap()), 2);
+    }
+
+    #[test]
+    fn empty_fast_path() {
+        let b = Backlog::new();
+        // pop on empty must not take the lock (observable only as: it
+        // returns None and is cheap; we just check correctness here).
+        for _ in 0..1000 {
+            assert!(b.pop().is_none());
+        }
+    }
+}

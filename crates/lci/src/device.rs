@@ -1,0 +1,1048 @@
+//! Devices and the progress engine (paper §3.2.3, §3.2.6, §4.4).
+//!
+//! A device encapsulates a complete set of low-level network resources;
+//! threads operating on different devices never interfere. This module
+//! also hosts the runtime's data path: the generic posting operation
+//! behind `post_comm` and the explicit progress function that drives the
+//! backlog queue, polls the network, reacts to completions (matching,
+//! rendezvous, signaling) and replenishes pre-posted receives — steps
+//! (1)-(11) of the paper's Figure 1.
+
+use crate::backlog::{Backlog, Backlogged};
+use crate::comp::Comp;
+use crate::error::{FatalError, PostResult, Result};
+use crate::matching::MatchKind;
+use crate::packet_pool::Packet;
+use crate::proto::{Header, MsgType, RtrPayload, RtsPayload};
+use crate::runtime::RuntimeInner;
+use crate::stats::DeviceStats;
+use crate::types::{
+    CompDesc, CompKind, DataBuf, Direction, MatchingPolicy, RComp, Rank, SendBuf, Tag,
+};
+use crate::util::Slab;
+use lci_fabric::sync::SpinLock;
+use lci_fabric::{Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, RecvBufDesc, Rkey};
+use std::sync::Arc;
+
+/// Entries stored in the matching engine.
+pub(crate) enum MatchEntry {
+    /// An unexpected eager message (payload parked in a packet).
+    UnexpEager { src: Rank, tag: Tag, packet: Packet, len: usize },
+    /// An unexpected rendezvous RTS.
+    UnexpRts { src: Rank, src_dev: DevId, tag: Tag, send_id: u32, size: usize },
+    /// A posted receive.
+    Recv(RecvEntry),
+}
+
+/// A posted receive waiting in the matching engine.
+pub(crate) struct RecvEntry {
+    pub buf: Box<[u8]>,
+    pub comp: Comp,
+    pub user_ctx: u64,
+    /// The device whose resources serve this receive's rendezvous reply.
+    pub device: Device,
+}
+
+/// A pending zero-copy send (RTS issued, waiting for RTR).
+struct RdvSend {
+    buf: SendBuf,
+    /// Flattened contiguous payload (kept alive for the RDMA write; for
+    /// contiguous `buf` this is empty and `buf` is used directly).
+    flat: Option<Box<[u8]>>,
+    comp: Option<Comp>,
+    rank: Rank,
+    tag: Tag,
+    user_ctx: u64,
+}
+
+/// A pending zero-copy receive (RTR issued, waiting for FIN).
+struct RdvRecv {
+    buf: Box<[u8]>,
+    mr: MemoryRegion,
+    comp: Comp,
+    user_ctx: u64,
+    src: Rank,
+    tag: Tag,
+    size: usize,
+    is_am: bool,
+}
+
+/// Per-operation context travelling through the fabric's completion
+/// context field as a raw `Box` pointer.
+enum OpCtx {
+    EagerSend { comp: Option<Comp>, buf: SendBuf, rank: Rank, tag: Tag, user_ctx: u64 },
+    RdvWrite { send_id: u32 },
+    Put { comp: Option<Comp>, buf: SendBuf, rank: Rank, tag: Tag, user_ctx: u64 },
+    Get {
+        comp: Option<Comp>,
+        buf: Box<[u8]>,
+        rank: Rank,
+        tag: Tag,
+        user_ctx: u64,
+        signal: Option<(DevId, RComp)>,
+    },
+}
+
+fn ctx_encode(op: OpCtx) -> u64 {
+    Box::into_raw(Box::new(op)) as u64
+}
+
+/// # Safety
+/// `ctx` must come from [`ctx_encode`] and be decoded exactly once (the
+/// fabric delivers each completion exactly once).
+unsafe fn ctx_decode(ctx: u64) -> Box<OpCtx> {
+    unsafe { Box::from_raw(ctx as *mut OpCtx) }
+}
+
+pub(crate) struct DeviceInner {
+    pub rt: Arc<RuntimeInner>,
+    pub net: Arc<dyn NetDevice>,
+    backlog: Backlog,
+    rdv_sends: SpinLock<Slab<RdvSend>>,
+    rdv_recvs: SpinLock<Slab<RdvRecv>>,
+    stats: DeviceStats,
+}
+
+/// A communication device handle (cheap to clone, `Send + Sync`).
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+/// Queryable device attributes (paper §3.2.3).
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceAttr {
+    /// Fabric-wide device index on its rank.
+    pub dev_id: DevId,
+    /// Simulated provider backing the device.
+    pub backend: lci_fabric::BackendKind,
+    /// Thread-domain strategy (the `ibv_td_strategy` attribute, §4.2.3).
+    pub td_strategy: lci_fabric::TdStrategy,
+    /// Inbound flow-control window.
+    pub rx_capacity: usize,
+    /// Pre-posted receive target.
+    pub prepost_target: usize,
+}
+
+/// Arguments of the generic communication-posting operation
+/// (assembled by the builders in [`crate::post`]).
+pub(crate) struct CommArgs {
+    pub direction: Direction,
+    pub rank: Rank,
+    pub send_buf: Option<SendBuf>,
+    pub recv_buf: Option<Box<[u8]>>,
+    pub tag: Tag,
+    pub comp: Option<Comp>,
+    pub remote_buf: Option<(Rkey, usize)>,
+    pub remote_comp: Option<RComp>,
+    pub policy: MatchingPolicy,
+    pub target_dev: Option<DevId>,
+    pub user_ctx: u64,
+    pub allow_retry: bool,
+}
+
+impl Device {
+    pub(crate) fn create(rt: Arc<RuntimeInner>) -> Result<Device> {
+        let net = rt.netctx.create_device(rt.config.device);
+        let dev = Device {
+            inner: Arc::new(DeviceInner {
+                rt,
+                net,
+                backlog: Backlog::new(),
+                rdv_sends: SpinLock::new(Slab::new()),
+                rdv_recvs: SpinLock::new(Slab::new()),
+                stats: DeviceStats::default(),
+            }),
+        };
+        // Stock the shared receive queue so peers can start immediately.
+        dev.replenish_recvs()?;
+        Ok(dev)
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> Rank {
+        self.inner.rt.rank
+    }
+
+    /// This device's fabric-wide index on its rank.
+    pub fn dev_id(&self) -> DevId {
+        self.inner.net.dev_id()
+    }
+
+    /// Queries the device's attributes (paper §3.2.3: resources have
+    /// queryable attribute lists).
+    pub fn attr(&self) -> DeviceAttr {
+        let cfg = self.inner.net.config();
+        DeviceAttr {
+            dev_id: self.inner.net.dev_id(),
+            backend: cfg.backend,
+            td_strategy: cfg.td_strategy,
+            rx_capacity: cfg.rx_capacity,
+            prepost_target: self.inner.rt.config.prepost,
+        }
+    }
+
+    /// Snapshot of this device's operation counters.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Registers memory for remote access (paper §3.3.1: mandatory for
+    /// remote buffers, optional for local ones).
+    pub fn register_memory(&self, buf: &[u8]) -> Result<MemoryRegion> {
+        self.inner.net.register(buf.as_ptr(), buf.len()).map_err(net_fatal)
+    }
+
+    /// Deregisters a memory region.
+    pub fn deregister_memory(&self, mr: &MemoryRegion) -> Result<()> {
+        self.inner.net.deregister(mr).map_err(net_fatal)
+    }
+
+    // ------------------------------------------------------------------
+    // Posting (paper Figure 1, steps 1-2)
+    // ------------------------------------------------------------------
+
+    /// The generic communication-posting operation (`post_comm`).
+    pub(crate) fn post_comm(&self, args: CommArgs) -> Result<PostResult> {
+        let res = self.post_comm_inner(args);
+        if let Ok(r) = &res {
+            if r.is_retry() {
+                DeviceStats::bump(&self.inner.stats.retries);
+            } else {
+                DeviceStats::bump(&self.inner.stats.posts);
+            }
+        }
+        res
+    }
+
+    fn post_comm_inner(&self, args: CommArgs) -> Result<PostResult> {
+        match (args.direction, args.remote_buf.is_some(), args.remote_comp.is_some()) {
+            (Direction::Out, false, false) => self.post_send_impl(args, None),
+            (Direction::Out, false, true) => {
+                let rcomp = args.remote_comp.unwrap();
+                self.post_send_impl(args, Some(rcomp))
+            }
+            (Direction::Out, true, _) => self.post_put_impl(args),
+            (Direction::In, false, false) => self.post_recv_impl(args),
+            (Direction::In, false, true) => Err(FatalError::InvalidArg(
+                "a receive with a remote completion is invalid (paper Table 1)".into(),
+            )),
+            (Direction::In, true, _) => self.post_get_impl(args),
+        }
+    }
+
+    /// Send / active message (eager or rendezvous by size).
+    fn post_send_impl(&self, args: CommArgs, rcomp: Option<RComp>) -> Result<PostResult> {
+        let cfg = &self.inner.rt.config;
+        let buf = args
+            .send_buf
+            .ok_or_else(|| FatalError::InvalidArg("send requires a local buffer".into()))?;
+        let size = buf.len();
+        let target_dev = args.target_dev.unwrap_or_else(|| self.dev_id());
+
+        if size > cfg.eager_size {
+            return self.post_rendezvous(args.rank, target_dev, buf, args.tag, args.comp,
+                args.policy, args.user_ctx, rcomp, args.allow_retry);
+        }
+
+        let (ty, aux) = match rcomp {
+            Some(rc) => (MsgType::EagerAm, rc),
+            None => (MsgType::Eager, 0),
+        };
+        let imm = Header::new(ty, args.policy, args.tag, aux).encode();
+
+        if size <= cfg.inject_size {
+            // Inject protocol: completes immediately; the completion
+            // object is *not* signaled (paper §3.2.5 "done").
+            let data = buf.flatten();
+            match self.inner.net.post_send(args.rank, target_dev, &data, imm, 0) {
+                Ok(()) => {
+                    return Ok(PostResult::Done(CompDesc {
+                        rank: args.rank,
+                        tag: args.tag,
+                        data: DataBuf::SendBuf(buf),
+                        user_ctx: args.user_ctx,
+                        kind: if rcomp.is_some() { CompKind::Am } else { CompKind::Send },
+                    }));
+                }
+                Err(NetError::Retry(r)) if args.allow_retry => {
+                    return Ok(PostResult::Retry(r.into()));
+                }
+                Err(NetError::Retry(_)) => {
+                    // Retry disallowed: degrade to the posted path below,
+                    // which parks the request in the backlog and signals
+                    // the completion object when it eventually ships.
+                }
+                Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+            }
+        }
+
+        // Buffer-copy protocol: stage through the fabric; the send buffer
+        // comes back with the completion.
+        let data = buf.flatten();
+        let ctx = ctx_encode(OpCtx::EagerSend {
+            comp: args.comp.clone(),
+            buf,
+            rank: args.rank,
+            tag: args.tag,
+            user_ctx: args.user_ctx,
+        });
+        match self.inner.net.post_send(args.rank, target_dev, &data, imm, ctx) {
+            Ok(()) => Ok(PostResult::Posted),
+            Err(e) => {
+                match e {
+                    NetError::Retry(r) if args.allow_retry => {
+                        // Back out: reclaim the context and hand the
+                        // buffer back through the retry descriptor path
+                        // (caller resubmits with the same buffer).
+                        // SAFETY: the fabric rejected the post, so the
+                        // context was never handed over.
+                        let _op = unsafe { ctx_decode(ctx) };
+                        Ok(PostResult::Retry(r.into()))
+                    }
+                    NetError::Retry(_) => {
+                        // Retry disallowed: park the flattened payload in
+                        // the backlog; the in-flight context (with the
+                        // original buffer and completion) is posted when
+                        // the wire frees up (paper §4.4).
+                        self.push_backlog(Backlogged::UserSend {
+                            target: args.rank,
+                            target_dev,
+                            data,
+                            imm,
+                            ctx,
+                        });
+                        Ok(PostResult::Posted)
+                    }
+                    NetError::Fatal(m) => {
+                        // SAFETY: rejected post; context never handed over.
+                        let _op = unsafe { ctx_decode(ctx) };
+                        Err(FatalError::Net(m))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-copy rendezvous: allocate a send id, ship the RTS.
+    #[allow(clippy::too_many_arguments)]
+    fn post_rendezvous(
+        &self,
+        rank: Rank,
+        target_dev: DevId,
+        buf: SendBuf,
+        tag: Tag,
+        comp: Option<Comp>,
+        policy: MatchingPolicy,
+        user_ctx: u64,
+        rcomp: Option<RComp>,
+        allow_retry: bool,
+    ) -> Result<PostResult> {
+        let size = buf.len() as u64;
+        let flat = match buf.as_contiguous() {
+            Some(_) => None,
+            None => Some(buf.flatten().into_boxed_slice()),
+        };
+        DeviceStats::bump(&self.inner.stats.rendezvous);
+        let send_id = self.inner.rdv_sends.lock().insert(RdvSend {
+            buf,
+            flat,
+            comp,
+            rank,
+            tag,
+            user_ctx,
+        });
+        let (ty, aux) = match rcomp {
+            Some(rc) => (MsgType::RtsAm, rc),
+            None => (MsgType::RtsSr, 0),
+        };
+        let imm = Header::new(ty, policy, tag, aux).encode();
+        let payload = RtsPayload { send_id, size }.encode();
+        match self.inner.net.post_send(rank, target_dev, &payload, imm, 0) {
+            Ok(()) => Ok(PostResult::Posted),
+            Err(NetError::Retry(r)) => {
+                if allow_retry {
+                    // Back the rendezvous out entirely; the user resubmits.
+                    self.inner.rdv_sends.lock().remove(send_id);
+                    Ok(PostResult::Retry(r.into()))
+                } else {
+                    self.push_backlog(Backlogged::Ctrl {
+                        target: rank,
+                        target_dev,
+                        payload: payload.to_vec(),
+                        imm,
+                    });
+                    Ok(PostResult::Posted)
+                }
+            }
+            Err(NetError::Fatal(m)) => {
+                self.inner.rdv_sends.lock().remove(send_id);
+                Err(FatalError::Net(m))
+            }
+        }
+    }
+
+    /// RMA put (direct write, optional remote signal).
+    fn post_put_impl(&self, args: CommArgs) -> Result<PostResult> {
+        let buf = args
+            .send_buf
+            .ok_or_else(|| FatalError::InvalidArg("put requires a local buffer".into()))?;
+        let (rkey, offset) = args.remote_buf.unwrap();
+        let target_dev = args.target_dev.unwrap_or_else(|| self.dev_id());
+        let imm = args
+            .remote_comp
+            .map(|rc| Header::new(MsgType::PutSignal, args.policy, args.tag, rc).encode());
+        let data = buf.flatten();
+        let ctx = ctx_encode(OpCtx::Put {
+            comp: args.comp,
+            buf,
+            rank: args.rank,
+            tag: args.tag,
+            user_ctx: args.user_ctx,
+        });
+        match self.inner.net.post_write(args.rank, target_dev, &data, rkey, offset, imm, ctx) {
+            Ok(()) => Ok(PostResult::Posted),
+            Err(e) => {
+                // SAFETY: rejected post; context never handed over.
+                let _op = unsafe { ctx_decode(ctx) };
+                match e {
+                    NetError::Retry(r) => Ok(PostResult::Retry(r.into())),
+                    NetError::Fatal(m) => Err(FatalError::Net(m)),
+                }
+            }
+        }
+    }
+
+    /// RMA get (direct read, optional remote signal — the extension the
+    /// paper leaves unimplemented; see `proto` module docs).
+    fn post_get_impl(&self, args: CommArgs) -> Result<PostResult> {
+        let buf = args
+            .recv_buf
+            .ok_or_else(|| FatalError::InvalidArg("get requires a local buffer".into()))?;
+        let (rkey, offset) = args.remote_buf.unwrap();
+        let target_dev = args.target_dev.unwrap_or_else(|| self.dev_id());
+        let signal = args.remote_comp.map(|rc| (target_dev, rc));
+        let len = buf.len();
+        let ptr = buf.as_ptr() as *mut u8;
+        let ctx = ctx_encode(OpCtx::Get {
+            comp: args.comp,
+            buf,
+            rank: args.rank,
+            tag: args.tag,
+            user_ctx: args.user_ctx,
+            signal,
+        });
+        // SAFETY: the buffer lives in the OpCtx until the ReadDone
+        // completion, satisfying the descriptor contract.
+        let desc = unsafe { RecvBufDesc::new(ptr, len, ctx) };
+        match self.inner.net.post_read(args.rank, desc, rkey, offset) {
+            Ok(()) => Ok(PostResult::Posted),
+            Err(e) => {
+                // SAFETY: rejected post; context never handed over.
+                let _op = unsafe { ctx_decode(ctx) };
+                match e {
+                    NetError::Retry(r) => Ok(PostResult::Retry(r.into())),
+                    NetError::Fatal(m) => Err(FatalError::Net(m)),
+                }
+            }
+        }
+    }
+
+    /// Receive: insert into the matching engine; deliver immediately on an
+    /// unexpected match.
+    fn post_recv_impl(&self, args: CommArgs) -> Result<PostResult> {
+        let buf = args
+            .recv_buf
+            .ok_or_else(|| FatalError::InvalidArg("recv requires a local buffer".into()))?;
+        let comp = args
+            .comp
+            .ok_or_else(|| FatalError::InvalidArg("recv requires a completion object".into()))?;
+        let engine = &self.inner.rt.matching;
+        let key = engine.key_for(args.rank, args.tag, args.policy);
+        let entry = MatchEntry::Recv(RecvEntry {
+            buf,
+            comp,
+            user_ctx: args.user_ctx,
+            device: self.clone(),
+        });
+        match engine.insert(key, entry, MatchKind::Recv) {
+            None => Ok(PostResult::Posted),
+            Some((unexpected, mine)) => {
+                let MatchEntry::Recv(recv) = mine else { unreachable!() };
+                match unexpected {
+                    MatchEntry::UnexpEager { src, tag, packet, len } => {
+                        // Deliver synchronously: the operation is done and
+                        // the completion object will not be signaled.
+                        let mut buf = recv.buf;
+                        if len > buf.len() {
+                            return Err(FatalError::InvalidArg(format!(
+                                "receive buffer too small: {} < {len}",
+                                buf.len()
+                            )));
+                        }
+                        buf[..len].copy_from_slice(&packet.as_slice()[..len]);
+                        Ok(PostResult::Done(CompDesc {
+                            rank: src,
+                            tag,
+                            data: DataBuf::Partial(buf, len),
+                            user_ctx: recv.user_ctx,
+                            kind: CompKind::Recv,
+                        }))
+                    }
+                    MatchEntry::UnexpRts { src, src_dev, tag, send_id, size } => {
+                        self.start_rtr(src, src_dev, tag, send_id, size, recv.buf, recv.comp,
+                            recv.user_ctx, false)?;
+                        Ok(PostResult::Posted)
+                    }
+                    MatchEntry::Recv(_) => unreachable!("recv matched recv"),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rendezvous plumbing (paper Figure 1, steps 8 & 10)
+    // ------------------------------------------------------------------
+
+    /// Target side: register the buffer, record the pending receive, and
+    /// answer RTR.
+    #[allow(clippy::too_many_arguments)]
+    fn start_rtr(
+        &self,
+        src: Rank,
+        src_dev: DevId,
+        tag: Tag,
+        send_id: u32,
+        size: usize,
+        buf: Box<[u8]>,
+        comp: Comp,
+        user_ctx: u64,
+        is_am: bool,
+    ) -> Result<()> {
+        if size > buf.len() {
+            return Err(FatalError::InvalidArg(format!(
+                "receive buffer too small for rendezvous: {} < {size}",
+                buf.len()
+            )));
+        }
+        let mr = self.inner.net.register(buf.as_ptr(), size).map_err(net_fatal)?;
+        let recv_id = self.inner.rdv_recvs.lock().insert(RdvRecv {
+            buf,
+            mr,
+            comp,
+            user_ctx,
+            src,
+            tag,
+            size,
+            is_am,
+        });
+        let payload = RtrPayload { send_id, recv_id, rkey: mr.rkey.0 }.encode();
+        let imm = Header::new(MsgType::Rtr, MatchingPolicy::RankTag, tag, 0).encode();
+        match self.inner.net.post_send(src, src_dev, &payload, imm, 0) {
+            Ok(()) => Ok(()),
+            Err(NetError::Retry(_)) => {
+                // The progress engine cannot bounce this to the user:
+                // park it in the backlog (paper §4.1.5).
+                self.push_backlog(Backlogged::Ctrl {
+                    target: src,
+                    target_dev: src_dev,
+                    payload: payload.to_vec(),
+                    imm,
+                });
+                Ok(())
+            }
+            Err(NetError::Fatal(m)) => Err(FatalError::Net(m)),
+        }
+    }
+
+    /// Source side: RTR arrived; fire the RDMA write with FIN immediate.
+    fn start_rdv_write(&self, target: Rank, target_dev: DevId, rtr: RtrPayload) -> Result<()> {
+        let imm = Header::new(MsgType::Fin, MatchingPolicy::RankTag, 0, rtr.recv_id).encode();
+        self.try_rdv_write(target, target_dev, rtr.send_id, Rkey(rtr.rkey), imm)
+    }
+
+    /// Attempts the rendezvous data write; parks in the backlog on retry.
+    fn try_rdv_write(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        send_id: u32,
+        rkey: Rkey,
+        imm: u64,
+    ) -> Result<()> {
+        let ctx = ctx_encode(OpCtx::RdvWrite { send_id });
+        let res = {
+            let sends = self.inner.rdv_sends.lock();
+            let Some(entry) = sends.get(send_id) else {
+                // SAFETY: rejected before handoff.
+                let _ = unsafe { ctx_decode(ctx) };
+                return Err(FatalError::Net(format!("RTR for unknown send id {send_id}")));
+            };
+            let data: &[u8] = match &entry.flat {
+                Some(f) => f,
+                None => entry.buf.as_contiguous().expect("contiguous buf"),
+            };
+            self.inner.net.post_write(target, target_dev, data, rkey, 0, Some(imm), ctx)
+        };
+        match res {
+            Ok(()) => Ok(()),
+            Err(NetError::Retry(_)) => {
+                // SAFETY: rejected before handoff.
+                let _ = unsafe { ctx_decode(ctx) };
+                self.push_backlog(Backlogged::RdvWrite {
+                    target,
+                    target_dev,
+                    send_id,
+                    rkey,
+                    imm,
+                });
+                Ok(())
+            }
+            Err(NetError::Fatal(m)) => {
+                // SAFETY: rejected before handoff.
+                let _ = unsafe { ctx_decode(ctx) };
+                Err(FatalError::Net(m))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress (paper Figure 1, steps 3-8)
+    // ------------------------------------------------------------------
+
+    /// Makes progress on this device: drains the backlog, polls the
+    /// network, reacts to completions, and replenishes pre-posted
+    /// receives. Returns whether any work was done.
+    pub fn progress(&self) -> Result<bool> {
+        DeviceStats::bump(&self.inner.stats.progress_calls);
+        let mut did = false;
+        did |= self.drain_backlog()?;
+        let batch = self.inner.rt.config.progress_batch;
+        let mut cqes: Vec<Cqe> = Vec::with_capacity(batch);
+        match self.inner.net.poll_cq(&mut cqes, batch) {
+            Ok(n) => {
+                did |= n > 0;
+                for cqe in cqes {
+                    self.handle_cqe(cqe)?;
+                }
+            }
+            Err(NetError::Retry(_)) => {
+                // Another thread holds the poll lock: it is making
+                // progress on our behalf (trylock wrapper, §4.2.2).
+                return Ok(did);
+            }
+            Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+        }
+        self.replenish_recvs()?;
+        if did {
+            DeviceStats::bump(&self.inner.stats.progress_useful);
+        }
+        Ok(did)
+    }
+
+    /// Parks a request in the backlog, counting it.
+    fn push_backlog(&self, item: Backlogged) {
+        DeviceStats::bump(&self.inner.stats.backlogged);
+        self.inner.backlog.push(item);
+    }
+
+    /// Retries postponed requests (paper Figure 1, step 3).
+    fn drain_backlog(&self) -> Result<bool> {
+        if self.inner.backlog.is_empty() {
+            return Ok(false);
+        }
+        let mut did = false;
+        while let Some(item) = self.inner.backlog.pop() {
+            match item {
+                Backlogged::Ctrl { target, target_dev, payload, imm } => {
+                    match self.inner.net.post_send(target, target_dev, &payload, imm, 0) {
+                        Ok(()) => did = true,
+                        Err(NetError::Retry(_)) => {
+                            self.inner.backlog.push_front(Backlogged::Ctrl {
+                                target,
+                                target_dev,
+                                payload,
+                                imm,
+                            });
+                            break;
+                        }
+                        Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+                    }
+                }
+                Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm } => {
+                    // try_rdv_write re-parks on retry.
+                    self.try_rdv_write(target, target_dev, send_id, rkey, imm)?;
+                    did = true;
+                }
+                Backlogged::UserSend { target, target_dev, data, imm, ctx } => {
+                    match self.inner.net.post_send(target, target_dev, &data, imm, ctx) {
+                        Ok(()) => did = true,
+                        Err(NetError::Retry(_)) => {
+                            self.inner.backlog.push_front(Backlogged::UserSend {
+                                target,
+                                target_dev,
+                                data,
+                                imm,
+                                ctx,
+                            });
+                            break;
+                        }
+                        Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+                    }
+                }
+            }
+        }
+        Ok(did)
+    }
+
+    /// Keeps the shared receive queue stocked (paper Figure 1, step 7).
+    fn replenish_recvs(&self) -> Result<()> {
+        let target = self.inner.rt.config.prepost;
+        while self.inner.net.posted_recvs() < target {
+            let Some(packet) = self.inner.rt.pool.get() else { break };
+            let ptr = packet.raw_ptr();
+            let cap = packet.capacity();
+            let idx = packet.index();
+            // SAFETY: the packet's slot stays checked out (leaked) until
+            // the receive completion reclaims it.
+            let desc = unsafe { RecvBufDesc::new(ptr, cap, idx as u64) };
+            match self.inner.net.post_recv(desc) {
+                Ok(()) => {
+                    packet.leak();
+                }
+                Err(NetError::Retry(_)) => break, // SRQ lock busy: try next progress
+                Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reacts to one completion (paper Figure 1, steps 4-8).
+    fn handle_cqe(&self, cqe: Cqe) -> Result<()> {
+        DeviceStats::bump(&self.inner.stats.completions);
+        match cqe.kind {
+            CqeKind::SendDone | CqeKind::WriteDone | CqeKind::ReadDone => {
+                if cqe.ctx == 0 {
+                    return Ok(()); // inject / control message
+                }
+                // SAFETY: ctx was encoded at post time and this is its
+                // unique completion.
+                let op = unsafe { ctx_decode(cqe.ctx) };
+                self.handle_local_completion(*op)
+            }
+            CqeKind::RecvDone => {
+                // SAFETY: receive contexts are leaked packet indices.
+                let packet = unsafe { self.inner.rt.pool.reclaim(cqe.ctx as u32, cqe.len) };
+                self.handle_incoming(cqe, packet)
+            }
+            CqeKind::WriteImmRecv => {
+                // A pre-posted receive was consumed without data.
+                // SAFETY: as above.
+                let packet = unsafe { self.inner.rt.pool.reclaim(cqe.ctx as u32, 0) };
+                drop(packet); // immediately recycled
+                let hdr = Header::decode(cqe.imm)?;
+                match hdr.ty {
+                    MsgType::Fin => self.handle_fin(hdr.aux),
+                    MsgType::PutSignal => self.signal_rcomp(hdr.aux, cqe.src_rank, hdr.tag),
+                    other => Err(FatalError::Net(format!(
+                        "unexpected write-imm type {other:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// A local (source-side) completion.
+    fn handle_local_completion(&self, op: OpCtx) -> Result<()> {
+        match op {
+            OpCtx::EagerSend { comp, buf, rank, tag, user_ctx } => {
+                if let Some(comp) = comp {
+                    comp.signal(CompDesc {
+                        rank,
+                        tag,
+                        data: DataBuf::SendBuf(buf),
+                        user_ctx,
+                        kind: CompKind::Send,
+                    });
+                }
+                Ok(())
+            }
+            OpCtx::RdvWrite { send_id } => {
+                let entry = self
+                    .inner
+                    .rdv_sends
+                    .lock()
+                    .remove(send_id)
+                    .ok_or_else(|| FatalError::Net("rendezvous send vanished".into()))?;
+                if let Some(comp) = entry.comp {
+                    comp.signal(CompDesc {
+                        rank: entry.rank,
+                        tag: entry.tag,
+                        data: DataBuf::SendBuf(entry.buf),
+                        user_ctx: entry.user_ctx,
+                        kind: CompKind::Send,
+                    });
+                }
+                Ok(())
+            }
+            OpCtx::Put { comp, buf, rank, tag, user_ctx } => {
+                if let Some(comp) = comp {
+                    comp.signal(CompDesc {
+                        rank,
+                        tag,
+                        data: DataBuf::SendBuf(buf),
+                        user_ctx,
+                        kind: CompKind::Put,
+                    });
+                }
+                Ok(())
+            }
+            OpCtx::Get { comp, buf, rank, tag, user_ctx, signal } => {
+                if let Some((target_dev, rcomp)) = signal {
+                    // Get-with-signal: notify the target that its data was
+                    // read (extension; see proto docs).
+                    let imm =
+                        Header::new(MsgType::GetSignal, MatchingPolicy::RankTag, tag, rcomp)
+                            .encode();
+                    match self.inner.net.post_send(rank, target_dev, &[], imm, 0) {
+                        Ok(()) => {}
+                        Err(NetError::Retry(_)) => self.push_backlog(Backlogged::Ctrl {
+                            target: rank,
+                            target_dev,
+                            payload: Vec::new(),
+                            imm,
+                        }),
+                        Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+                    }
+                }
+                if let Some(comp) = comp {
+                    comp.signal(CompDesc {
+                        rank,
+                        tag,
+                        data: DataBuf::Owned(buf),
+                        user_ctx,
+                        kind: CompKind::Get,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// An incoming message delivered into `packet` (paper Figure 1,
+    /// steps 5-6).
+    fn handle_incoming(&self, cqe: Cqe, packet: Packet) -> Result<()> {
+        let hdr = Header::decode(cqe.imm)?;
+        match hdr.ty {
+            MsgType::Eager => {
+                let engine = &self.inner.rt.matching;
+                let key = engine.key_for(cqe.src_rank, hdr.tag, hdr.policy);
+                let entry = MatchEntry::UnexpEager {
+                    src: cqe.src_rank,
+                    tag: hdr.tag,
+                    packet,
+                    len: cqe.len,
+                };
+                if let Some((matched, mine)) = engine.insert(key, entry, MatchKind::Send) {
+                    DeviceStats::bump(&self.inner.stats.matched);
+                    let MatchEntry::Recv(recv) = matched else {
+                        return Err(FatalError::Net("eager matched non-recv".into()));
+                    };
+                    let MatchEntry::UnexpEager { src, tag, packet, len } = mine else {
+                        unreachable!()
+                    };
+                    let mut buf = recv.buf;
+                    if len > buf.len() {
+                        return Err(FatalError::InvalidArg(format!(
+                            "receive buffer too small: {} < {len}",
+                            buf.len()
+                        )));
+                    }
+                    buf[..len].copy_from_slice(&packet.as_slice()[..len]);
+                    recv.comp.signal(CompDesc {
+                        rank: src,
+                        tag,
+                        data: DataBuf::Partial(buf, len),
+                        user_ctx: recv.user_ctx,
+                        kind: CompKind::Recv,
+                    });
+                }
+                Ok(())
+            }
+            MsgType::EagerAm => {
+                let comp = self
+                    .inner
+                    .rt
+                    .rcomp
+                    .read(hdr.aux as usize)
+                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+                let len = cqe.len;
+                comp.signal(CompDesc {
+                    rank: cqe.src_rank,
+                    tag: hdr.tag,
+                    data: DataBuf::Packet(packet, len),
+                    user_ctx: 0,
+                    kind: CompKind::Am,
+                });
+                Ok(())
+            }
+            MsgType::RtsSr => {
+                let rts = RtsPayload::decode(&packet.as_slice()[..cqe.len])?;
+                drop(packet);
+                let engine = &self.inner.rt.matching;
+                let key = engine.key_for(cqe.src_rank, hdr.tag, hdr.policy);
+                let entry = MatchEntry::UnexpRts {
+                    src: cqe.src_rank,
+                    src_dev: cqe.src_dev,
+                    tag: hdr.tag,
+                    send_id: rts.send_id,
+                    size: rts.size as usize,
+                };
+                if let Some((matched, _mine)) = engine.insert(key, entry, MatchKind::Send) {
+                    let MatchEntry::Recv(recv) = matched else {
+                        return Err(FatalError::Net("RTS matched non-recv".into()));
+                    };
+                    recv.device.clone().start_rtr(
+                        cqe.src_rank,
+                        cqe.src_dev,
+                        hdr.tag,
+                        rts.send_id,
+                        rts.size as usize,
+                        recv.buf,
+                        recv.comp,
+                        recv.user_ctx,
+                        false,
+                    )?;
+                }
+                Ok(())
+            }
+            MsgType::RtsAm => {
+                let rts = RtsPayload::decode(&packet.as_slice()[..cqe.len])?;
+                drop(packet);
+                let comp = self
+                    .inner
+                    .rt
+                    .rcomp
+                    .read(hdr.aux as usize)
+                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+                let buf = vec![0u8; rts.size as usize].into_boxed_slice();
+                self.start_rtr(
+                    cqe.src_rank,
+                    cqe.src_dev,
+                    hdr.tag,
+                    rts.send_id,
+                    rts.size as usize,
+                    buf,
+                    comp,
+                    0,
+                    true,
+                )
+            }
+            MsgType::Rtr => {
+                let rtr = RtrPayload::decode(&packet.as_slice()[..cqe.len])?;
+                drop(packet);
+                self.start_rdv_write(cqe.src_rank, cqe.src_dev, rtr)
+            }
+            MsgType::GetSignal => {
+                drop(packet);
+                self.signal_rcomp(hdr.aux, cqe.src_rank, hdr.tag)
+            }
+            MsgType::Fin | MsgType::PutSignal => Err(FatalError::Net(format!(
+                "{:?} must arrive as write-immediate",
+                hdr.ty
+            ))),
+        }
+    }
+
+    /// Target side of the rendezvous FIN: deliver the buffer.
+    fn handle_fin(&self, recv_id: u32) -> Result<()> {
+        let entry = self
+            .inner
+            .rdv_recvs
+            .lock()
+            .remove(recv_id)
+            .ok_or_else(|| FatalError::Net(format!("FIN for unknown recv id {recv_id}")))?;
+        self.inner.net.deregister(&entry.mr).map_err(net_fatal)?;
+        entry.comp.signal(CompDesc {
+            rank: entry.src,
+            tag: entry.tag,
+            data: DataBuf::Partial(entry.buf, entry.size),
+            user_ctx: entry.user_ctx,
+            kind: if entry.is_am { CompKind::Am } else { CompKind::Recv },
+        });
+        Ok(())
+    }
+
+    /// Signals a registered remote-completion object.
+    fn signal_rcomp(&self, rcomp: u32, src: Rank, tag: Tag) -> Result<()> {
+        let comp = self
+            .inner
+            .rt
+            .rcomp
+            .read(rcomp as usize)
+            .ok_or_else(|| FatalError::Net(format!("unknown rcomp {rcomp}")))?;
+        comp.signal(CompDesc {
+            rank: src,
+            tag,
+            data: DataBuf::Empty,
+            user_ctx: 0,
+            kind: CompKind::RemoteSignal,
+        });
+        Ok(())
+    }
+
+    /// Backlog depth (diagnostics).
+    pub fn backlog_len(&self) -> usize {
+        self.inner.backlog.len()
+    }
+
+    /// Pending rendezvous operations (diagnostics).
+    pub fn pending_rendezvous(&self) -> (usize, usize) {
+        (self.inner.rdv_sends.lock().len(), self.inner.rdv_recvs.lock().len())
+    }
+}
+
+impl Drop for DeviceInner {
+    fn drop(&mut self) {
+        // Reclaim everything still checked out to the fabric so packet
+        // and context memory is returned: undelivered completions carry
+        // either a packet index (receive side) or a boxed OpCtx (local
+        // side); still-posted receives carry packet indices.
+        let (cqes, descs) = self.net.teardown();
+        for cqe in cqes {
+            match cqe.kind {
+                CqeKind::RecvDone | CqeKind::WriteImmRecv => {
+                    // SAFETY: receive contexts are leaked packet indices.
+                    drop(unsafe { self.rt.pool.reclaim(cqe.ctx as u32, 0) });
+                }
+                CqeKind::SendDone | CqeKind::WriteDone | CqeKind::ReadDone => {
+                    if cqe.ctx != 0 {
+                        // SAFETY: nonzero local contexts are unique boxed
+                        // OpCtx pointers.
+                        drop(unsafe { ctx_decode(cqe.ctx) });
+                    }
+                }
+            }
+        }
+        for d in descs {
+            // SAFETY: posted receives are leaked packet indices.
+            drop(unsafe { self.rt.pool.reclaim(d.ctx as u32, 0) });
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("rank", &self.rank())
+            .field("dev_id", &self.dev_id())
+            .finish()
+    }
+}
+
+fn net_fatal(e: NetError) -> FatalError {
+    match e {
+        NetError::Fatal(m) => FatalError::Net(m),
+        NetError::Retry(r) => FatalError::Net(format!("unexpected retry: {r:?}")),
+    }
+}

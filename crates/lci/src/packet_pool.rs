@@ -1,0 +1,483 @@
+//! The packet pool (paper §4.1.2): efficient allocation (`get`) and
+//! deallocation (`put`) of fixed-sized pre-registered buffers ("packets").
+//!
+//! Implemented as a collection of thread-local double-ended queues managed
+//! by an MPMC array (§4.1.1). Every thread puts/gets packets at the *tail*
+//! of its own deque; when the local deque is empty the thread steals half
+//! of the packets of a randomly selected victim from the *head* end —
+//! tail for locality, head for stealing, exactly the paper's layout.
+//! Thread safety comes from a per-deque spinlock, so there is no
+//! contention during normal (local) operation.
+//!
+//! `get` is non-blocking: when the first stealing attempt round fails it
+//! returns `None`, which the posting path surfaces as the `retry`
+//! status with reason `NoPacket`.
+
+use crate::error::{FatalError, Result};
+use lci_fabric::sync::{MpmcArray, SpinLock};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Packets per allocation chunk.
+const CHUNK_PACKETS: usize = 64;
+
+/// Global pool-id source so thread-local state can key by pool.
+static POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-pool thread-local state: (pool id, deque index, the deque
+    /// itself). A small linear-scan vector — a thread touches very few
+    /// pools, and this lookup sits on the packet hot path. Caching the
+    /// `Arc` here keeps the fast path free of registry reads and
+    /// refcount traffic.
+    #[allow(clippy::type_complexity)]
+    static LOCAL_DEQUE: RefCell<Vec<(usize, usize, Arc<SpinLock<VecDeque<u32>>>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// One raw memory chunk holding `CHUNK_PACKETS` packets.
+struct Chunk {
+    base: *mut u8,
+    layout: std::alloc::Layout,
+}
+
+// SAFETY: the chunk's memory is only accessed through packets, each of
+// which has exclusive ownership of its slot.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        // SAFETY: allocated with this layout in `PoolShared::add_chunk`.
+        unsafe { std::alloc::dealloc(self.base, self.layout) }
+    }
+}
+
+struct PoolShared {
+    id: usize,
+    payload_size: usize,
+    capacity: usize,
+    /// Chunk base addresses for lock-free idx->ptr translation.
+    chunk_bases: MpmcArray<usize>,
+    /// Chunk owners (kept for deallocation).
+    chunks: SpinLock<Vec<Chunk>>,
+    /// The thread-local deques, discoverable for stealing.
+    deques: MpmcArray<Arc<SpinLock<VecDeque<u32>>>>,
+}
+
+impl PoolShared {
+    fn packet_ptr(&self, idx: u32) -> *mut u8 {
+        let chunk = idx as usize / CHUNK_PACKETS;
+        let slot = idx as usize % CHUNK_PACKETS;
+        let base = self.chunk_bases.read(chunk).expect("packet chunk missing");
+        (base + slot * self.payload_size) as *mut u8
+    }
+}
+
+/// A fixed-size pre-registered buffer from a [`PacketPool`].
+///
+/// Dropping a packet returns it to the pool (to the dropping thread's
+/// deque). Explicit assembly in packets (§3.3.1) saves the staging copy
+/// of the buffer-copy protocol.
+pub struct Packet {
+    shared: Arc<PoolShared>,
+    idx: u32,
+    len: usize,
+}
+
+impl Packet {
+    /// Packet capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.shared.payload_size
+    }
+
+    /// Current logical payload length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the logical payload length (after assembling data in place).
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= self.capacity(), "packet payload exceeds capacity");
+        self.len = len;
+    }
+
+    /// Read access to the full packet buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: this packet exclusively owns its slot while checked out.
+        unsafe { std::slice::from_raw_parts(self.shared.packet_ptr(self.idx), self.capacity()) }
+    }
+
+    /// Write access to the full packet buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive ownership (we hold &mut self of the sole
+        // Packet for this slot).
+        unsafe {
+            std::slice::from_raw_parts_mut(self.shared.packet_ptr(self.idx), self.capacity())
+        }
+    }
+
+    /// Copies `data` into the packet and sets the payload length.
+    pub fn fill(&mut self, data: &[u8]) {
+        let cap = self.capacity();
+        assert!(data.len() <= cap, "payload {} exceeds packet capacity {}", data.len(), cap);
+        self.as_mut_slice()[..data.len()].copy_from_slice(data);
+        self.len = data.len();
+    }
+
+    /// Raw base pointer (for posting as a receive buffer).
+    pub fn raw_ptr(&self) -> *mut u8 {
+        self.shared.packet_ptr(self.idx)
+    }
+
+    /// The packet's pool index, used as a completion context when the
+    /// packet's memory is checked out to the fabric.
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+
+    /// Releases ownership without returning the packet to the pool; pair
+    /// with [`PacketPool::reclaim`]. Used when the packet's memory is
+    /// handed to the fabric as a pre-posted receive buffer.
+    pub fn leak(self) -> u32 {
+        let idx = self.idx;
+        let mut me = std::mem::ManuallyDrop::new(self);
+        // SAFETY: `me` is never used again and its Drop is suppressed;
+        // dropping the Arc here keeps the pool's refcount balanced
+        // (reclaim clones a fresh handle).
+        unsafe {
+            std::ptr::drop_in_place(&mut me.shared);
+        }
+        idx
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("idx", &self.idx)
+            .field("len", &self.len)
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl Drop for Packet {
+    fn drop(&mut self) {
+        PacketPool::put_idx(&self.shared, self.idx);
+    }
+}
+
+/// Pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketPoolConfig {
+    /// Bytes per packet (also the eager-protocol threshold upstream).
+    pub payload_size: usize,
+    /// Total number of packets.
+    pub count: usize,
+}
+
+impl Default for PacketPoolConfig {
+    fn default() -> Self {
+        Self { payload_size: 8192, count: 1024 }
+    }
+}
+
+/// The packet pool resource.
+#[derive(Clone)]
+pub struct PacketPool {
+    shared: Arc<PoolShared>,
+}
+
+impl PacketPool {
+    /// Creates a pool with the given configuration. All packets initially
+    /// live on the creating thread's deque.
+    pub fn new(cfg: PacketPoolConfig) -> Result<Self> {
+        if cfg.payload_size == 0 || cfg.count == 0 {
+            return Err(FatalError::InvalidArg("packet pool needs size and count > 0".into()));
+        }
+        let shared = Arc::new(PoolShared {
+            id: POOL_ID.fetch_add(1, Ordering::Relaxed),
+            payload_size: cfg.payload_size,
+            capacity: cfg.count,
+            chunk_bases: MpmcArray::with_capacity(16),
+            chunks: SpinLock::new(Vec::new()),
+            deques: MpmcArray::with_capacity(8),
+        });
+        // Allocate chunks.
+        let nchunks = cfg.count.div_ceil(CHUNK_PACKETS);
+        {
+            let mut chunks = shared.chunks.lock();
+            for _ in 0..nchunks {
+                let layout =
+                    std::alloc::Layout::from_size_align(CHUNK_PACKETS * cfg.payload_size, 64)
+                        .map_err(|e| FatalError::InvalidArg(e.to_string()))?;
+                // SAFETY: layout has non-zero size.
+                let base = unsafe { std::alloc::alloc(layout) };
+                if base.is_null() {
+                    return Err(FatalError::Net("packet chunk allocation failed".into()));
+                }
+                shared.chunk_bases.push(base as usize);
+                chunks.push(Chunk { base, layout });
+            }
+        }
+        let pool = Self { shared };
+        // Seed the creator's deque with every packet.
+        pool.with_local_deque(|deque| {
+            let mut q = deque.lock();
+            for i in 0..cfg.count as u32 {
+                q.push_back(i);
+            }
+        });
+        Ok(pool)
+    }
+
+    /// Pool configuration: packet payload size.
+    pub fn payload_size(&self) -> usize {
+        self.shared.payload_size
+    }
+
+    /// Total number of packets.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Packets currently checked out (to users or to the fabric as
+    /// pre-posted receives). Diagnostics: takes every deque lock.
+    pub fn outstanding(&self) -> usize {
+        let pooled: usize = (0..self.shared.deques.len())
+            .filter_map(|i| self.shared.deques.read(i))
+            .map(|d| d.lock().len())
+            .sum();
+        self.shared.capacity - pooled
+    }
+
+    /// Runs `f` with this thread's deque (creating and caching it on
+    /// first use). The cached `Arc` keeps the hot path free of registry
+    /// lookups.
+    #[inline]
+    fn with_local_deque<R>(&self, f: impl FnOnce(&SpinLock<VecDeque<u32>>) -> R) -> R {
+        Self::with_local_deque_of(&self.shared, f)
+    }
+
+    #[inline]
+    fn with_local_deque_of<R>(
+        shared: &Arc<PoolShared>,
+        f: impl FnOnce(&SpinLock<VecDeque<u32>>) -> R,
+    ) -> R {
+        let pid = shared.id;
+        LOCAL_DEQUE.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some((_, _, d)) = m.iter().find(|(p, _, _)| *p == pid) {
+                return f(d);
+            }
+            let deque = Arc::new(SpinLock::new(VecDeque::new()));
+            let idx = shared.deques.push(deque.clone());
+            m.push((pid, idx, deque));
+            let (_, _, d) = m.last().expect("just pushed");
+            f(d)
+        })
+    }
+
+    /// Non-blocking packet acquisition. Returns `None` when the local
+    /// deque is empty and one stealing round finds nothing — the caller
+    /// maps this to the `retry`/`NoPacket` status.
+    pub fn get(&self) -> Option<Packet> {
+        // Fast path: local tail pop (cache locality with recent puts).
+        let fast = self.with_local_deque(|deque| {
+            deque.try_lock().and_then(|mut q| q.pop_back())
+        });
+        if let Some(idx) = fast {
+            return Some(Packet { shared: self.shared.clone(), idx, len: 0 });
+        }
+        // Steal: visit victims starting at a pseudo-random position,
+        // taking half of the first non-empty deque from its *head*.
+        let deques_len = self.shared.deques.len();
+        let start = rand_seed() % deques_len.max(1);
+        for k in 0..deques_len {
+            let v = (start + k) % deques_len;
+            let Some(victim) = self.shared.deques.read(v) else { continue };
+            let Some(mut vq) = victim.try_lock() else { continue };
+            if vq.is_empty() {
+                continue;
+            }
+            let take = vq.len().div_ceil(2);
+            let stolen: Vec<u32> = (0..take).filter_map(|_| vq.pop_front()).collect();
+            drop(vq);
+            let first = stolen[0];
+            if stolen.len() > 1 {
+                self.with_local_deque(|deque| {
+                    let mut q = deque.lock();
+                    for idx in &stolen[1..] {
+                        q.push_back(*idx);
+                    }
+                });
+            }
+            return Some(Packet { shared: self.shared.clone(), idx: first, len: 0 });
+        }
+        None
+    }
+
+    /// Returns a packet index to the current thread's deque.
+    #[inline]
+    fn put_idx(shared: &Arc<PoolShared>, idx: u32) {
+        Self::with_local_deque_of(shared, |deque| deque.lock().push_back(idx));
+    }
+
+    /// Reconstructs a packet from an index previously obtained with
+    /// [`Packet::leak`] (e.g. returned in a fabric completion).
+    ///
+    /// # Safety
+    /// `idx` must come from a `leak` on this pool and must not be
+    /// reclaimed twice.
+    pub unsafe fn reclaim(&self, idx: u32, len: usize) -> Packet {
+        Packet { shared: self.shared.clone(), idx, len }
+    }
+}
+
+impl std::fmt::Debug for PacketPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketPool")
+            .field("payload_size", &self.shared.payload_size)
+            .field("capacity", &self.shared.capacity)
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+/// Cheap per-thread xorshift for victim selection (no rand dependency on
+/// the critical path).
+fn rand_seed() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SEED: Cell<u64> = const { Cell::new(0) };
+    }
+    SEED.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Derive an initial seed from the thread id.
+            x = std::thread::current().id().as_u64_hack();
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x as usize
+    })
+}
+
+/// Extension to extract a numeric value from ThreadId on stable Rust.
+trait ThreadIdHack {
+    fn as_u64_hack(&self) -> u64;
+}
+
+impl ThreadIdHack for std::thread::ThreadId {
+    fn as_u64_hack(&self) -> u64 {
+        // Debug formatting is "ThreadId(N)"; parse N. Not hot: runs once
+        // per thread.
+        let s = format!("{self:?}");
+        let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+        digits.parse::<u64>().unwrap_or(0x9E3779B97F4A7C15) | 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 128, count: 8 }).unwrap();
+        let mut p = pool.get().unwrap();
+        p.fill(b"hello");
+        assert_eq!(&p.as_slice()[..5], b"hello");
+        assert_eq!(p.len(), 5);
+        assert_eq!(pool.outstanding(), 1);
+        drop(p);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 64, count: 4 }).unwrap();
+        let held: Vec<Packet> = (0..4).map(|_| pool.get().unwrap()).collect();
+        assert!(pool.get().is_none());
+        drop(held);
+        assert!(pool.get().is_some());
+    }
+
+    #[test]
+    fn leak_and_reclaim() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 64, count: 2 }).unwrap();
+        let mut p = pool.get().unwrap();
+        p.fill(&[1, 2, 3]);
+        let idx = p.leak();
+        assert_eq!(pool.outstanding(), 1);
+        // SAFETY: idx came from leak, reclaimed once.
+        let p2 = unsafe { pool.reclaim(idx, 3) };
+        assert_eq!(&p2.as_slice()[..3], &[1, 2, 3]);
+        drop(p2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn stealing_across_threads() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 32, count: 64 }).unwrap();
+        // All packets live on this thread's deque; a new thread must
+        // steal to make progress.
+        let pool2 = pool.clone();
+        let t = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..16 {
+                if let Some(p) = pool2.get() {
+                    got.push(p);
+                }
+            }
+            got.len()
+        });
+        let stolen = t.join().unwrap();
+        assert!(stolen > 0, "remote thread should steal packets");
+    }
+
+    #[test]
+    fn concurrent_get_put_stress() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 32, count: 128 }).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    let mut ok = 0usize;
+                    for _ in 0..5_000 {
+                        if let Some(p) = pool.get() {
+                            ok += 1;
+                            drop(p);
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn packet_capacity_asserts() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 8, count: 1 }).unwrap();
+        let mut p = pool.get().unwrap();
+        p.fill(&[0u8; 8]);
+        assert_eq!(p.len(), 8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.fill(&[0u8; 9]);
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The runtime object (paper §3.2.2).
+//!
+//! LCI has no global initialization: the user (de)allocates *runtime
+//! objects* wrapping default configurations and communication resources.
+//! Multiple runtimes can coexist (library composition) without
+//! interfering: each has its own devices, packet pool, matching engine
+//! and registered-completion table.
+//!
+//! Deviation from the C++ API: the paper's `g_runtime` global default is
+//! omitted because this reproduction runs many ranks inside one process
+//! (DESIGN.md); a global per-process runtime would alias ranks.
+
+use crate::comp::queue::CqConfig;
+use crate::comp::Comp;
+use crate::device::{Device, MatchEntry};
+use crate::error::{FatalError, Result};
+use crate::matching::{MatchingConfig, MatchingEngine};
+use crate::packet_pool::{PacketPool, PacketPoolConfig};
+use crate::types::{RComp, Rank};
+use lci_fabric::sync::MpmcArray;
+use lci_fabric::{DeviceConfig, Fabric, NetContext};
+use std::sync::Arc;
+
+/// Runtime configuration: the attributes a runtime is allocated with.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Fabric device configuration (backend, lock discipline,
+    /// thread-domain strategy, RX capacity).
+    pub device: DeviceConfig,
+    /// Packet pool sizing.
+    pub packet: PacketPoolConfig,
+    /// Messages up to this size use the inject protocol (inline, `done`
+    /// on success).
+    pub inject_size: usize,
+    /// Messages up to this size use the buffer-copy protocol; larger ones
+    /// use zero-copy rendezvous. Must be at most the packet payload size
+    /// (incoming eager messages land in packets).
+    pub eager_size: usize,
+    /// Pre-posted receive target per device.
+    pub prepost: usize,
+    /// Matching-engine configuration.
+    pub matching: MatchingConfig,
+    /// Default completion-queue configuration.
+    pub cq: CqConfig,
+    /// Completions handled per progress call.
+    pub progress_batch: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let packet = PacketPoolConfig::default();
+        Self {
+            device: DeviceConfig::default(),
+            eager_size: packet.payload_size,
+            packet,
+            inject_size: 64,
+            prepost: 64,
+            matching: MatchingConfig::default(),
+            cq: CqConfig::default(),
+            progress_batch: 64,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Preset for the ibv-like backend (fine-grained locks; plays SDSC
+    /// Expanse in the benchmarks).
+    pub fn ibv() -> Self {
+        Self { device: DeviceConfig::ibv(), ..Self::default() }
+    }
+
+    /// Preset for the ofi-like backend (endpoint lock; plays NCSA Delta).
+    pub fn ofi() -> Self {
+        Self { device: DeviceConfig::ofi(), ..Self::default() }
+    }
+
+    /// Scales pool/prepost sizes down, for tests and high-rank-count
+    /// benchmarks inside one process.
+    pub fn small() -> Self {
+        Self {
+            packet: PacketPoolConfig { payload_size: 4096, count: 256 },
+            eager_size: 4096,
+            prepost: 32,
+            matching: MatchingConfig { buckets: 512 },
+            ..Self::default()
+        }
+    }
+}
+
+pub(crate) struct RuntimeInner {
+    pub fabric: Arc<Fabric>,
+    pub rank: Rank,
+    pub config: RuntimeConfig,
+    pub netctx: NetContext,
+    pub pool: PacketPool,
+    pub matching: Arc<MatchingEngine<MatchEntry>>,
+    pub rcomp: MpmcArray<Comp>,
+    /// Collective sequence counter (see `crate::collective`).
+    pub coll_seq: std::sync::atomic::AtomicU32,
+}
+
+/// A runtime handle (cheap to clone). Dropping the last handle releases
+/// the runtime's resources.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<RuntimeInner>,
+    default_dev: Device,
+}
+
+impl Runtime {
+    /// Allocates a runtime for `rank` on `fabric` with `config`, creating
+    /// the default device (device 0 when this is the rank's first
+    /// runtime).
+    pub fn new(fabric: Arc<Fabric>, rank: Rank, config: RuntimeConfig) -> Result<Runtime> {
+        if config.eager_size > config.packet.payload_size {
+            return Err(FatalError::InvalidArg(
+                "eager_size must not exceed packet payload size".into(),
+            ));
+        }
+        if rank >= fabric.nranks() {
+            return Err(FatalError::InvalidArg(format!(
+                "rank {rank} out of range for fabric of {}",
+                fabric.nranks()
+            )));
+        }
+        let netctx = NetContext::new(fabric.clone(), rank);
+        let pool = PacketPool::new(config.packet)?;
+        let inner = Arc::new(RuntimeInner {
+            fabric,
+            rank,
+            netctx,
+            pool,
+            matching: Arc::new(MatchingEngine::with_config(config.matching)),
+            rcomp: MpmcArray::with_capacity(16),
+            coll_seq: std::sync::atomic::AtomicU32::new(0),
+            config,
+        });
+        let default_dev = Device::create(inner.clone())?;
+        Ok(Runtime { inner, default_dev })
+    }
+
+    /// Allocates a runtime with the default configuration.
+    pub fn with_defaults(fabric: Arc<Fabric>, rank: Rank) -> Result<Runtime> {
+        Self::new(fabric, rank, RuntimeConfig::default())
+    }
+
+    /// This rank (the paper's `get_rank_me`).
+    pub fn rank_me(&self) -> Rank {
+        self.inner.rank
+    }
+
+    /// Total ranks (the paper's `get_rank_n`).
+    pub fn rank_n(&self) -> usize {
+        self.inner.fabric.nranks()
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.inner.config
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.inner.fabric
+    }
+
+    /// The default device.
+    pub fn device(&self) -> &Device {
+        &self.default_dev
+    }
+
+    /// Allocates an additional device (paper `alloc_device`); threads
+    /// operating on different devices do not interfere.
+    pub fn alloc_device(&self) -> Result<Device> {
+        Device::create(self.inner.clone())
+    }
+
+    /// The runtime's packet pool.
+    pub fn packet_pool(&self) -> &PacketPool {
+        &self.inner.pool
+    }
+
+    /// Registers a completion object into a remote completion handle
+    /// (paper `register_rcomp`). All ranks must register their completion
+    /// objects in the same order so handles agree, or exchange handles
+    /// out of band.
+    pub fn register_rcomp(&self, comp: Comp) -> RComp {
+        self.inner.rcomp.push(comp) as RComp
+    }
+
+    /// Looks up a registered completion object.
+    pub fn rcomp_lookup(&self, rcomp: RComp) -> Option<Comp> {
+        self.inner.rcomp.read(rcomp as usize)
+    }
+
+    /// Makes progress on the default device (paper `progress`). Returns
+    /// whether any work was performed.
+    pub fn progress(&self) -> Result<bool> {
+        self.default_dev.progress()
+    }
+
+    /// Spins `f` to readiness, pumping progress on the default device —
+    /// the canonical blocking helper for tests and simple clients.
+    pub fn wait_until(&self, mut f: impl FnMut() -> bool) -> Result<()> {
+        while !f() {
+            self.progress()?;
+            std::hint::spin_loop();
+        }
+        Ok(())
+    }
+
+    /// Barrier across all ranks, implemented over the out-of-band
+    /// bootstrap channel (setup/teardown only; use
+    /// [`crate::collective::barrier`] on the data path).
+    pub fn oob_barrier(&self) {
+        self.inner.fabric.oob_barrier();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("rank", &self.inner.rank)
+            .field("nranks", &self.inner.fabric.nranks())
+            .finish()
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-device operation counters.
+//!
+//! Production communication runtimes expose counters for tuning; these
+//! back the ablation analyses (retry rates under different lock
+//! disciplines) and give applications the visibility the paper's
+//! "explicit control" philosophy implies. All counters are relaxed
+//! atomics — negligible cost on the critical path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one device.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    /// Communication posting operations accepted (posted or done).
+    pub posts: AtomicU64,
+    /// Posting operations that returned `retry`.
+    pub retries: AtomicU64,
+    /// Progress invocations.
+    pub progress_calls: AtomicU64,
+    /// Progress invocations that found work.
+    pub progress_useful: AtomicU64,
+    /// Completions handled (CQEs).
+    pub completions: AtomicU64,
+    /// Messages delivered through the matching engine (eager receives).
+    pub matched: AtomicU64,
+    /// Rendezvous transfers started (RTS sent or received+matched).
+    pub rendezvous: AtomicU64,
+    /// Requests parked in the backlog queue.
+    pub backlogged: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`DeviceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`DeviceStats::posts`].
+    pub posts: u64,
+    /// See [`DeviceStats::retries`].
+    pub retries: u64,
+    /// See [`DeviceStats::progress_calls`].
+    pub progress_calls: u64,
+    /// See [`DeviceStats::progress_useful`].
+    pub progress_useful: u64,
+    /// See [`DeviceStats::completions`].
+    pub completions: u64,
+    /// See [`DeviceStats::matched`].
+    pub matched: u64,
+    /// See [`DeviceStats::rendezvous`].
+    pub rendezvous: u64,
+    /// See [`DeviceStats::backlogged`].
+    pub backlogged: u64,
+}
+
+impl DeviceStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            posts: self.posts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            progress_calls: self.progress_calls.load(Ordering::Relaxed),
+            progress_useful: self.progress_useful.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            matched: self.matched.load(Ordering::Relaxed),
+            rendezvous: self.rendezvous.load(Ordering::Relaxed),
+            backlogged: self.backlogged.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference against an earlier snapshot (for per-phase accounting).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            posts: self.posts - earlier.posts,
+            retries: self.retries - earlier.retries,
+            progress_calls: self.progress_calls - earlier.progress_calls,
+            progress_useful: self.progress_useful - earlier.progress_useful,
+            completions: self.completions - earlier.completions,
+            matched: self.matched - earlier.matched,
+            rendezvous: self.rendezvous - earlier.rendezvous,
+            backlogged: self.backlogged - earlier.backlogged,
+        }
+    }
+
+    /// Fraction of posting attempts that had to retry.
+    pub fn retry_rate(&self) -> f64 {
+        let attempts = self.posts + self.retries;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.retries as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = DeviceStats::default();
+        DeviceStats::bump(&s.posts);
+        DeviceStats::bump(&s.posts);
+        DeviceStats::bump(&s.retries);
+        let a = s.snapshot();
+        assert_eq!(a.posts, 2);
+        assert_eq!(a.retries, 1);
+        DeviceStats::bump(&s.posts);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.posts, 1);
+        assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn retry_rate() {
+        let snap = StatsSnapshot { posts: 3, retries: 1, ..Default::default() };
+        assert!((snap.retry_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().retry_rate(), 0.0);
+    }
+}

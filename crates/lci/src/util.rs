@@ -1,0 +1,102 @@
+//! Small internal utilities.
+
+/// A slab of pending-operation descriptors with id reuse. Ids stay small
+/// (free-list reuse) so they fit in the 24-bit aux field of the wire
+/// header (rendezvous FIN addressing).
+#[allow(dead_code)]
+pub(crate) struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[allow(dead_code)]
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Inserts a value, returning its id.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(id) = self.free.pop() {
+            self.entries[id as usize] = Some(value);
+            id
+        } else {
+            self.entries.push(Some(value));
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    /// Removes and returns the value with `id`.
+    pub fn remove(&mut self, id: u32) -> Option<T> {
+        let v = self.entries.get_mut(id as usize)?.take();
+        if v.is_some() {
+            self.free.push(id);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Borrows the value with `id`.
+    pub fn get(&self, id: u32) -> Option<&T> {
+        self.entries.get(id as usize)?.as_ref()
+    }
+
+    /// Mutably borrows the value with `id`.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.entries.get_mut(id as usize)?.as_mut()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuse() {
+        let mut s: Slab<&str> = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.remove(a), None, "double remove is None");
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed id is reused");
+        assert_eq!(s.get(c), Some(&"c"));
+        assert_eq!(s.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut s: Slab<u32> = Slab::new();
+        let id = s.insert(1);
+        *s.get_mut(id).unwrap() = 9;
+        assert_eq!(s.get(id), Some(&9));
+    }
+
+    #[test]
+    fn unknown_ids() {
+        let mut s: Slab<u8> = Slab::new();
+        assert!(s.get(3).is_none());
+        assert!(s.remove(3).is_none());
+        assert!(s.is_empty());
+    }
+}

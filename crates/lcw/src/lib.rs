@@ -1,0 +1,616 @@
+//! # LCW — the Lightweight Communication Wrapper (paper §5.2)
+//!
+//! To ensure uniformity across communication libraries, the paper builds
+//! a thin wrapper (LCW) over LCI, MPI, and GASNet-EX and writes the
+//! microbenchmarks against it. This crate is that wrapper: simple
+//! non-blocking active messages and send-receive primitives over
+//!
+//! * **LCI** (shared or dedicated-device mode),
+//! * **MPI-sim** (`MPI_Isend` / pre-posted `MPI_Irecv` for AMs),
+//! * **VCI-sim** (*mpix*; dedicated mode uses one VCI per thread),
+//! * **GASNet-sim** (`am_request_medium`; send-receive unsupported,
+//!   as in the paper).
+//!
+//! A [`World`] is created once per rank; each benchmark thread then takes
+//! an [`Endpoint`] (its per-thread view: a dedicated device/VCI in
+//! dedicated mode, a handle to the shared resources otherwise).
+
+use lci::{Comp, CompKind, PostResult};
+use lci_baselines::channel::ChannelConfig;
+use lci_baselines::{Gasnet, GasnetConfig, MpiComm, MpiConfig, VciComm, ANY_SOURCE, ANY_TAG};
+use lci_fabric::sync::LockDiscipline;
+use lci_fabric::{DeviceConfig, Fabric, Rank};
+use crossbeam::queue::SegQueue;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Which library backs the wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The LCI runtime of this repository.
+    Lci,
+    /// Standard-MPI stand-in (single coarse-locked channel).
+    Mpi,
+    /// MPICH-VCI stand-in (N coarse channels).
+    Vci,
+    /// GASNet-EX stand-in (shared AM endpoint).
+    Gasnet,
+}
+
+/// Which simulated platform (paper Table 2) the fabric devices model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// SDSC Expanse: InfiniBand / libibverbs-like fine-grained locks.
+    Expanse,
+    /// NCSA Delta: Slingshot-11 / libfabric-like endpoint lock.
+    Delta,
+}
+
+impl Platform {
+    /// The fabric device configuration for this platform.
+    pub fn device_config(self) -> DeviceConfig {
+        match self {
+            Platform::Expanse => DeviceConfig::ibv(),
+            Platform::Delta => DeviceConfig::ofi(),
+        }
+    }
+}
+
+/// Resource-sharing pattern of the thread-based mode (paper §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceMode {
+    /// All threads share one set of communication resources.
+    Shared,
+    /// Each thread gets dedicated resources (LCI device / MPICH VCI).
+    /// The payload is the thread count.
+    Dedicated(usize),
+}
+
+/// World configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Library selection.
+    pub backend: BackendKind,
+    /// Platform (lock-granularity) selection.
+    pub platform: Platform,
+    /// Shared vs dedicated resources.
+    pub mode: ResourceMode,
+    /// Eager threshold / staging size for all libraries.
+    pub eager_size: usize,
+    /// Packet/staging pool size scale (per rank).
+    pub pool_packets: usize,
+}
+
+impl WorldConfig {
+    /// A config for `backend` on `platform` with the given mode.
+    pub fn new(backend: BackendKind, platform: Platform, mode: ResourceMode) -> Self {
+        Self { backend, platform, mode, eager_size: 8192, pool_packets: 512 }
+    }
+}
+
+/// A received message.
+#[derive(Debug)]
+pub struct Msg {
+    /// Source rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// A pending receive handle.
+pub enum RecvToken {
+    /// LCI synchronizer.
+    Lci(Comp),
+    /// Baseline channel request.
+    Chan(lci_baselines::Request),
+}
+
+enum WorldInner {
+    Lci { rt: lci::Runtime, devices: Vec<lci::Device>, am_cqs: Vec<Comp> },
+    Mpi { comm: MpiComm, am_recvs: AmPool },
+    Vci { comm: VciComm, am_recvs: Vec<AmPool> },
+    Gasnet { g: Arc<Gasnet>, inbox: Arc<SegQueue<Msg>> },
+}
+
+/// Per-rank wrapper state. Create on the rank's main thread, then hand
+/// one [`Endpoint`] to each benchmark thread.
+pub struct World {
+    inner: WorldInner,
+    cfg: WorldConfig,
+    rank: Rank,
+    nranks: usize,
+}
+
+impl World {
+    /// Initializes the wrapper for `rank` over `fabric`.
+    ///
+    /// In dedicated mode all per-thread resources are created here, in
+    /// deterministic order, so device/VCI indices pair up across ranks.
+    pub fn new(fabric: Arc<Fabric>, rank: Rank, cfg: WorldConfig) -> World {
+        let nranks = fabric.nranks();
+        let nthreads = match cfg.mode {
+            ResourceMode::Shared => 1,
+            ResourceMode::Dedicated(n) => n,
+        };
+        let inner = match cfg.backend {
+            BackendKind::Lci => {
+                let rt_cfg = lci::RuntimeConfig {
+                    device: cfg.platform.device_config(),
+                    packet: lci::PacketPoolConfig {
+                        payload_size: cfg.eager_size,
+                        count: cfg.pool_packets.max(nthreads * 96),
+                    },
+                    eager_size: cfg.eager_size,
+                    prepost: 64,
+                    matching: lci::MatchingConfig { buckets: 1024 },
+                    ..lci::RuntimeConfig::default()
+                };
+                let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
+                // One AM completion queue per thread (the paper's message
+                // rate bench uses one CQ per thread); rcomp indices are
+                // the thread ids, registered in the same order everywhere.
+                let am_cqs: Vec<Comp> = (0..nthreads).map(|_| Comp::alloc_cq()).collect();
+                for cq in &am_cqs {
+                    rt.register_rcomp(cq.clone());
+                }
+                let devices = match cfg.mode {
+                    ResourceMode::Shared => Vec::new(),
+                    ResourceMode::Dedicated(n) => {
+                        (0..n).map(|_| rt.alloc_device().expect("device")).collect()
+                    }
+                };
+                WorldInner::Lci { rt, devices, am_cqs }
+            }
+            BackendKind::Mpi => {
+                let mut mcfg = match cfg.platform {
+                    Platform::Expanse => MpiConfig::ibv(),
+                    Platform::Delta => MpiConfig::ofi(),
+                };
+                mcfg.channel.eager_size = cfg.eager_size;
+                WorldInner::Mpi {
+                    comm: MpiComm::init(fabric, rank, mcfg),
+                    am_recvs: Arc::new(parking_lot::Mutex::new(VecDeque::new())),
+                }
+            }
+            BackendKind::Vci => {
+                let dev = match cfg.platform {
+                    Platform::Expanse => DeviceConfig::ibv(),
+                    Platform::Delta => DeviceConfig::ofi(),
+                }
+                .with_discipline(LockDiscipline::Blocking);
+                let ccfg = ChannelConfig { device: dev, eager_size: cfg.eager_size, prepost: 64 };
+                WorldInner::Vci {
+                    comm: VciComm::init(fabric, rank, nthreads, ccfg),
+                    am_recvs: (0..nthreads)
+                        .map(|_| Arc::new(parking_lot::Mutex::new(VecDeque::new())))
+                        .collect(),
+                }
+            }
+            BackendKind::Gasnet => {
+                let gcfg = GasnetConfig {
+                    device: cfg.platform.device_config().with_discipline(LockDiscipline::TryLock),
+                    max_medium: cfg.eager_size,
+                    prepost: 64,
+                };
+                let g = Gasnet::init(fabric, rank, gcfg);
+                let inbox: Arc<SegQueue<Msg>> = Arc::new(SegQueue::new());
+                let sink = inbox.clone();
+                g.register_handler(move |src, tag, payload| {
+                    sink.push(Msg { src, tag, data: payload.to_vec() });
+                });
+                WorldInner::Gasnet { g, inbox }
+            }
+        };
+        World { inner, cfg, rank, nranks }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Whether the backend supports the send-receive primitives
+    /// (GASNet-sim does not, as in the paper).
+    pub fn supports_sendrecv(&self) -> bool {
+        !matches!(self.inner, WorldInner::Gasnet { .. })
+    }
+
+
+    /// Takes the per-thread endpoint `tid`. In dedicated mode `tid`
+    /// selects the thread's device/VCI; in shared mode all endpoints
+    /// reference the same resources. Call once per thread.
+    pub fn endpoint(&self, tid: usize) -> Endpoint {
+        let inner = match &self.inner {
+            WorldInner::Lci { rt, devices, am_cqs } => {
+                let device = match self.cfg.mode {
+                    ResourceMode::Shared => rt.device().clone(),
+                    ResourceMode::Dedicated(_) => devices[tid].clone(),
+                };
+                EpInner::Lci {
+                    rt: rt.clone(),
+                    device,
+                    am_cq: am_cqs[tid % am_cqs.len()].clone(),
+                    rcomp: (tid % am_cqs.len()) as u32,
+                    noop: Comp::alloc_handler(|_| {}),
+                }
+            }
+            WorldInner::Mpi { comm, am_recvs } => {
+                EpInner::Mpi { comm: comm.clone(), am_recvs: am_recvs.clone() }
+            }
+            WorldInner::Vci { comm, am_recvs } => EpInner::Vci {
+                comm: comm.clone(),
+                vci: tid,
+                am_recvs: am_recvs[tid % am_recvs.len()].clone(),
+            },
+            WorldInner::Gasnet { g, inbox } => {
+                EpInner::Gasnet { g: g.clone(), inbox: inbox.clone() }
+            }
+        };
+        Endpoint { inner, nranks: self.nranks, rank: self.rank }
+    }
+}
+
+/// How many pre-posted AM receives the MPI/VCI endpoints keep.
+const MPI_AM_PREPOST: usize = 32;
+
+/// The pre-posted ANY/ANY receive pool for MPI-style AM emulation.
+///
+/// Shared across every endpoint of a channel: with in-order wildcard
+/// matching, an arrival may complete *any* posted request, so a
+/// per-thread pool would strand messages in the queue of a thread that
+/// stopped polling (the shared-resource hazard the paper's §5.2
+/// microbenchmarks exercise).
+type AmPool = Arc<parking_lot::Mutex<VecDeque<lci_baselines::Request>>>;
+
+enum EpInner {
+    Lci {
+        rt: lci::Runtime,
+        device: lci::Device,
+        am_cq: Comp,
+        rcomp: u32,
+        noop: Comp,
+    },
+    Mpi {
+        comm: MpiComm,
+        am_recvs: AmPool,
+    },
+    Vci {
+        comm: VciComm,
+        vci: usize,
+        am_recvs: AmPool,
+    },
+    Gasnet {
+        g: Arc<Gasnet>,
+        inbox: Arc<SegQueue<Msg>>,
+    },
+}
+
+/// A per-thread communication endpoint.
+pub struct Endpoint {
+    inner: EpInner,
+    nranks: usize,
+    rank: Rank,
+}
+
+impl Endpoint {
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Non-blocking active message. Returns `false` when the library
+    /// asks the caller to retry (temporary resource shortage).
+    pub fn send_am(&mut self, dst: Rank, data: &[u8], tag: u32) -> bool {
+        match &mut self.inner {
+            EpInner::Lci { rt, device, rcomp, noop, .. } => {
+                match rt
+                    .post_am_x(dst, data, noop.clone(), *rcomp)
+                    .tag(tag)
+                    .device(device)
+                    .call()
+                    .expect("lci am")
+                {
+                    PostResult::Done(_) | PostResult::Posted => true,
+                    PostResult::Retry(_) => false,
+                }
+            }
+            EpInner::Mpi { comm, .. } => {
+                // MPI AMs: plain isend; the receiver's pre-posted irecvs
+                // play the AM buffer pool (paper §5.2).
+                let r = comm.isend(dst, data.to_vec(), tag);
+                let _ = r; // completes when staged; nothing to track
+                true
+            }
+            EpInner::Vci { comm, vci, .. } => {
+                let r = comm.isend(*vci, dst, data.to_vec(), tag);
+                let _ = r;
+                true
+            }
+            EpInner::Gasnet { g, .. } => g.am_try_request_medium(dst, 0, tag, data),
+        }
+    }
+
+    /// Polls for a delivered active message.
+    pub fn poll_msg(&mut self) -> Option<Msg> {
+        match &mut self.inner {
+            EpInner::Lci { am_cq, .. } => {
+                let desc = am_cq.pop()?;
+                debug_assert_eq!(desc.kind, CompKind::Am);
+                Some(Msg { src: desc.rank, tag: desc.tag, data: desc.data.into_vec() })
+            }
+            EpInner::Mpi { comm, am_recvs } => {
+                let mut pool = am_recvs.lock();
+                Self::fill_am_recvs(&mut pool, |s, t, m| comm.irecv(s, t, m));
+                let front = pool.front()?;
+                if front.is_done() {
+                    let req = pool.pop_front().unwrap();
+                    let st = req.take_status().expect("status");
+                    Some(Msg { src: st.src, tag: st.tag, data: st.data })
+                } else {
+                    None
+                }
+            }
+            EpInner::Vci { comm, vci, am_recvs } => {
+                let v = *vci;
+                let mut pool = am_recvs.lock();
+                Self::fill_am_recvs(&mut pool, |s, t, m| comm.irecv(v, s, t, m));
+                let front = pool.front()?;
+                if front.is_done() {
+                    let req = pool.pop_front().unwrap();
+                    let st = req.take_status().expect("status");
+                    Some(Msg { src: st.src, tag: st.tag, data: st.data })
+                } else {
+                    None
+                }
+            }
+            EpInner::Gasnet { inbox, .. } => inbox.pop(),
+        }
+    }
+
+    fn fill_am_recvs(
+        q: &mut VecDeque<lci_baselines::Request>,
+        mut post: impl FnMut(Rank, u32, usize) -> lci_baselines::Request,
+    ) {
+        while q.len() < MPI_AM_PREPOST {
+            q.push_back(post(ANY_SOURCE, ANY_TAG, 65536));
+        }
+    }
+
+    /// Non-blocking two-sided send. `false` = retry.
+    pub fn send(&mut self, dst: Rank, data: &[u8], tag: u32) -> bool {
+        match &mut self.inner {
+            EpInner::Lci { rt, device, noop, .. } => {
+                match rt
+                    .post_send_x(dst, data, tag, noop.clone())
+                    .device(device)
+                    .call()
+                    .expect("lci send")
+                {
+                    PostResult::Done(_) | PostResult::Posted => true,
+                    PostResult::Retry(_) => false,
+                }
+            }
+            EpInner::Mpi { comm, .. } => {
+                comm.isend(dst, data.to_vec(), tag);
+                true
+            }
+            EpInner::Vci { comm, vci, .. } => {
+                comm.isend(*vci, dst, data.to_vec(), tag);
+                true
+            }
+            EpInner::Gasnet { .. } => panic!("GASNet LCW does not support send-receive"),
+        }
+    }
+
+    /// Posts a two-sided receive; pair with
+    /// [`test_recv`](Endpoint::test_recv).
+    pub fn post_recv(&mut self, src: Rank, tag: u32, max_size: usize) -> RecvToken {
+        match &mut self.inner {
+            EpInner::Lci { rt, device, .. } => {
+                let comp = Comp::alloc_sync(1);
+                match rt
+                    .post_recv_x(src, vec![0u8; max_size], tag, comp.clone())
+                    .device(device)
+                    .call()
+                    .expect("lci recv")
+                {
+                    PostResult::Done(desc) => {
+                        // Deliver through the synchronizer for uniformity.
+                        comp.signal(desc);
+                        RecvToken::Lci(comp)
+                    }
+                    PostResult::Posted => RecvToken::Lci(comp),
+                    PostResult::Retry(_) => unreachable!("lci recv never retries"),
+                }
+            }
+            EpInner::Mpi { comm, .. } => RecvToken::Chan(comm.irecv(src, tag, max_size)),
+            EpInner::Vci { comm, vci, .. } => {
+                RecvToken::Chan(comm.irecv(*vci, src, tag, max_size))
+            }
+            EpInner::Gasnet { .. } => panic!("GASNet LCW does not support send-receive"),
+        }
+    }
+
+    /// Tests a pending receive; returns the message when complete.
+    pub fn test_recv(&mut self, token: &RecvToken) -> Option<Msg> {
+        match token {
+            RecvToken::Lci(comp) => {
+                let sync = comp.as_sync().expect("sync token");
+                if sync.test() {
+                    let desc = sync.take().pop().expect("desc");
+                    Some(Msg { src: desc.rank, tag: desc.tag, data: desc.data.into_vec() })
+                } else {
+                    None
+                }
+            }
+            RecvToken::Chan(req) => {
+                if req.is_done() {
+                    let st = req.take_status().expect("status");
+                    Some(Msg { src: st.src, tag: st.tag, data: st.data })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether this endpoint has no in-flight work that still needs its
+    /// progress (pending rendezvous handshakes, backlogged sends).
+    ///
+    /// A worker that stops calling [`progress`](Endpoint::progress)
+    /// before `quiesced()` holds can strand a zero-copy transfer: the
+    /// destination counts the message only after the FIN, which needs
+    /// the *source* to serve the RTR.
+    pub fn quiesced(&self) -> bool {
+        match &self.inner {
+            EpInner::Lci { device, .. } => {
+                let (s, r) = device.pending_rendezvous();
+                s == 0 && r == 0 && device.backlog_len() == 0
+            }
+            EpInner::Mpi { comm, .. } => comm.pending() == 0,
+            EpInner::Vci { comm, vci, .. } => comm.pending(*vci) == 0,
+            EpInner::Gasnet { .. } => true, // medium AMs complete at post
+        }
+    }
+
+    /// Makes communication progress on this endpoint's resources.
+    pub fn progress(&mut self) -> bool {
+        match &mut self.inner {
+            EpInner::Lci { device, .. } => device.progress().expect("lci progress"),
+            EpInner::Mpi { comm, .. } => comm.progress(),
+            EpInner::Vci { comm, vci, .. } => comm.progress(*vci),
+            EpInner::Gasnet { g, .. } => g.poll(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: BackendKind, platform: Platform, mode: ResourceMode) {
+        let fabric = Fabric::new(2);
+        let cfg = WorldConfig::new(backend, platform, mode);
+        let f2 = fabric.clone();
+        let t = std::thread::spawn(move || {
+            let w = World::new(f2, 1, cfg);
+            w.rank(); // silence
+            let mut ep = w.endpoint(0);
+            // Receive an AM, echo it back.
+            let msg = loop {
+                ep.progress();
+                if let Some(m) = ep.poll_msg() {
+                    break m;
+                }
+            };
+            assert_eq!(msg.src, 0);
+            assert_eq!(msg.data, vec![9u8; 32]);
+            while !ep.send_am(0, &msg.data, msg.tag + 1) {
+                ep.progress();
+            }
+            // Keep progressing so the echo drains from our side.
+            for _ in 0..200 {
+                ep.progress();
+            }
+        });
+        let w = World::new(fabric, 0, cfg);
+        let mut ep = w.endpoint(0);
+        while !ep.send_am(1, &[9u8; 32], 5) {
+            ep.progress();
+        }
+        let reply = loop {
+            ep.progress();
+            if let Some(m) = ep.poll_msg() {
+                break m;
+            }
+        };
+        assert_eq!(reply.tag, 6);
+        assert_eq!(reply.data, vec![9u8; 32]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn am_roundtrip_lci_shared() {
+        roundtrip(BackendKind::Lci, Platform::Expanse, ResourceMode::Shared);
+    }
+
+    #[test]
+    fn am_roundtrip_lci_dedicated() {
+        roundtrip(BackendKind::Lci, Platform::Expanse, ResourceMode::Dedicated(1));
+    }
+
+    #[test]
+    fn am_roundtrip_lci_delta() {
+        roundtrip(BackendKind::Lci, Platform::Delta, ResourceMode::Shared);
+    }
+
+    #[test]
+    fn am_roundtrip_mpi() {
+        roundtrip(BackendKind::Mpi, Platform::Expanse, ResourceMode::Shared);
+    }
+
+    #[test]
+    fn am_roundtrip_vci() {
+        roundtrip(BackendKind::Vci, Platform::Delta, ResourceMode::Dedicated(1));
+    }
+
+    #[test]
+    fn am_roundtrip_gasnet() {
+        roundtrip(BackendKind::Gasnet, Platform::Expanse, ResourceMode::Shared);
+    }
+
+    #[test]
+    fn sendrecv_lci_and_mpi() {
+        for backend in [BackendKind::Lci, BackendKind::Mpi] {
+            let fabric = Fabric::new(2);
+            let cfg = WorldConfig::new(backend, Platform::Expanse, ResourceMode::Shared);
+            let f2 = fabric.clone();
+            let t = std::thread::spawn(move || {
+                let w = World::new(f2, 1, cfg);
+                let mut ep = w.endpoint(0);
+                let tok = ep.post_recv(0, 3, 4096);
+                loop {
+                    ep.progress();
+                    if let Some(m) = ep.test_recv(&tok) {
+                        assert_eq!(m.data, vec![4u8; 2048]);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            let w = World::new(fabric, 0, cfg);
+            assert!(w.supports_sendrecv());
+            let mut ep = w.endpoint(0);
+            while !ep.send(1, &vec![4u8; 2048], 3) {
+                ep.progress();
+            }
+            for _ in 0..500 {
+                ep.progress();
+            }
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gasnet_lacks_sendrecv() {
+        let fabric = Fabric::new(1);
+        let w = World::new(
+            fabric,
+            0,
+            WorldConfig::new(BackendKind::Gasnet, Platform::Expanse, ResourceMode::Shared),
+        );
+        assert!(!w.supports_sendrecv());
+    }
+}

@@ -1,0 +1,130 @@
+//! Regression tests for bugs found while running the paper's
+//! benchmarks at scale.
+
+use lci_fabric::Fabric;
+use lcw::{BackendKind, Platform, ResourceMode, World, WorldConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Orphaned-message regression: with in-order ANY/ANY matching, an
+/// arrival may complete a pre-posted request belonging to *any*
+/// endpoint of the channel. The AM pool must therefore be shared: if a
+/// thread that stops polling could strand messages in a private queue,
+/// this test livelocks (it did before the fix).
+///
+/// Scenario: two rank-0 worker threads; worker A performs ONE exchange
+/// and exits; worker B then performs many. B's replies must never be
+/// lost to A's (now unpolled) requests.
+#[test]
+fn shared_mpi_pool_survives_early_thread_exit() {
+    let fabric = Fabric::new(2);
+    let cfg = WorldConfig::new(BackendKind::Mpi, Platform::Expanse, ResourceMode::Shared);
+    let f2 = fabric.clone();
+    let total_pings: u64 = 40;
+    let server = std::thread::spawn(move || {
+        let w = World::new(f2, 1, cfg);
+        let mut ep = w.endpoint(0);
+        let mut served = 0;
+        while served < total_pings {
+            ep.progress();
+            while let Some(m) = ep.poll_msg() {
+                while !ep.send_am(0, &m.data, m.tag + 1000) {
+                    ep.progress();
+                }
+                served += 1;
+            }
+            std::thread::yield_now();
+        }
+        while !ep.quiesced() {
+            ep.progress();
+        }
+    });
+
+    let w = Arc::new(World::new(fabric, 0, cfg));
+    let replies = Arc::new(AtomicU64::new(0));
+
+    // Worker A: one exchange, then gone (its pre-posted requests stay).
+    {
+        let w = w.clone();
+        let replies = replies.clone();
+        std::thread::spawn(move || {
+            let mut ep = w.endpoint(0);
+            while !ep.send_am(1, &[1u8; 16], 1) {
+                ep.progress();
+            }
+            loop {
+                ep.progress();
+                if ep.poll_msg().is_some() {
+                    replies.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        })
+        .join()
+        .unwrap();
+    }
+
+    // Worker B: the remaining exchanges; must receive every reply even
+    // when the channel matches them against A's stale requests.
+    let mut ep = w.endpoint(1);
+    for i in 1..total_pings {
+        while !ep.send_am(1, &[2u8; 16], i as u32 + 1) {
+            ep.progress();
+        }
+        let before = replies.load(Ordering::SeqCst);
+        while replies.load(Ordering::SeqCst) == before {
+            ep.progress();
+            if ep.poll_msg().is_some() {
+                replies.fetch_add(1, Ordering::SeqCst);
+            }
+            std::thread::yield_now();
+        }
+    }
+    assert_eq!(replies.load(Ordering::SeqCst), total_pings);
+    server.join().unwrap();
+}
+
+/// Rendezvous-termination regression: a rank whose inbound quota is met
+/// must keep progressing until its *own* zero-copy sends complete (the
+/// source serves the RTR after the destination has already counted all
+/// its arrivals). `Endpoint::quiesced` is the contract; this test hangs
+/// without it being honoured by the sender below.
+#[test]
+fn rendezvous_sender_must_drain_after_receiver_done() {
+    let fabric = Fabric::new(2);
+    let cfg = WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Shared);
+    let f2 = fabric.clone();
+    let n: usize = 4;
+    let size = 64 * 1024; // far above eager: zero-copy rendezvous
+    let receiver = std::thread::spawn(move || {
+        let w = World::new(f2, 1, cfg);
+        let mut ep = w.endpoint(0);
+        let mut got = 0;
+        while got < n {
+            ep.progress();
+            if let Some(m) = ep.poll_msg() {
+                assert_eq!(m.data.len(), size);
+                got += 1;
+            }
+            std::thread::yield_now();
+        }
+        // Receiver exits immediately after counting; completing the
+        // handshakes is the sender's responsibility.
+    });
+    let w = World::new(fabric, 0, cfg);
+    let mut ep = w.endpoint(0);
+    let payload = vec![7u8; size];
+    for i in 0..n {
+        while !ep.send_am(1, &payload, i as u32) {
+            ep.progress();
+            let _ = ep.poll_msg();
+        }
+    }
+    // The fix under test: drain until quiesced (all FINs written).
+    while !ep.quiesced() {
+        ep.progress();
+        std::thread::yield_now();
+    }
+    receiver.join().unwrap();
+}

@@ -1,0 +1,150 @@
+//! Completion-graph example (paper §3.2.5): composing a non-blocking
+//! "gather to rank 0" collective as a partial order of communication
+//! operations and local functions — the CUDA-Graph-like completion
+//! object in action.
+//!
+//! Rank 0's graph: [recv from 1] ─┐
+//!                 [recv from 2] ─┼─> [combine] -> [broadcast result]
+//!                 [recv from 3] ─┘
+//!
+//! Run with: `cargo run --release --example completion_graph`
+
+use lci::{Comp, GraphBuilder, PostResult, Runtime};
+use lci_fabric::Fabric;
+use lci_fabric::sync::SpinLock;
+use std::sync::Arc;
+
+const NRANKS: usize = 4;
+
+fn main() {
+    let fabric = Fabric::new(NRANKS);
+    let handles: Vec<_> = (0..NRANKS)
+        .map(|rank| {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || run(fabric, rank))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!("completion_graph: OK");
+}
+
+fn run(fabric: Arc<Fabric>, rank: usize) {
+    let rt = Runtime::with_defaults(fabric.clone(), rank).unwrap();
+    fabric.oob_barrier();
+
+    if rank == 0 {
+        let collected: Arc<SpinLock<Vec<u64>>> = Arc::new(SpinLock::new(vec![0; NRANKS]));
+        let mut gb = GraphBuilder::new();
+
+        // One receive node per peer; each stores its contribution.
+        let recv_nodes: Vec<_> = (1..NRANKS)
+            .map(|peer| {
+                let rt = rt.clone();
+                let collected = collected.clone();
+                gb.add_comm(move |comp| {
+                    let rt2 = rt.clone();
+                    let collected = collected.clone();
+                    // Deliver through a handler that stores the value,
+                    // then signals the graph node.
+                    let store = Comp::alloc_handler(move |desc| {
+                        let v = u64::from_le_bytes(desc.as_slice()[..8].try_into().unwrap());
+                        collected.lock()[desc.rank] = v;
+                        comp.signal(lci::CompDesc::empty());
+                    });
+                    match rt2.post_recv(peer, vec![0u8; 16], 9, store).unwrap() {
+                        PostResult::Done(_) => unreachable!("handler consumes the descriptor"),
+                        PostResult::Posted => {}
+                        PostResult::Retry(_) => unreachable!("recv never retries"),
+                    }
+                })
+            })
+            .collect();
+
+        // Combine node: runs only after every receive completed.
+        let total = Arc::new(SpinLock::new(0u64));
+        let combine = {
+            let collected = collected.clone();
+            let total = total.clone();
+            gb.add_fn(move || {
+                *total.lock() = collected.lock().iter().sum();
+            })
+        };
+        for &r in &recv_nodes {
+            gb.add_edge(r, combine);
+        }
+
+        // Broadcast node: sends the combined result to every peer.
+        let bcast = {
+            let rt = rt.clone();
+            let total = total.clone();
+            gb.add_comm(move |comp| {
+                let sum = *total.lock();
+                let sync = Comp::alloc_sync(NRANKS - 1);
+                for peer in 1..NRANKS {
+                    loop {
+                        match rt
+                            .post_send(peer, sum.to_le_bytes().to_vec(), 10, sync.clone())
+                            .unwrap()
+                        {
+                            PostResult::Retry(_) => {
+                                rt.progress().unwrap();
+                            }
+                            PostResult::Done(d) => {
+                                sync.signal(d);
+                                break;
+                            }
+                            PostResult::Posted => break,
+                        }
+                    }
+                }
+                // Bridge: when all sends complete, complete the node.
+                std::thread::spawn({
+                    let sync = sync.clone();
+                    move || {
+                        while !sync.as_sync().unwrap().test() {
+                            std::hint::spin_loop();
+                        }
+                        comp.signal(lci::CompDesc::empty());
+                    }
+                });
+            })
+        };
+        gb.add_edge(combine, bcast);
+
+        let graph = gb.build();
+        graph.start();
+        graph.wait_with(|| {
+            rt.progress().unwrap();
+        });
+        let expect: u64 = (1..NRANKS as u64).map(|r| r * 100).sum();
+        assert_eq!(*total.lock(), expect);
+        println!("rank 0: gathered sum = {} (expected {expect})", *total.lock());
+    } else {
+        // Peers: contribute rank*100, then await the broadcast result.
+        let contribution = (rank as u64) * 100;
+        let scomp = Comp::alloc_sync(1);
+        loop {
+            match rt
+                .post_send(0, contribution.to_le_bytes().to_vec(), 9, scomp.clone())
+                .unwrap()
+            {
+                PostResult::Retry(_) => {
+                    rt.progress().unwrap();
+                }
+                _ => break,
+            }
+        }
+        let rcq = Comp::alloc_cq();
+        rt.post_recv(0, vec![0u8; 16], 10, rcq.clone()).unwrap();
+        let result = loop {
+            rt.progress().unwrap();
+            if let Some(desc) = rcq.pop() {
+                break u64::from_le_bytes(desc.as_slice()[..8].try_into().unwrap());
+            }
+        };
+        println!("rank {rank}: broadcast result = {result}");
+    }
+    fabric.oob_barrier();
+}

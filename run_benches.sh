@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every paper table/figure into bench_results/.
+# Usage: ./run_benches.sh [quick]
+set -u
+mkdir -p bench_results
+if [ "${1:-}" = "quick" ]; then
+  export BENCH_QUICK=1
+else
+  export BENCH_MAX_THREADS=${BENCH_MAX_THREADS:-4}
+  export BENCH_ITERS=${BENCH_ITERS:-2000}
+fi
+for b in table1_semantics fig2_msgrate_process fig3_msgrate_thread fig4_bandwidth \
+         fig5_resources fig6_kmer fig7_octotiger ablations; do
+  echo "=== running $b ==="
+  cargo bench -p bench --bench "$b" 2>/dev/null | tee "bench_results/${b#*_}.txt" | tail -4
+done
+echo "=== criterion micro ==="
+cargo bench -p bench --bench micro_criterion 2>/dev/null | tee bench_results/micro_criterion.txt | grep -E "time:|thrpt:" | head -20

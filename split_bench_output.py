@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Splits bench_output.txt into per-figure files under bench_results/."""
+import os, re
+
+src = open("bench_output.txt").read()
+os.makedirs("bench_results", exist_ok=True)
+markers = {
+    "table1_semantics": "semantics.txt",
+    "fig2_msgrate_process": "msgrate_process.txt",
+    "fig3_msgrate_thread": "msgrate_thread.txt",
+    "fig4_bandwidth": "bandwidth.txt",
+    "fig5_resources": "resources.txt",
+    "fig6_kmer": "kmer.txt",
+    "fig7_octotiger": "octotiger.txt",
+    "ablations": "ablations.txt",
+    "micro_criterion": "micro_criterion.txt",
+}
+# Sections start at "Running benches/<name>.rs"
+parts = re.split(r"\n(?=\s*Running benches/)", src)
+for part in parts:
+    m = re.search(r"Running benches/(\w+)\.rs", part)
+    if m and m.group(1) in markers:
+        open(f"bench_results/{markers[m.group(1)]}", "w").write(part)
+        print("wrote", markers[m.group(1)], len(part), "bytes")
