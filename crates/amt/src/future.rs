@@ -11,9 +11,12 @@ use lci_fabric::sync::SpinLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// A continuation registered with [`Future::then`].
+type Continuation<T> = Box<dyn FnOnce(Arc<T>) + Send>;
+
 struct FutState<T> {
     value: SpinLock<Option<Arc<T>>>,
-    conts: SpinLock<Vec<Box<dyn FnOnce(Arc<T>) + Send>>>,
+    conts: SpinLock<Vec<Continuation<T>>>,
     ready: AtomicBool,
     pool: SpinLock<Option<Arc<Pool>>>,
 }
@@ -194,7 +197,10 @@ mod tests {
         let hit = Arc::new(AtomicU64::new(0));
         let h = hit.clone();
         f.then(move |v| {
-            h.store(*v as u64 + Pool::current_worker().unwrap() as u64 * 0, Ordering::SeqCst);
+            // `current_worker` is Some only on a pool thread — the unwrap
+            // is the actual assertion here.
+            let _worker = Pool::current_worker().unwrap();
+            h.store(*v as u64, Ordering::SeqCst);
         });
         p.set(31);
         pool.wait_quiescent();

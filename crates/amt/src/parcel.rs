@@ -99,8 +99,7 @@ impl Parcelport {
         for _ in 0..16 {
             let Some(msg) = ep.poll_msg() else { break };
             did = true;
-            let action =
-                self.actions.read(msg.tag as usize).expect("unregistered parcel action");
+            let action = self.actions.read(msg.tag as usize).expect("unregistered parcel action");
             let src = msg.src;
             let data = msg.data;
             self.delivered.fetch_add(1, Ordering::AcqRel);

@@ -10,11 +10,7 @@ use std::sync::Arc;
 
 fn arb_particles(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Particle>> {
     proptest::collection::vec(
-        (
-            prop::array::uniform3(-1.0f64..1.0),
-            prop::array::uniform3(-0.1f64..0.1),
-            0.001f64..0.1,
-        )
+        (prop::array::uniform3(-1.0f64..1.0), prop::array::uniform3(-0.1f64..0.1), 0.001f64..0.1)
             .prop_map(|(pos, vel, mass)| Particle { pos, vel, mass }),
         n,
     )
@@ -30,10 +26,10 @@ proptest! {
         let (mass, com) = tree.root_summary();
         let direct_mass: f64 = parts.iter().map(|p| p.mass).sum();
         prop_assert!((mass - direct_mass).abs() < 1e-9);
-        for d in 0..3 {
+        for (d, &c) in com.iter().enumerate() {
             let direct: f64 =
                 parts.iter().map(|p| p.mass * p.pos[d]).sum::<f64>() / direct_mass;
-            prop_assert!((com[d] - direct).abs() < 1e-9, "com[{d}]: {} vs {direct}", com[d]);
+            prop_assert!((c - direct).abs() < 1e-9, "com[{d}]: {c} vs {direct}");
         }
     }
 

@@ -8,7 +8,10 @@
 //! 4. **Matching-engine bucket count** (§4.1.3) — load factor vs insert
 //!    throughput (the small-array fast path needs low load);
 //! 5. **Aggregation buffer size** (§5.3) — the paper notes larger
-//!    buffers narrow the LCI/GASNet gap but worsen load balance.
+//!    buffers narrow the LCI/GASNet gap but worsen load balance;
+//! 6. **Sender-side coalescing** (§4.2.4 lock amortization) — one-way
+//!    streaming message rate with coalescing off vs a threshold sweep,
+//!    on both simulated backends.
 
 use bench::{env_usize, iters, print_header, print_row, quick, thread_sweep};
 use kmer::{run_rank, KmerConfig, ReadSetConfig};
@@ -29,9 +32,10 @@ fn main() {
     // a custom LCI runtime per variant (shared device: the contended
     // case the wrapper exists for).
     // ------------------------------------------------------------------
-    print_header("Ablation: trylock wrapper & td strategy (shared device msgrate)", &[
-        "variant", "threads", "Mmsg/s",
-    ]);
+    print_header(
+        "Ablation: trylock wrapper & td strategy (shared device msgrate)",
+        &["variant", "threads", "Mmsg/s"],
+    );
     for (name, discipline, td) in [
         ("trylock+per_qp (LCI default)", LockDiscipline::TryLock, TdStrategy::PerQp),
         ("trylock+all_qp", LockDiscipline::TryLock, TdStrategy::AllQp),
@@ -45,9 +49,7 @@ fn main() {
     // 3. Completion-queue implementations.
     // ------------------------------------------------------------------
     let per = if quick() { 20_000 } else { env_usize("BENCH_RESOURCE_OPS", 100_000) };
-    print_header("Ablation: completion queue impls (push/pop pairs)", &[
-        "impl", "threads", "Mops",
-    ]);
+    print_header("Ablation: completion queue impls (push/pop pairs)", &["impl", "threads", "Mops"]);
     for t in thread_sweep() {
         for (name, imp) in [
             ("faa_array", CqImpl::FaaArray),
@@ -68,12 +70,12 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. Matching-engine bucket count (load factor).
     // ------------------------------------------------------------------
-    print_header("Ablation: matching engine bucket count (insert pairs)", &[
-        "buckets", "threads", "Mops",
-    ]);
+    print_header(
+        "Ablation: matching engine bucket count (insert pairs)",
+        &["buckets", "threads", "Mops"],
+    );
     for buckets in [16usize, 256, 4096] {
-        let me: MatchingEngine<u64> =
-            MatchingEngine::with_config(MatchingConfig { buckets });
+        let me: MatchingEngine<u64> = MatchingEngine::with_config(MatchingConfig { buckets });
         let mops = stress(threads, per, |tid, i| {
             let key = ((tid as u64) << 32) | (i as u64 & 4095);
             if me.insert(key, i as u64, MatchKind::Send).is_none() {
@@ -122,6 +124,113 @@ fn main() {
             .fold(0.0, f64::max);
         print_row(&[agg.to_string(), format!("{t:.3}")]);
     }
+
+    // ------------------------------------------------------------------
+    // 6. Sender-side coalescing. The request-reply loop of ablation 1
+    // would hide coalescing entirely (every message waits for its
+    // reply), so this section streams one-way: the metric is the rate at
+    // which small messages cross the fabric, which is where amortizing
+    // the posting lock pays off — most visibly on the ofi-like backend
+    // whose single endpoint lock serializes posting against polling.
+    // ------------------------------------------------------------------
+    let ct = if quick() { 2 } else { threads.max(4) };
+    // Streaming is far cheaper per message than the request-reply loops
+    // above; use more iterations so startup and tail-flush costs are
+    // amortized out of the rate.
+    let citers = if quick() { iters } else { iters.saturating_mul(10) };
+    print_header(
+        "Ablation: sender-side coalescing (one-way streaming msgrate)",
+        &["backend", "coalesce", "threads", "Mmsg/s"],
+    );
+    for (bname, mkdev) in [
+        ("ibv-sim", lci::DeviceConfig::ibv as fn() -> lci::DeviceConfig),
+        ("ofi-sim", lci::DeviceConfig::ofi as fn() -> lci::DeviceConfig),
+    ] {
+        for (cname, coalesce) in [
+            ("off", lci::CoalesceConfig::default()),
+            ("2KiB", lci::CoalesceConfig::enabled_with_bytes(2048)),
+            ("8KiB", lci::CoalesceConfig::enabled_with_bytes(8192)),
+            ("32KiB", lci::CoalesceConfig::enabled_with_bytes(32768)),
+        ] {
+            let rate = msgrate_streaming(mkdev, coalesce, ct, citers);
+            print_row(&[bname.into(), cname.into(), ct.to_string(), format!("{rate:.4}")]);
+        }
+    }
+}
+
+/// One-way streaming message rate: `nthreads` sender threads on rank 0
+/// stream 8-byte active messages to rank 1, which counts them through a
+/// handler completion. Returns Mmsg/s as observed by the receiver.
+fn msgrate_streaming(
+    mkdev: fn() -> lci::DeviceConfig,
+    coalesce: lci::CoalesceConfig,
+    nthreads: usize,
+    iters: usize,
+) -> f64 {
+    use lci::{Comp, PostResult, Runtime, RuntimeConfig};
+    let fabric = Fabric::new(2);
+    let elapsed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let total = (nthreads * iters) as u64;
+
+    // Packets sized for the largest threshold in the sweep, identical
+    // across variants so only the coalescing knob differs.
+    let cfg = move || RuntimeConfig {
+        device: mkdev(),
+        packet: lci::PacketPoolConfig { payload_size: 32768, count: 256 },
+        coalesce,
+        ..RuntimeConfig::small()
+    };
+
+    let recv_fabric = fabric.clone();
+    let recv_elapsed = elapsed.clone();
+    let recv_done = done.clone();
+    let receiver = std::thread::spawn(move || {
+        let rt = Runtime::new(recv_fabric.clone(), 1, cfg()).unwrap();
+        let received = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let r2 = received.clone();
+        let rcomp = rt.register_rcomp(Comp::alloc_handler(move |_| {
+            r2.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(rcomp, 0);
+        recv_fabric.oob_barrier();
+        let t0 = Instant::now();
+        while received.load(Ordering::Acquire) < total {
+            rt.progress().unwrap();
+        }
+        recv_elapsed.store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+        recv_done.store(true, Ordering::Release);
+    });
+
+    let rt = Runtime::new(fabric.clone(), 0, cfg()).unwrap();
+    fabric.oob_barrier();
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let rt = rt.clone();
+            scope.spawn(move || {
+                let noop = Comp::alloc_handler(|_| {});
+                for _ in 0..iters {
+                    while let PostResult::Retry(_) = rt
+                        .post_am_x(1, [0u8; 8].as_slice(), noop.clone(), 0)
+                        .tag(t as u32)
+                        .call()
+                        .unwrap()
+                    {
+                        let _ = rt.progress();
+                    }
+                }
+            });
+        }
+    });
+    // Flush the tail of every coalescing buffer, then keep the progress
+    // engine turning (backlog drain, send completions) until the
+    // receiver has counted everything.
+    rt.device().flush_coalesced().unwrap();
+    while !done.load(Ordering::Acquire) {
+        rt.progress().unwrap();
+    }
+    receiver.join().unwrap();
+    total as f64 / (elapsed.load(Ordering::Acquire) as f64 / 1e9) / 1e6
 }
 
 /// Thread-stress helper: op-pairs per second (Mops).
@@ -162,9 +271,7 @@ fn msgrate_lci_variant(
     let mk = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<std::sync::atomic::AtomicU64>| {
         std::thread::spawn(move || {
             let cfg = RuntimeConfig {
-                device: lci::DeviceConfig::ibv()
-                    .with_discipline(discipline)
-                    .with_td_strategy(td),
+                device: lci::DeviceConfig::ibv().with_discipline(discipline).with_td_strategy(td),
                 ..RuntimeConfig::small()
             };
             let rt = Runtime::new(fabric.clone(), rank, cfg).unwrap();
@@ -184,18 +291,13 @@ fn msgrate_lci_variant(
                         let noop = Comp::alloc_handler(|_| {});
                         if rank == 0 {
                             for _ in 0..iters {
-                                loop {
-                                    match rt
-                                        .post_am_x(1, [0u8; 8].as_slice(), noop.clone(), 0)
-                                        .tag(t as u32)
-                                        .call()
-                                        .unwrap()
-                                    {
-                                        PostResult::Retry(_) => {
-                                            let _ = rt.progress();
-                                        }
-                                        _ => break,
-                                    }
+                                while let PostResult::Retry(_) = rt
+                                    .post_am_x(1, [0u8; 8].as_slice(), noop.clone(), 0)
+                                    .tag(t as u32)
+                                    .call()
+                                    .unwrap()
+                                {
+                                    let _ = rt.progress();
                                 }
                                 loop {
                                     let _ = rt.progress();
@@ -209,18 +311,13 @@ fn msgrate_lci_variant(
                             while served.load(Ordering::Acquire) < total {
                                 let _ = rt.progress();
                                 while let Some(m) = cq.pop() {
-                                    loop {
-                                        match rt
-                                            .post_am_x(0, [0u8; 8].as_slice(), noop.clone(), 0)
-                                            .tag(m.tag)
-                                            .call()
-                                            .unwrap()
-                                        {
-                                            PostResult::Retry(_) => {
-                                                let _ = rt.progress();
-                                            }
-                                            _ => break,
-                                        }
+                                    while let PostResult::Retry(_) = rt
+                                        .post_am_x(0, [0u8; 8].as_slice(), noop.clone(), 0)
+                                        .tag(m.tag)
+                                        .call()
+                                        .unwrap()
+                                    {
+                                        let _ = rt.progress();
                                     }
                                     served.fetch_add(1, Ordering::AcqRel);
                                 }

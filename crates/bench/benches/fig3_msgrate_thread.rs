@@ -46,9 +46,7 @@ fn main() {
             &["threads", "lib", "Mmsg/s"],
         );
         for &t in &sweep {
-            for backend in
-                [BackendKind::Lci, BackendKind::Mpi, BackendKind::Gasnet]
-            {
+            for backend in [BackendKind::Lci, BackendKind::Mpi, BackendKind::Gasnet] {
                 let rate =
                     msgrate_thread_based(backend, platform, ResourceMode::Shared, t, iters, 8);
                 print_row(&[t.to_string(), lib_name(backend).to_string(), format!("{rate:.4}")]);

@@ -13,11 +13,8 @@ use lcw::{BackendKind, Platform, ResourceMode};
 
 fn main() {
     let nthreads = env_usize("BENCH_MAX_THREADS", 4).max(1);
-    let sizes: Vec<usize> = if quick() {
-        vec![16, 4096]
-    } else {
-        vec![16, 256, 4096, 65536, 262144, 1 << 20]
-    };
+    let sizes: Vec<usize> =
+        if quick() { vec![16, 4096] } else { vec![16, 256, 4096, 65536, 262144, 1 << 20] };
     let base_iters = if quick() { 5 } else { env_usize("BENCH_BW_ITERS", 40) };
     println!("# Fig 4: thread-based bandwidth (send-receive, window=8)");
     println!("# paper: 64 threads, 16B-1MiB; here: {nthreads} threads, sizes {sizes:?}");
@@ -39,8 +36,7 @@ fn main() {
                     &[BackendKind::Lci, BackendKind::Mpi]
                 };
                 for &backend in libs {
-                    let bw =
-                        bandwidth_thread_based(backend, platform, mode, nthreads, size, iters);
+                    let bw = bandwidth_thread_based(backend, platform, mode, nthreads, size, iters);
                     print_row(&[
                         size.to_string(),
                         lib_name(backend).to_string(),

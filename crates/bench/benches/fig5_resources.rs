@@ -16,7 +16,9 @@
 //! per thread.
 
 use bench::{env_usize, print_header, print_row, quick, thread_sweep};
-use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool, PacketPoolConfig};
+use lci::{
+    CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool, PacketPoolConfig,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,7 +51,9 @@ fn main() {
     let per = if quick() { 10_000 } else { env_usize("BENCH_RESOURCE_OPS", 100_000) };
     let sweep = thread_sweep();
     println!("# Fig 5: individual resource throughput (shared instance)");
-    println!("# paper: 100k op-pairs/thread, 1-128 threads; here: {per} op-pairs, {sweep:?} threads");
+    println!(
+        "# paper: 100k op-pairs/thread, 1-128 threads; here: {per} op-pairs, {sweep:?} threads"
+    );
 
     print_header("Fig5 resource throughput", &["threads", "resource", "Mops"]);
     for &t in &sweep {
@@ -75,8 +79,7 @@ fn main() {
         print_row(&[t.to_string(), "matching_engine".into(), format!("{mops:.2}")]);
 
         // Packet pool: get/put pairs (tail locality).
-        let pool =
-            PacketPool::new(PacketPoolConfig { payload_size: 64, count: t * 64 }).unwrap();
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 64, count: t * 64 }).unwrap();
         let mops = measure(t, per, |_, _| {
             if let Some(p) = pool.get() {
                 drop(p);

@@ -49,7 +49,11 @@ fn main() {
         reads.n_reads, base.k
     );
     let serial = serial_reference(&base, 1);
-    println!("# serial reference: {:.3}s, distinct={}", serial.count_time.as_secs_f64(), serial.distinct);
+    println!(
+        "# serial reference: {:.3}s, distinct={}",
+        serial.count_time.as_secs_f64(),
+        serial.distinct
+    );
 
     let rank_sweep: Vec<usize> = if quick() { vec![2] } else { vec![2, 4] };
     print_header("Fig6 k-mer counting", &["ranks", "mode", "time_s", "distinct"]);
@@ -78,11 +82,7 @@ fn main() {
         // ranks (same total workers) — the HipMer/UPC++ layout.
         let cfg = KmerConfig {
             nthreads: 1,
-            world: WorldConfig::new(
-                BackendKind::Gasnet,
-                Platform::Expanse,
-                ResourceMode::Shared,
-            ),
+            world: WorldConfig::new(BackendKind::Gasnet, Platform::Expanse, ResourceMode::Shared),
             ..base
         };
         let (t, d) = run_config(nranks * base.nthreads, cfg);

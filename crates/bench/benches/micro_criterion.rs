@@ -12,11 +12,9 @@ use lci_fabric::Fabric;
 fn bench_comp_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("comp_queue");
     g.throughput(Throughput::Elements(1));
-    for (name, imp) in [
-        ("faa_array", CqImpl::FaaArray),
-        ("lcrq", CqImpl::Lcrq),
-        ("segmented", CqImpl::Segmented),
-    ] {
+    for (name, imp) in
+        [("faa_array", CqImpl::FaaArray), ("lcrq", CqImpl::Lcrq), ("segmented", CqImpl::Segmented)]
+    {
         let q = CompQueue::new(CqConfig { imp, capacity: 8192 });
         g.bench_function(format!("push_pop/{name}"), |b| {
             b.iter(|| {
@@ -68,13 +66,10 @@ fn bench_post_path(c: &mut Criterion) {
 
     g.bench_function("am_inject_selfsend_8B", |b| {
         b.iter(|| {
-            loop {
-                match rt.post_am(0, [0u8; 8].as_slice(), noop.clone(), rcomp).unwrap() {
-                    PostResult::Retry(_) => {
-                        rt.progress().unwrap();
-                    }
-                    _ => break,
-                }
+            while let PostResult::Retry(_) =
+                rt.post_am(0, [0u8; 8].as_slice(), noop.clone(), rcomp).unwrap()
+            {
+                rt.progress().unwrap();
             }
             loop {
                 rt.progress().unwrap();
@@ -90,13 +85,10 @@ fn bench_post_path(c: &mut Criterion) {
         b.iter_batched(
             || payload.clone(),
             |p| {
-                loop {
-                    match rt.post_am(0, p.as_slice(), noop.clone(), rcomp).unwrap() {
-                        PostResult::Retry(_) => {
-                            rt.progress().unwrap();
-                        }
-                        _ => break,
-                    }
+                while let PostResult::Retry(_) =
+                    rt.post_am(0, p.as_slice(), noop.clone(), rcomp).unwrap()
+                {
+                    rt.progress().unwrap();
                 }
                 loop {
                     rt.progress().unwrap();

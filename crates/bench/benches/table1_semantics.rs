@@ -92,12 +92,8 @@ fn main() {
     // IN / specified / specified -> get with signal (extension: the
     // paper's interconnects lack RDMA-read-with-notify; ours does not).
     let c = Comp::alloc_sync(1);
-    let r = rt
-        .post_get_x(1, vec![0u8; 64], rkey1, 0, c.clone())
-        .remote_comp(0)
-        .tag(55)
-        .call()
-        .unwrap();
+    let r =
+        rt.post_get_x(1, vec![0u8; 64], rkey1, 0, c.clone()).remote_comp(0).tag(55).call().unwrap();
     wait(&rt, &c, &r);
     row("IN", "specified", "specified", "yes", "RMA get w. signal", "read+signaled");
 

@@ -189,8 +189,7 @@ pub fn msgrate_process_based(
     let nranks = pairs * 2;
     let fabric = Fabric::new(nranks);
     let cfg = WorldConfig::new(backend, platform, ResourceMode::Shared);
-    let elapsed: Arc<Vec<AtomicU64>> =
-        Arc::new((0..pairs).map(|_| AtomicU64::new(0)).collect());
+    let elapsed: Arc<Vec<AtomicU64>> = Arc::new((0..pairs).map(|_| AtomicU64::new(0)).collect());
 
     let handles: Vec<_> = (0..nranks)
         .map(|rank| {

@@ -15,7 +15,7 @@ use crate::bloom::TwoLayerBloom;
 use crate::chashmap::ShardedMap;
 use crate::kmer::{canonical_kmers, kmer_hash};
 use crate::reads::{generate_reads, ReadSetConfig};
-use crate::rpc::{decode_kmers, Aggregator};
+use crate::rpc::{decode_kmers, send_kmer};
 use lci_fabric::Fabric;
 use lcw::{Endpoint, World, WorldConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,7 +31,9 @@ pub struct KmerConfig {
     pub k: usize,
     /// Worker threads per rank.
     pub nthreads: usize,
-    /// Aggregation buffer size per destination (paper: 8 KiB).
+    /// Per-destination batching threshold in bytes (paper: 8 KiB).
+    /// Plumbed into the LCI runtime's sender-side coalescing; the
+    /// baseline backends have no equivalent and send per-k-mer messages.
     pub agg_size: usize,
     /// Communication backend/platform/mode.
     pub world: WorldConfig,
@@ -83,7 +85,13 @@ struct RankShared {
 /// with identical `cfg`. Returns the merged global result.
 pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult {
     let nranks = fabric.nranks();
-    let world = Arc::new(World::new(fabric.clone(), rank, cfg.world));
+    // Batching moved from an application-level aggregator into the
+    // communication runtime: agg_size becomes LCI's coalescing threshold.
+    let mut world_cfg = cfg.world;
+    if world_cfg.backend == lcw::BackendKind::Lci {
+        world_cfg = world_cfg.with_coalescing(cfg.agg_size);
+    }
+    let world = Arc::new(World::new(fabric.clone(), rank, world_cfg));
     let shared = Arc::new(RankShared {
         bloom: TwoLayerBloom::new(cfg.expected_distinct),
         map: ShardedMap::new(256),
@@ -98,8 +106,7 @@ pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult
     let t0 = Instant::now();
 
     for pass in 1..=2u32 {
-        let sent: Arc<Vec<AtomicU64>> =
-            Arc::new((0..nranks).map(|_| AtomicU64::new(0)).collect());
+        let sent: Arc<Vec<AtomicU64>> = Arc::new((0..nranks).map(|_| AtomicU64::new(0)).collect());
         let thread_barrier = Arc::new(Barrier::new(cfg.nthreads + 1));
 
         std::thread::scope(|scope| {
@@ -189,7 +196,6 @@ fn run_pass_worker(
         }
     };
 
-    let mut agg = Aggregator::new(nranks, cfg.agg_size, sent.clone());
     let stride = nranks * cfg.nthreads;
     let offset = rank * cfg.nthreads + tid;
     let mut since_poll = 0usize;
@@ -201,7 +207,7 @@ fn run_pass_worker(
             if dest == rank {
                 apply(shared, code);
             } else {
-                agg.push(ep, dest, code, pass, &mut drain);
+                send_kmer(ep, dest, code, pass, sent, &mut drain);
             }
         });
         since_poll += 1;
@@ -214,7 +220,9 @@ fn run_pass_worker(
         }
         idx += stride;
     }
-    agg.flush_all(ep, pass, &mut drain);
+    // Ship anything still sitting in the runtime's coalescing buffers
+    // before the sent-counts are exchanged.
+    ep.flush();
     // Producers done: let the main thread exchange sent-counts, while we
     // keep serving.
     barrier.wait();
@@ -312,8 +320,7 @@ mod tests {
                 std::thread::spawn(move || run_rank(fabric, r, cfg))
             })
             .collect();
-        let mut results: Vec<KmerResult> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut results: Vec<KmerResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let first = results.remove(0);
         for r in &results {
             assert_eq!(r.histogram, first.histogram, "ranks must agree");

@@ -44,7 +44,7 @@ pub fn revcomp(code: KmerCode, k: usize) -> KmerCode {
 ///
 /// Uses a rolling encoding: O(1) work per position.
 pub fn canonical_kmers(read: &[u8], k: usize, mut f: impl FnMut(KmerCode)) {
-    assert!(k >= 1 && k <= 63, "k must be in 1..=63");
+    assert!((1..=63).contains(&k), "k must be in 1..=63");
     if read.len() < k {
         return;
     }

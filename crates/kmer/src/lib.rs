@@ -34,6 +34,6 @@ pub mod rpc;
 pub use bloom::TwoLayerBloom;
 pub use chashmap::ShardedMap;
 pub use driver::{run_rank, serial_reference, KmerConfig, KmerResult};
-pub use kmer::{canonical_kmers, encode_base, KmerCode};
 pub use fasta::{load_reads, read_fasta, read_fastq, write_fasta};
+pub use kmer::{canonical_kmers, encode_base, KmerCode};
 pub use reads::{generate_reads, ReadSetConfig};

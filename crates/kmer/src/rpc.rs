@@ -1,12 +1,17 @@
-//! RPC-with-aggregation layer (paper §5.3).
+//! RPC layer (paper §5.3).
 //!
-//! Each k-mer is statically mapped to a rank by hash. Rather than one
-//! message per k-mer, k-mers destined to the same rank accumulate in a
-//! per-destination aggregation buffer (8 KiB by default) that is flushed
-//! as one active message — HipMer's design, with the paper's
-//! multithreaded twist: the aggregation targets are *ranks*, so
-//! multithreading divides the number of buffers per worker by the thread
-//! count, and every thread serves incoming RPCs (the all-worker setup).
+//! Each k-mer is statically mapped to a rank by hash and shipped to its
+//! home rank as a 16-byte active message. Earlier revisions carried a
+//! hand-rolled per-destination aggregation buffer here (HipMer's
+//! design); that duplication is gone — batching now happens inside the
+//! communication runtime itself via LCI's sender-side coalescing
+//! ([`lci::coalesce`]), configured through
+//! [`WorldConfig::with_coalescing`](lcw::WorldConfig). The application
+//! just posts one small AM per k-mer; the runtime packs messages bound
+//! for the same rank into shared wire frames and the receive side
+//! delivers them back as individual AMs, so this module stays
+//! backend-agnostic (the MPI/GASNet baselines send the same per-k-mer
+//! messages, unaggregated — they have no equivalent facility).
 
 use crate::kmer::KmerCode;
 use lcw::{Endpoint, Msg};
@@ -15,73 +20,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Bytes per serialized k-mer.
 pub const KMER_BYTES: usize = 16;
 
-/// Per-thread aggregation state.
-pub struct Aggregator {
-    bufs: Vec<Vec<u8>>,
-    cap: usize,
-    /// Shared per-destination sent counters (k-mers, not messages).
-    sent: std::sync::Arc<Vec<AtomicU64>>,
+/// Sends one k-mer to `dest`, retrying on transient resource shortage.
+/// `drain` is invoked while the send path pushes back, so the caller
+/// keeps consuming incoming RPCs (deadlock freedom). Bumps the shared
+/// per-destination sent counter on success.
+pub fn send_kmer(
+    ep: &mut Endpoint,
+    dest: usize,
+    code: KmerCode,
+    tag: u32,
+    sent: &[AtomicU64],
+    drain: &mut impl FnMut(&mut Endpoint),
+) {
+    let bytes = code.to_le_bytes();
+    while !ep.send_am(dest, &bytes, tag) {
+        // Retry status: poll and serve to free resources.
+        ep.progress();
+        drain(ep);
+    }
+    sent[dest].fetch_add(1, Ordering::AcqRel);
 }
 
-impl Aggregator {
-    /// Creates buffers for `nranks` destinations with `cap` bytes each.
-    pub fn new(nranks: usize, cap: usize, sent: std::sync::Arc<Vec<AtomicU64>>) -> Self {
-        assert!(cap >= KMER_BYTES);
-        assert_eq!(sent.len(), nranks);
-        Self { bufs: (0..nranks).map(|_| Vec::with_capacity(cap)).collect(), cap, sent }
-    }
-
-    /// Appends a k-mer for `dest`, flushing the buffer when full.
-    /// `drain` is invoked while the send path pushes back, so the caller
-    /// keeps consuming incoming RPCs (deadlock freedom).
-    pub fn push(
-        &mut self,
-        ep: &mut Endpoint,
-        dest: usize,
-        code: KmerCode,
-        tag: u32,
-        drain: &mut impl FnMut(&mut Endpoint),
-    ) {
-        let buf = &mut self.bufs[dest];
-        buf.extend_from_slice(&code.to_le_bytes());
-        if buf.len() + KMER_BYTES > self.cap {
-            self.flush_one(ep, dest, tag, drain);
-        }
-    }
-
-    /// Flushes one destination buffer.
-    fn flush_one(
-        &mut self,
-        ep: &mut Endpoint,
-        dest: usize,
-        tag: u32,
-        drain: &mut impl FnMut(&mut Endpoint),
-    ) {
-        if self.bufs[dest].is_empty() {
-            return;
-        }
-        let n_kmers = (self.bufs[dest].len() / KMER_BYTES) as u64;
-        loop {
-            if ep.send_am(dest, &self.bufs[dest], tag) {
-                break;
-            }
-            // Retry status: poll and serve to free resources.
-            ep.progress();
-            drain(ep);
-        }
-        self.sent[dest].fetch_add(n_kmers, Ordering::AcqRel);
-        self.bufs[dest].clear();
-    }
-
-    /// Flushes every non-empty buffer (end of a pass).
-    pub fn flush_all(&mut self, ep: &mut Endpoint, tag: u32, drain: &mut impl FnMut(&mut Endpoint)) {
-        for dest in 0..self.bufs.len() {
-            self.flush_one(ep, dest, tag, drain);
-        }
-    }
-}
-
-/// Decodes the k-mers of an incoming aggregated message.
+/// Decodes the k-mers of an incoming message (one per message when the
+/// runtime delivers coalesced sub-messages individually; the
+/// `chunks_exact` form also accepts legacy multi-k-mer payloads).
 pub fn decode_kmers(msg: &Msg) -> impl Iterator<Item = KmerCode> + '_ {
     msg.data.chunks_exact(KMER_BYTES).map(|c| KmerCode::from_le_bytes(c.try_into().unwrap()))
 }
@@ -94,9 +56,10 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn aggregation_batches_and_counts() {
+    fn runtime_coalescing_batches_and_counts() {
         let fabric = Fabric::new(2);
-        let cfg = WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Shared);
+        let cfg = WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Shared)
+            .with_coalescing(1024);
         let f2 = fabric.clone();
         let receiver = std::thread::spawn(move || {
             let w = World::new(f2, 1, cfg);
@@ -106,7 +69,7 @@ mod tests {
                 ep.progress();
                 if let Some(m) = ep.poll_msg() {
                     assert_eq!(m.tag, 1);
-                    assert!(m.data.len() <= 1024);
+                    assert_eq!(m.data.len(), KMER_BYTES);
                     got.extend(decode_kmers(&m));
                 }
             }
@@ -116,14 +79,22 @@ mod tests {
         let w = World::new(fabric, 0, cfg);
         let mut ep = w.endpoint(0);
         let sent = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
-        let mut agg = Aggregator::new(2, 1024, sent.clone());
         let mut drain = |_: &mut Endpoint| {};
         for code in 0..1000u128 {
-            agg.push(&mut ep, 1, code, 1, &mut drain);
+            send_kmer(&mut ep, 1, code, 1, &sent, &mut drain);
         }
-        agg.flush_all(&mut ep, 1, &mut drain);
+        ep.flush();
         assert_eq!(sent[1].load(Ordering::SeqCst), 1000);
         assert_eq!(sent[0].load(Ordering::SeqCst), 0);
+        // The runtime — not the application — did the aggregation.
+        let stats = ep.lci_device().unwrap().stats();
+        assert_eq!(stats.coalesced_msgs, 1000);
+        assert!(stats.coalesce_flushes > 0);
+        assert!(
+            stats.coalesce_flushes < 1000,
+            "frames must carry multiple sub-messages, got {} flushes",
+            stats.coalesce_flushes
+        );
         // Pump until receiver finishes.
         for _ in 0..10_000 {
             ep.progress();

@@ -18,8 +18,8 @@
 use crate::proto::{self, BType};
 use lci_fabric::sync::{LockDiscipline, SpinLock};
 use lci_fabric::{
-    Cqe, CqeKind, DevId, DeviceConfig, Fabric, MemoryRegion, NetContext, NetDevice, NetError,
-    Rank, RecvBufDesc, Rkey,
+    Cqe, CqeKind, DevId, DeviceConfig, Fabric, MemoryRegion, NetContext, NetDevice, NetError, Rank,
+    RecvBufDesc, Rkey,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -55,7 +55,9 @@ pub struct Request {
 
 impl Request {
     fn new() -> Self {
-        Self { inner: Arc::new(ReqInner { done: AtomicBool::new(false), status: SpinLock::new(None) }) }
+        Self {
+            inner: Arc::new(ReqInner { done: AtomicBool::new(false), status: SpinLock::new(None) }),
+        }
     }
 
     fn complete(&self, status: MpiStatus) {
@@ -260,7 +262,10 @@ impl Channel {
                 // Rendezvous.
                 let send_id = st.rdv_sends.insert(RdvSend { data, req: req.clone() });
                 let imm = proto::encode(BType::Rts, tag, 0);
-                let payload = proto::encode_rts(send_id, st.rdv_sends.get(send_id).unwrap().data.len() as u64);
+                let payload = proto::encode_rts(
+                    send_id,
+                    st.rdv_sends.get(send_id).unwrap().data.len() as u64,
+                );
                 c.post_or_queue(st, dest, dest_dev, payload.to_vec(), imm, None);
             } else {
                 let imm = proto::encode(BType::Eager, tag, 0);
@@ -401,13 +406,23 @@ impl Channel {
                 match ty {
                     BType::Eager => {
                         let data = buf[..cqe.len].to_vec();
-                        self.match_or_store(st, cqe.src_rank, cqe.src_dev, tag,
-                            UnexpData::Eager(data));
+                        self.match_or_store(
+                            st,
+                            cqe.src_rank,
+                            cqe.src_dev,
+                            tag,
+                            UnexpData::Eager(data),
+                        );
                     }
                     BType::Rts => {
                         let (send_id, size) = proto::decode_rts(&buf[..cqe.len]).expect("rts");
-                        self.match_or_store(st, cqe.src_rank, cqe.src_dev, tag,
-                            UnexpData::Rts { src_dev: cqe.src_dev, send_id, size: size as usize });
+                        self.match_or_store(
+                            st,
+                            cqe.src_rank,
+                            cqe.src_dev,
+                            tag,
+                            UnexpData::Rts { src_dev: cqe.src_dev, send_id, size: size as usize },
+                        );
                     }
                     BType::Rtr => {
                         let (send_id, recv_id, rkey) =
@@ -477,9 +492,10 @@ impl Channel {
         tag: u32,
         data: UnexpData,
     ) {
-        let pos = st.posted.iter().position(|p| {
-            p.src.is_none_or(|s| s == src) && p.tag.is_none_or(|t| t == tag)
-        });
+        let pos = st
+            .posted
+            .iter()
+            .position(|p| p.src.is_none_or(|s| s == src) && p.tag.is_none_or(|t| t == tag));
         match pos {
             Some(pos) => {
                 let p = st.posted.remove(pos).unwrap();

@@ -19,8 +19,7 @@
 
 use lci_fabric::sync::{LockDiscipline, MpmcArray, SpinLock};
 use lci_fabric::{
-    Cqe, CqeKind, DevId, DeviceConfig, Fabric, NetContext, NetDevice, NetError, Rank,
-    RecvBufDesc,
+    Cqe, CqeKind, DevId, DeviceConfig, Fabric, NetContext, NetDevice, NetError, Rank, RecvBufDesc,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,7 +58,10 @@ impl GasnetConfig {
 
     /// Delta stand-in.
     pub fn ofi() -> Self {
-        Self { device: DeviceConfig::ofi().with_discipline(LockDiscipline::TryLock), ..Self::default() }
+        Self {
+            device: DeviceConfig::ofi().with_discipline(LockDiscipline::TryLock),
+            ..Self::default()
+        }
     }
 }
 
@@ -69,12 +71,16 @@ struct Staging {
     nposted: usize,
 }
 
+/// A queued outbound AM awaiting send-queue space:
+/// (target, device, payload, imm).
+type PendingAm = (Rank, DevId, Vec<u8>, u64);
+
 /// The GASNet-like endpoint.
 pub struct Gasnet {
     net: Arc<dyn NetDevice>,
     handlers: MpmcArray<Arc<AmHandler>>,
     staging: SpinLock<Staging>,
-    pending: SpinLock<VecDeque<(Rank, DevId, Vec<u8>, u64)>>,
+    pending: SpinLock<VecDeque<PendingAm>>,
     polls: AtomicUsize,
     rank: Rank,
     nranks: usize,
@@ -138,7 +144,13 @@ impl Gasnet {
 
     /// Variant that gives up instead of blocking (used by the LCW
     /// wrapper which wants nonblocking semantics).
-    pub fn am_try_request_medium(&self, dest: Rank, handler: u32, arg: u32, payload: &[u8]) -> bool {
+    pub fn am_try_request_medium(
+        &self,
+        dest: Rank,
+        handler: u32,
+        arg: u32,
+        payload: &[u8],
+    ) -> bool {
         if payload.len() > self.cfg.max_medium {
             return false;
         }

@@ -9,16 +9,10 @@ use lci_fabric::{DeviceConfig, Fabric, Rank};
 use std::sync::Arc;
 
 /// MPI-sim configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct MpiConfig {
     /// Underlying channel configuration.
     pub channel: ChannelConfig,
-}
-
-impl Default for MpiConfig {
-    fn default() -> Self {
-        Self { channel: ChannelConfig::default() }
-    }
 }
 
 impl MpiConfig {

@@ -94,11 +94,11 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         for ty in [BType::Eager, BType::Rts, BType::Rtr, BType::Fin, BType::Am] {
-            let imm = encode(ty, 0xFEED_1234, 0x00AB_CD);
+            let imm = encode(ty, 0xFEED_1234, 0xABCD);
             let (t, tag, aux) = decode(imm).unwrap();
             assert_eq!(t, ty);
             assert_eq!(tag, 0xFEED_1234);
-            assert_eq!(aux, 0x00AB_CD);
+            assert_eq!(aux, 0xABCD);
         }
         assert!(decode(0).is_none());
     }

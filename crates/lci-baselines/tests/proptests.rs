@@ -70,8 +70,7 @@ proptest! {
     /// Tag-specific receives pick exactly the matching message whatever
     /// order things arrived in.
     #[test]
-    fn channel_tag_matching(perm in Just(()) , ntags in 2usize..6) {
-        let _ = perm;
+    fn channel_tag_matching(_perm in Just(()), ntags in 2usize..6) {
         let fabric = Fabric::new(2);
         let cfg = ChannelConfig::default();
         let a = Arc::new(Channel::new(fabric.clone(), 0, cfg));

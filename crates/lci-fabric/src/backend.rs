@@ -62,6 +62,11 @@ pub struct DeviceConfig {
     pub discipline: LockDiscipline,
     /// RX ring capacity (inbound flow-control window).
     pub rx_capacity: usize,
+    /// How many inbound wire messages one `poll_cq` may convert to
+    /// completions while it holds the CQ/endpoint lock. Larger values
+    /// amortize the lock acquisition over more deliveries; smaller
+    /// values bound the time any single poll can monopolize the lock.
+    pub cq_drain_batch: usize,
 }
 
 impl Default for DeviceConfig {
@@ -71,6 +76,7 @@ impl Default for DeviceConfig {
             td_strategy: TdStrategy::PerQp,
             discipline: LockDiscipline::TryLock,
             rx_capacity: DEFAULT_RX_CAPACITY,
+            cq_drain_batch: 64,
         }
     }
 }
@@ -103,6 +109,23 @@ impl DeviceConfig {
         self.rx_capacity = c;
         self
     }
+
+    /// Sets the per-poll inbound delivery budget.
+    pub fn with_cq_drain_batch(mut self, n: usize) -> Self {
+        self.cq_drain_batch = n.max(1);
+        self
+    }
+}
+
+/// One send in a [`NetDevice::post_send_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct SendDesc<'a> {
+    /// Payload bytes (staged by the backend, like `post_send`).
+    pub data: &'a [u8],
+    /// Immediate word delivered with the message.
+    pub imm: u64,
+    /// Opaque context echoed in the `SendDone` completion.
+    pub ctx: u64,
 }
 
 /// A network device: the critical-path resource. Two threads operating on
@@ -129,6 +152,36 @@ pub trait NetDevice: Send + Sync {
         ctx: u64,
     ) -> NetResult<()>;
 
+    /// Posts up to `msgs.len()` two-sided sends toward `(target,
+    /// target_dev)` under **one** posting-lock acquisition, amortizing
+    /// the per-message lock round-trip that dominates small-message
+    /// overhead on coarse-lock providers (paper §4.2.4).
+    ///
+    /// Returns the number of messages actually posted, in order:
+    /// partial progress, not all-or-nothing. If the target ring fills
+    /// (or the peer is not ready) after `n > 0` messages, `Ok(n)` is
+    /// returned and the caller retries the tail later. An error is
+    /// returned only when *nothing* was posted.
+    ///
+    /// The default implementation loops over [`NetDevice::post_send`]
+    /// (one lock acquisition per message); backends override it.
+    fn post_send_batch(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        msgs: &[SendDesc<'_>],
+    ) -> NetResult<usize> {
+        let mut posted = 0;
+        for m in msgs {
+            match self.post_send(target, target_dev, m.data, m.imm, m.ctx) {
+                Ok(()) => posted += 1,
+                Err(e) if posted == 0 => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(posted)
+    }
+
     /// Pre-posts a receive buffer to the shared receive queue.
     fn post_recv(&self, desc: RecvBufDesc) -> NetResult<()>;
 
@@ -141,6 +194,7 @@ pub trait NetDevice: Send + Sync {
     /// RDMA-writes `data` into the remote registered region `rkey` at
     /// `offset`. With `imm`, additionally consumes a pre-posted receive at
     /// `(target, target_dev)` to deliver a `WriteImmRecv` completion.
+    #[allow(clippy::too_many_arguments)]
     fn post_write(
         &self,
         target: Rank,
@@ -155,8 +209,13 @@ pub trait NetDevice: Send + Sync {
     /// RDMA-reads from the remote registered region `rkey` at `offset`
     /// into `local` (length = `local.len`). Completes with a `ReadDone`
     /// carrying `local.ctx`.
-    fn post_read(&self, target: Rank, local: RecvBufDesc, rkey: Rkey, offset: usize)
-        -> NetResult<()>;
+    fn post_read(
+        &self,
+        target: Rank,
+        local: RecvBufDesc,
+        rkey: Rkey,
+        offset: usize,
+    ) -> NetResult<()>;
 
     /// Registers local memory for remote access.
     fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion>;

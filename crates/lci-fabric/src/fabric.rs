@@ -142,9 +142,7 @@ impl Fabric {
         if rank >= self.nranks {
             return Err(NetError::fatal(format!("rank {rank} out of range")));
         }
-        self.endpoints[rank]
-            .read(dev)
-            .ok_or(NetError::Retry(RetryReason::PeerNotReady))
+        self.endpoints[rank].read(dev).ok_or(NetError::Retry(RetryReason::PeerNotReady))
     }
 
     /// Number of devices currently created on `rank`.
@@ -245,10 +243,7 @@ mod tests {
         let id = f.add_device(1, ep.clone());
         assert_eq!(id, 0);
         assert!(Arc::ptr_eq(&f.endpoint(1, 0).unwrap(), &ep));
-        assert!(matches!(
-            f.endpoint(1, 5),
-            Err(NetError::Retry(RetryReason::PeerNotReady))
-        ));
+        assert!(matches!(f.endpoint(1, 5), Err(NetError::Retry(RetryReason::PeerNotReady))));
         assert!(f.endpoint(7, 0).is_err());
     }
 

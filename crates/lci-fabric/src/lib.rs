@@ -58,7 +58,7 @@ pub mod sim_ofi;
 pub mod sync;
 pub mod types;
 
-pub use backend::{BackendKind, DeviceConfig, NetContext, NetDevice, TdStrategy};
+pub use backend::{BackendKind, DeviceConfig, NetContext, NetDevice, SendDesc, TdStrategy};
 pub use fabric::Fabric;
 pub use mem::{MemoryRegion, Rkey};
 pub use types::{Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason};

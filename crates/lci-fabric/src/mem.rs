@@ -65,12 +65,8 @@ impl RegistrationTable {
     /// the region as externally-shared bytes (all fabric accesses go
     /// through raw pointers, never references).
     pub fn register(&self, rank: Rank, ptr: *const u8, len: usize) -> MemoryRegion {
-        let reg = Arc::new(Registration {
-            rank,
-            base: ptr as usize,
-            len,
-            alive: AtomicBool::new(true),
-        });
+        let reg =
+            Arc::new(Registration { rank, base: ptr as usize, len, alive: AtomicBool::new(true) });
         let idx = self.entries.push(reg);
         MemoryRegion { rkey: Rkey(idx as u32), base: ptr as usize, len }
     }
@@ -138,7 +134,7 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_bounds() {
         let t = RegistrationTable::new();
-        let buf = vec![0u8; 128];
+        let buf = [0u8; 128];
         let mr = t.register(0, buf.as_ptr(), buf.len());
         assert!(t.validate(mr.rkey, 100, 100).is_err());
         assert!(t.validate(mr.rkey, 0, 129).is_err());
@@ -149,7 +145,7 @@ mod tests {
     fn validate_rejects_unknown_and_dead_rkey() {
         let t = RegistrationTable::new();
         assert!(t.validate(Rkey(42), 0, 1).is_err());
-        let buf = vec![0u8; 64];
+        let buf = [0u8; 64];
         let mr = t.register(1, buf.as_ptr(), buf.len());
         t.deregister(&mr);
         assert!(t.validate(mr.rkey, 0, 1).is_err());

@@ -12,13 +12,13 @@
 //! blocking acquisition (`LockDiscipline::Blocking`), which is how stock
 //! MPI implementations drive libfabric.
 
-use crate::backend::{deliver_into, DeviceConfig, NetDevice};
+use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::sync::SpinLock;
 use crate::types::{
-    Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg,
-    WireMsgKind, WirePayload,
+    Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
+    WirePayload,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -71,10 +71,7 @@ impl OfiDevice {
     /// Acquires the endpoint lock per the configured discipline.
     #[inline]
     fn lock_ep(&self) -> NetResult<crate::sync::SpinGuard<'_, EpState>> {
-        self.cfg
-            .discipline
-            .acquire(&self.ep)
-            .ok_or(NetError::Retry(RetryReason::LockBusy))
+        self.cfg.discipline.acquire(&self.ep).ok_or(NetError::Retry(RetryReason::LockBusy))
     }
 
     /// Drains inbound traffic into the CQ. Caller holds the endpoint
@@ -131,6 +128,39 @@ impl NetDevice for OfiDevice {
         Ok(())
     }
 
+    fn post_send_batch(
+        &self,
+        target: Rank,
+        target_dev: DevId,
+        msgs: &[SendDesc<'_>],
+    ) -> NetResult<usize> {
+        let ep_remote = self.fabric.endpoint(target, target_dev)?;
+        // The batch is the whole point here: the single endpoint lock
+        // serializes post *and* poll (§4.2.4), so paying it once for N
+        // messages instead of N times is a direct hot-path win.
+        let mut st = self.lock_ep()?;
+        let mut posted = 0;
+        for m in msgs {
+            let res = ep_remote.push(WireMsg {
+                src_rank: self.rank,
+                src_dev: self.dev_id,
+                imm: m.imm,
+                kind: WireMsgKind::Send,
+                payload: WirePayload::from_slice(m.data),
+            });
+            match res {
+                Ok(()) => posted += 1,
+                Err(e) if posted == 0 => return Err(e),
+                Err(_) => break, // ring full mid-batch: partial progress
+            }
+        }
+        st.posted += posted as u64;
+        for m in &msgs[..posted] {
+            st.cq.push_back(Cqe::local(CqeKind::SendDone, m.ctx));
+        }
+        Ok(posted)
+    }
+
     fn post_recv(&self, desc: RecvBufDesc) -> NetResult<()> {
         let mut st = self.lock_ep()?;
         st.srq.push_back(desc);
@@ -140,7 +170,7 @@ impl NetDevice for OfiDevice {
 
     fn poll_cq(&self, out: &mut Vec<Cqe>, max: usize) -> NetResult<usize> {
         let mut st = self.lock_ep()?;
-        self.deliver_inbound(&mut st, max.max(64))?;
+        self.deliver_inbound(&mut st, max.max(self.cfg.cq_drain_batch))?;
         let n = max.min(st.cq.len());
         out.extend(st.cq.drain(..n));
         Ok(n)
@@ -268,6 +298,56 @@ mod tests {
     }
 
     #[test]
+    fn batched_post_partial_progress_on_ring_full() {
+        let fabric = Fabric::new(2);
+        let cfg = DeviceConfig::ofi().with_rx_capacity(4);
+        let d0 = NetContext::new(fabric.clone(), 0).create_device(cfg);
+        let _d1 = NetContext::new(fabric, 1).create_device(cfg);
+        let bufs: Vec<[u8; 1]> = (0..8u8).map(|i| [i]).collect();
+        let msgs: Vec<SendDesc> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SendDesc { data: b, imm: i as u64, ctx: i as u64 })
+            .collect();
+        // Ring holds 4: the batch makes partial progress, not all-or-nothing.
+        assert_eq!(d0.post_send_batch(1, 0, &msgs).unwrap(), 4);
+        let mut cqes = Vec::new();
+        d0.poll_cq(&mut cqes, 16).unwrap();
+        assert_eq!(cqes.iter().filter(|c| c.kind == CqeKind::SendDone).count(), 4);
+        assert_eq!(cqes.iter().map(|c| c.ctx).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Retrying the tail against a still-full ring posts nothing.
+        assert!(matches!(
+            d0.post_send_batch(1, 0, &msgs[4..]).unwrap_err(),
+            NetError::Retry(RetryReason::RxFull)
+        ));
+    }
+
+    #[test]
+    fn batched_post_delivers_in_order() {
+        let (d0, d1) = pair();
+        let mut rbufs: Vec<Vec<u8>> = (0..3).map(|_| vec![0u8; 16]).collect();
+        for (i, b) in rbufs.iter_mut().enumerate() {
+            let desc = unsafe { RecvBufDesc::new(b.as_mut_ptr(), b.len(), i as u64) };
+            d1.post_recv(desc).unwrap();
+        }
+        let bufs: Vec<[u8; 2]> = (0..3u8).map(|i| [i, i + 10]).collect();
+        let msgs: Vec<SendDesc> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SendDesc { data: b, imm: 100 + i as u64, ctx: i as u64 })
+            .collect();
+        assert_eq!(d0.post_send_batch(1, 0, &msgs).unwrap(), 3);
+        let mut cqes = Vec::new();
+        d1.poll_cq(&mut cqes, 8).unwrap();
+        assert_eq!(cqes.len(), 3);
+        for (i, c) in cqes.iter().enumerate() {
+            assert_eq!(c.kind, CqeKind::RecvDone);
+            assert_eq!(c.imm, 100 + i as u64);
+            assert_eq!(&rbufs[c.ctx as usize][..2], &[i as u8, i as u8 + 10]);
+        }
+    }
+
+    #[test]
     fn registration_cache_hits() {
         let (d0, _d1) = pair();
         let buf = vec![0u8; 256];
@@ -282,7 +362,7 @@ mod tests {
     #[test]
     fn rdma_write_and_read() {
         let (d0, d1) = pair();
-        let mut region = vec![0u8; 64];
+        let mut region = [0u8; 64];
         let mr = d1.register(region.as_ptr(), region.len()).unwrap();
         d0.post_write(1, 0, &[7u8; 8], mr.rkey, 0, None, 2).unwrap();
         let mut cqes = Vec::new();
@@ -298,7 +378,7 @@ mod tests {
         assert_eq!(cqes[0].kind, CqeKind::ReadDone);
         assert_eq!(dst, vec![7u8; 8]);
         // keep region alive past the RDMA ops
-        region[0] = region[0].wrapping_add(0);
+        std::hint::black_box(&mut region);
     }
 
     #[test]

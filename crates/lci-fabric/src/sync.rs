@@ -53,11 +53,7 @@ impl<T: ?Sized> SpinLock<T> {
         if self.locked.load(Ordering::Relaxed) {
             return None;
         }
-        if self
-            .locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
             Some(SpinGuard { lock: self })
         } else {
             None
@@ -228,7 +224,7 @@ impl<T: Clone> MpmcArray<T> {
         let block = self.current.load(Ordering::Relaxed);
         // SAFETY: `block` is the live block; only writers (serialized by
         // the mutex we hold) replace it.
-        let cap = unsafe { (&(*block).slots).len() };
+        let cap = unsafe { (&*block).slots.len() };
         if idx == cap {
             // Grow: allocate double, copy clones of existing values.
             let new_block = Self::alloc_block(cap * 2);
@@ -452,10 +448,8 @@ mod tests {
                     let mut seen = 0usize;
                     for _ in 0..20_000 {
                         let n = a.len();
-                        if n > 0 {
-                            if a.read(n / 2).is_some() {
-                                seen += 1;
-                            }
+                        if n > 0 && a.read(n / 2).is_some() {
+                            seen += 1;
                         }
                     }
                     seen

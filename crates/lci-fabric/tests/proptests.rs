@@ -1,7 +1,7 @@
 //! Property-based tests for the fabric's core data structures.
 
 use lci_fabric::sync::{MpmcArray, SpinLock};
-use lci_fabric::types::{WireMsg, WireMsgKind, WirePayload};
+use lci_fabric::types::WirePayload;
 use lci_fabric::{DeviceConfig, Fabric, NetContext, RecvBufDesc};
 use proptest::prelude::*;
 

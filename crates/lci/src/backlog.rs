@@ -19,23 +19,21 @@ pub(crate) enum Backlogged {
     Ctrl { target: Rank, target_dev: DevId, payload: Vec<u8>, imm: u64 },
     /// The rendezvous data write: payload written to (rkey, 0) with an
     /// immediate FIN.
-    RdvWrite {
-        target: Rank,
-        target_dev: DevId,
-        send_id: u32,
-        rkey: Rkey,
-        imm: u64,
-    },
+    RdvWrite { target: Rank, target_dev: DevId, send_id: u32, rkey: Rkey, imm: u64 },
     /// A user-level eager send whose retry was disallowed at post time.
     /// The flattened payload rides here; the in-flight operation context
     /// (buffer + completion) rides in `ctx`.
-    UserSend {
-        target: Rank,
-        target_dev: DevId,
-        data: Vec<u8>,
-        imm: u64,
-        ctx: u64,
-    },
+    UserSend { target: Rank, target_dev: DevId, data: Vec<u8>, imm: u64, ctx: u64 },
+}
+
+/// The batching key of a plain send, or `None` for requests that must
+/// post individually (rendezvous writes).
+fn send_dest(item: &Backlogged) -> Option<(Rank, DevId)> {
+    match item {
+        Backlogged::Ctrl { target, target_dev, .. }
+        | Backlogged::UserSend { target, target_dev, .. } => Some((*target, *target_dev)),
+        Backlogged::RdvWrite { .. } => None,
+    }
 }
 
 /// The backlog queue resource.
@@ -65,7 +63,10 @@ impl Backlog {
     }
 
     /// Dequeues the oldest request, if any. The fast path is a single
-    /// atomic load when the backlog is empty.
+    /// atomic load when the backlog is empty. (The progress engine
+    /// drains through [`pop_run`](Backlog::pop_run); this stays as the
+    /// single-item primitive for tests.)
+    #[cfg(test)]
     pub fn pop(&self) -> Option<Backlogged> {
         if !self.nonempty.load(Ordering::Acquire) {
             return None;
@@ -76,6 +77,45 @@ impl Backlog {
             self.nonempty.store(false, Ordering::Release);
         }
         item
+    }
+
+    /// Dequeues a *run*: the oldest request plus — when it is a plain
+    /// send (`Ctrl`/`UserSend`) — up to `max - 1` consecutive plain
+    /// sends to the same `(target, target_dev)`. Only a contiguous
+    /// front run is taken, so FIFO order is preserved; the run feeds one
+    /// batched fabric submission (one posting-lock acquisition).
+    pub fn pop_run(&self, max: usize) -> Vec<Backlogged> {
+        if !self.nonempty.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let mut q = self.queue.lock();
+        let mut run = Vec::new();
+        let Some(first) = q.pop_front() else {
+            self.nonempty.store(false, Ordering::Release);
+            return run;
+        };
+        let key = send_dest(&first);
+        run.push(first);
+        if key.is_some() {
+            while run.len() < max && q.front().is_some_and(|i| send_dest(i) == key) {
+                run.push(q.pop_front().unwrap());
+            }
+        }
+        if q.is_empty() {
+            self.nonempty.store(false, Ordering::Release);
+        }
+        run
+    }
+
+    /// Re-parks unposted requests at the front, preserving their order.
+    pub fn push_front_run(&self, items: impl DoubleEndedIterator<Item = Backlogged>) {
+        let mut q = self.queue.lock();
+        for item in items.rev() {
+            q.push_front(item);
+        }
+        if !q.is_empty() {
+            self.nonempty.store(true, Ordering::Release);
+        }
     }
 
     /// Approximate number of postponed requests.
@@ -136,6 +176,46 @@ mod tests {
         b.push_front(first);
         assert_eq!(imm_of(&b.pop().unwrap()), 1);
         assert_eq!(imm_of(&b.pop().unwrap()), 2);
+    }
+
+    #[test]
+    fn pop_run_groups_same_destination_sends() {
+        let b = Backlog::new();
+        b.push(Backlogged::Ctrl { target: 1, target_dev: 0, payload: vec![], imm: 1 });
+        b.push(Backlogged::UserSend { target: 1, target_dev: 0, data: vec![], imm: 2, ctx: 0 });
+        b.push(Backlogged::Ctrl { target: 2, target_dev: 0, payload: vec![], imm: 3 });
+        let run = b.pop_run(16);
+        assert_eq!(run.iter().map(imm_of).collect::<Vec<_>>(), vec![1, 2]);
+        let run = b.pop_run(16);
+        assert_eq!(run.iter().map(imm_of).collect::<Vec<_>>(), vec![3]);
+        assert!(b.pop_run(16).is_empty());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pop_run_never_groups_rdv_writes() {
+        let b = Backlog::new();
+        let rdv = |imm| Backlogged::RdvWrite {
+            target: 1,
+            target_dev: 0,
+            send_id: 0,
+            rkey: lci_fabric::Rkey(0),
+            imm,
+        };
+        b.push(rdv(1));
+        b.push(rdv(2));
+        assert_eq!(b.pop_run(16).len(), 1);
+        assert_eq!(b.pop_run(16).len(), 1);
+    }
+
+    #[test]
+    fn push_front_run_preserves_order() {
+        let b = Backlog::new();
+        b.push(ctrl(3));
+        b.push_front_run(vec![ctrl(1), ctrl(2)].into_iter());
+        assert_eq!(imm_of(&b.pop().unwrap()), 1);
+        assert_eq!(imm_of(&b.pop().unwrap()), 2);
+        assert_eq!(imm_of(&b.pop().unwrap()), 3);
     }
 
     #[test]

@@ -66,14 +66,12 @@ pub fn barrier(rt: &Runtime) -> Result<()> {
         let recv_comp = Comp::alloc_sync(1);
         // Post the receive first so an eager peer matches instantly.
         let posted = rt.post_recv(from, vec![0u8; 1], tag, recv_comp.clone())?;
-        loop {
-            match rt.post_send(to, vec![round as u8], tag, Comp::alloc_sync(1))? {
-                PostResult::Retry(_) => {
-                    rt.progress()?;
-                }
-                // Inject-sized: `done` (no signal) or parked in backlog.
-                _ => break,
-            }
+        // Inject-sized: anything but retry is `done` (no signal) or
+        // parked in the backlog.
+        while let PostResult::Retry(_) =
+            rt.post_send(to, vec![round as u8], tag, Comp::alloc_sync(1))?
+        {
+            rt.progress()?;
         }
         match posted {
             PostResult::Done(_) => {}
@@ -336,13 +334,10 @@ pub fn ibarrier(rt: &Runtime) -> Result<std::sync::Arc<crate::Graph>> {
         // ordering carrier; sends are fire-and-forget inject messages).
         let rt2 = rt.clone();
         let node = gb.add_comm(move |comp| {
-            loop {
-                match rt2.post_send(to, vec![0u8; 1], tag, Comp::alloc_handler(|_| {})) {
-                    Ok(PostResult::Retry(_)) => {
-                        let _ = rt2.progress();
-                    }
-                    _ => break,
-                }
+            while let Ok(PostResult::Retry(_)) =
+                rt2.post_send(to, vec![0u8; 1], tag, Comp::alloc_handler(|_| {}))
+            {
+                let _ = rt2.progress();
             }
             match rt2.post_recv(from, vec![0u8; 8], tag, comp.clone()) {
                 Ok(PostResult::Done(d)) => comp.signal(d),

@@ -61,11 +61,7 @@ const CHUNK: usize = 256;
 
 impl DescSlab {
     fn new() -> Self {
-        Self {
-            chunks: SpinLock::new(Vec::new()),
-            free: AtomicU64::new(0),
-            len: AtomicU64::new(0),
-        }
+        Self { chunks: SpinLock::new(Vec::new()), free: AtomicU64::new(0), len: AtomicU64::new(0) }
     }
 
     fn entry(&self, idx: u32) -> *const SlabEntry {
@@ -88,10 +84,7 @@ impl DescSlab {
                 }
                 let base = (chunks.len() * CHUNK) as u32;
                 let chunk: Vec<SlabEntry> = (0..CHUNK)
-                    .map(|_| SlabEntry {
-                        value: SpinLock::new(None),
-                        next: AtomicU64::new(0),
-                    })
+                    .map(|_| SlabEntry { value: SpinLock::new(None), next: AtomicU64::new(0) })
                     .collect();
                 chunks.push(chunk.into_boxed_slice());
                 self.len.fetch_add(CHUNK as u64, Ordering::Relaxed);
@@ -438,11 +431,7 @@ impl Lcrq {
             if next.is_null() {
                 return None;
             }
-            if self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            if self.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire).is_ok() {
                 self.retired.lock().push(head);
             }
         }

@@ -51,11 +51,7 @@ impl Synchronizer {
     /// bug in the caller).
     pub fn signal(&self, desc: CompDesc) {
         let idx = self.claimed.fetch_add(1, Ordering::AcqRel);
-        assert!(
-            idx < self.expected,
-            "synchronizer signaled more than {} times",
-            self.expected
-        );
+        assert!(idx < self.expected, "synchronizer signaled more than {} times", self.expected);
         // SAFETY: we exclusively own slot `idx` (claimed above); readers
         // wait for the publish counter.
         unsafe {

@@ -9,11 +9,12 @@
 //! (1)-(11) of the paper's Figure 1.
 
 use crate::backlog::{Backlog, Backlogged};
+use crate::coalesce::{Coalescer, Frame};
 use crate::comp::Comp;
 use crate::error::{FatalError, PostResult, Result};
 use crate::matching::MatchKind;
 use crate::packet_pool::Packet;
-use crate::proto::{Header, MsgType, RtrPayload, RtsPayload};
+use crate::proto::{coalesce_unpack, Header, MsgType, RtrPayload, RtsPayload};
 use crate::runtime::RuntimeInner;
 use crate::stats::DeviceStats;
 use crate::types::{
@@ -21,13 +22,22 @@ use crate::types::{
 };
 use crate::util::Slab;
 use lci_fabric::sync::SpinLock;
-use lci_fabric::{Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, RecvBufDesc, Rkey};
+use lci_fabric::{
+    Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, RecvBufDesc, Rkey, SendDesc,
+};
 use std::sync::Arc;
+
+/// Longest run of backlogged sends submitted as one fabric batch.
+const BACKLOG_BATCH: usize = 32;
 
 /// Entries stored in the matching engine.
 pub(crate) enum MatchEntry {
     /// An unexpected eager message (payload parked in a packet).
     UnexpEager { src: Rank, tag: Tag, packet: Packet, len: usize },
+    /// An unexpected eager sub-message unpacked from a coalesced frame
+    /// (the shared packet cannot be parked per-sub, so the payload is
+    /// copied out).
+    UnexpEagerOwned { src: Rank, tag: Tag, data: Box<[u8]> },
     /// An unexpected rendezvous RTS.
     UnexpRts { src: Rank, src_dev: DevId, tag: Tag, send_id: u32, size: usize },
     /// A posted receive.
@@ -70,9 +80,23 @@ struct RdvRecv {
 /// Per-operation context travelling through the fabric's completion
 /// context field as a raw `Box` pointer.
 enum OpCtx {
-    EagerSend { comp: Option<Comp>, buf: SendBuf, rank: Rank, tag: Tag, user_ctx: u64 },
-    RdvWrite { send_id: u32 },
-    Put { comp: Option<Comp>, buf: SendBuf, rank: Rank, tag: Tag, user_ctx: u64 },
+    EagerSend {
+        comp: Option<Comp>,
+        buf: SendBuf,
+        rank: Rank,
+        tag: Tag,
+        user_ctx: u64,
+    },
+    RdvWrite {
+        send_id: u32,
+    },
+    Put {
+        comp: Option<Comp>,
+        buf: SendBuf,
+        rank: Rank,
+        tag: Tag,
+        user_ctx: u64,
+    },
     Get {
         comp: Option<Comp>,
         buf: Box<[u8]>,
@@ -98,6 +122,7 @@ pub(crate) struct DeviceInner {
     pub rt: Arc<RuntimeInner>,
     pub net: Arc<dyn NetDevice>,
     backlog: Backlog,
+    coalescer: Coalescer,
     rdv_sends: SpinLock<Slab<RdvSend>>,
     rdv_recvs: SpinLock<Slab<RdvRecv>>,
     stats: DeviceStats,
@@ -139,16 +164,19 @@ pub(crate) struct CommArgs {
     pub target_dev: Option<DevId>,
     pub user_ctx: u64,
     pub allow_retry: bool,
+    pub allow_coalescing: bool,
 }
 
 impl Device {
     pub(crate) fn create(rt: Arc<RuntimeInner>) -> Result<Device> {
         let net = rt.netctx.create_device(rt.config.device);
+        let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks());
         let dev = Device {
             inner: Arc::new(DeviceInner {
                 rt,
                 net,
                 backlog: Backlog::new(),
+                coalescer,
                 rdv_sends: SpinLock::new(Slab::new()),
                 rdv_recvs: SpinLock::new(Slab::new()),
                 stats: DeviceStats::default(),
@@ -240,9 +268,31 @@ impl Device {
         let size = buf.len();
         let target_dev = args.target_dev.unwrap_or_else(|| self.dev_id());
 
+        let coal = &self.inner.coalescer;
+        let coalescable = coal.enabled()
+            && args.allow_coalescing
+            && size <= cfg.eager_size
+            && coal.eligible(size);
+        if coal.enabled() && !coalescable {
+            // A non-coalesced message must not overtake sub-messages
+            // already buffered for this destination (FIFO per
+            // destination, which per-(rank, tag) matching order relies
+            // on): flush the destination first.
+            coal.take_with(args.rank, target_dev, |frame| self.post_frame(frame))?;
+        }
+
         if size > cfg.eager_size {
-            return self.post_rendezvous(args.rank, target_dev, buf, args.tag, args.comp,
-                args.policy, args.user_ctx, rcomp, args.allow_retry);
+            return self.post_rendezvous(
+                args.rank,
+                target_dev,
+                buf,
+                args.tag,
+                args.comp,
+                args.policy,
+                args.user_ctx,
+                rcomp,
+                args.allow_retry,
+            );
         }
 
         let (ty, aux) = match rcomp {
@@ -250,6 +300,22 @@ impl Device {
             None => (MsgType::Eager, 0),
         };
         let imm = Header::new(ty, args.policy, args.tag, aux).encode();
+
+        if coalescable {
+            // Coalescing path: absorb the message into the destination's
+            // aggregation buffer. Like inject, the operation is done at
+            // return and the completion object is *not* signaled.
+            let data = buf.flatten();
+            coal.append_with(args.rank, target_dev, imm, &data, |frame| self.post_frame(frame))?;
+            DeviceStats::bump(&self.inner.stats.coalesced_msgs);
+            return Ok(PostResult::Done(CompDesc {
+                rank: args.rank,
+                tag: args.tag,
+                data: DataBuf::SendBuf(buf),
+                user_ctx: args.user_ctx,
+                kind: if rcomp.is_some() { CompKind::Am } else { CompKind::Send },
+            }));
+        }
 
         if size <= cfg.inject_size {
             // Inject protocol: completes immediately; the completion
@@ -344,14 +410,8 @@ impl Device {
             None => Some(buf.flatten().into_boxed_slice()),
         };
         DeviceStats::bump(&self.inner.stats.rendezvous);
-        let send_id = self.inner.rdv_sends.lock().insert(RdvSend {
-            buf,
-            flat,
-            comp,
-            rank,
-            tag,
-            user_ctx,
-        });
+        let send_id =
+            self.inner.rdv_sends.lock().insert(RdvSend { buf, flat, comp, rank, tag, user_ctx });
         let (ty, aux) = match rcomp {
             Some(rc) => (MsgType::RtsAm, rc),
             None => (MsgType::RtsSr, 0),
@@ -489,9 +549,36 @@ impl Device {
                             kind: CompKind::Recv,
                         }))
                     }
+                    MatchEntry::UnexpEagerOwned { src, tag, data } => {
+                        let mut buf = recv.buf;
+                        if data.len() > buf.len() {
+                            return Err(FatalError::InvalidArg(format!(
+                                "receive buffer too small: {} < {}",
+                                buf.len(),
+                                data.len()
+                            )));
+                        }
+                        buf[..data.len()].copy_from_slice(&data);
+                        Ok(PostResult::Done(CompDesc {
+                            rank: src,
+                            tag,
+                            data: DataBuf::Partial(buf, data.len()),
+                            user_ctx: recv.user_ctx,
+                            kind: CompKind::Recv,
+                        }))
+                    }
                     MatchEntry::UnexpRts { src, src_dev, tag, send_id, size } => {
-                        self.start_rtr(src, src_dev, tag, send_id, size, recv.buf, recv.comp,
-                            recv.user_ctx, false)?;
+                        self.start_rtr(
+                            src,
+                            src_dev,
+                            tag,
+                            send_id,
+                            size,
+                            recv.buf,
+                            recv.comp,
+                            recv.user_ctx,
+                            false,
+                        )?;
                         Ok(PostResult::Posted)
                     }
                     MatchEntry::Recv(_) => unreachable!("recv matched recv"),
@@ -589,13 +676,7 @@ impl Device {
             Err(NetError::Retry(_)) => {
                 // SAFETY: rejected before handoff.
                 let _ = unsafe { ctx_decode(ctx) };
-                self.push_backlog(Backlogged::RdvWrite {
-                    target,
-                    target_dev,
-                    send_id,
-                    rkey,
-                    imm,
-                });
+                self.push_backlog(Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm });
                 Ok(())
             }
             Err(NetError::Fatal(m)) => {
@@ -617,6 +698,9 @@ impl Device {
         DeviceStats::bump(&self.inner.stats.progress_calls);
         let mut did = false;
         did |= self.drain_backlog()?;
+        if self.inner.coalescer.enabled() {
+            did |= self.flush_idle_coalesced()?;
+        }
         let batch = self.inner.rt.config.progress_batch;
         let mut cqes: Vec<Cqe> = Vec::with_capacity(batch);
         match self.inner.net.poll_cq(&mut cqes, batch) {
@@ -646,45 +730,146 @@ impl Device {
         self.inner.backlog.push(item);
     }
 
-    /// Retries postponed requests (paper Figure 1, step 3).
+    /// Ships one coalesced frame; a full wire parks it in the backlog
+    /// (like any control message the runtime itself must send). A frame
+    /// also parks when the backlog is non-empty: an earlier frame may be
+    /// waiting there, and frames for one destination must reach the wire
+    /// in creation order (the backlog drains FIFO).
+    fn post_frame(&self, frame: Frame) -> Result<()> {
+        DeviceStats::bump(&self.inner.stats.coalesce_flushes);
+        let Frame { target, target_dev, data, count } = frame;
+        let imm = Header::new(MsgType::Coalesced, MatchingPolicy::None, 0, count as u32).encode();
+        if !self.inner.backlog.is_empty() {
+            self.push_backlog(Backlogged::Ctrl { target, target_dev, payload: data, imm });
+            return Ok(());
+        }
+        match self.inner.net.post_send(target, target_dev, &data, imm, 0) {
+            Ok(()) => Ok(()),
+            Err(NetError::Retry(_)) => {
+                self.push_backlog(Backlogged::Ctrl { target, target_dev, payload: data, imm });
+                Ok(())
+            }
+            Err(NetError::Fatal(m)) => Err(FatalError::Net(m)),
+        }
+    }
+
+    /// Ships every destination's buffer that sat idle for a full
+    /// progress epoch (buffers being actively appended to are left to
+    /// fill). Returns whether anything shipped.
+    fn flush_idle_coalesced(&self) -> Result<bool> {
+        let mut did = false;
+        self.inner.coalescer.take_idle_with(|frame| {
+            did = true;
+            self.post_frame(frame)
+        })?;
+        Ok(did)
+    }
+
+    /// Ships every open coalescing buffer now (explicit flush — e.g.
+    /// before a termination barrier). Returns whether anything shipped.
+    pub fn flush_coalesced(&self) -> Result<bool> {
+        let mut did = false;
+        self.inner.coalescer.take_all_with(|frame| {
+            did = true;
+            self.post_frame(frame)
+        })?;
+        Ok(did)
+    }
+
+    /// Sub-messages buffered for coalescing but not yet on the wire.
+    /// They need further [`progress`](Device::progress) calls (or an
+    /// explicit [`flush_coalesced`](Device::flush_coalesced)) to ship.
+    pub fn coalesce_pending(&self) -> usize {
+        self.inner.coalescer.pending()
+    }
+
+    /// Retries postponed requests (paper Figure 1, step 3). Consecutive
+    /// plain sends to one `(target, target_dev)` submit as a single
+    /// batched post, amortizing the fabric's posting lock over the run.
     fn drain_backlog(&self) -> Result<bool> {
         if self.inner.backlog.is_empty() {
             return Ok(false);
         }
         let mut did = false;
-        while let Some(item) = self.inner.backlog.pop() {
-            match item {
-                Backlogged::Ctrl { target, target_dev, payload, imm } => {
-                    match self.inner.net.post_send(target, target_dev, &payload, imm, 0) {
-                        Ok(()) => did = true,
-                        Err(NetError::Retry(_)) => {
-                            self.inner.backlog.push_front(Backlogged::Ctrl {
-                                target,
-                                target_dev,
-                                payload,
-                                imm,
-                            });
-                            break;
+        loop {
+            let mut run = self.inner.backlog.pop_run(BACKLOG_BATCH);
+            match run.len() {
+                0 => break,
+                1 => match run.pop().unwrap() {
+                    Backlogged::Ctrl { target, target_dev, payload, imm } => {
+                        match self.inner.net.post_send(target, target_dev, &payload, imm, 0) {
+                            Ok(()) => did = true,
+                            Err(NetError::Retry(_)) => {
+                                self.inner.backlog.push_front(Backlogged::Ctrl {
+                                    target,
+                                    target_dev,
+                                    payload,
+                                    imm,
+                                });
+                                break;
+                            }
+                            Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
                         }
-                        Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
                     }
-                }
-                Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm } => {
-                    // try_rdv_write re-parks on retry.
-                    self.try_rdv_write(target, target_dev, send_id, rkey, imm)?;
-                    did = true;
-                }
-                Backlogged::UserSend { target, target_dev, data, imm, ctx } => {
-                    match self.inner.net.post_send(target, target_dev, &data, imm, ctx) {
-                        Ok(()) => did = true,
+                    Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm } => {
+                        // try_rdv_write re-parks on retry.
+                        self.try_rdv_write(target, target_dev, send_id, rkey, imm)?;
+                        did = true;
+                    }
+                    Backlogged::UserSend { target, target_dev, data, imm, ctx } => {
+                        match self.inner.net.post_send(target, target_dev, &data, imm, ctx) {
+                            Ok(()) => did = true,
+                            Err(NetError::Retry(_)) => {
+                                self.inner.backlog.push_front(Backlogged::UserSend {
+                                    target,
+                                    target_dev,
+                                    data,
+                                    imm,
+                                    ctx,
+                                });
+                                break;
+                            }
+                            Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
+                        }
+                    }
+                },
+                _ => {
+                    // A run of plain sends to one destination (pop_run
+                    // guarantees the shape): one batched submission.
+                    let (target, target_dev) = match &run[0] {
+                        Backlogged::Ctrl { target, target_dev, .. }
+                        | Backlogged::UserSend { target, target_dev, .. } => (*target, *target_dev),
+                        Backlogged::RdvWrite { .. } => unreachable!("rdv in run"),
+                    };
+                    let descs: Vec<SendDesc<'_>> = run
+                        .iter()
+                        .map(|item| match item {
+                            Backlogged::Ctrl { payload, imm, .. } => {
+                                SendDesc { data: payload, imm: *imm, ctx: 0 }
+                            }
+                            Backlogged::UserSend { data, imm, ctx, .. } => {
+                                SendDesc { data, imm: *imm, ctx: *ctx }
+                            }
+                            Backlogged::RdvWrite { .. } => unreachable!("rdv in run"),
+                        })
+                        .collect();
+                    match self.inner.net.post_send_batch(target, target_dev, &descs) {
+                        Ok(posted) => {
+                            drop(descs);
+                            did |= posted > 0;
+                            DeviceStats::bump(&self.inner.stats.batch_posts);
+                            DeviceStats::add(&self.inner.stats.batch_posted_msgs, posted as u64);
+                            if posted < run.len() {
+                                // Partial progress: the wire filled
+                                // mid-batch. Re-park the unposted tail
+                                // in order and stop.
+                                self.inner.backlog.push_front_run(run.drain(posted..));
+                                break;
+                            }
+                        }
                         Err(NetError::Retry(_)) => {
-                            self.inner.backlog.push_front(Backlogged::UserSend {
-                                target,
-                                target_dev,
-                                data,
-                                imm,
-                                ctx,
-                            });
+                            drop(descs);
+                            self.inner.backlog.push_front_run(run.into_iter());
                             break;
                         }
                         Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
@@ -744,9 +929,7 @@ impl Device {
                 match hdr.ty {
                     MsgType::Fin => self.handle_fin(hdr.aux),
                     MsgType::PutSignal => self.signal_rcomp(hdr.aux, cqe.src_rank, hdr.tag),
-                    other => Err(FatalError::Net(format!(
-                        "unexpected write-imm type {other:?}"
-                    ))),
+                    other => Err(FatalError::Net(format!("unexpected write-imm type {other:?}"))),
                 }
             }
         }
@@ -801,9 +984,8 @@ impl Device {
                 if let Some((target_dev, rcomp)) = signal {
                     // Get-with-signal: notify the target that its data was
                     // read (extension; see proto docs).
-                    let imm =
-                        Header::new(MsgType::GetSignal, MatchingPolicy::RankTag, tag, rcomp)
-                            .encode();
+                    let imm = Header::new(MsgType::GetSignal, MatchingPolicy::RankTag, tag, rcomp)
+                        .encode();
                     match self.inner.net.post_send(rank, target_dev, &[], imm, 0) {
                         Ok(()) => {}
                         Err(NetError::Retry(_)) => self.push_backlog(Backlogged::Ctrl {
@@ -947,10 +1129,81 @@ impl Device {
                 drop(packet);
                 self.signal_rcomp(hdr.aux, cqe.src_rank, hdr.tag)
             }
-            MsgType::Fin | MsgType::PutSignal => Err(FatalError::Net(format!(
-                "{:?} must arrive as write-immediate",
-                hdr.ty
-            ))),
+            MsgType::Coalesced => {
+                let subs = coalesce_unpack(&packet.as_slice()[..cqe.len])?;
+                if hdr.aux as usize != subs.len() {
+                    return Err(FatalError::Net(format!(
+                        "coalesced frame count mismatch: header {} vs {}",
+                        hdr.aux,
+                        subs.len()
+                    )));
+                }
+                for (sub_imm, payload) in subs {
+                    self.handle_coalesced_sub(cqe.src_rank, sub_imm, payload)?;
+                }
+                Ok(())
+            }
+            MsgType::Fin | MsgType::PutSignal => {
+                Err(FatalError::Net(format!("{:?} must arrive as write-immediate", hdr.ty)))
+            }
+        }
+    }
+
+    /// One sub-message of a coalesced frame, fed through the same
+    /// matching/AM delivery as a standalone eager arrival. The shared
+    /// packet cannot be parked per-sub, so unmatched payloads are copied
+    /// out into owned buffers.
+    fn handle_coalesced_sub(&self, src: Rank, sub_imm: u64, payload: &[u8]) -> Result<()> {
+        let hdr = Header::decode(sub_imm)?;
+        match hdr.ty {
+            MsgType::Eager => {
+                let engine = &self.inner.rt.matching;
+                let key = engine.key_for(src, hdr.tag, hdr.policy);
+                let entry = MatchEntry::UnexpEagerOwned { src, tag: hdr.tag, data: payload.into() };
+                if let Some((matched, mine)) = engine.insert(key, entry, MatchKind::Send) {
+                    DeviceStats::bump(&self.inner.stats.matched);
+                    let MatchEntry::Recv(recv) = matched else {
+                        return Err(FatalError::Net("eager matched non-recv".into()));
+                    };
+                    let MatchEntry::UnexpEagerOwned { src, tag, data } = mine else {
+                        unreachable!()
+                    };
+                    let mut buf = recv.buf;
+                    if data.len() > buf.len() {
+                        return Err(FatalError::InvalidArg(format!(
+                            "receive buffer too small: {} < {}",
+                            buf.len(),
+                            data.len()
+                        )));
+                    }
+                    buf[..data.len()].copy_from_slice(&data);
+                    recv.comp.signal(CompDesc {
+                        rank: src,
+                        tag,
+                        data: DataBuf::Partial(buf, data.len()),
+                        user_ctx: recv.user_ctx,
+                        kind: CompKind::Recv,
+                    });
+                }
+                Ok(())
+            }
+            MsgType::EagerAm => {
+                let comp = self
+                    .inner
+                    .rt
+                    .rcomp
+                    .read(hdr.aux as usize)
+                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+                comp.signal(CompDesc {
+                    rank: src,
+                    tag: hdr.tag,
+                    data: DataBuf::Owned(payload.into()),
+                    user_ctx: 0,
+                    kind: CompKind::Am,
+                });
+                Ok(())
+            }
+            other => Err(FatalError::Net(format!("invalid coalesced sub-message type {other:?}"))),
         }
     }
 

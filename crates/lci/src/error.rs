@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn retry_reason_from_fabric() {
-        assert_eq!(
-            RetryReason::from(lci_fabric::RetryReason::LockBusy),
-            RetryReason::LockBusy
-        );
+        assert_eq!(RetryReason::from(lci_fabric::RetryReason::LockBusy), RetryReason::LockBusy);
         assert_eq!(RetryReason::from(lci_fabric::RetryReason::RxFull), RetryReason::RxFull);
     }
 }

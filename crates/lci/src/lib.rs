@@ -77,6 +77,7 @@
 //! | §6 collectives | [`collective`] |
 
 mod backlog;
+pub mod coalesce;
 pub mod collective;
 pub mod comp;
 pub mod device;
@@ -90,6 +91,7 @@ pub mod stats;
 pub mod types;
 mod util;
 
+pub use coalesce::CoalesceConfig;
 pub use comp::graph::{Graph, GraphBuilder, NodeId, NodeOp};
 pub use comp::lcrq::Lcrq;
 pub use comp::queue::{CompQueue, CqConfig, CqImpl};

@@ -69,6 +69,8 @@ struct EntryQueue<T> {
     kind: MatchKind,
     a: Option<T>,
     b: Option<T>,
+    // Boxed so the empty-overflow queue costs one pointer inline.
+    #[allow(clippy::box_collection)]
     overflow: Option<Box<VecDeque<T>>>,
 }
 
@@ -78,7 +80,9 @@ impl<T> EntryQueue<T> {
     }
 
     fn push(&mut self, v: T) {
-        if self.a.is_none() && self.overflow.as_ref().is_none_or(|o| o.is_empty()) && self.b.is_none()
+        if self.a.is_none()
+            && self.overflow.as_ref().is_none_or(|o| o.is_empty())
+            && self.b.is_none()
         {
             self.a = Some(v);
         } else if self.b.is_none() && self.overflow.as_ref().is_none_or(|o| o.is_empty()) {
@@ -113,6 +117,8 @@ impl<T> EntryQueue<T> {
 /// A bucket: up to three queues inline, spilling to a heap vector.
 struct Bucket<T> {
     q: [Option<EntryQueue<T>>; 3],
+    // Boxed so the common spill-free bucket stays one pointer wide.
+    #[allow(clippy::box_collection)]
     overflow: Option<Box<Vec<EntryQueue<T>>>>,
 }
 
@@ -345,8 +351,14 @@ mod tests {
             }
         }
         // Rank-only ignores tag; tag-only ignores rank.
-        assert_eq!(make_key(1, 5, MatchingPolicy::RankOnly), make_key(1, 9, MatchingPolicy::RankOnly));
-        assert_eq!(make_key(3, 5, MatchingPolicy::TagOnly), make_key(8, 5, MatchingPolicy::TagOnly));
+        assert_eq!(
+            make_key(1, 5, MatchingPolicy::RankOnly),
+            make_key(1, 9, MatchingPolicy::RankOnly)
+        );
+        assert_eq!(
+            make_key(3, 5, MatchingPolicy::TagOnly),
+            make_key(8, 5, MatchingPolicy::TagOnly)
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Packet capacity in bytes.
+    /// Packet capacity in bytes (the pool's payload size, not its
+    /// packet count).
+    #[allow(clippy::misnamed_getters)]
     pub fn capacity(&self) -> usize {
         self.shared.payload_size
     }
@@ -119,9 +121,7 @@ impl Packet {
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         // SAFETY: exclusive ownership (we hold &mut self of the sole
         // Packet for this slot).
-        unsafe {
-            std::slice::from_raw_parts_mut(self.shared.packet_ptr(self.idx), self.capacity())
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.shared.packet_ptr(self.idx), self.capacity()) }
     }
 
     /// Copies `data` into the packet and sets the payload length.
@@ -291,9 +291,7 @@ impl PacketPool {
     /// maps this to the `retry`/`NoPacket` status.
     pub fn get(&self) -> Option<Packet> {
         // Fast path: local tail pop (cache locality with recent puts).
-        let fast = self.with_local_deque(|deque| {
-            deque.try_lock().and_then(|mut q| q.pop_back())
-        });
+        let fast = self.with_local_deque(|deque| deque.try_lock().and_then(|mut q| q.pop_back()));
         if let Some(idx) = fast {
             return Some(Packet { shared: self.shared.clone(), idx, len: 0 });
         }

@@ -67,6 +67,7 @@ impl CommBuilder {
                 target_dev: None,
                 user_ctx: 0,
                 allow_retry: true,
+                allow_coalescing: true,
             },
         }
     }
@@ -143,6 +144,16 @@ impl CommBuilder {
     /// (paper §4.4), and the operation reports `posted`.
     pub fn no_retry(mut self) -> Self {
         self.args.allow_retry = false;
+        self
+    }
+
+    /// Opts this message in or out of sender-side coalescing (default:
+    /// in). Only effective when the runtime enables coalescing
+    /// ([`RuntimeConfig::coalesce`](crate::RuntimeConfig)); opting out
+    /// forces an individual post and first flushes any sub-messages
+    /// already buffered for the destination, preserving order.
+    pub fn allow_coalescing(mut self, allow: bool) -> Self {
+        self.args.allow_coalescing = allow;
         self
     }
 

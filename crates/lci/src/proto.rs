@@ -52,6 +52,10 @@ pub enum MsgType {
     /// Get-with-signal notification, delivered as an eager control
     /// message after the read completes (aux = rcomp).
     GetSignal = 8,
+    /// A coalesced frame: several small eager messages (sends or AMs)
+    /// packed into one wire message (aux = sub-message count). The
+    /// payload is a sequence of [`coalesce_pack`] records.
+    Coalesced = 9,
 }
 
 impl MsgType {
@@ -65,6 +69,7 @@ impl MsgType {
             6 => MsgType::Fin,
             7 => MsgType::PutSignal,
             8 => MsgType::GetSignal,
+            9 => MsgType::Coalesced,
             other => {
                 return Err(FatalError::Net(format!("corrupt wire header type {other}")));
             }
@@ -181,6 +186,49 @@ impl RtrPayload {
     }
 }
 
+/// Per-sub-message overhead of the coalesced frame format: the
+/// sub-message's own 64-bit wire header plus a 32-bit length prefix.
+pub const COALESCE_SUB_OVERHEAD: usize = 12;
+
+/// Appends one sub-message record to a coalesced frame:
+/// `[sub_imm: u64 LE][len: u32 LE][payload]`. Each sub-message carries
+/// the full wire header (type, matching policy, tag, aux) it would have
+/// carried as a standalone eager message.
+pub fn coalesce_pack(frame: &mut Vec<u8>, sub_imm: u64, payload: &[u8]) {
+    frame.reserve(COALESCE_SUB_OVERHEAD + payload.len());
+    frame.extend_from_slice(&sub_imm.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+}
+
+/// Splits a coalesced frame back into `(sub_imm, payload)` records.
+/// Rejects truncated records and trailing garbage; an empty frame is
+/// rejected too (the sender never ships one).
+pub fn coalesce_unpack(frame: &[u8]) -> Result<Vec<(u64, &[u8])>> {
+    if frame.is_empty() {
+        return Err(FatalError::Net("empty coalesced frame".into()));
+    }
+    let mut subs = Vec::new();
+    let mut at = 0usize;
+    while at < frame.len() {
+        if frame.len() - at < COALESCE_SUB_OVERHEAD {
+            return Err(FatalError::Net("truncated coalesced sub-header".into()));
+        }
+        let sub_imm = u64::from_le_bytes(frame[at..at + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(frame[at + 8..at + 12].try_into().unwrap()) as usize;
+        at += COALESCE_SUB_OVERHEAD;
+        if frame.len() - at < len {
+            return Err(FatalError::Net(format!(
+                "truncated coalesced payload: {} < {len}",
+                frame.len() - at
+            )));
+        }
+        subs.push((sub_imm, &frame[at..at + len]));
+        at += len;
+    }
+    Ok(subs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +244,7 @@ mod tests {
             MsgType::Fin,
             MsgType::PutSignal,
             MsgType::GetSignal,
+            MsgType::Coalesced,
         ] {
             let h = Header::new(ty, MatchingPolicy::TagOnly, 0xDEAD_BEEF, 0x12_3456);
             let d = Header::decode(h.encode()).unwrap();
@@ -216,6 +265,24 @@ mod tests {
     fn header_rejects_corrupt_type() {
         assert!(Header::decode(0).is_err());
         assert!(Header::decode(0xF << 60).is_err());
+    }
+
+    #[test]
+    fn coalesce_roundtrip_and_truncation() {
+        let mut frame = Vec::new();
+        coalesce_pack(&mut frame, 111, b"hello");
+        coalesce_pack(&mut frame, 222, b"");
+        coalesce_pack(&mut frame, 333, &[7u8; 100]);
+        let subs = coalesce_unpack(&frame).unwrap();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0], (111, b"hello".as_slice()));
+        assert_eq!(subs[1], (222, b"".as_slice()));
+        assert_eq!(subs[2], (333, [7u8; 100].as_slice()));
+
+        assert!(coalesce_unpack(&[]).is_err());
+        // Cut inside the last record's payload and inside its header.
+        assert!(coalesce_unpack(&frame[..frame.len() - 1]).is_err());
+        assert!(coalesce_unpack(&frame[..frame.len() - 105]).is_err());
     }
 
     #[test]

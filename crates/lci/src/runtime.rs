@@ -10,6 +10,7 @@
 //! omitted because this reproduction runs many ranks inside one process
 //! (DESIGN.md); a global per-process runtime would alias ranks.
 
+use crate::coalesce::CoalesceConfig;
 use crate::comp::queue::CqConfig;
 use crate::comp::Comp;
 use crate::device::{Device, MatchEntry};
@@ -44,6 +45,9 @@ pub struct RuntimeConfig {
     pub cq: CqConfig,
     /// Completions handled per progress call.
     pub progress_batch: usize,
+    /// Sender-side small-message coalescing (off by default; see
+    /// [`crate::coalesce`]).
+    pub coalesce: CoalesceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +62,7 @@ impl Default for RuntimeConfig {
             matching: MatchingConfig::default(),
             cq: CqConfig::default(),
             progress_batch: 64,
+            coalesce: CoalesceConfig::default(),
         }
     }
 }
@@ -116,6 +121,18 @@ impl Runtime {
             return Err(FatalError::InvalidArg(
                 "eager_size must not exceed packet payload size".into(),
             ));
+        }
+        if config.coalesce.enabled {
+            if config.coalesce.max_bytes > config.packet.payload_size {
+                return Err(FatalError::InvalidArg(
+                    "coalesce.max_bytes must not exceed packet payload size".into(),
+                ));
+            }
+            if config.coalesce.max_msgs < 2 || config.coalesce.max_msgs >= (1 << 24) {
+                return Err(FatalError::InvalidArg(
+                    "coalesce.max_msgs must be in 2..2^24 (frame header aux)".into(),
+                ));
+            }
         }
         if rank >= fabric.nranks() {
             return Err(FatalError::InvalidArg(format!(

@@ -27,6 +27,14 @@ pub struct DeviceStats {
     pub rendezvous: AtomicU64,
     /// Requests parked in the backlog queue.
     pub backlogged: AtomicU64,
+    /// Small sends absorbed into coalescing buffers.
+    pub coalesced_msgs: AtomicU64,
+    /// Coalesced frames shipped (threshold, ordering, or idle flushes).
+    pub coalesce_flushes: AtomicU64,
+    /// Batched backlog submissions (one posting-lock acquisition each).
+    pub batch_posts: AtomicU64,
+    /// Messages posted through batched submissions.
+    pub batch_posted_msgs: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DeviceStats`].
@@ -48,12 +56,25 @@ pub struct StatsSnapshot {
     pub rendezvous: u64,
     /// See [`DeviceStats::backlogged`].
     pub backlogged: u64,
+    /// See [`DeviceStats::coalesced_msgs`].
+    pub coalesced_msgs: u64,
+    /// See [`DeviceStats::coalesce_flushes`].
+    pub coalesce_flushes: u64,
+    /// See [`DeviceStats::batch_posts`].
+    pub batch_posts: u64,
+    /// See [`DeviceStats::batch_posted_msgs`].
+    pub batch_posted_msgs: u64,
 }
 
 impl DeviceStats {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes a snapshot of all counters.
@@ -67,6 +88,10 @@ impl DeviceStats {
             matched: self.matched.load(Ordering::Relaxed),
             rendezvous: self.rendezvous.load(Ordering::Relaxed),
             backlogged: self.backlogged.load(Ordering::Relaxed),
+            coalesced_msgs: self.coalesced_msgs.load(Ordering::Relaxed),
+            coalesce_flushes: self.coalesce_flushes.load(Ordering::Relaxed),
+            batch_posts: self.batch_posts.load(Ordering::Relaxed),
+            batch_posted_msgs: self.batch_posted_msgs.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +108,10 @@ impl StatsSnapshot {
             matched: self.matched - earlier.matched,
             rendezvous: self.rendezvous - earlier.rendezvous,
             backlogged: self.backlogged - earlier.backlogged,
+            coalesced_msgs: self.coalesced_msgs - earlier.coalesced_msgs,
+            coalesce_flushes: self.coalesce_flushes - earlier.coalesce_flushes,
+            batch_posts: self.batch_posts - earlier.batch_posts,
+            batch_posted_msgs: self.batch_posted_msgs - earlier.batch_posted_msgs,
         }
     }
 
@@ -93,6 +122,24 @@ impl StatsSnapshot {
             0.0
         } else {
             self.retries as f64 / attempts as f64
+        }
+    }
+
+    /// Average sub-messages per coalesced frame (0 when no frame shipped).
+    pub fn avg_coalesce_fill(&self) -> f64 {
+        if self.coalesce_flushes == 0 {
+            0.0
+        } else {
+            self.coalesced_msgs as f64 / self.coalesce_flushes as f64
+        }
+    }
+
+    /// Average messages per batched backlog submission (0 when none ran).
+    pub fn avg_batch_fill(&self) -> f64 {
+        if self.batch_posts == 0 {
+            0.0
+        } else {
+            self.batch_posted_msgs as f64 / self.batch_posts as f64
         }
     }
 }

@@ -292,7 +292,8 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.as_contiguous().unwrap(), &[1, 2, 3]);
 
-        let iov: SendBuf = vec![vec![1u8].into_boxed_slice(), vec![2u8, 3].into_boxed_slice()].into();
+        let iov: SendBuf =
+            vec![vec![1u8].into_boxed_slice(), vec![2u8, 3].into_boxed_slice()].into();
         assert_eq!(iov.len(), 3);
         assert!(iov.as_contiguous().is_none());
         assert_eq!(iov.flatten(), vec![1, 2, 3]);

@@ -1,0 +1,197 @@
+//! Sender-side coalescing correctness: a multithreaded streaming
+//! workload must observe *identical* matching order and completion
+//! counts whether coalescing is on or off (the feature is transparent),
+//! and the per-message `.allow_coalescing(false)` opt-out must force
+//! individual posts.
+
+use lci::{CoalesceConfig, Comp, PostResult, Runtime, RuntimeConfig, StatsSnapshot};
+use lci_fabric::Fabric;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const MSGS: usize = 200;
+
+/// Posts one receive and waits for it. With `drive` the waiting thread
+/// turns the progress engine itself; without it the thread only yields,
+/// relying on a dedicated progress thread. Matching order is only
+/// well-defined when a single thread drains the CQ — concurrent
+/// `progress()` callers may interleave poll batches (the runtime, like
+/// LCI, does not order matching across progress threads).
+fn recv_one(rt: &Runtime, rank: usize, size: usize, tag: u32, drive: bool) -> lci::CompDesc {
+    let comp = Comp::alloc_sync(1);
+    match rt.post_recv(rank, vec![0u8; size], tag, comp.clone()).unwrap() {
+        PostResult::Done(desc) => desc,
+        PostResult::Posted => {
+            let sync = comp.as_sync().unwrap();
+            while !sync.test() {
+                if drive {
+                    rt.progress().unwrap();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            sync.take().pop().unwrap()
+        }
+        PostResult::Retry(_) => unreachable!(),
+    }
+}
+
+/// Streams `MSGS` 8-byte messages per sender thread (tag = thread id)
+/// from rank 0 to rank 1. Returns the per-tag payload sequences the
+/// receiver observed, the sender-side completion count, and the sender
+/// device's stats.
+fn run(cfg: RuntimeConfig) -> (Vec<Vec<u64>>, usize, StatsSnapshot) {
+    let fabric = Fabric::new(2);
+    let receiver_done = Arc::new(AtomicBool::new(false));
+
+    let f2 = fabric.clone();
+    let cfg2 = cfg.clone();
+    let done2 = receiver_done.clone();
+    let receiver = std::thread::spawn(move || {
+        let rt = Runtime::new(f2, 1, cfg2).unwrap();
+        rt.oob_barrier();
+        // Exactly one thread drains the CQ: per-tag matching order is
+        // only defined when progress is single-threaded (see recv_one).
+        let recvs_done = Arc::new(AtomicBool::new(false));
+        let progress = {
+            let rt = rt.clone();
+            let done = recvs_done.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    rt.progress().unwrap();
+                }
+            })
+        };
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let rt = rt.clone();
+                std::thread::spawn(move || {
+                    let mut seqs = Vec::with_capacity(MSGS);
+                    for _ in 0..MSGS {
+                        let desc = recv_one(&rt, 0, 64, t as u32, false);
+                        assert_eq!(desc.rank, 0);
+                        assert_eq!(desc.data.len(), 8);
+                        seqs.push(u64::from_le_bytes(desc.as_slice().try_into().unwrap()));
+                    }
+                    seqs
+                })
+            })
+            .collect();
+        let seqs: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        recvs_done.store(true, Ordering::Release);
+        progress.join().unwrap();
+        done2.store(true, Ordering::Release);
+        seqs
+    });
+
+    let rt = Runtime::new(fabric, 0, cfg).unwrap();
+    rt.oob_barrier();
+    let completed = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rt = rt.clone();
+            let completed = completed.clone();
+            std::thread::spawn(move || {
+                for seq in 0..MSGS as u64 {
+                    let comp = Comp::alloc_sync(1);
+                    loop {
+                        let buf = seq.to_le_bytes().to_vec();
+                        match rt.post_send(1, buf, t as u32, comp.clone()).unwrap() {
+                            PostResult::Done(_) => break,
+                            PostResult::Posted => {
+                                comp.as_sync().unwrap().wait_with(|| {
+                                    rt.progress().unwrap();
+                                });
+                                break;
+                            }
+                            PostResult::Retry(_) => {
+                                rt.progress().unwrap();
+                            }
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Keep the progress engine turning so the idle auto-flush drains any
+    // sub-messages still buffered when the sender threads finished.
+    while !receiver_done.load(Ordering::Acquire) {
+        rt.progress().unwrap();
+    }
+    let stats = rt.device().stats();
+    (receiver.join().unwrap(), completed.load(Ordering::Relaxed), stats)
+}
+
+#[test]
+fn matching_order_and_counts_identical_on_vs_off() {
+    let off = run(RuntimeConfig::small());
+    let mut on_cfg = RuntimeConfig::small();
+    on_cfg.coalesce = CoalesceConfig::enabled_with_bytes(2048);
+    let on = run(on_cfg);
+
+    let expect: Vec<u64> = (0..MSGS as u64).collect();
+    for t in 0..THREADS {
+        assert_eq!(off.0[t], expect, "uncoalesced: tag {t} out of order");
+        assert_eq!(on.0[t], expect, "coalesced: tag {t} out of order");
+    }
+    assert_eq!(off.1, THREADS * MSGS);
+    assert_eq!(on.1, THREADS * MSGS);
+    // The coalesced run actually exercised the new path; the baseline
+    // never did.
+    assert_eq!(off.2.coalesced_msgs, 0);
+    assert!(on.2.coalesced_msgs > 0, "coalescing enabled but never used");
+    assert!(on.2.coalesce_flushes > 0);
+    assert!(
+        on.2.coalesce_flushes < on.2.coalesced_msgs,
+        "frames should carry more than one sub-message on average"
+    );
+}
+
+#[test]
+fn per_message_opt_out_bypasses_coalescing() {
+    let mut cfg = RuntimeConfig::small();
+    cfg.coalesce = CoalesceConfig::enabled_with_bytes(2048);
+    let fabric = Fabric::new(2);
+    let f2 = fabric.clone();
+    let cfg2 = cfg.clone();
+    let receiver = std::thread::spawn(move || {
+        let rt = Runtime::new(f2, 1, cfg2).unwrap();
+        rt.oob_barrier();
+        for i in 0..20u64 {
+            let desc = recv_one(&rt, 0, 64, 3, true);
+            assert_eq!(u64::from_le_bytes(desc.as_slice().try_into().unwrap()), i);
+        }
+    });
+    let rt = Runtime::new(fabric, 0, cfg).unwrap();
+    rt.oob_barrier();
+    for i in 0..20u64 {
+        let comp = Comp::alloc_sync(1);
+        loop {
+            let ret = rt
+                .post_send_x(1, i.to_le_bytes().to_vec(), 3, comp.clone())
+                .allow_coalescing(false)
+                .call()
+                .unwrap();
+            match ret {
+                PostResult::Done(_) => break,
+                PostResult::Posted => {
+                    comp.as_sync().unwrap().wait_with(|| {
+                        rt.progress().unwrap();
+                    });
+                    break;
+                }
+                PostResult::Retry(_) => {
+                    rt.progress().unwrap();
+                }
+            }
+        }
+    }
+    receiver.join().unwrap();
+    let stats = rt.device().stats();
+    assert_eq!(stats.coalesced_msgs, 0, "opted-out messages must post individually");
+}

@@ -4,10 +4,9 @@
 //! queue (`no_retry` posts), and lock-contention retries — and verify
 //! that no message is ever lost or duplicated.
 
-use lci::{Comp, CompKind, PostResult, Runtime, RuntimeConfig, RetryReason};
+use lci::{Comp, CompKind, PostResult, RetryReason, Runtime, RuntimeConfig};
 use lci_fabric::sync::LockDiscipline;
 use lci_fabric::{DeviceConfig, Fabric};
-use std::sync::Arc;
 
 /// A runtime config starved of every resource.
 fn starved() -> RuntimeConfig {
@@ -56,20 +55,16 @@ fn rx_full_surfaces_retry_and_recovers() {
     let noop = Comp::alloc_handler(|_| {});
     let mut retries = 0usize;
     for i in 0..n_msgs {
-        loop {
-            match rt.post_am_x(1, [7u8; 32].as_slice(), noop.clone(), 0).tag(i).call().unwrap()
-            {
-                PostResult::Retry(reason) => {
-                    retries += 1;
-                    assert!(matches!(
-                        reason,
-                        RetryReason::RxFull | RetryReason::LockBusy | RetryReason::NoPacket
-                    ));
-                    rt.progress().unwrap();
-                    std::thread::yield_now();
-                }
-                _ => break,
-            }
+        while let PostResult::Retry(reason) =
+            rt.post_am_x(1, [7u8; 32].as_slice(), noop.clone(), 0).tag(i).call().unwrap()
+        {
+            retries += 1;
+            assert!(matches!(
+                reason,
+                RetryReason::RxFull | RetryReason::LockBusy | RetryReason::NoPacket
+            ));
+            rt.progress().unwrap();
+            std::thread::yield_now();
         }
     }
     // With a 4-slot RX ring and 64 messages, backpressure must appear.
@@ -118,11 +113,7 @@ fn no_retry_mode_parks_in_backlog() {
     // by progress.
     let sync = Comp::alloc_sync(n_msgs as usize);
     for i in 0..n_msgs {
-        let res = rt
-            .post_send_x(1, vec![i as u8; 32], i, sync.clone())
-            .no_retry()
-            .call()
-            .unwrap();
+        let res = rt.post_send_x(1, vec![i as u8; 32], i, sync.clone()).no_retry().call().unwrap();
         // no_retry: the post may be Done (inject path unavailable at
         // 32B > inject_size, so Posted here) but never Retry.
         assert!(!res.is_retry(), "no_retry must not surface retry");
@@ -176,19 +167,11 @@ fn packet_pool_exhaustion_blocks_prepost_not_correctness() {
     fabric.oob_barrier();
     let noop = Comp::alloc_handler(|_| {});
     for i in 0..rounds {
-        loop {
-            match rt
-                .post_am_x(1, [1u8; 100].as_slice(), noop.clone(), 0)
-                .tag(i)
-                .call()
-                .unwrap()
-            {
-                PostResult::Retry(_) => {
-                    rt.progress().unwrap();
-                    std::thread::yield_now();
-                }
-                _ => break,
-            }
+        while let PostResult::Retry(_) =
+            rt.post_am_x(1, [1u8; 100].as_slice(), noop.clone(), 0).tag(i).call().unwrap()
+        {
+            rt.progress().unwrap();
+            std::thread::yield_now();
         }
     }
     fabric.oob_barrier();
@@ -323,7 +306,7 @@ fn many_devices_per_rank() {
                 d.progress().unwrap();
             }
             while let Some(d) = cq.pop() {
-                assert_eq!(d.data.len() , 24);
+                assert_eq!(d.data.len(), 24);
                 n += 1;
             }
         }
@@ -335,18 +318,10 @@ fn many_devices_per_rank() {
     fabric.oob_barrier();
     let noop = Comp::alloc_handler(|_| {});
     for (i, d) in devs.iter().enumerate() {
-        loop {
-            match rt
-                .post_am_x(1, vec![i as u8; 24], noop.clone(), 0)
-                .device(d)
-                .call()
-                .unwrap()
-            {
-                PostResult::Retry(_) => {
-                    d.progress().unwrap();
-                }
-                _ => break,
-            }
+        while let PostResult::Retry(_) =
+            rt.post_am_x(1, vec![i as u8; 24], noop.clone(), 0).device(d).call().unwrap()
+        {
+            d.progress().unwrap();
         }
     }
     for d in &devs {

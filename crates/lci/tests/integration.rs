@@ -3,9 +3,7 @@
 //! Table 1, completion objects, matching policies, and multithreaded use.
 
 use lci::collective;
-use lci::{
-    Comp, CompKind, Direction, Fabric, MatchingPolicy, PostResult, Runtime, RuntimeConfig,
-};
+use lci::{Comp, CompKind, Direction, Fabric, MatchingPolicy, PostResult, Runtime, RuntimeConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -70,8 +68,7 @@ fn sendrecv_all_protocol_sizes() {
             let pattern = (i as u8).wrapping_add(7);
             if rank == 0 {
                 let comp = Comp::alloc_sync(1);
-                let signaled =
-                    send_until_accepted(&rt, 1, vec![pattern; size], tag, comp.clone());
+                let signaled = send_until_accepted(&rt, 1, vec![pattern; size], tag, comp.clone());
                 if signaled {
                     comp.as_sync().unwrap().wait_with(|| {
                         rt.progress().unwrap();
@@ -112,7 +109,7 @@ fn recv_posted_before_and_after_send() {
             }
         } else {
             rt.oob_barrier(); // let the unexpected send land first
-            // Drain it into the matching engine.
+                              // Drain it into the matching engine.
             for _ in 0..50 {
                 rt.progress().unwrap();
             }
@@ -146,10 +143,7 @@ fn active_messages_eager_and_rendezvous() {
                 let scomp = Comp::alloc_sync(1);
                 let mut pending = false;
                 loop {
-                    match rt
-                        .post_am(1, vec![0xAB; size], scomp.clone(), rcomp)
-                        .unwrap()
-                    {
+                    match rt.post_am(1, vec![0xAB; size], scomp.clone(), rcomp).unwrap() {
                         PostResult::Done(_) => break,
                         PostResult::Posted => {
                             pending = true;
@@ -214,7 +208,7 @@ fn rma_put_get_with_signals() {
                 rt.progress().unwrap();
             });
             rt.oob_barrier(); // target observed the signal
-            // Get with signal from rank 1's window.
+                              // Get with signal from rank 1's window.
             let comp = Comp::alloc_sync(1);
             let res = rt
                 .post_get_x(1, vec![0u8; 256], rkey1, 128, comp.clone())
@@ -340,13 +334,10 @@ fn handler_completion_from_progress() {
         if rank == 0 {
             let scomp = Comp::alloc_cq();
             for _ in 0..10 {
-                loop {
-                    match rt.post_am(1, vec![1u8; 100], scomp.clone(), rcomp).unwrap() {
-                        PostResult::Retry(_) => {
-                            rt.progress().unwrap();
-                        }
-                        _ => break,
-                    }
+                while let PostResult::Retry(_) =
+                    rt.post_am(1, vec![1u8; 100], scomp.clone(), rcomp).unwrap()
+                {
+                    rt.progress().unwrap();
                 }
             }
             rt.oob_barrier();
@@ -378,8 +369,7 @@ fn multithreaded_shared_runtime() {
                         let tag = (t * 1000 + i) as u32;
                         if rank == 0 {
                             let c = Comp::alloc_sync(1);
-                            if send_until_accepted(&rt, peer, vec![t as u8; 128], tag, c.clone())
-                            {
+                            if send_until_accepted(&rt, peer, vec![t as u8; 128], tag, c.clone()) {
                                 c.as_sync().unwrap().wait_with(|| {
                                     rt.progress().unwrap();
                                 });
@@ -390,8 +380,7 @@ fn multithreaded_shared_runtime() {
                             let desc = recv_one(&rt, peer, 256, tag);
                             assert_eq!(desc.as_slice(), &vec![t as u8; 128][..]);
                             let c = Comp::alloc_sync(1);
-                            if send_until_accepted(&rt, peer, vec![t as u8; 128], tag, c.clone())
-                            {
+                            if send_until_accepted(&rt, peer, vec![t as u8; 128], tag, c.clone()) {
                                 c.as_sync().unwrap().wait_with(|| {
                                     rt.progress().unwrap();
                                 });
@@ -513,8 +502,7 @@ fn collectives_allgather_alltoall_ibarrier() {
         }
 
         // All-to-all personalized blocks: to rank i send [me*10 + i; 8].
-        let send: Vec<Vec<u8>> =
-            (0..3).map(|i| vec![(rank * 10 + i) as u8; 8]).collect();
+        let send: Vec<Vec<u8>> = (0..3).map(|i| vec![(rank * 10 + i) as u8; 8]).collect();
         let recvd = collective::alltoall(&rt, &send).unwrap();
         for (src, blk) in recvd.iter().enumerate() {
             assert_eq!(blk, &vec![(src * 10 + rank) as u8; 8], "from {src}");
@@ -593,11 +581,8 @@ fn user_ctx_roundtrip() {
     with_ranks(2, RuntimeConfig::small(), |rank, rt| {
         if rank == 0 {
             let c = Comp::alloc_sync(1);
-            let res = rt
-                .post_send_x(1, vec![9u8; 500], 3, c.clone())
-                .user_ctx(0xCAFE)
-                .call()
-                .unwrap();
+            let res =
+                rt.post_send_x(1, vec![9u8; 500], 3, c.clone()).user_ctx(0xCAFE).call().unwrap();
             if res.is_posted() {
                 let sync = c.as_sync().unwrap();
                 while !sync.test() {
@@ -608,11 +593,8 @@ fn user_ctx_roundtrip() {
             }
         } else {
             let comp = Comp::alloc_sync(1);
-            let res = rt
-                .post_recv_x(0, vec![0u8; 512], 3, comp.clone())
-                .user_ctx(0xBEEF)
-                .call()
-                .unwrap();
+            let res =
+                rt.post_recv_x(0, vec![0u8; 512], 3, comp.clone()).user_ctx(0xBEEF).call().unwrap();
             let desc = match res {
                 PostResult::Done(d) => d,
                 PostResult::Posted => {
@@ -638,32 +620,28 @@ fn completion_graph_drives_communication() {
         if rank == 0 {
             let mut gb = lci::GraphBuilder::new();
             let rt_a = rt.clone();
-            let a = gb.add_comm(move |comp| {
-                loop {
-                    match rt_a.post_send(1, vec![0xA1; 700], 21, comp.clone()).unwrap() {
-                        PostResult::Done(d) => {
-                            comp.signal(d);
-                            break;
-                        }
-                        PostResult::Posted => break,
-                        PostResult::Retry(_) => {
-                            rt_a.progress().unwrap();
-                        }
+            let a = gb.add_comm(move |comp| loop {
+                match rt_a.post_send(1, vec![0xA1; 700], 21, comp.clone()).unwrap() {
+                    PostResult::Done(d) => {
+                        comp.signal(d);
+                        break;
+                    }
+                    PostResult::Posted => break,
+                    PostResult::Retry(_) => {
+                        rt_a.progress().unwrap();
                     }
                 }
             });
             let rt_b = rt.clone();
-            let b = gb.add_comm(move |comp| {
-                loop {
-                    match rt_b.post_send(1, vec![0xB2; 700], 22, comp.clone()).unwrap() {
-                        PostResult::Done(d) => {
-                            comp.signal(d);
-                            break;
-                        }
-                        PostResult::Posted => break,
-                        PostResult::Retry(_) => {
-                            rt_b.progress().unwrap();
-                        }
+            let b = gb.add_comm(move |comp| loop {
+                match rt_b.post_send(1, vec![0xB2; 700], 22, comp.clone()).unwrap() {
+                    PostResult::Done(d) => {
+                        comp.signal(d);
+                        break;
+                    }
+                    PostResult::Posted => break,
+                    PostResult::Retry(_) => {
+                        rt_b.progress().unwrap();
                     }
                 }
             });

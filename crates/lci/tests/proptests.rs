@@ -41,6 +41,40 @@ proptest! {
         prop_assert_eq!(Header::decode(h.encode()).unwrap(), h);
     }
 
+    /// Coalesced-frame codec: pack/unpack is the identity on any record
+    /// sequence, and truncation mid-record is always rejected. A cut at
+    /// a record boundary parses as the record prefix — the frame
+    /// header's `aux` sub-count catches those at the device layer.
+    #[test]
+    fn coalesce_frame_roundtrip_and_truncation(
+        subs in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200)),
+            1..12,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use lci::proto::{coalesce_pack, coalesce_unpack};
+        let mut frame = Vec::new();
+        let mut boundaries = Vec::new();
+        for (imm, payload) in &subs {
+            coalesce_pack(&mut frame, *imm, payload);
+            boundaries.push(frame.len());
+        }
+        let got = coalesce_unpack(&frame).unwrap();
+        prop_assert_eq!(got.len(), subs.len());
+        for ((imm, payload), (got_imm, got_payload)) in subs.iter().zip(&got) {
+            prop_assert_eq!(imm, got_imm);
+            prop_assert_eq!(&payload[..], *got_payload);
+        }
+        let cut = (frame.len() as f64 * cut_frac) as usize;
+        match boundaries.iter().position(|&b| b == cut) {
+            Some(i) => {
+                prop_assert_eq!(coalesce_unpack(&frame[..cut]).unwrap().len(), i + 1);
+            }
+            None => prop_assert!(coalesce_unpack(&frame[..cut]).is_err()),
+        }
+    }
+
     /// RTS/RTR payload codecs round-trip.
     #[test]
     fn rendezvous_payload_roundtrip(send_id in any::<u32>(), size in any::<u64>(), recv_id in any::<u32>(), rkey in any::<u32>()) {

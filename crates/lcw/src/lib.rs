@@ -15,12 +15,12 @@
 //! an [`Endpoint`] (its per-thread view: a dedicated device/VCI in
 //! dedicated mode, a handle to the shared resources otherwise).
 
+use crossbeam::queue::SegQueue;
 use lci::{Comp, CompKind, PostResult};
 use lci_baselines::channel::ChannelConfig;
 use lci_baselines::{Gasnet, GasnetConfig, MpiComm, MpiConfig, VciComm, ANY_SOURCE, ANY_TAG};
 use lci_fabric::sync::LockDiscipline;
 use lci_fabric::{DeviceConfig, Fabric, Rank};
-use crossbeam::queue::SegQueue;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -79,12 +79,30 @@ pub struct WorldConfig {
     pub eager_size: usize,
     /// Packet/staging pool size scale (per rank).
     pub pool_packets: usize,
+    /// Sender-side small-message coalescing (LCI backend only; the
+    /// other libraries have no equivalent and ignore it).
+    pub coalesce: lci::CoalesceConfig,
 }
 
 impl WorldConfig {
     /// A config for `backend` on `platform` with the given mode.
     pub fn new(backend: BackendKind, platform: Platform, mode: ResourceMode) -> Self {
-        Self { backend, platform, mode, eager_size: 8192, pool_packets: 512 }
+        Self {
+            backend,
+            platform,
+            mode,
+            eager_size: 8192,
+            pool_packets: 512,
+            coalesce: lci::CoalesceConfig::default(),
+        }
+    }
+
+    /// Enables LCI sender-side coalescing with a `max_bytes` flush
+    /// threshold. A coalesced frame must fit one packet, so thresholds
+    /// above `eager_size` are capped at world-creation time.
+    pub fn with_coalescing(mut self, max_bytes: usize) -> Self {
+        self.coalesce = lci::CoalesceConfig::enabled_with_bytes(max_bytes);
+        self
     }
 }
 
@@ -136,6 +154,10 @@ impl World {
         };
         let inner = match cfg.backend {
             BackendKind::Lci => {
+                // Frames land in packets: cap the coalescing threshold
+                // at the packet payload size.
+                let mut coalesce = cfg.coalesce;
+                coalesce.max_bytes = coalesce.max_bytes.min(cfg.eager_size);
                 let rt_cfg = lci::RuntimeConfig {
                     device: cfg.platform.device_config(),
                     packet: lci::PacketPoolConfig {
@@ -145,6 +167,7 @@ impl World {
                     eager_size: cfg.eager_size,
                     prepost: 64,
                     matching: lci::MatchingConfig { buckets: 1024 },
+                    coalesce,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
@@ -222,7 +245,6 @@ impl World {
         !matches!(self.inner, WorldInner::Gasnet { .. })
     }
 
-
     /// Takes the per-thread endpoint `tid`. In dedicated mode `tid`
     /// selects the thread's device/VCI; in shared mode all endpoints
     /// reference the same resources. Call once per thread.
@@ -270,26 +292,10 @@ const MPI_AM_PREPOST: usize = 32;
 type AmPool = Arc<parking_lot::Mutex<VecDeque<lci_baselines::Request>>>;
 
 enum EpInner {
-    Lci {
-        rt: lci::Runtime,
-        device: lci::Device,
-        am_cq: Comp,
-        rcomp: u32,
-        noop: Comp,
-    },
-    Mpi {
-        comm: MpiComm,
-        am_recvs: AmPool,
-    },
-    Vci {
-        comm: VciComm,
-        vci: usize,
-        am_recvs: AmPool,
-    },
-    Gasnet {
-        g: Arc<Gasnet>,
-        inbox: Arc<SegQueue<Msg>>,
-    },
+    Lci { rt: lci::Runtime, device: lci::Device, am_cq: Comp, rcomp: u32, noop: Comp },
+    Mpi { comm: MpiComm, am_recvs: AmPool },
+    Vci { comm: VciComm, vci: usize, am_recvs: AmPool },
+    Gasnet { g: Arc<Gasnet>, inbox: Arc<SegQueue<Msg>> },
 }
 
 /// A per-thread communication endpoint.
@@ -436,9 +442,7 @@ impl Endpoint {
                 }
             }
             EpInner::Mpi { comm, .. } => RecvToken::Chan(comm.irecv(src, tag, max_size)),
-            EpInner::Vci { comm, vci, .. } => {
-                RecvToken::Chan(comm.irecv(*vci, src, tag, max_size))
-            }
+            EpInner::Vci { comm, vci, .. } => RecvToken::Chan(comm.irecv(*vci, src, tag, max_size)),
             EpInner::Gasnet { .. } => panic!("GASNet LCW does not support send-receive"),
         }
     }
@@ -477,11 +481,29 @@ impl Endpoint {
         match &self.inner {
             EpInner::Lci { device, .. } => {
                 let (s, r) = device.pending_rendezvous();
-                s == 0 && r == 0 && device.backlog_len() == 0
+                s == 0 && r == 0 && device.backlog_len() == 0 && device.coalesce_pending() == 0
             }
             EpInner::Mpi { comm, .. } => comm.pending() == 0,
             EpInner::Vci { comm, vci, .. } => comm.pending(*vci) == 0,
             EpInner::Gasnet { .. } => true, // medium AMs complete at post
+        }
+    }
+
+    /// Ships any messages buffered by sender-side coalescing now (the
+    /// LCI backend; a no-op elsewhere). Call before exchanging sent
+    /// counts or entering a termination barrier.
+    pub fn flush(&mut self) {
+        if let EpInner::Lci { device, .. } = &self.inner {
+            device.flush_coalesced().expect("lci flush");
+        }
+    }
+
+    /// The LCI device backing this endpoint (for stats/diagnostics);
+    /// `None` on the baseline backends.
+    pub fn lci_device(&self) -> Option<&lci::Device> {
+        match &self.inner {
+            EpInner::Lci { device, .. } => Some(device),
+            _ => None,
         }
     }
 

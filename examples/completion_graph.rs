@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example completion_graph`
 
 use lci::{Comp, GraphBuilder, PostResult, Runtime};
-use lci_fabric::Fabric;
 use lci_fabric::sync::SpinLock;
+use lci_fabric::Fabric;
 use std::sync::Arc;
 
 const NRANKS: usize = 4;
@@ -125,16 +125,10 @@ fn run(fabric: Arc<Fabric>, rank: usize) {
         // Peers: contribute rank*100, then await the broadcast result.
         let contribution = (rank as u64) * 100;
         let scomp = Comp::alloc_sync(1);
-        loop {
-            match rt
-                .post_send(0, contribution.to_le_bytes().to_vec(), 9, scomp.clone())
-                .unwrap()
-            {
-                PostResult::Retry(_) => {
-                    rt.progress().unwrap();
-                }
-                _ => break,
-            }
+        while let PostResult::Retry(_) =
+            rt.post_send(0, contribution.to_le_bytes().to_vec(), 9, scomp.clone()).unwrap()
+        {
+            rt.progress().unwrap();
         }
         let rcq = Comp::alloc_cq();
         rt.post_recv(0, vec![0u8; 16], 10, rcq.clone()).unwrap();

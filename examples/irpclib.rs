@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example irpclib`
 
-use lci::{CompDesc, Comp, Device, PostResult, Runtime};
+use lci::{Comp, CompDesc, Device, PostResult, Runtime};
 use lci_fabric::Fabric;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -100,8 +100,7 @@ fn main() {
                 let backend = Arc::new(IrpcBackend::global_init(fabric.clone(), rank));
                 // Devices allocated in deterministic order on the main
                 // thread so indices pair up across ranks.
-                let devices: Vec<Device> =
-                    (0..NTHREADS).map(|_| backend.thread_init()).collect();
+                let devices: Vec<Device> = (0..NTHREADS).map(|_| backend.thread_init()).collect();
                 fabric.oob_barrier();
 
                 let served = Arc::new(AtomicU64::new(0));
@@ -120,12 +119,8 @@ fn main() {
                             {
                                 if sent < RPCS_PER_THREAD {
                                     let arg = format!("rpc {sent} from r{rank}t{tid}");
-                                    if backend.send_msg(
-                                        &device,
-                                        peer,
-                                        arg.into_bytes(),
-                                        tid as u32,
-                                    ) {
+                                    if backend.send_msg(&device, peer, arg.into_bytes(), tid as u32)
+                                    {
                                         sent += 1;
                                     }
                                 }

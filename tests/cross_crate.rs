@@ -6,7 +6,6 @@ use lci::{collective, Comp, PostResult, Runtime, RuntimeConfig};
 use lci_baselines::{MpiComm, MpiConfig};
 use lci_fabric::Fabric;
 use lcw::{BackendKind, Platform, ResourceMode, World, WorldConfig};
-use std::sync::Arc;
 
 /// The paper's §3.2.2 composition story: multiple runtimes/libraries can
 /// coexist without interfering. Here LCI and the MPI baseline share one
@@ -65,9 +64,7 @@ fn lci_and_mpi_coexist_on_one_fabric() {
 /// libraries — the uniformity LCW exists to provide).
 #[test]
 fn lcw_backends_equivalent_traffic() {
-    for backend in
-        [BackendKind::Lci, BackendKind::Mpi, BackendKind::Vci, BackendKind::Gasnet]
-    {
+    for backend in [BackendKind::Lci, BackendKind::Mpi, BackendKind::Vci, BackendKind::Gasnet] {
         let mode = match backend {
             BackendKind::Lci | BackendKind::Vci => ResourceMode::Dedicated(2),
             _ => ResourceMode::Shared,
@@ -134,13 +131,10 @@ fn collectives_with_background_traffic() {
                 }
                 let noop = Comp::alloc_handler(|_| {});
                 for peer in (0..nranks).filter(|&p| p != rank) {
-                    loop {
-                        match rt.post_send(peer, vec![1u8; 16], 1, noop.clone()).unwrap() {
-                            PostResult::Retry(_) => {
-                                rt.progress().unwrap();
-                            }
-                            _ => break,
-                        }
+                    while let PostResult::Retry(_) =
+                        rt.post_send(peer, vec![1u8; 16], 1, noop.clone()).unwrap()
+                    {
+                        rt.progress().unwrap();
                     }
                 }
                 let mut got = 0u64;
@@ -212,7 +206,6 @@ fn applications_end_to_end() {
             std::thread::spawn(move || amt::run_octo_rank(fabric, r, ocfg))
         })
         .collect();
-    let total: usize =
-        handles.into_iter().map(|h| h.join().unwrap().final_local_particles).sum();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap().final_local_particles).sum();
     assert_eq!(total, 300);
 }
