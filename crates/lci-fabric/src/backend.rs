@@ -185,6 +185,30 @@ pub trait NetDevice: Send + Sync {
     /// Pre-posts a receive buffer to the shared receive queue.
     fn post_recv(&self, desc: RecvBufDesc) -> NetResult<()>;
 
+    /// Pre-posts up to `descs.len()` receive buffers under **one**
+    /// SRQ/endpoint-lock acquisition — the receive-side mirror of
+    /// [`NetDevice::post_send_batch`], used by the LCI progress engine
+    /// to restock the shared receive queue in bulk.
+    ///
+    /// Returns the number of buffers actually posted, in order: partial
+    /// progress, not all-or-nothing. An error is returned only when
+    /// *nothing* was posted; the caller keeps ownership of the unposted
+    /// tail.
+    ///
+    /// The default implementation loops over [`NetDevice::post_recv`]
+    /// (one lock acquisition per buffer); backends override it.
+    fn post_recv_batch(&self, descs: &[RecvBufDesc]) -> NetResult<usize> {
+        let mut posted = 0;
+        for d in descs {
+            match self.post_recv(*d) {
+                Ok(()) => posted += 1,
+                Err(e) if posted == 0 => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(posted)
+    }
+
     /// Polls for up to `max` completions, appending them to `out`.
     /// Returns the number of completions delivered. Under the trylock
     /// discipline a busy lower-level lock surfaces as

@@ -233,6 +233,16 @@ impl NetDevice for IbvDevice {
         Ok(())
     }
 
+    fn post_recv_batch(&self, descs: &[RecvBufDesc]) -> NetResult<usize> {
+        // One SRQ lock acquisition covers the whole batch; the queue is
+        // unbounded, so once the lock is held every buffer posts.
+        let mut srq =
+            self.cfg.discipline.acquire(&self.srq).ok_or(NetError::Retry(RetryReason::LockBusy))?;
+        srq.extend(descs.iter().copied());
+        self.posted_recvs.fetch_add(descs.len(), Ordering::AcqRel);
+        Ok(descs.len())
+    }
+
     fn poll_cq(&self, out: &mut Vec<Cqe>, max: usize) -> NetResult<usize> {
         let mut cq =
             self.cfg.discipline.acquire(&self.cq).ok_or(NetError::Retry(RetryReason::LockBusy))?;
@@ -402,6 +412,32 @@ mod tests {
         assert_eq!(cqes[1].imm, 1);
         // Ring drained: the tail posts now.
         assert_eq!(d0.post_send_batch(1, 0, &msgs[2..]).unwrap(), 2);
+    }
+
+    #[test]
+    fn batched_recv_posts_all_under_one_lock() {
+        let (d0, d1) = pair(DeviceConfig::ibv());
+        let mut rbufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 8]).collect();
+        let descs: Vec<RecvBufDesc> = rbufs
+            .iter_mut()
+            .enumerate()
+            // SAFETY: test keeps bufs alive and unaliased until delivery.
+            .map(|(i, b)| unsafe { RecvBufDesc::new(b.as_mut_ptr(), b.len(), i as u64) })
+            .collect();
+        assert_eq!(d1.post_recv_batch(&descs).unwrap(), 4);
+        assert_eq!(d1.posted_recvs(), 4);
+        for i in 0..4u8 {
+            d0.post_send(1, 0, &[i], i as u64, 0).unwrap();
+        }
+        let mut cqes = Vec::new();
+        d1.poll_cq(&mut cqes, 8).unwrap();
+        assert_eq!(cqes.len(), 4);
+        // Receives are consumed in posting order.
+        for (i, c) in cqes.iter().enumerate() {
+            assert_eq!(c.ctx, i as u64);
+            assert_eq!(rbufs[i][0], i as u8);
+        }
+        assert_eq!(d1.posted_recvs(), 0);
     }
 
     #[test]

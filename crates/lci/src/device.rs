@@ -14,7 +14,7 @@ use crate::comp::Comp;
 use crate::error::{FatalError, PostResult, Result};
 use crate::matching::MatchKind;
 use crate::packet_pool::Packet;
-use crate::proto::{coalesce_unpack, Header, MsgType, RtrPayload, RtsPayload};
+use crate::proto::{coalesce_unpack_ranges, Header, MsgType, RtrPayload, RtsPayload};
 use crate::runtime::RuntimeInner;
 use crate::stats::DeviceStats;
 use crate::types::{
@@ -32,12 +32,12 @@ const BACKLOG_BATCH: usize = 32;
 
 /// Entries stored in the matching engine.
 pub(crate) enum MatchEntry {
-    /// An unexpected eager message (payload parked in a packet).
-    UnexpEager { src: Rank, tag: Tag, packet: Packet, len: usize },
-    /// An unexpected eager sub-message unpacked from a coalesced frame
-    /// (the shared packet cannot be parked per-sub, so the payload is
-    /// copied out).
-    UnexpEagerOwned { src: Rank, tag: Tag, data: Box<[u8]> },
+    /// An unexpected eager message. The payload is parked without
+    /// copying whenever possible: a whole packet for standalone
+    /// arrivals, a refcounted [`crate::PacketView`] for sub-messages of
+    /// a coalesced frame (an owned copy only when zero-copy delivery is
+    /// disabled).
+    UnexpEager { src: Rank, tag: Tag, data: DataBuf },
     /// An unexpected rendezvous RTS.
     UnexpRts { src: Rank, src_dev: DevId, tag: Tag, send_id: u32, size: usize },
     /// A posted receive.
@@ -305,8 +305,20 @@ impl Device {
             // Coalescing path: absorb the message into the destination's
             // aggregation buffer. Like inject, the operation is done at
             // return and the completion object is *not* signaled.
-            let data = buf.flatten();
-            coal.append_with(args.rank, target_dev, imm, &data, |frame| self.post_frame(frame))?;
+            // Contiguous buffers append without the flatten staging copy.
+            match buf.as_contiguous() {
+                Some(data) => {
+                    coal.append_with(args.rank, target_dev, imm, data, |frame| {
+                        self.post_frame(frame)
+                    })?;
+                }
+                None => {
+                    let data = buf.flatten();
+                    coal.append_with(args.rank, target_dev, imm, &data, |frame| {
+                        self.post_frame(frame)
+                    })?;
+                }
+            }
             DeviceStats::bump(&self.inner.stats.coalesced_msgs);
             return Ok(PostResult::Done(CompDesc {
                 rank: args.rank,
@@ -319,9 +331,16 @@ impl Device {
 
         if size <= cfg.inject_size {
             // Inject protocol: completes immediately; the completion
-            // object is *not* signaled (paper §3.2.5 "done").
-            let data = buf.flatten();
-            match self.inner.net.post_send(args.rank, target_dev, &data, imm, 0) {
+            // object is *not* signaled (paper §3.2.5 "done"). Contiguous
+            // buffers post without the flatten staging copy.
+            let res = match buf.as_contiguous() {
+                Some(data) => self.inner.net.post_send(args.rank, target_dev, data, imm, 0),
+                None => {
+                    let data = buf.flatten();
+                    self.inner.net.post_send(args.rank, target_dev, &data, imm, 0)
+                }
+            };
+            match res {
                 Ok(()) => {
                     return Ok(PostResult::Done(CompDesc {
                         rank: args.rank,
@@ -530,42 +549,11 @@ impl Device {
             Some((unexpected, mine)) => {
                 let MatchEntry::Recv(recv) = mine else { unreachable!() };
                 match unexpected {
-                    MatchEntry::UnexpEager { src, tag, packet, len } => {
+                    MatchEntry::UnexpEager { src, tag, data } => {
                         // Deliver synchronously: the operation is done and
                         // the completion object will not be signaled.
-                        let mut buf = recv.buf;
-                        if len > buf.len() {
-                            return Err(FatalError::InvalidArg(format!(
-                                "receive buffer too small: {} < {len}",
-                                buf.len()
-                            )));
-                        }
-                        buf[..len].copy_from_slice(&packet.as_slice()[..len]);
-                        Ok(PostResult::Done(CompDesc {
-                            rank: src,
-                            tag,
-                            data: DataBuf::Partial(buf, len),
-                            user_ctx: recv.user_ctx,
-                            kind: CompKind::Recv,
-                        }))
-                    }
-                    MatchEntry::UnexpEagerOwned { src, tag, data } => {
-                        let mut buf = recv.buf;
-                        if data.len() > buf.len() {
-                            return Err(FatalError::InvalidArg(format!(
-                                "receive buffer too small: {} < {}",
-                                buf.len(),
-                                data.len()
-                            )));
-                        }
-                        buf[..data.len()].copy_from_slice(&data);
-                        Ok(PostResult::Done(CompDesc {
-                            rank: src,
-                            tag,
-                            data: DataBuf::Partial(buf, data.len()),
-                            user_ctx: recv.user_ctx,
-                            kind: CompKind::Recv,
-                        }))
+                        let (_comp, desc) = self.finish_matched_recv(recv, src, tag, data)?;
+                        Ok(PostResult::Done(desc))
                     }
                     MatchEntry::UnexpRts { src, src_dev, tag, send_id, size } => {
                         self.start_rtr(
@@ -585,6 +573,41 @@ impl Device {
                 }
             }
         }
+    }
+
+    /// Copies an unexpected eager payload into a matched receive's
+    /// buffer and builds the completion descriptor. This is the one copy
+    /// the zero-copy receive path keeps: the user posted their own
+    /// buffer, so the data must land there.
+    fn finish_matched_recv(
+        &self,
+        recv: RecvEntry,
+        src: Rank,
+        tag: Tag,
+        data: DataBuf,
+    ) -> Result<(Comp, CompDesc)> {
+        let mut buf = recv.buf;
+        let payload = data.as_slice();
+        if payload.len() > buf.len() {
+            return Err(FatalError::InvalidArg(format!(
+                "receive buffer too small: {} < {}",
+                buf.len(),
+                payload.len()
+            )));
+        }
+        buf[..payload.len()].copy_from_slice(payload);
+        DeviceStats::bump(&self.inner.stats.copied_deliveries);
+        let len = payload.len();
+        Ok((
+            recv.comp,
+            CompDesc {
+                rank: src,
+                tag,
+                data: DataBuf::Partial(buf, len),
+                user_ctx: recv.user_ctx,
+                kind: CompKind::Recv,
+            },
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -881,25 +904,48 @@ impl Device {
     }
 
     /// Keeps the shared receive queue stocked (paper Figure 1, step 7).
+    ///
+    /// Low-watermark hysteresis: while the posted count sits above the
+    /// watermark this is one relaxed atomic read and no lock traffic.
+    /// Once it falls to the watermark, one [`NetDevice::post_recv_batch`]
+    /// call refills back to the prepost target under a single SRQ/
+    /// endpoint-lock acquisition — instead of the old per-packet
+    /// `post_recv` top-up on every progress call.
     fn replenish_recvs(&self) -> Result<()> {
-        let target = self.inner.rt.config.prepost;
-        while self.inner.net.posted_recvs() < target {
-            let Some(packet) = self.inner.rt.pool.get() else { break };
-            let ptr = packet.raw_ptr();
-            let cap = packet.capacity();
-            let idx = packet.index();
-            // SAFETY: the packet's slot stays checked out (leaked) until
-            // the receive completion reclaims it.
-            let desc = unsafe { RecvBufDesc::new(ptr, cap, idx as u64) };
-            match self.inner.net.post_recv(desc) {
-                Ok(()) => {
-                    packet.leak();
-                }
-                Err(NetError::Retry(_)) => break, // SRQ lock busy: try next progress
-                Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
-            }
+        let cfg = &self.inner.rt.config;
+        let target = cfg.prepost;
+        let posted = self.inner.net.posted_recvs();
+        if posted > cfg.effective_prepost_watermark() || posted >= target {
+            return Ok(());
         }
-        Ok(())
+        let mut packets = Vec::with_capacity(target - posted);
+        for _ in 0..target - posted {
+            let Some(packet) = self.inner.rt.pool.get() else { break };
+            packets.push(packet);
+        }
+        if packets.is_empty() {
+            return Ok(());
+        }
+        // SAFETY: each packet's slot stays checked out (leaked below)
+        // until the receive completion reclaims it.
+        let descs: Vec<RecvBufDesc> = packets
+            .iter()
+            .map(|p| unsafe { RecvBufDesc::new(p.raw_ptr(), p.capacity(), p.index() as u64) })
+            .collect();
+        match self.inner.net.post_recv_batch(&descs) {
+            Ok(n) => {
+                DeviceStats::bump(&self.inner.stats.replenish_batches);
+                DeviceStats::add(&self.inner.stats.replenish_posted, n as u64);
+                for p in packets.drain(..n) {
+                    p.leak();
+                }
+                // The unposted tail (if any) drops back to the pool.
+                Ok(())
+            }
+            // Lock busy: every packet drops back; retry next progress.
+            Err(NetError::Retry(_)) => Ok(()),
+            Err(NetError::Fatal(m)) => Err(FatalError::Net(m)),
+        }
     }
 
     /// Reacts to one completion (paper Figure 1, steps 4-8).
@@ -1016,57 +1062,9 @@ impl Device {
     fn handle_incoming(&self, cqe: Cqe, packet: Packet) -> Result<()> {
         let hdr = Header::decode(cqe.imm)?;
         match hdr.ty {
-            MsgType::Eager => {
-                let engine = &self.inner.rt.matching;
-                let key = engine.key_for(cqe.src_rank, hdr.tag, hdr.policy);
-                let entry = MatchEntry::UnexpEager {
-                    src: cqe.src_rank,
-                    tag: hdr.tag,
-                    packet,
-                    len: cqe.len,
-                };
-                if let Some((matched, mine)) = engine.insert(key, entry, MatchKind::Send) {
-                    DeviceStats::bump(&self.inner.stats.matched);
-                    let MatchEntry::Recv(recv) = matched else {
-                        return Err(FatalError::Net("eager matched non-recv".into()));
-                    };
-                    let MatchEntry::UnexpEager { src, tag, packet, len } = mine else {
-                        unreachable!()
-                    };
-                    let mut buf = recv.buf;
-                    if len > buf.len() {
-                        return Err(FatalError::InvalidArg(format!(
-                            "receive buffer too small: {} < {len}",
-                            buf.len()
-                        )));
-                    }
-                    buf[..len].copy_from_slice(&packet.as_slice()[..len]);
-                    recv.comp.signal(CompDesc {
-                        rank: src,
-                        tag,
-                        data: DataBuf::Partial(buf, len),
-                        user_ctx: recv.user_ctx,
-                        kind: CompKind::Recv,
-                    });
-                }
-                Ok(())
-            }
-            MsgType::EagerAm => {
-                let comp = self
-                    .inner
-                    .rt
-                    .rcomp
-                    .read(hdr.aux as usize)
-                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+            MsgType::Eager | MsgType::EagerAm => {
                 let len = cqe.len;
-                comp.signal(CompDesc {
-                    rank: cqe.src_rank,
-                    tag: hdr.tag,
-                    data: DataBuf::Packet(packet, len),
-                    user_ctx: 0,
-                    kind: CompKind::Am,
-                });
-                Ok(())
+                self.deliver_eager(cqe.src_rank, hdr, DataBuf::Packet(packet, len))
             }
             MsgType::RtsSr => {
                 let rts = RtsPayload::decode(&packet.as_slice()[..cqe.len])?;
@@ -1130,7 +1128,7 @@ impl Device {
                 self.signal_rcomp(hdr.aux, cqe.src_rank, hdr.tag)
             }
             MsgType::Coalesced => {
-                let subs = coalesce_unpack(&packet.as_slice()[..cqe.len])?;
+                let subs = coalesce_unpack_ranges(&packet.as_slice()[..cqe.len])?;
                 if hdr.aux as usize != subs.len() {
                     return Err(FatalError::Net(format!(
                         "coalesced frame count mismatch: header {} vs {}",
@@ -1138,8 +1136,25 @@ impl Device {
                         subs.len()
                     )));
                 }
-                for (sub_imm, payload) in subs {
-                    self.handle_coalesced_sub(cqe.src_rank, sub_imm, payload)?;
+                if self.inner.rt.config.zero_copy_recv {
+                    // Zero-copy demux: the frame packet becomes a shared
+                    // refcounted buffer and every sub-message is handed
+                    // out as a view into it; the slot returns to the pool
+                    // when the last view drops.
+                    let shared = packet.into_shared();
+                    for (sub_imm, r) in subs {
+                        let view = shared.view(r.start, r.end - r.start);
+                        let hdr = Header::decode(sub_imm)?;
+                        self.deliver_eager(cqe.src_rank, hdr, DataBuf::View(view))?;
+                    }
+                } else {
+                    // Ablation path (PR-1 behaviour): copy every
+                    // sub-payload out into an owned buffer.
+                    for (sub_imm, r) in subs {
+                        let data: Box<[u8]> = packet.as_slice()[r].into();
+                        let hdr = Header::decode(sub_imm)?;
+                        self.deliver_eager(cqe.src_rank, hdr, DataBuf::Owned(data))?;
+                    }
                 }
                 Ok(())
             }
@@ -1149,41 +1164,26 @@ impl Device {
         }
     }
 
-    /// One sub-message of a coalesced frame, fed through the same
-    /// matching/AM delivery as a standalone eager arrival. The shared
-    /// packet cannot be parked per-sub, so unmatched payloads are copied
-    /// out into owned buffers.
-    fn handle_coalesced_sub(&self, src: Rank, sub_imm: u64, payload: &[u8]) -> Result<()> {
-        let hdr = Header::decode(sub_imm)?;
+    /// Delivers one eager payload — a standalone arrival (packet-backed)
+    /// or one sub-message of a coalesced frame (view-backed, or an owned
+    /// copy when zero-copy delivery is disabled) — through the matching
+    /// engine (two-sided) or rcomp signaling (active message). The
+    /// payload is parked as-is on a miss; no copy happens until (unless)
+    /// a user-posted receive buffer consumes it.
+    fn deliver_eager(&self, src: Rank, hdr: Header, data: DataBuf) -> Result<()> {
         match hdr.ty {
             MsgType::Eager => {
                 let engine = &self.inner.rt.matching;
                 let key = engine.key_for(src, hdr.tag, hdr.policy);
-                let entry = MatchEntry::UnexpEagerOwned { src, tag: hdr.tag, data: payload.into() };
+                let entry = MatchEntry::UnexpEager { src, tag: hdr.tag, data };
                 if let Some((matched, mine)) = engine.insert(key, entry, MatchKind::Send) {
                     DeviceStats::bump(&self.inner.stats.matched);
                     let MatchEntry::Recv(recv) = matched else {
                         return Err(FatalError::Net("eager matched non-recv".into()));
                     };
-                    let MatchEntry::UnexpEagerOwned { src, tag, data } = mine else {
-                        unreachable!()
-                    };
-                    let mut buf = recv.buf;
-                    if data.len() > buf.len() {
-                        return Err(FatalError::InvalidArg(format!(
-                            "receive buffer too small: {} < {}",
-                            buf.len(),
-                            data.len()
-                        )));
-                    }
-                    buf[..data.len()].copy_from_slice(&data);
-                    recv.comp.signal(CompDesc {
-                        rank: src,
-                        tag,
-                        data: DataBuf::Partial(buf, data.len()),
-                        user_ctx: recv.user_ctx,
-                        kind: CompKind::Recv,
-                    });
+                    let MatchEntry::UnexpEager { src, tag, data } = mine else { unreachable!() };
+                    let (comp, desc) = self.finish_matched_recv(recv, src, tag, data)?;
+                    comp.signal(desc);
                 }
                 Ok(())
             }
@@ -1194,16 +1194,22 @@ impl Device {
                     .rcomp
                     .read(hdr.aux as usize)
                     .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+                match &data {
+                    DataBuf::Packet(..) | DataBuf::View(_) => {
+                        DeviceStats::bump(&self.inner.stats.zero_copy_deliveries);
+                    }
+                    _ => DeviceStats::bump(&self.inner.stats.copied_deliveries),
+                }
                 comp.signal(CompDesc {
                     rank: src,
                     tag: hdr.tag,
-                    data: DataBuf::Owned(payload.into()),
+                    data,
                     user_ctx: 0,
                     kind: CompKind::Am,
                 });
                 Ok(())
             }
-            other => Err(FatalError::Net(format!("invalid coalesced sub-message type {other:?}"))),
+            other => Err(FatalError::Net(format!("invalid eager payload type {other:?}"))),
         }
     }
 

@@ -100,7 +100,7 @@ pub use comp::Comp;
 pub use device::{Device, DeviceAttr};
 pub use error::{FatalError, PostResult, Result, RetryReason};
 pub use matching::{MatchKind, MatchingConfig, MatchingEngine};
-pub use packet_pool::{Packet, PacketPool, PacketPoolConfig};
+pub use packet_pool::{Packet, PacketPool, PacketPoolConfig, PacketView, SharedPacket};
 pub use post::CommBuilder;
 pub use runtime::{Runtime, RuntimeConfig};
 pub use stats::{DeviceStats, StatsSnapshot};

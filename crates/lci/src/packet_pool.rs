@@ -17,7 +17,7 @@ use crate::error::{FatalError, Result};
 use lci_fabric::sync::{MpmcArray, SpinLock};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Packets per allocation chunk.
@@ -157,6 +157,17 @@ impl Packet {
         }
         idx
     }
+
+    /// Converts this packet into a refcounted [`SharedPacket`] so many
+    /// read-only views can alias it; the slot returns to the pool when
+    /// the last view (and the `SharedPacket` itself) drops.
+    pub fn into_shared(self) -> SharedPacket {
+        let me = std::mem::ManuallyDrop::new(self);
+        // SAFETY: `me`'s Drop is suppressed and the fields are moved out
+        // exactly once; `SharedInner`'s Drop takes over slot ownership.
+        let shared = unsafe { std::ptr::read(&me.shared) };
+        SharedPacket { inner: Arc::new(SharedInner { shared, idx: me.idx, len: me.len }) }
+    }
 }
 
 impl std::fmt::Debug for Packet {
@@ -172,6 +183,117 @@ impl std::fmt::Debug for Packet {
 impl Drop for Packet {
     fn drop(&mut self) {
         PacketPool::put_idx(&self.shared, self.idx);
+    }
+}
+
+/// Shared ownership of one checked-out packet slot. Created by
+/// [`Packet::into_shared`]; dropped when the `SharedPacket` and every
+/// [`PacketView`] carved from it are gone, at which point the slot
+/// returns to the dropping thread's deque — exactly once.
+struct SharedInner {
+    shared: Arc<PoolShared>,
+    idx: u32,
+    len: usize,
+}
+
+impl Drop for SharedInner {
+    fn drop(&mut self) {
+        PacketPool::put_idx(&self.shared, self.idx);
+    }
+}
+
+/// A refcounted, read-only packet. One received packet (e.g. a coalesced
+/// frame) can back many sub-message [`PacketView`]s without copying; the
+/// underlying slot is released when the last handle drops.
+#[derive(Clone)]
+pub struct SharedPacket {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedPacket {
+    /// Logical payload length (as received).
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Read access to the payload.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: the slot stays checked out (and unaliased by writers)
+        // while any handle to this `SharedInner` is alive.
+        unsafe {
+            std::slice::from_raw_parts(self.inner.shared.packet_ptr(self.inner.idx), self.inner.len)
+        }
+    }
+
+    /// Carves a zero-copy sub-slice view out of this packet.
+    ///
+    /// # Panics
+    /// Panics if `off + len` exceeds the payload length.
+    pub fn view(&self, off: usize, len: usize) -> PacketView {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.inner.len),
+            "view {off}+{len} out of bounds for packet payload of {}",
+            self.inner.len
+        );
+        PacketView { inner: self.inner.clone(), off, len }
+    }
+}
+
+impl std::fmt::Debug for SharedPacket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPacket")
+            .field("idx", &self.inner.idx)
+            .field("len", &self.inner.len)
+            .field("refs", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+/// A zero-copy read-only slice of a [`SharedPacket`]. Holds a strong
+/// reference: the packet slot cannot be reused while any view is alive.
+#[derive(Clone)]
+pub struct PacketView {
+    inner: Arc<SharedInner>,
+    off: usize,
+    len: usize,
+}
+
+impl PacketView {
+    /// View length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read access to the viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: bounds checked at construction; slot stays checked out
+        // while this view is alive.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.inner.shared.packet_ptr(self.inner.idx).add(self.off),
+                self.len,
+            )
+        }
+    }
+}
+
+impl std::fmt::Debug for PacketView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketView")
+            .field("idx", &self.inner.idx)
+            .field("off", &self.off)
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -291,7 +413,13 @@ impl PacketPool {
     /// maps this to the `retry`/`NoPacket` status.
     pub fn get(&self) -> Option<Packet> {
         // Fast path: local tail pop (cache locality with recent puts).
-        let fast = self.with_local_deque(|deque| deque.try_lock().and_then(|mut q| q.pop_back()));
+        // Distinguish "locked" from "empty": when a thief holds our lock
+        // the deque may still have local packets, so retry with a
+        // blocking lock before paying for a steal round of our own.
+        let fast = self.with_local_deque(|deque| match deque.try_lock() {
+            Some(mut q) => q.pop_back(),
+            None => deque.lock().pop_back(),
+        });
         if let Some(idx) = fast {
             return Some(Packet { shared: self.shared.clone(), idx, len: 0 });
         }
@@ -350,8 +478,13 @@ impl std::fmt::Debug for PacketPool {
     }
 }
 
+/// Seed source for per-thread victim-selection RNGs.
+static NEXT_SEED: AtomicU64 = AtomicU64::new(1);
+
 /// Cheap per-thread xorshift for victim selection (no rand dependency on
-/// the critical path).
+/// the critical path). Seeded once per thread from a global counter run
+/// through a splitmix64 finalizer so consecutive thread seeds are
+/// decorrelated.
 fn rand_seed() -> usize {
     use std::cell::Cell;
     thread_local! {
@@ -360,8 +493,11 @@ fn rand_seed() -> usize {
     SEED.with(|s| {
         let mut x = s.get();
         if x == 0 {
-            // Derive an initial seed from the thread id.
-            x = std::thread::current().id().as_u64_hack();
+            let mut z =
+                NEXT_SEED.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x = (z ^ (z >> 31)) | 1;
         }
         x ^= x << 13;
         x ^= x >> 7;
@@ -369,21 +505,6 @@ fn rand_seed() -> usize {
         s.set(x);
         x as usize
     })
-}
-
-/// Extension to extract a numeric value from ThreadId on stable Rust.
-trait ThreadIdHack {
-    fn as_u64_hack(&self) -> u64;
-}
-
-impl ThreadIdHack for std::thread::ThreadId {
-    fn as_u64_hack(&self) -> u64 {
-        // Debug formatting is "ThreadId(N)"; parse N. Not hot: runs once
-        // per thread.
-        let s = format!("{self:?}");
-        let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
-        digits.parse::<u64>().unwrap_or(0x9E3779B97F4A7C15) | 1
-    }
 }
 
 #[cfg(test)]
@@ -464,6 +585,62 @@ mod tests {
             .collect();
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(total > 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn shared_views_release_slot_once() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 64, count: 2 }).unwrap();
+        let mut p = pool.get().unwrap();
+        p.fill(b"abcdefgh");
+        let shared = p.into_shared();
+        assert_eq!(pool.outstanding(), 1);
+        let v1 = shared.view(0, 4);
+        let v2 = shared.view(4, 4);
+        drop(shared);
+        assert_eq!(pool.outstanding(), 1, "views keep the slot checked out");
+        assert_eq!(v1.as_slice(), b"abcd");
+        assert_eq!(v2.as_slice(), b"efgh");
+        drop(v1);
+        assert_eq!(pool.outstanding(), 1);
+        drop(v2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn view_bounds_checked() {
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 16, count: 1 }).unwrap();
+        let mut p = pool.get().unwrap();
+        p.fill(&[7u8; 8]);
+        let shared = p.into_shared();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.view(4, 8)));
+        assert!(r.is_err(), "view past payload length must panic");
+        let v = shared.view(8, 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn local_get_succeeds_while_lock_contended() {
+        // Satellite regression: a busy local lock must not make `get`
+        // fail (or steal) when local packets exist. With a single
+        // packet that only ever lives on this thread's deque, `get`
+        // must succeed on every iteration even while another thread
+        // hammers every deque lock via `outstanding()`.
+        let pool = PacketPool::new(PacketPoolConfig { payload_size: 32, count: 1 }).unwrap();
+        let stop = Arc::new(AtomicUsize::new(0));
+        let pool2 = pool.clone();
+        let stop2 = stop.clone();
+        let t = std::thread::spawn(move || {
+            while stop2.load(Ordering::Relaxed) == 0 {
+                let _ = pool2.outstanding();
+            }
+        });
+        for _ in 0..20_000 {
+            let p = pool.get().expect("local packet present; lock-busy must retry, not fail");
+            drop(p);
+        }
+        stop.store(1, Ordering::Relaxed);
+        t.join().unwrap();
         assert_eq!(pool.outstanding(), 0);
     }
 

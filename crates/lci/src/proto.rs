@@ -201,10 +201,12 @@ pub fn coalesce_pack(frame: &mut Vec<u8>, sub_imm: u64, payload: &[u8]) {
     frame.extend_from_slice(payload);
 }
 
-/// Splits a coalesced frame back into `(sub_imm, payload)` records.
-/// Rejects truncated records and trailing garbage; an empty frame is
-/// rejected too (the sender never ships one).
-pub fn coalesce_unpack(frame: &[u8]) -> Result<Vec<(u64, &[u8])>> {
+/// Splits a coalesced frame into `(sub_imm, payload range)` records
+/// without borrowing the payload bytes — the zero-copy demux path uses
+/// the ranges to carve [`crate::PacketView`]s out of the backing packet.
+/// Validation is identical to [`coalesce_unpack`]: truncated records,
+/// trailing garbage and empty frames are rejected.
+pub fn coalesce_unpack_ranges(frame: &[u8]) -> Result<Vec<(u64, std::ops::Range<usize>)>> {
     if frame.is_empty() {
         return Err(FatalError::Net("empty coalesced frame".into()));
     }
@@ -223,10 +225,20 @@ pub fn coalesce_unpack(frame: &[u8]) -> Result<Vec<(u64, &[u8])>> {
                 frame.len() - at
             )));
         }
-        subs.push((sub_imm, &frame[at..at + len]));
+        subs.push((sub_imm, at..at + len));
         at += len;
     }
     Ok(subs)
+}
+
+/// Splits a coalesced frame back into `(sub_imm, payload)` records.
+/// Rejects truncated records and trailing garbage; an empty frame is
+/// rejected too (the sender never ships one).
+pub fn coalesce_unpack(frame: &[u8]) -> Result<Vec<(u64, &[u8])>> {
+    Ok(coalesce_unpack_ranges(frame)?
+        .into_iter()
+        .map(|(sub_imm, r)| (sub_imm, &frame[r]))
+        .collect())
 }
 
 #[cfg(test)]
@@ -283,6 +295,16 @@ mod tests {
         // Cut inside the last record's payload and inside its header.
         assert!(coalesce_unpack(&frame[..frame.len() - 1]).is_err());
         assert!(coalesce_unpack(&frame[..frame.len() - 105]).is_err());
+
+        // The range-based splitter agrees with the borrowing one.
+        let ranges = coalesce_unpack_ranges(&frame).unwrap();
+        assert_eq!(ranges.len(), subs.len());
+        for ((imm_a, payload), (imm_b, r)) in subs.iter().zip(&ranges) {
+            assert_eq!(imm_a, imm_b);
+            assert_eq!(*payload, &frame[r.clone()]);
+        }
+        assert!(coalesce_unpack_ranges(&[]).is_err());
+        assert!(coalesce_unpack_ranges(&frame[..frame.len() - 1]).is_err());
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct RuntimeConfig {
     pub eager_size: usize,
     /// Pre-posted receive target per device.
     pub prepost: usize,
+    /// Restock the pre-posted receives only when their count falls to
+    /// this low watermark (hysteresis), and then refill back to
+    /// [`prepost`](Self::prepost) with one batched posting call.
+    /// `None` (the default) uses half of `prepost`. A value equal to
+    /// `prepost` restores the old top-up-every-progress-call behaviour;
+    /// it must not exceed `prepost`.
+    pub prepost_watermark: Option<usize>,
     /// Matching-engine configuration.
     pub matching: MatchingConfig,
     /// Default completion-queue configuration.
@@ -48,6 +55,12 @@ pub struct RuntimeConfig {
     /// Sender-side small-message coalescing (off by default; see
     /// [`crate::coalesce`]).
     pub coalesce: CoalesceConfig,
+    /// Deliver eager payloads (AM completions, unexpected-message
+    /// parking) as zero-copy packet-backed views instead of owned
+    /// copies. A copy still happens when the user posted their own
+    /// receive buffer. On by default; the ablation knob to recover the
+    /// copying receive path.
+    pub zero_copy_recv: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -59,10 +72,12 @@ impl Default for RuntimeConfig {
             packet,
             inject_size: 64,
             prepost: 64,
+            prepost_watermark: None,
             matching: MatchingConfig::default(),
             cq: CqConfig::default(),
             progress_batch: 64,
             coalesce: CoalesceConfig::default(),
+            zero_copy_recv: true,
         }
     }
 }
@@ -77,6 +92,12 @@ impl RuntimeConfig {
     /// Preset for the ofi-like backend (endpoint lock; plays NCSA Delta).
     pub fn ofi() -> Self {
         Self { device: DeviceConfig::ofi(), ..Self::default() }
+    }
+
+    /// Effective low watermark for receive replenishment (see
+    /// [`prepost_watermark`](Self::prepost_watermark)).
+    pub fn effective_prepost_watermark(&self) -> usize {
+        self.prepost_watermark.unwrap_or(self.prepost / 2)
     }
 
     /// Scales pool/prepost sizes down, for tests and high-rank-count
@@ -121,6 +142,9 @@ impl Runtime {
             return Err(FatalError::InvalidArg(
                 "eager_size must not exceed packet payload size".into(),
             ));
+        }
+        if config.prepost_watermark.is_some_and(|w| w > config.prepost) {
+            return Err(FatalError::InvalidArg("prepost_watermark must not exceed prepost".into()));
         }
         if config.coalesce.enabled {
             if config.coalesce.max_bytes > config.packet.payload_size {

@@ -35,6 +35,15 @@ pub struct DeviceStats {
     pub batch_posts: AtomicU64,
     /// Messages posted through batched submissions.
     pub batch_posted_msgs: AtomicU64,
+    /// Eager payloads delivered zero-copy (packet- or view-backed).
+    pub zero_copy_deliveries: AtomicU64,
+    /// Eager payloads delivered through a copy (posted user buffer or
+    /// owned staging when zero-copy delivery is disabled).
+    pub copied_deliveries: AtomicU64,
+    /// Batched SRQ restocks (one SRQ/endpoint-lock acquisition each).
+    pub replenish_batches: AtomicU64,
+    /// Receive buffers posted through batched restocks.
+    pub replenish_posted: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DeviceStats`].
@@ -64,6 +73,14 @@ pub struct StatsSnapshot {
     pub batch_posts: u64,
     /// See [`DeviceStats::batch_posted_msgs`].
     pub batch_posted_msgs: u64,
+    /// See [`DeviceStats::zero_copy_deliveries`].
+    pub zero_copy_deliveries: u64,
+    /// See [`DeviceStats::copied_deliveries`].
+    pub copied_deliveries: u64,
+    /// See [`DeviceStats::replenish_batches`].
+    pub replenish_batches: u64,
+    /// See [`DeviceStats::replenish_posted`].
+    pub replenish_posted: u64,
 }
 
 impl DeviceStats {
@@ -92,6 +109,10 @@ impl DeviceStats {
             coalesce_flushes: self.coalesce_flushes.load(Ordering::Relaxed),
             batch_posts: self.batch_posts.load(Ordering::Relaxed),
             batch_posted_msgs: self.batch_posted_msgs.load(Ordering::Relaxed),
+            zero_copy_deliveries: self.zero_copy_deliveries.load(Ordering::Relaxed),
+            copied_deliveries: self.copied_deliveries.load(Ordering::Relaxed),
+            replenish_batches: self.replenish_batches.load(Ordering::Relaxed),
+            replenish_posted: self.replenish_posted.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +133,10 @@ impl StatsSnapshot {
             coalesce_flushes: self.coalesce_flushes - earlier.coalesce_flushes,
             batch_posts: self.batch_posts - earlier.batch_posts,
             batch_posted_msgs: self.batch_posted_msgs - earlier.batch_posted_msgs,
+            zero_copy_deliveries: self.zero_copy_deliveries - earlier.zero_copy_deliveries,
+            copied_deliveries: self.copied_deliveries - earlier.copied_deliveries,
+            replenish_batches: self.replenish_batches - earlier.replenish_batches,
+            replenish_posted: self.replenish_posted - earlier.replenish_posted,
         }
     }
 
@@ -140,6 +165,15 @@ impl StatsSnapshot {
             0.0
         } else {
             self.batch_posted_msgs as f64 / self.batch_posts as f64
+        }
+    }
+
+    /// Average receive buffers per batched SRQ restock (0 when none ran).
+    pub fn avg_replenish_fill(&self) -> f64 {
+        if self.replenish_batches == 0 {
+            0.0
+        } else {
+            self.replenish_posted as f64 / self.replenish_batches as f64
         }
     }
 }

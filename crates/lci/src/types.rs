@@ -1,6 +1,6 @@
 //! Core value types of the LCI interface.
 
-use crate::packet_pool::Packet;
+use crate::packet_pool::{Packet, PacketView};
 
 /// Process index (see DESIGN.md: ranks are threads of one process in this
 /// reproduction).
@@ -70,8 +70,15 @@ pub enum Direction {
 /// convention with owned buffers: the buffer travels with the operation
 /// and comes back in the completion descriptor, where the user can reuse
 /// or drop it.
+/// Payloads at most this long borrowed as `&[u8]` are stored inline in
+/// the [`SendBuf`] itself — no heap allocation on the small-send fast
+/// path.
+pub const SENDBUF_INLINE_CAP: usize = 24;
+
 #[derive(Debug)]
 pub enum SendBuf {
+    /// A small payload stored inline (no allocation).
+    Inline([u8; SENDBUF_INLINE_CAP], u8),
     /// An owned heap buffer (zero-copy for rendezvous-size messages).
     Owned(Box<[u8]>),
     /// An explicitly-assembled packet (§3.3.1): saves the staging copy of
@@ -86,6 +93,7 @@ impl SendBuf {
     /// Total payload length in bytes.
     pub fn len(&self) -> usize {
         match self {
+            SendBuf::Inline(_, len) => *len as usize,
             SendBuf::Owned(b) => b.len(),
             SendBuf::Packet(p) => p.len(),
             SendBuf::Iovec(v) => v.iter().map(|b| b.len()).sum(),
@@ -100,6 +108,7 @@ impl SendBuf {
     /// A contiguous view when one exists without copying.
     pub fn as_contiguous(&self) -> Option<&[u8]> {
         match self {
+            SendBuf::Inline(b, len) => Some(&b[..*len as usize]),
             SendBuf::Owned(b) => Some(b),
             // Only the filled prefix of a packet is message payload.
             SendBuf::Packet(p) => Some(&p.as_slice()[..p.len()]),
@@ -141,7 +150,13 @@ impl From<Box<[u8]>> for SendBuf {
 
 impl From<&[u8]> for SendBuf {
     fn from(s: &[u8]) -> Self {
-        SendBuf::Owned(s.into())
+        if s.len() <= SENDBUF_INLINE_CAP {
+            let mut buf = [0u8; SENDBUF_INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s);
+            SendBuf::Inline(buf, s.len() as u8)
+        } else {
+            SendBuf::Owned(s.into())
+        }
     }
 }
 
@@ -168,6 +183,10 @@ pub enum DataBuf {
     /// Data delivered in an LCI packet (§3.3.1); returning the packet to
     /// the pool happens automatically when this is dropped.
     Packet(Packet, usize),
+    /// A zero-copy view of a shared packet (one coalesced frame backs
+    /// many sub-message views); the packet slot returns to the pool when
+    /// the last view drops.
+    View(PacketView),
     /// An owned buffer of which only the first `len` bytes are message
     /// data (zero-copy receives into a larger posted buffer).
     Partial(Box<[u8]>, usize),
@@ -182,6 +201,7 @@ impl DataBuf {
             DataBuf::Empty => &[],
             DataBuf::Owned(b) => b,
             DataBuf::Packet(p, len) => &p.as_slice()[..*len],
+            DataBuf::View(v) => v.as_slice(),
             DataBuf::Partial(b, len) => &b[..*len],
             DataBuf::SendBuf(s) => s.as_contiguous().unwrap_or(&[]),
         }
@@ -193,6 +213,7 @@ impl DataBuf {
             DataBuf::Empty => 0,
             DataBuf::Owned(b) => b.len(),
             DataBuf::Packet(_, len) => *len,
+            DataBuf::View(v) => v.len(),
             DataBuf::Partial(_, len) => *len,
             DataBuf::SendBuf(s) => s.len(),
         }
@@ -209,6 +230,7 @@ impl DataBuf {
             DataBuf::Empty => Vec::new(),
             DataBuf::Owned(b) => b.into_vec(),
             DataBuf::Packet(p, len) => p.as_slice()[..len].to_vec(),
+            DataBuf::View(v) => v.as_slice().to_vec(),
             DataBuf::Partial(b, len) => {
                 let mut v = b.into_vec();
                 v.truncate(len);
@@ -291,6 +313,15 @@ mod tests {
         let s: SendBuf = vec![1u8, 2, 3].into();
         assert_eq!(s.len(), 3);
         assert_eq!(s.as_contiguous().unwrap(), &[1, 2, 3]);
+
+        let small: SendBuf = [7u8; 8].as_slice().into();
+        assert!(matches!(small, SendBuf::Inline(..)), "small slices must not allocate");
+        assert_eq!(small.len(), 8);
+        assert_eq!(small.as_contiguous().unwrap(), &[7u8; 8]);
+
+        let big: SendBuf = [7u8; SENDBUF_INLINE_CAP + 1].as_slice().into();
+        assert!(matches!(big, SendBuf::Owned(_)));
+        assert_eq!(big.len(), SENDBUF_INLINE_CAP + 1);
 
         let iov: SendBuf =
             vec![vec![1u8].into_boxed_slice(), vec![2u8, 3].into_boxed_slice()].into();

@@ -82,6 +82,9 @@ pub struct WorldConfig {
     /// Sender-side small-message coalescing (LCI backend only; the
     /// other libraries have no equivalent and ignore it).
     pub coalesce: lci::CoalesceConfig,
+    /// Zero-copy eager delivery on the receive side (LCI backend only;
+    /// the other libraries always copy into staging buffers).
+    pub zero_copy: bool,
 }
 
 impl WorldConfig {
@@ -94,6 +97,7 @@ impl WorldConfig {
             eager_size: 8192,
             pool_packets: 512,
             coalesce: lci::CoalesceConfig::default(),
+            zero_copy: true,
         }
     }
 
@@ -102,6 +106,13 @@ impl WorldConfig {
     /// above `eager_size` are capped at world-creation time.
     pub fn with_coalescing(mut self, max_bytes: usize) -> Self {
         self.coalesce = lci::CoalesceConfig::enabled_with_bytes(max_bytes);
+        self
+    }
+
+    /// Selects zero-copy vs copying eager delivery on the receive side
+    /// (LCI backend only) — the ablation knob for the receive path.
+    pub fn with_zero_copy(mut self, on: bool) -> Self {
+        self.zero_copy = on;
         self
     }
 }
@@ -168,6 +179,7 @@ impl World {
                     prepost: 64,
                     matching: lci::MatchingConfig { buckets: 1024 },
                     coalesce,
+                    zero_copy_recv: cfg.zero_copy,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
