@@ -15,9 +15,14 @@
 //! 7. **Zero-copy receive demux** — coalesced streaming with refcounted
 //!    view delivery vs the copying ablation path, with receiver stats
 //!    proving which path ran (zero-copy deliveries, batched-replenish
-//!    fill).
+//!    fill);
+//! 8. **Large-message pipeline** (§4.6) — rendezvous bandwidth with
+//!    chunked pipelined writes and the registration cache each toggled
+//!    independently, on both simulated backends.
 
-use bench::{env_usize, iters, print_header, print_row, quick, thread_sweep};
+use bench::{
+    bandwidth_thread_based_cfg, env_usize, iters, print_header, print_row, quick, thread_sweep,
+};
 use kmer::{run_rank, KmerConfig, ReadSetConfig};
 use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingConfig, MatchingEngine};
 use lci_fabric::sync::LockDiscipline;
@@ -232,6 +237,41 @@ fn main() {
                 (if zc { "view" } else { "copy" }).into(),
                 format!("{rate:.2}"),
             ]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 8. Large-message pipeline: rendezvous bandwidth with the chunked
+    // pipeline and the registration cache toggled independently. Both
+    // knobs off recovers the pre-pipeline path (monolithic write,
+    // register/deregister per transfer).
+    // ------------------------------------------------------------------
+    print_header(
+        "Ablation: large-message pipeline (rendezvous bandwidth)",
+        &["platform", "size", "chunked", "reg_cache", "threads", "MiB/s"],
+    );
+    let rdv_iters = if quick() { 10 } else { env_usize("BENCH_BW_ITERS", 40) };
+    let rdv_threads = if quick() { 1 } else { 2 };
+    for platform in [Platform::Expanse, Platform::Delta] {
+        for size in [256 * 1024usize, 1 << 20] {
+            for (chunked, cache) in [(false, false), (false, true), (true, false), (true, true)] {
+                let cfg = WorldConfig::new(
+                    BackendKind::Lci,
+                    platform,
+                    ResourceMode::Dedicated(rdv_threads),
+                )
+                .with_rdv_chunking(chunked)
+                .with_reg_cache(cache);
+                let bw = bandwidth_thread_based_cfg(cfg, rdv_threads, size, rdv_iters);
+                print_row(&[
+                    bench::platform_name(platform).into(),
+                    size.to_string(),
+                    (if chunked { "on" } else { "off" }).into(),
+                    (if cache { "on" } else { "off" }).into(),
+                    rdv_threads.to_string(),
+                    format!("{bw:.1}"),
+                ]);
+            }
         }
     }
 }

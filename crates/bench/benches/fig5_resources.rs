@@ -14,11 +14,18 @@
 //! The paper's conclusion to reproduce: packet pool ≻ matching engine ≻
 //! completion queue, with the CQ the only resource worth replicating
 //! per thread.
+//!
+//! A closing section exercises the large-message pipeline (DESIGN.md
+//! §4.6) on both simulated backends and reports its counters: chunk
+//! posts, the in-flight high-water mark, scratch-ring reuse, and the
+//! registration-cache hit/miss/eviction totals.
 
 use bench::{env_usize, print_header, print_row, quick, thread_sweep};
 use lci::{
-    CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool, PacketPoolConfig,
+    Comp, CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingEngine, PacketPool,
+    PacketPoolConfig, PostResult, Runtime, RuntimeConfig,
 };
+use lci_fabric::Fabric;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -87,4 +94,107 @@ fn main() {
         });
         print_row(&[t.to_string(), "packet_pool".into(), format!("{mops:.2}")]);
     }
+
+    // Large-message pipeline counters: stream rendezvous transfers
+    // (contiguous and gathered iovec) and report what the pipeline and
+    // the registration cache did.
+    print_header(
+        "Rendezvous pipeline counters (sender | receiver)",
+        &[
+            "backend",
+            "transfers",
+            "chunks",
+            "inflight_hwm",
+            "scratch_reuse",
+            "rdv_retried",
+            "reg_hits",
+            "reg_miss",
+            "reg_evict",
+            "hit_rate",
+        ],
+    );
+    let transfers = if quick() { 16 } else { 64 };
+    for (name, cfg) in
+        [("ibv-sim", RuntimeConfig::ibv as fn() -> RuntimeConfig), ("ofi-sim", RuntimeConfig::ofi)]
+    {
+        let (s, r) = rendezvous_counters(cfg, transfers);
+        print_row(&[
+            name.into(),
+            transfers.to_string(),
+            s.rdv_chunks_posted.to_string(),
+            s.rdv_inflight_hwm.to_string(),
+            s.rdv_scratch_reuses.to_string(),
+            s.rendezvous_retried.to_string(),
+            r.reg_cache_hits.to_string(),
+            r.reg_cache_misses.to_string(),
+            r.reg_cache_evictions.to_string(),
+            format!("{:.2}", r.reg_cache_hit_rate()),
+        ]);
+    }
+}
+
+/// Streams `transfers` 256 KiB rendezvous messages (alternating
+/// contiguous and 4-segment iovec payloads) rank 0 → rank 1 with the
+/// receive buffer recycled; returns (sender stats, receiver stats).
+fn rendezvous_counters(
+    mkcfg: fn() -> RuntimeConfig,
+    transfers: usize,
+) -> (lci::StatsSnapshot, lci::StatsSnapshot) {
+    // 16 chunks at the default 64 KiB chunk size: more chunks than the
+    // in-flight window, so the scratch ring actually cycles.
+    const SIZE: usize = 1 << 20;
+    let fabric = Fabric::new(2);
+    let f2 = fabric.clone();
+    let receiver = std::thread::spawn(move || {
+        let rt = Runtime::new(f2, 1, mkcfg()).unwrap();
+        rt.oob_barrier();
+        let mut buf = vec![0u8; SIZE];
+        for i in 0..transfers {
+            let comp = Comp::alloc_sync(1);
+            let desc = match rt.post_recv(0, buf, i as u32, comp.clone()).unwrap() {
+                PostResult::Done(d) => d,
+                PostResult::Posted => {
+                    let sync = comp.as_sync().unwrap();
+                    while !sync.test() {
+                        rt.progress().unwrap();
+                    }
+                    sync.take().pop().unwrap()
+                }
+                PostResult::Retry(_) => unreachable!("recv never retries"),
+            };
+            buf = desc.data.into_vec();
+        }
+        let stats = rt.device().stats();
+        rt.oob_barrier();
+        stats
+    });
+    let rt = Runtime::new(fabric, 0, mkcfg()).unwrap();
+    rt.oob_barrier();
+    for i in 0..transfers {
+        let comp = Comp::alloc_sync(1);
+        let posted = loop {
+            let res = if i % 2 == 0 {
+                rt.post_send(1, vec![i as u8; SIZE], i as u32, comp.clone()).unwrap()
+            } else {
+                let segs: Vec<Box<[u8]>> =
+                    (0..4).map(|s| vec![s as u8; SIZE / 4].into_boxed_slice()).collect();
+                rt.post_send(1, segs, i as u32, comp.clone()).unwrap()
+            };
+            match res {
+                PostResult::Done(_) => break false,
+                PostResult::Posted => break true,
+                PostResult::Retry(_) => {
+                    rt.progress().unwrap();
+                }
+            }
+        };
+        if posted {
+            comp.as_sync().unwrap().wait_with(|| {
+                rt.progress().unwrap();
+            });
+        }
+    }
+    let stats = rt.device().stats();
+    rt.oob_barrier();
+    (stats, receiver.join().unwrap())
 }

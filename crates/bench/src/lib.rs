@@ -259,9 +259,21 @@ pub fn bandwidth_thread_based(
     size: usize,
     iters: usize,
 ) -> f64 {
+    let cfg = WorldConfig::new(backend, platform, mode);
+    bandwidth_thread_based_cfg(cfg, nthreads, size, iters)
+}
+
+/// [`bandwidth_thread_based`] with an explicit [`WorldConfig`] — the
+/// entry point for ablations that toggle config knobs (rendezvous
+/// chunking, the registration cache, ...).
+pub fn bandwidth_thread_based_cfg(
+    cfg: WorldConfig,
+    nthreads: usize,
+    size: usize,
+    iters: usize,
+) -> f64 {
     const WINDOW: usize = 8;
     let fabric = Fabric::new(2);
-    let cfg = WorldConfig::new(backend, platform, mode);
     let elapsed = Arc::new(AtomicU64::new(0));
 
     let mk_rank = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<AtomicU64>| {

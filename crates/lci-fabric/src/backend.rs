@@ -11,6 +11,7 @@
 
 use crate::fabric::{Fabric, RxEndpoint, DEFAULT_RX_CAPACITY};
 use crate::mem::{MemoryRegion, Rkey};
+use crate::reg_cache::{RegCacheConfig, RegCacheStats};
 use crate::sim_ibv::IbvDevice;
 use crate::sim_ofi::OfiDevice;
 use crate::sync::LockDiscipline;
@@ -67,6 +68,9 @@ pub struct DeviceConfig {
     /// amortize the lock acquisition over more deliveries; smaller
     /// values bound the time any single poll can monopolize the lock.
     pub cq_drain_batch: usize,
+    /// Memory-registration cache (see [`crate::reg_cache`]). Shared by
+    /// both backends; disable for the per-message-registration ablation.
+    pub reg_cache: RegCacheConfig,
 }
 
 impl Default for DeviceConfig {
@@ -77,6 +81,7 @@ impl Default for DeviceConfig {
             discipline: LockDiscipline::TryLock,
             rx_capacity: DEFAULT_RX_CAPACITY,
             cq_drain_batch: 64,
+            reg_cache: RegCacheConfig::default(),
         }
     }
 }
@@ -113,6 +118,19 @@ impl DeviceConfig {
     /// Sets the per-poll inbound delivery budget.
     pub fn with_cq_drain_batch(mut self, n: usize) -> Self {
         self.cq_drain_batch = n.max(1);
+        self
+    }
+
+    /// Enables or disables the registration cache.
+    pub fn with_reg_cache(mut self, enabled: bool) -> Self {
+        self.reg_cache.enabled = enabled;
+        self
+    }
+
+    /// Sets the registration-cache bounds.
+    pub fn with_reg_cache_bounds(mut self, max_entries: usize, max_bytes: usize) -> Self {
+        self.reg_cache.max_entries = max_entries;
+        self.reg_cache.max_bytes = max_bytes;
         self
     }
 }
@@ -241,11 +259,21 @@ pub trait NetDevice: Send + Sync {
         offset: usize,
     ) -> NetResult<()>;
 
-    /// Registers local memory for remote access.
+    /// Registers local memory for remote access. Goes through the
+    /// device's registration cache when one is enabled (see
+    /// [`crate::reg_cache`]), so repeat registrations of the same buffer
+    /// are hits.
     fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion>;
 
-    /// Deregisters a region.
+    /// Deregisters a region. With a registration cache this is a cached
+    /// *release*: the registration stays alive for reuse until evicted.
     fn deregister(&self, mr: &MemoryRegion) -> NetResult<()>;
+
+    /// Registration-cache counters for this device; all-zero when the
+    /// device has no cache (or it is disabled).
+    fn reg_cache_stats(&self) -> RegCacheStats {
+        RegCacheStats::default()
+    }
 
     /// Number of currently pre-posted receives (used by the LCI progress
     /// engine to decide when to replenish).

@@ -53,6 +53,7 @@
 pub mod backend;
 pub mod fabric;
 pub mod mem;
+pub mod reg_cache;
 pub mod sim_ibv;
 pub mod sim_ofi;
 pub mod sync;
@@ -61,4 +62,5 @@ pub mod types;
 pub use backend::{BackendKind, DeviceConfig, NetContext, NetDevice, SendDesc, TdStrategy};
 pub use fabric::Fabric;
 pub use mem::{MemoryRegion, Rkey};
+pub use reg_cache::{RegCache, RegCacheConfig, RegCacheStats};
 pub use types::{Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason};

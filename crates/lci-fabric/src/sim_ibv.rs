@@ -8,9 +8,12 @@
 //!   (pollers contend with each other, *not* with posters — the NIC
 //!   writes CQEs by DMA, modelled as a lock-free staging queue);
 //! * the **shared receive queue** has its own lock;
-//! * memory (de)registration takes no locks beyond the registration
-//!   table's internal append lock (the paper notes ibv registration
-//!   acquires no locks).
+//! * memory (de)registration takes no backend locks beyond the
+//!   registration table's internal append lock (the paper notes ibv
+//!   registration acquires no locks). When the device-level
+//!   [registration cache](crate::reg_cache) is enabled (the default),
+//!   its mutex sits in front — a deliberate trade: one short cache
+//!   mutex hold replaces a registration-table append per message.
 //!
 //! The `ibv_td_strategy` attribute controls QP lock sharing:
 //! `per_qp` gives every QP its own trylock-wrapped lock; `all_qp` shares
@@ -25,6 +28,7 @@
 use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc, TdStrategy};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
+use crate::reg_cache::{RegCache, RegCacheStats};
 use crate::sync::{LockDiscipline, SpinLock};
 use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
@@ -63,6 +67,8 @@ pub struct IbvDevice {
     cq: SpinLock<VecDeque<Cqe>>,
     /// The shared receive queue and its spinlock.
     srq: SpinLock<VecDeque<RecvBufDesc>>,
+    /// Registration cache (per device, like a provider's domain cache).
+    reg_cache: RegCache,
     posted_recvs: AtomicUsize,
 }
 
@@ -103,6 +109,7 @@ impl IbvDevice {
             cq_staging: SegQueue::new(),
             cq: SpinLock::new(VecDeque::new()),
             srq: SpinLock::new(VecDeque::new()),
+            reg_cache: RegCache::new(cfg.reg_cache),
             posted_recvs: AtomicUsize::new(0),
         }
     }
@@ -318,13 +325,18 @@ impl NetDevice for IbvDevice {
 
     fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion> {
         // ibv memory registration acquires no backend locks (paper
-        // §4.2.3); the table's internal append lock is the only one.
-        Ok(self.fabric.mem().register(self.rank, ptr, len))
+        // §4.2.3); with the cache disabled the table's internal append
+        // lock is the only one.
+        Ok(self.reg_cache.register(self.fabric.mem(), self.rank, ptr, len))
     }
 
     fn deregister(&self, mr: &MemoryRegion) -> NetResult<()> {
-        self.fabric.mem().deregister(mr);
+        self.reg_cache.release(self.fabric.mem(), mr);
         Ok(())
+    }
+
+    fn reg_cache_stats(&self) -> RegCacheStats {
+        self.reg_cache.stats()
     }
 
     fn posted_recvs(&self) -> usize {

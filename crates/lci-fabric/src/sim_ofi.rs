@@ -15,13 +15,13 @@
 use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
+use crate::reg_cache::{RegCache, RegCacheStats};
 use crate::sync::SpinLock;
 use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
     WirePayload,
 };
-use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -41,8 +41,9 @@ pub struct OfiDevice {
     rx: Arc<RxEndpoint>,
     /// The single endpoint lock (paper §4.2.4): post and poll serialize.
     ep: SpinLock<EpState>,
-    /// Per-domain registration cache behind a mutex.
-    reg_cache: Mutex<HashMap<(usize, usize), MemoryRegion>>,
+    /// Per-domain registration cache behind a mutex (see
+    /// [`crate::reg_cache`]).
+    reg_cache: RegCache,
     posted_recvs: AtomicUsize,
 }
 
@@ -63,7 +64,7 @@ impl OfiDevice {
             cfg,
             rx,
             ep: SpinLock::new(EpState { srq: VecDeque::new(), cq: VecDeque::new(), posted: 0 }),
-            reg_cache: Mutex::new(HashMap::new()),
+            reg_cache: RegCache::new(cfg.reg_cache),
             posted_recvs: AtomicUsize::new(0),
         }
     }
@@ -244,21 +245,16 @@ impl NetDevice for OfiDevice {
     fn register(&self, ptr: *const u8, len: usize) -> NetResult<MemoryRegion> {
         // The registration cache mutex is acquired blockingly: LCI has no
         // way to back-propagate a registration retry (paper §4.2.4).
-        let mut cache = self.reg_cache.lock();
-        let key = (ptr as usize, len);
-        if let Some(mr) = cache.get(&key) {
-            return Ok(*mr);
-        }
-        let mr = self.fabric.mem().register(self.rank, ptr, len);
-        cache.insert(key, mr);
-        Ok(mr)
+        Ok(self.reg_cache.register(self.fabric.mem(), self.rank, ptr, len))
     }
 
     fn deregister(&self, mr: &MemoryRegion) -> NetResult<()> {
-        let mut cache = self.reg_cache.lock();
-        cache.remove(&(mr.base, mr.len));
-        self.fabric.mem().deregister(mr);
+        self.reg_cache.release(self.fabric.mem(), mr);
         Ok(())
+    }
+
+    fn reg_cache_stats(&self) -> RegCacheStats {
+        self.reg_cache.stats()
     }
 
     fn posted_recvs(&self) -> usize {
@@ -390,8 +386,13 @@ mod tests {
         let b = d0.register(buf.as_ptr(), buf.len()).unwrap();
         assert_eq!(a.rkey, b.rkey, "cache should return the same registration");
         d0.deregister(&a).unwrap();
+        d0.deregister(&b).unwrap();
         let c = d0.register(buf.as_ptr(), buf.len()).unwrap();
-        assert_ne!(a.rkey, c.rkey, "after dereg a fresh registration is made");
+        assert_eq!(a.rkey, c.rkey, "deregister releases: the cached registration is reused");
+        assert_eq!(
+            d0.reg_cache_stats(),
+            crate::reg_cache::RegCacheStats { hits: 2, misses: 1, evictions: 0 }
+        );
     }
 
     #[test]

@@ -7,19 +7,21 @@
 //! a spinlock; an atomic flag saves the progress engine from polling an
 //! empty backlog.
 
+use crate::device::RdvActive;
 use crate::types::Rank;
 use lci_fabric::sync::SpinLock;
-use lci_fabric::{DevId, Rkey};
+use lci_fabric::DevId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A postponed request.
 pub(crate) enum Backlogged {
     /// An eager control/data message to (rank, dev): payload + header.
     Ctrl { target: Rank, target_dev: DevId, payload: Vec<u8>, imm: u64 },
-    /// The rendezvous data write: payload written to (rkey, 0) with an
-    /// immediate FIN.
-    RdvWrite { target: Rank, target_dev: DevId, send_id: u32, rkey: Rkey, imm: u64 },
+    /// A stalled pipelined rendezvous transfer: the chunk pump hit a full
+    /// wire with nothing in flight to re-drive it.
+    RdvPump { active: Arc<RdvActive> },
     /// A user-level eager send whose retry was disallowed at post time.
     /// The flattened payload rides here; the in-flight operation context
     /// (buffer + completion) rides in `ctx`.
@@ -27,12 +29,12 @@ pub(crate) enum Backlogged {
 }
 
 /// The batching key of a plain send, or `None` for requests that must
-/// post individually (rendezvous writes).
+/// post individually (rendezvous chunk pumps).
 fn send_dest(item: &Backlogged) -> Option<(Rank, DevId)> {
     match item {
         Backlogged::Ctrl { target, target_dev, .. }
         | Backlogged::UserSend { target, target_dev, .. } => Some((*target, *target_dev)),
-        Backlogged::RdvWrite { .. } => None,
+        Backlogged::RdvPump { .. } => None,
     }
 }
 
@@ -149,8 +151,8 @@ mod tests {
     fn imm_of(b: &Backlogged) -> u64 {
         match b {
             Backlogged::Ctrl { imm, .. } => *imm,
-            Backlogged::RdvWrite { imm, .. } => *imm,
             Backlogged::UserSend { imm, .. } => *imm,
+            Backlogged::RdvPump { .. } => u64::MAX,
         }
     }
 
@@ -193,17 +195,11 @@ mod tests {
     }
 
     #[test]
-    fn pop_run_never_groups_rdv_writes() {
+    fn pop_run_never_groups_rdv_pumps() {
         let b = Backlog::new();
-        let rdv = |imm| Backlogged::RdvWrite {
-            target: 1,
-            target_dev: 0,
-            send_id: 0,
-            rkey: lci_fabric::Rkey(0),
-            imm,
-        };
-        b.push(rdv(1));
-        b.push(rdv(2));
+        let rdv = || Backlogged::RdvPump { active: Arc::new(RdvActive::test_stub()) };
+        b.push(rdv());
+        b.push(rdv());
         assert_eq!(b.pop_run(16).len(), 1);
         assert_eq!(b.pop_run(16).len(), 1);
     }

@@ -20,11 +20,12 @@ use crate::stats::DeviceStats;
 use crate::types::{
     CompDesc, CompKind, DataBuf, Direction, MatchingPolicy, RComp, Rank, SendBuf, Tag,
 };
-use crate::util::Slab;
+use crate::util::ShardedSlab;
 use lci_fabric::sync::SpinLock;
 use lci_fabric::{
     Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, RecvBufDesc, Rkey, SendDesc,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Longest run of backlogged sends submitted as one fabric batch.
@@ -53,16 +54,107 @@ pub(crate) struct RecvEntry {
     pub device: Device,
 }
 
-/// A pending zero-copy send (RTS issued, waiting for RTR).
+/// A pending zero-copy send (RTS issued, waiting for RTR). Non-contiguous
+/// payloads are *not* flattened here: the chunk pump gathers them
+/// per-chunk into a scratch ring once the transfer goes active.
 struct RdvSend {
     buf: SendBuf,
-    /// Flattened contiguous payload (kept alive for the RDMA write; for
-    /// contiguous `buf` this is empty and `buf` is used directly).
-    flat: Option<Box<[u8]>>,
     comp: Option<Comp>,
-    rank: Rank,
     tag: Tag,
     user_ctx: u64,
+}
+
+/// An active pipelined rendezvous send: RTR received, chunks being
+/// written (DESIGN.md §4.6). All continuation state lives here — per
+/// transfer, behind its own lock — so the chunk-completion hot path
+/// acquires no table locks.
+pub(crate) struct RdvActive {
+    target: Rank,
+    target_dev: DevId,
+    rkey: Rkey,
+    /// FIN immediate; rides the last chunk's write.
+    fin_imm: u64,
+    total: usize,
+    chunk: usize,
+    nchunks: usize,
+    max_inflight: usize,
+    tag: Tag,
+    user_ctx: u64,
+    /// Chunks posted but not yet completed.
+    inflight: AtomicUsize,
+    pump: SpinLock<RdvPump>,
+}
+
+/// Cursor and buffers of one transfer's chunk pump.
+struct RdvPump {
+    buf: Option<SendBuf>,
+    comp: Option<Comp>,
+    /// Next byte offset to post.
+    next: usize,
+    /// Chunks whose completion has been handled.
+    done: usize,
+    /// Iovec gather cursor: segment index, offset within segment.
+    seg: usize,
+    seg_off: usize,
+    /// Reusable gather ring for non-contiguous payloads, one slot per
+    /// inflight window position; empty for contiguous payloads.
+    scratch: Vec<ScratchSlot>,
+}
+
+/// One gather buffer of the scratch ring.
+#[derive(Default)]
+struct ScratchSlot {
+    buf: Option<Box<[u8]>>,
+    /// Owned by an in-flight chunk write; reusable after its CQE.
+    busy: bool,
+}
+
+#[cfg(test)]
+impl RdvActive {
+    /// A dummy transfer for backlog unit tests.
+    pub(crate) fn test_stub() -> Self {
+        RdvActive {
+            target: 0,
+            target_dev: 0,
+            rkey: Rkey(0),
+            fin_imm: 0,
+            total: 0,
+            chunk: 1,
+            nchunks: 0,
+            max_inflight: 1,
+            tag: 0,
+            user_ctx: 0,
+            inflight: AtomicUsize::new(0),
+            pump: SpinLock::new(RdvPump {
+                buf: None,
+                comp: None,
+                next: 0,
+                done: 0,
+                seg: 0,
+                seg_off: 0,
+                scratch: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// Copies `out.len()` bytes out of `segs` starting at the (`seg`,
+/// `seg_off`) cursor, advancing the cursor.
+fn gather_iovec(segs: &[Box<[u8]>], seg: &mut usize, seg_off: &mut usize, out: &mut [u8]) {
+    let mut filled = 0;
+    while filled < out.len() {
+        let s = &segs[*seg];
+        let avail = s.len() - *seg_off;
+        if avail == 0 {
+            *seg += 1;
+            *seg_off = 0;
+            continue;
+        }
+        let take = avail.min(out.len() - filled);
+        out[filled..filled + take].copy_from_slice(&s[*seg_off..*seg_off + take]);
+        filled += take;
+        *seg_off += take;
+    }
 }
 
 /// A pending zero-copy receive (RTR issued, waiting for FIN).
@@ -87,8 +179,11 @@ enum OpCtx {
         tag: Tag,
         user_ctx: u64,
     },
-    RdvWrite {
-        send_id: u32,
+    RdvChunk {
+        active: Arc<RdvActive>,
+        /// Scratch-ring slot this chunk's gather copy occupies (iovec
+        /// payloads only); freed when the chunk completes.
+        slot: Option<usize>,
     },
     Put {
         comp: Option<Comp>,
@@ -123,8 +218,12 @@ pub(crate) struct DeviceInner {
     pub net: Arc<dyn NetDevice>,
     backlog: Backlog,
     coalescer: Coalescer,
-    rdv_sends: SpinLock<Slab<RdvSend>>,
-    rdv_recvs: SpinLock<Slab<RdvRecv>>,
+    rdv_sends: ShardedSlab<RdvSend>,
+    rdv_recvs: ShardedSlab<RdvRecv>,
+    /// Transfers past RTR (chunks in flight): no longer in `rdv_sends`
+    /// but not yet complete. Keeps `pending_rendezvous` (and lcw
+    /// quiescence) truthful.
+    rdv_active: AtomicUsize,
     stats: DeviceStats,
 }
 
@@ -171,14 +270,16 @@ impl Device {
     pub(crate) fn create(rt: Arc<RuntimeInner>) -> Result<Device> {
         let net = rt.netctx.create_device(rt.config.device);
         let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks());
+        let shards = rt.config.rdv_shards;
         let dev = Device {
             inner: Arc::new(DeviceInner {
                 rt,
                 net,
                 backlog: Backlog::new(),
                 coalescer,
-                rdv_sends: SpinLock::new(Slab::new()),
-                rdv_recvs: SpinLock::new(Slab::new()),
+                rdv_sends: ShardedSlab::new(shards),
+                rdv_recvs: ShardedSlab::new(shards),
+                rdv_active: AtomicUsize::new(0),
                 stats: DeviceStats::default(),
             }),
         };
@@ -210,9 +311,15 @@ impl Device {
         }
     }
 
-    /// Snapshot of this device's operation counters.
+    /// Snapshot of this device's operation counters, with the fabric
+    /// registration-cache counters overlaid.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        let rc = self.inner.net.reg_cache_stats();
+        s.reg_cache_hits = rc.hits;
+        s.reg_cache_misses = rc.misses;
+        s.reg_cache_evictions = rc.evictions;
+        s
     }
 
     /// Registers memory for remote access (paper §3.3.1: mandatory for
@@ -424,13 +531,8 @@ impl Device {
         allow_retry: bool,
     ) -> Result<PostResult> {
         let size = buf.len() as u64;
-        let flat = match buf.as_contiguous() {
-            Some(_) => None,
-            None => Some(buf.flatten().into_boxed_slice()),
-        };
         DeviceStats::bump(&self.inner.stats.rendezvous);
-        let send_id =
-            self.inner.rdv_sends.lock().insert(RdvSend { buf, flat, comp, rank, tag, user_ctx });
+        let send_id = self.inner.rdv_sends.insert(RdvSend { buf, comp, tag, user_ctx });
         let (ty, aux) = match rcomp {
             Some(rc) => (MsgType::RtsAm, rc),
             None => (MsgType::RtsSr, 0),
@@ -441,8 +543,12 @@ impl Device {
             Ok(()) => Ok(PostResult::Posted),
             Err(NetError::Retry(r)) => {
                 if allow_retry {
-                    // Back the rendezvous out entirely; the user resubmits.
-                    self.inner.rdv_sends.lock().remove(send_id);
+                    // Back the rendezvous out entirely; the user
+                    // resubmits. The `rendezvous` bump above counts the
+                    // attempt; `rendezvous_retried` keeps the stats
+                    // reconcilable (started = rendezvous - retried).
+                    self.inner.rdv_sends.remove(send_id);
+                    DeviceStats::bump(&self.inner.stats.rendezvous_retried);
                     Ok(PostResult::Retry(r.into()))
                 } else {
                     self.push_backlog(Backlogged::Ctrl {
@@ -455,7 +561,7 @@ impl Device {
                 }
             }
             Err(NetError::Fatal(m)) => {
-                self.inner.rdv_sends.lock().remove(send_id);
+                self.inner.rdv_sends.remove(send_id);
                 Err(FatalError::Net(m))
             }
         }
@@ -636,16 +742,8 @@ impl Device {
             )));
         }
         let mr = self.inner.net.register(buf.as_ptr(), size).map_err(net_fatal)?;
-        let recv_id = self.inner.rdv_recvs.lock().insert(RdvRecv {
-            buf,
-            mr,
-            comp,
-            user_ctx,
-            src,
-            tag,
-            size,
-            is_am,
-        });
+        let recv_id =
+            self.inner.rdv_recvs.insert(RdvRecv { buf, mr, comp, user_ctx, src, tag, size, is_am });
         let payload = RtrPayload { send_id, recv_id, rkey: mr.rkey.0 }.encode();
         let imm = Header::new(MsgType::Rtr, MatchingPolicy::RankTag, tag, 0).encode();
         match self.inner.net.post_send(src, src_dev, &payload, imm, 0) {
@@ -665,49 +763,140 @@ impl Device {
         }
     }
 
-    /// Source side: RTR arrived; fire the RDMA write with FIN immediate.
-    fn start_rdv_write(&self, target: Rank, target_dev: DevId, rtr: RtrPayload) -> Result<()> {
-        let imm = Header::new(MsgType::Fin, MatchingPolicy::RankTag, 0, rtr.recv_id).encode();
-        self.try_rdv_write(target, target_dev, rtr.send_id, Rkey(rtr.rkey), imm)
+    /// Source side: RTR arrived. Move the pending send out of the table
+    /// (one table-lock acquisition for the whole transfer) into an
+    /// [`RdvActive`] and start writing chunks.
+    fn start_rdv_active(&self, target: Rank, target_dev: DevId, rtr: RtrPayload) -> Result<()> {
+        // Increment before the table remove so `pending_rendezvous`
+        // never transiently undercounts.
+        self.inner.rdv_active.fetch_add(1, Ordering::Relaxed);
+        let Some(entry) = self.inner.rdv_sends.remove(rtr.send_id) else {
+            self.inner.rdv_active.fetch_sub(1, Ordering::Relaxed);
+            return Err(FatalError::Net(format!("RTR for unknown send id {}", rtr.send_id)));
+        };
+        let cfg = &self.inner.rt.config;
+        let total = entry.buf.len();
+        let chunk = if cfg.rdv_chunking { cfg.rdv_chunk_size.min(total) } else { total };
+        let nchunks = total.div_ceil(chunk);
+        let max_inflight = cfg.rdv_max_inflight.min(nchunks).max(1);
+        let scratch = if entry.buf.as_contiguous().is_none() {
+            (0..max_inflight).map(|_| ScratchSlot::default()).collect()
+        } else {
+            Vec::new()
+        };
+        let active = Arc::new(RdvActive {
+            target,
+            target_dev,
+            rkey: Rkey(rtr.rkey),
+            fin_imm: Header::new(MsgType::Fin, MatchingPolicy::RankTag, 0, rtr.recv_id).encode(),
+            total,
+            chunk,
+            nchunks,
+            max_inflight,
+            tag: entry.tag,
+            user_ctx: entry.user_ctx,
+            inflight: AtomicUsize::new(0),
+            pump: SpinLock::new(RdvPump {
+                buf: Some(entry.buf),
+                comp: entry.comp,
+                next: 0,
+                done: 0,
+                seg: 0,
+                seg_off: 0,
+                scratch,
+            }),
+        });
+        self.pump_rdv(&active)?;
+        Ok(())
     }
 
-    /// Attempts the rendezvous data write; parks in the backlog on retry.
-    fn try_rdv_write(
-        &self,
-        target: Rank,
-        target_dev: DevId,
-        send_id: u32,
-        rkey: Rkey,
-        imm: u64,
-    ) -> Result<()> {
-        let ctx = ctx_encode(OpCtx::RdvWrite { send_id });
-        let res = {
-            let sends = self.inner.rdv_sends.lock();
-            let Some(entry) = sends.get(send_id) else {
-                // SAFETY: rejected before handoff.
-                let _ = unsafe { ctx_decode(ctx) };
-                return Err(FatalError::Net(format!("RTR for unknown send id {send_id}")));
+    /// Drives one transfer's chunk window: posts chunks until the payload
+    /// is fully posted, the inflight window fills, or the wire pushes
+    /// back. Serialized per transfer by the pump lock; acquires no table
+    /// locks (the chunk-continuation hot path). Returns whether the
+    /// transfer was parked in the backlog (wire full with nothing in
+    /// flight to re-drive it).
+    fn pump_rdv(&self, active: &Arc<RdvActive>) -> Result<bool> {
+        let mut st = active.pump.lock();
+        while st.next < active.total
+            && active.inflight.load(Ordering::Relaxed) < active.max_inflight
+        {
+            let off = st.next;
+            let len = active.chunk.min(active.total - off);
+            let last = off + len == active.total;
+            // FIN rides the last chunk; posting order is serialized by
+            // the pump lock, so it reaches the wire after every earlier
+            // chunk.
+            let imm = last.then_some(active.fin_imm);
+            // Split borrows: the gather path reads `buf` while filling a
+            // scratch slot.
+            let RdvPump { buf, scratch, seg, seg_off, .. } = &mut *st;
+            let buf_ref = buf.as_ref().expect("active transfer keeps its buffer");
+            let (mut nseg, mut nseg_off) = (*seg, *seg_off);
+            let (data, slot_idx): (&[u8], Option<usize>) = match buf_ref.as_contiguous() {
+                Some(contig) => (&contig[off..off + len], None),
+                None => {
+                    let SendBuf::Iovec(segs) = buf_ref else {
+                        unreachable!("non-contiguous SendBuf is Iovec")
+                    };
+                    // inflight < max_inflight guarantees a free slot:
+                    // each busy slot is owned by one in-flight chunk.
+                    let idx = scratch.iter().position(|s| !s.busy).expect("free scratch slot");
+                    let slot = &mut scratch[idx];
+                    if slot.buf.is_some() {
+                        DeviceStats::bump(&self.inner.stats.rdv_scratch_reuses);
+                    } else {
+                        slot.buf = Some(vec![0u8; active.chunk].into_boxed_slice());
+                    }
+                    let out = slot.buf.as_mut().expect("slot allocated");
+                    gather_iovec(segs, &mut nseg, &mut nseg_off, &mut out[..len]);
+                    slot.busy = true;
+                    (&out[..len], Some(idx))
+                }
             };
-            let data: &[u8] = match &entry.flat {
-                Some(f) => f,
-                None => entry.buf.as_contiguous().expect("contiguous buf"),
-            };
-            self.inner.net.post_write(target, target_dev, data, rkey, 0, Some(imm), ctx)
-        };
-        match res {
-            Ok(()) => Ok(()),
-            Err(NetError::Retry(_)) => {
-                // SAFETY: rejected before handoff.
-                let _ = unsafe { ctx_decode(ctx) };
-                self.push_backlog(Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm });
-                Ok(())
-            }
-            Err(NetError::Fatal(m)) => {
-                // SAFETY: rejected before handoff.
-                let _ = unsafe { ctx_decode(ctx) };
-                Err(FatalError::Net(m))
+            let ctx = ctx_encode(OpCtx::RdvChunk { active: active.clone(), slot: slot_idx });
+            match self.inner.net.post_write(
+                active.target,
+                active.target_dev,
+                data,
+                active.rkey,
+                off,
+                imm,
+                ctx,
+            ) {
+                Ok(()) => {
+                    st.next = off + len;
+                    st.seg = nseg;
+                    st.seg_off = nseg_off;
+                    let now = active.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+                    DeviceStats::bump(&self.inner.stats.rdv_chunks_posted);
+                    DeviceStats::raise(&self.inner.stats.rdv_inflight_hwm, now as u64);
+                }
+                Err(NetError::Retry(_)) => {
+                    // SAFETY: rejected post; context never handed over.
+                    let _ = unsafe { ctx_decode(ctx) };
+                    if let Some(idx) = slot_idx {
+                        st.scratch[idx].busy = false;
+                    }
+                    if active.inflight.load(Ordering::Relaxed) == 0 {
+                        // Nothing in flight will re-drive this transfer:
+                        // park it for the progress loop. (A completion
+                        // racing here may park a duplicate; the pump is
+                        // idempotent, so a stale entry is a no-op.)
+                        drop(st);
+                        self.push_backlog(Backlogged::RdvPump { active: active.clone() });
+                        return Ok(true);
+                    }
+                    return Ok(false);
+                }
+                Err(NetError::Fatal(m)) => {
+                    // SAFETY: rejected post; context never handed over.
+                    let _ = unsafe { ctx_decode(ctx) };
+                    return Err(FatalError::Net(m));
+                }
             }
         }
+        Ok(false)
     }
 
     // ------------------------------------------------------------------
@@ -834,10 +1023,16 @@ impl Device {
                             Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
                         }
                     }
-                    Backlogged::RdvWrite { target, target_dev, send_id, rkey, imm } => {
-                        // try_rdv_write re-parks on retry.
-                        self.try_rdv_write(target, target_dev, send_id, rkey, imm)?;
+                    Backlogged::RdvPump { active } => {
+                        // pump_rdv re-parks (at the back) when the wire
+                        // is still full and nothing in flight will
+                        // re-drive the transfer; stop so this drain does
+                        // not spin on it.
+                        let parked = self.pump_rdv(&active)?;
                         did = true;
+                        if parked {
+                            break;
+                        }
                     }
                     Backlogged::UserSend { target, target_dev, data, imm, ctx } => {
                         match self.inner.net.post_send(target, target_dev, &data, imm, ctx) {
@@ -862,7 +1057,7 @@ impl Device {
                     let (target, target_dev) = match &run[0] {
                         Backlogged::Ctrl { target, target_dev, .. }
                         | Backlogged::UserSend { target, target_dev, .. } => (*target, *target_dev),
-                        Backlogged::RdvWrite { .. } => unreachable!("rdv in run"),
+                        Backlogged::RdvPump { .. } => unreachable!("rdv pump in run"),
                     };
                     let descs: Vec<SendDesc<'_>> = run
                         .iter()
@@ -873,7 +1068,7 @@ impl Device {
                             Backlogged::UserSend { data, imm, ctx, .. } => {
                                 SendDesc { data, imm: *imm, ctx: *ctx }
                             }
-                            Backlogged::RdvWrite { .. } => unreachable!("rdv in run"),
+                            Backlogged::RdvPump { .. } => unreachable!("rdv pump in run"),
                         })
                         .collect();
                     match self.inner.net.post_send_batch(target, target_dev, &descs) {
@@ -996,23 +1191,40 @@ impl Device {
                 }
                 Ok(())
             }
-            OpCtx::RdvWrite { send_id } => {
-                let entry = self
-                    .inner
-                    .rdv_sends
-                    .lock()
-                    .remove(send_id)
-                    .ok_or_else(|| FatalError::Net("rendezvous send vanished".into()))?;
-                if let Some(comp) = entry.comp {
-                    comp.signal(CompDesc {
-                        rank: entry.rank,
-                        tag: entry.tag,
-                        data: DataBuf::SendBuf(entry.buf),
-                        user_ctx: entry.user_ctx,
-                        kind: CompKind::Send,
-                    });
+            OpCtx::RdvChunk { active, slot } => {
+                active.inflight.fetch_sub(1, Ordering::Relaxed);
+                let finished = {
+                    let mut st = active.pump.lock();
+                    if let Some(idx) = slot {
+                        st.scratch[idx].busy = false;
+                    }
+                    st.done += 1;
+                    if st.done == active.nchunks {
+                        Some((st.buf.take().expect("buffer present"), st.comp.take()))
+                    } else {
+                        None
+                    }
+                };
+                match finished {
+                    Some((buf, comp)) => {
+                        if let Some(comp) = comp {
+                            comp.signal(CompDesc {
+                                rank: active.target,
+                                tag: active.tag,
+                                data: DataBuf::SendBuf(buf),
+                                user_ctx: active.user_ctx,
+                                kind: CompKind::Send,
+                            });
+                        }
+                        self.inner.rdv_active.fetch_sub(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    None => {
+                        // Launch the next chunk(s) of this transfer.
+                        self.pump_rdv(&active)?;
+                        Ok(())
+                    }
                 }
-                Ok(())
             }
             OpCtx::Put { comp, buf, rank, tag, user_ctx } => {
                 if let Some(comp) = comp {
@@ -1121,7 +1333,7 @@ impl Device {
             MsgType::Rtr => {
                 let rtr = RtrPayload::decode(&packet.as_slice()[..cqe.len])?;
                 drop(packet);
-                self.start_rdv_write(cqe.src_rank, cqe.src_dev, rtr)
+                self.start_rdv_active(cqe.src_rank, cqe.src_dev, rtr)
             }
             MsgType::GetSignal => {
                 drop(packet);
@@ -1218,7 +1430,6 @@ impl Device {
         let entry = self
             .inner
             .rdv_recvs
-            .lock()
             .remove(recv_id)
             .ok_or_else(|| FatalError::Net(format!("FIN for unknown recv id {recv_id}")))?;
         self.inner.net.deregister(&entry.mr).map_err(net_fatal)?;
@@ -1255,9 +1466,15 @@ impl Device {
         self.inner.backlog.len()
     }
 
-    /// Pending rendezvous operations (diagnostics).
+    /// Pending rendezvous operations (diagnostics): sends awaiting RTR
+    /// or mid-transfer, and receives awaiting FIN. Advisory: each table
+    /// shard is sampled in turn, so the totals are a consistent
+    /// per-shard snapshot, not an atomic cross-shard view — suitable for
+    /// quiescence polling, not for exact accounting while transfers are
+    /// being posted concurrently.
     pub fn pending_rendezvous(&self) -> (usize, usize) {
-        (self.inner.rdv_sends.lock().len(), self.inner.rdv_recvs.lock().len())
+        let sends = self.inner.rdv_sends.len() + self.inner.rdv_active.load(Ordering::Relaxed);
+        (sends, self.inner.rdv_recvs.len())
     }
 }
 

@@ -61,6 +61,17 @@ pub struct RuntimeConfig {
     /// receive buffer. On by default; the ablation knob to recover the
     /// copying receive path.
     pub zero_copy_recv: bool,
+    /// Pipeline rendezvous payloads as multiple RDMA-write chunks (the
+    /// large-message pipeline, DESIGN.md §4.6). Off recovers the
+    /// monolithic single-write behaviour (the ablation baseline).
+    pub rdv_chunking: bool,
+    /// Chunk size for pipelined rendezvous writes.
+    pub rdv_chunk_size: usize,
+    /// Maximum chunks outstanding per rendezvous transfer.
+    pub rdv_max_inflight: usize,
+    /// Stripe count for the pending-rendezvous tables (send and receive
+    /// state each sharded over this many independently locked slabs).
+    pub rdv_shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -78,6 +89,10 @@ impl Default for RuntimeConfig {
             progress_batch: 64,
             coalesce: CoalesceConfig::default(),
             zero_copy_recv: true,
+            rdv_chunking: true,
+            rdv_chunk_size: 64 << 10,
+            rdv_max_inflight: 4,
+            rdv_shards: 8,
         }
     }
 }
@@ -157,6 +172,15 @@ impl Runtime {
                     "coalesce.max_msgs must be in 2..2^24 (frame header aux)".into(),
                 ));
             }
+        }
+        if config.rdv_chunk_size == 0 {
+            return Err(FatalError::InvalidArg("rdv_chunk_size must be nonzero".into()));
+        }
+        if config.rdv_max_inflight == 0 {
+            return Err(FatalError::InvalidArg("rdv_max_inflight must be nonzero".into()));
+        }
+        if config.rdv_shards == 0 || config.rdv_shards > 256 {
+            return Err(FatalError::InvalidArg("rdv_shards must be in 1..=256".into()));
         }
         if rank >= fabric.nranks() {
             return Err(FatalError::InvalidArg(format!(

@@ -44,6 +44,17 @@ pub struct DeviceStats {
     pub replenish_batches: AtomicU64,
     /// Receive buffers posted through batched restocks.
     pub replenish_posted: AtomicU64,
+    /// Rendezvous posts that backed out with `retry` (RTS could not be
+    /// sent). `rendezvous - rendezvous_retried` is the number of
+    /// transfers actually started.
+    pub rendezvous_retried: AtomicU64,
+    /// RDMA-write chunks posted by the rendezvous pipeline.
+    pub rdv_chunks_posted: AtomicU64,
+    /// High-water mark of in-flight chunks across all transfers of this
+    /// device (not a delta counter; see [`StatsSnapshot::since`]).
+    pub rdv_inflight_hwm: AtomicU64,
+    /// Scratch-ring slots reused (gather copies that did not allocate).
+    pub rdv_scratch_reuses: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DeviceStats`].
@@ -81,6 +92,22 @@ pub struct StatsSnapshot {
     pub replenish_batches: u64,
     /// See [`DeviceStats::replenish_posted`].
     pub replenish_posted: u64,
+    /// See [`DeviceStats::rendezvous_retried`].
+    pub rendezvous_retried: u64,
+    /// See [`DeviceStats::rdv_chunks_posted`].
+    pub rdv_chunks_posted: u64,
+    /// See [`DeviceStats::rdv_inflight_hwm`].
+    pub rdv_inflight_hwm: u64,
+    /// See [`DeviceStats::rdv_scratch_reuses`].
+    pub rdv_scratch_reuses: u64,
+    /// Registration-cache hits on the device's fabric cache (overlaid by
+    /// [`Device::stats`](crate::device::Device::stats), not tracked in
+    /// [`DeviceStats`]).
+    pub reg_cache_hits: u64,
+    /// Registration-cache misses (see [`Self::reg_cache_hits`]).
+    pub reg_cache_misses: u64,
+    /// Registration-cache evictions (see [`Self::reg_cache_hits`]).
+    pub reg_cache_evictions: u64,
 }
 
 impl DeviceStats {
@@ -92,6 +119,11 @@ impl DeviceStats {
     #[inline]
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn raise(counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Takes a snapshot of all counters.
@@ -113,6 +145,13 @@ impl DeviceStats {
             copied_deliveries: self.copied_deliveries.load(Ordering::Relaxed),
             replenish_batches: self.replenish_batches.load(Ordering::Relaxed),
             replenish_posted: self.replenish_posted.load(Ordering::Relaxed),
+            rendezvous_retried: self.rendezvous_retried.load(Ordering::Relaxed),
+            rdv_chunks_posted: self.rdv_chunks_posted.load(Ordering::Relaxed),
+            rdv_inflight_hwm: self.rdv_inflight_hwm.load(Ordering::Relaxed),
+            rdv_scratch_reuses: self.rdv_scratch_reuses.load(Ordering::Relaxed),
+            reg_cache_hits: 0,
+            reg_cache_misses: 0,
+            reg_cache_evictions: 0,
         }
     }
 }
@@ -137,6 +176,15 @@ impl StatsSnapshot {
             copied_deliveries: self.copied_deliveries - earlier.copied_deliveries,
             replenish_batches: self.replenish_batches - earlier.replenish_batches,
             replenish_posted: self.replenish_posted - earlier.replenish_posted,
+            rendezvous_retried: self.rendezvous_retried - earlier.rendezvous_retried,
+            rdv_chunks_posted: self.rdv_chunks_posted - earlier.rdv_chunks_posted,
+            // A high-water mark, not a flow counter: the later value is
+            // the mark over the whole interval.
+            rdv_inflight_hwm: self.rdv_inflight_hwm,
+            rdv_scratch_reuses: self.rdv_scratch_reuses - earlier.rdv_scratch_reuses,
+            reg_cache_hits: self.reg_cache_hits - earlier.reg_cache_hits,
+            reg_cache_misses: self.reg_cache_misses - earlier.reg_cache_misses,
+            reg_cache_evictions: self.reg_cache_evictions - earlier.reg_cache_evictions,
         }
     }
 
@@ -174,6 +222,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.replenish_posted as f64 / self.replenish_batches as f64
+        }
+    }
+
+    /// Registration-cache hit rate (0 when no registrations happened).
+    pub fn reg_cache_hit_rate(&self) -> f64 {
+        let total = self.reg_cache_hits + self.reg_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reg_cache_hits as f64 / total as f64
         }
     }
 }

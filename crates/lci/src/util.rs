@@ -1,5 +1,8 @@
 //! Small internal utilities.
 
+use lci_fabric::sync::SpinLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// A slab of pending-operation descriptors with id reuse. Ids stay small
 /// (free-list reuse) so they fit in the 24-bit aux field of the wire
 /// header (rendezvous FIN addressing).
@@ -65,6 +68,48 @@ impl<T> Default for Slab<T> {
     }
 }
 
+/// A sharded, internally locked slab: `N` independent `SpinLock<Slab>`
+/// stripes with round-robin id allocation, so concurrent inserts and
+/// removals mostly touch different locks (shard = `id % N`, inner id =
+/// `id / N`). Free-list reuse inside each stripe keeps combined ids
+/// small enough for the 24-bit wire-header aux field.
+pub(crate) struct ShardedSlab<T> {
+    shards: Box<[SpinLock<Slab<T>>]>,
+    next: AtomicUsize,
+}
+
+impl<T> ShardedSlab<T> {
+    pub fn new(nshards: usize) -> Self {
+        let n = nshards.max(1);
+        Self {
+            shards: (0..n).map(|_| SpinLock::new(Slab::new())).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts a value into the next shard (round-robin), returning its
+    /// combined id.
+    pub fn insert(&self, value: T) -> u32 {
+        let n = self.shards.len() as u32;
+        let shard = (self.next.fetch_add(1, Ordering::Relaxed) as u32) % n;
+        let inner = self.shards[shard as usize].lock().insert(value);
+        inner * n + shard
+    }
+
+    /// Removes and returns the value with combined id `id`.
+    pub fn remove(&self, id: u32) -> Option<T> {
+        let n = self.shards.len() as u32;
+        self.shards[(id % n) as usize].lock().remove(id / n)
+    }
+
+    /// Total live entries, summed shard by shard. Advisory: each shard is
+    /// locked in turn, so the sum is a consistent per-shard snapshot but
+    /// not an atomic view across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +143,55 @@ mod tests {
         assert!(s.get(3).is_none());
         assert!(s.remove(3).is_none());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sharded_round_trip() {
+        let s: ShardedSlab<u32> = ShardedSlab::new(4);
+        let ids: Vec<u32> = (0..32).map(|v| s.insert(v)).collect();
+        assert_eq!(s.len(), 32);
+        // Round-robin allocation spreads consecutive inserts over shards.
+        assert_ne!(ids[0] % 4, ids[1] % 4);
+        for (v, id) in ids.iter().enumerate() {
+            assert_eq!(s.remove(*id), Some(v as u32));
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.remove(ids[0]), None, "double remove is None");
+    }
+
+    #[test]
+    fn sharded_ids_stay_small() {
+        let s: ShardedSlab<usize> = ShardedSlab::new(8);
+        // Churn: ids must be reused via per-shard free lists.
+        let mut max_id = 0;
+        for round in 0..100 {
+            let ids: Vec<u32> = (0..16).map(|v| s.insert(round * 16 + v)).collect();
+            max_id = max_id.max(*ids.iter().max().unwrap());
+            for id in ids {
+                s.remove(id).unwrap();
+            }
+        }
+        assert!(max_id < 16 * 8, "ids are reused, not monotonically grown: {max_id}");
+    }
+
+    #[test]
+    fn sharded_concurrent_churn() {
+        let s = std::sync::Arc::new(ShardedSlab::<u64>::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let v = (t as u64) << 32 | i;
+                        let id = s.insert(v);
+                        assert_eq!(s.remove(id), Some(v));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.len(), 0);
     }
 }

@@ -1,0 +1,319 @@
+//! Large-message pipeline tests (DESIGN.md §4.6): chunk-boundary edge
+//! cases, chunked/monolithic equivalence (including gathered iovec
+//! sends), multithreaded rendezvous over the sharded state tables, and
+//! registration-cache steady-state behaviour.
+
+use lci::{Comp, CompKind, Fabric, PostResult, Runtime, RuntimeConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small config with a tiny rendezvous chunk so modest payloads span
+/// many chunks.
+fn chunked_cfg(chunk: usize, inflight: usize) -> RuntimeConfig {
+    RuntimeConfig { rdv_chunk_size: chunk, rdv_max_inflight: inflight, ..RuntimeConfig::small() }
+}
+
+/// Runs `f(rank, runtime)` on `n` rank-threads over one fabric.
+fn with_ranks(n: usize, cfg: RuntimeConfig, f: impl Fn(usize, Runtime) + Send + Sync + 'static) {
+    let fabric = Fabric::new(n);
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|r| {
+            let fabric = fabric.clone();
+            let cfg = cfg.clone();
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("rank{r}"))
+                .spawn(move || {
+                    let rt = Runtime::new(fabric, r, cfg).unwrap();
+                    rt.oob_barrier();
+                    f(r, rt);
+                })
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Sends `buf` (any `Into<SendBuf>`) to `rank` with `tag`, blocking on
+/// completion; returns the descriptor (with the buffer handed back).
+fn send_blocking(
+    rt: &Runtime,
+    rank: usize,
+    buf: impl Into<lci::SendBuf> + Clone,
+    tag: u32,
+) -> lci::CompDesc {
+    let comp = Comp::alloc_sync(1);
+    loop {
+        match rt.post_send(rank, buf.clone(), tag, comp.clone()).unwrap() {
+            PostResult::Done(d) => return d,
+            PostResult::Posted => {
+                let sync = comp.as_sync().unwrap();
+                while !sync.test() {
+                    rt.progress().unwrap();
+                }
+                return sync.take().pop().unwrap();
+            }
+            PostResult::Retry(_) => {
+                rt.progress().unwrap();
+            }
+        }
+    }
+}
+
+/// Receives one message of at most `size` bytes from `rank` with `tag`.
+fn recv_blocking(rt: &Runtime, rank: usize, size: usize, tag: u32) -> lci::CompDesc {
+    let comp = Comp::alloc_sync(1);
+    match rt.post_recv(rank, vec![0u8; size], tag, comp.clone()).unwrap() {
+        PostResult::Done(d) => d,
+        PostResult::Posted => {
+            let sync = comp.as_sync().unwrap();
+            while !sync.test() {
+                rt.progress().unwrap();
+            }
+            sync.take().pop().unwrap()
+        }
+        PostResult::Retry(_) => unreachable!("recv never retries"),
+    }
+}
+
+/// A deterministic non-constant payload so chunk reordering or
+/// misplacement cannot cancel out.
+fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+/// Sizes straddling chunk boundaries arrive intact: exactly k chunks,
+/// k chunks ± 1 byte, and payloads smaller than one chunk.
+#[test]
+fn chunk_boundary_sizes() {
+    // (chunk size, payload sizes). 4 KiB eager threshold from small();
+    // every size below is a rendezvous transfer.
+    let chunk = 1024usize;
+    let sizes: Vec<usize> = vec![
+        8 * chunk,     // exactly k chunks
+        8 * chunk - 1, // one byte short of a boundary: short last chunk
+        8 * chunk + 1, // one byte past: 1-byte last chunk carries the FIN
+        5 * chunk,
+        4 * chunk + 1,
+        5000, // > eager, spans 5 chunks of 1 KiB
+    ];
+    let sizes2 = sizes.clone();
+    with_ranks(2, chunked_cfg(chunk, 3), move |rank, rt| {
+        for (i, &size) in sizes2.iter().enumerate() {
+            let tag = i as u32;
+            if rank == 0 {
+                let d = send_blocking(&rt, 1, pattern(size, i as u8), tag);
+                assert_eq!(d.kind, CompKind::Send);
+            } else {
+                let d = recv_blocking(&rt, 0, sizes2.iter().max().unwrap() + 64, tag);
+                assert_eq!(d.data.len(), size);
+                assert_eq!(d.as_slice(), &pattern(size, i as u8)[..]);
+            }
+            rt.oob_barrier();
+        }
+    });
+
+    // Payload smaller than one (default 64 KiB) chunk: single-write path.
+    with_ranks(2, RuntimeConfig::small(), |rank, rt| {
+        if rank == 0 {
+            send_blocking(&rt, 1, pattern(5000, 99), 7);
+        } else {
+            let d = recv_blocking(&rt, 0, 8192, 7);
+            assert_eq!(d.as_slice(), &pattern(5000, 99)[..]);
+        }
+        rt.oob_barrier();
+    });
+}
+
+/// With chunking disabled the pipeline degenerates to one write per
+/// transfer (the pre-pipeline behaviour), still correct.
+#[test]
+fn chunking_off_single_write_per_transfer() {
+    let cfg = RuntimeConfig { rdv_chunking: false, ..RuntimeConfig::small() };
+    with_ranks(2, cfg, |rank, rt| {
+        let n = 4u32;
+        if rank == 0 {
+            for i in 0..n {
+                send_blocking(&rt, 1, pattern(20_000, i as u8), i);
+            }
+            let s = rt.device().stats();
+            assert_eq!(s.rdv_chunks_posted, n as u64, "one write per transfer");
+            assert!(s.rdv_inflight_hwm <= 1);
+        } else {
+            for i in 0..n {
+                let d = recv_blocking(&rt, 0, 20_064, i);
+                assert_eq!(d.as_slice(), &pattern(20_000, i as u8)[..]);
+            }
+        }
+        rt.oob_barrier();
+    });
+}
+
+/// Gathered iovec rendezvous reuses its scratch ring instead of
+/// allocating per chunk.
+#[test]
+fn iovec_scratch_ring_reuse() {
+    with_ranks(2, chunked_cfg(1024, 2), |rank, rt| {
+        if rank == 0 {
+            // 8 chunks, 2 in flight: at least 6 chunk posts reuse a slot.
+            let segs: Vec<Box<[u8]>> =
+                (0..4).map(|s| pattern(2048, s as u8).into_boxed_slice()).collect();
+            send_blocking(&rt, 1, segs, 0);
+            let s = rt.device().stats();
+            assert_eq!(s.rdv_chunks_posted, 8);
+            assert!(s.rdv_scratch_reuses >= 6, "scratch reuses: {}", s.rdv_scratch_reuses);
+        } else {
+            let d = recv_blocking(&rt, 0, 8256, 0);
+            let mut expect = Vec::new();
+            for s in 0..4u8 {
+                expect.extend_from_slice(&pattern(2048, s));
+            }
+            assert_eq!(d.as_slice(), &expect[..]);
+        }
+        rt.oob_barrier();
+    });
+}
+
+/// Many threads per rank drive concurrent rendezvous transfers through
+/// the sharded send/receive tables; every payload arrives intact and
+/// the pipeline counters reflect overlapped chunks.
+#[test]
+fn multithreaded_rendezvous_stress() {
+    let cfg = RuntimeConfig { rdv_shards: 4, ..chunked_cfg(1024, 4) };
+    with_ranks(2, cfg, |rank, rt| {
+        let nthreads = 4usize;
+        let iters = 12u32;
+        let size = 12_000usize;
+        let workers: Vec<_> = (0..nthreads)
+            .map(|t| {
+                let rt = rt.clone();
+                std::thread::spawn(move || {
+                    let peer = 1 - rank;
+                    for i in 0..iters {
+                        let tag = (t as u32) << 16 | i;
+                        let seed = (t as u8).wrapping_mul(17).wrapping_add(i as u8);
+                        if rank == 0 {
+                            send_blocking(&rt, peer, pattern(size, seed), tag);
+                        } else {
+                            let d = recv_blocking(&rt, peer, size + 64, tag);
+                            assert_eq!(d.as_slice(), &pattern(size, seed)[..]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        if rank == 0 {
+            let s = rt.device().stats();
+            let transfers = (nthreads as u64) * iters as u64;
+            assert_eq!(s.rendezvous - s.rendezvous_retried, transfers);
+            // 12000 B / 1 KiB chunks = 12 chunks per transfer.
+            assert_eq!(s.rdv_chunks_posted, transfers * 12);
+            assert!(s.rdv_inflight_hwm >= 2, "pipelining overlapped chunks");
+        }
+        // Drain any in-flight FIN/ACK traffic before teardown.
+        rt.oob_barrier();
+        for _ in 0..50 {
+            rt.progress().unwrap();
+        }
+        rt.oob_barrier();
+    });
+}
+
+/// Steady-state registration-cache behaviour: a receive buffer reused
+/// across transfers registers once and hits thereafter (>90% hit rate).
+#[test]
+fn reg_cache_steady_state_hit_rate() {
+    with_ranks(2, RuntimeConfig::small(), |rank, rt| {
+        let iters = 50u32;
+        let size = 16_384usize;
+        if rank == 0 {
+            for i in 0..iters {
+                send_blocking(&rt, 1, pattern(size, i as u8), i);
+            }
+        } else {
+            // Recycle the delivered buffer into the next post so the
+            // (ptr, len) registration key repeats.
+            let mut buf = vec![0u8; size];
+            for i in 0..iters {
+                let comp = Comp::alloc_sync(1);
+                let res = rt.post_recv(0, buf, i, comp.clone()).unwrap();
+                let desc = match res {
+                    PostResult::Done(d) => d,
+                    PostResult::Posted => {
+                        let sync = comp.as_sync().unwrap();
+                        while !sync.test() {
+                            rt.progress().unwrap();
+                        }
+                        sync.take().pop().unwrap()
+                    }
+                    PostResult::Retry(_) => unreachable!(),
+                };
+                assert_eq!(desc.as_slice(), &pattern(size, i as u8)[..]);
+                buf = desc.data.into_vec();
+                assert_eq!(buf.len(), size);
+            }
+            let s = rt.device().stats();
+            assert_eq!(s.reg_cache_hits + s.reg_cache_misses, iters as u64);
+            assert!(
+                s.reg_cache_hit_rate() > 0.9,
+                "steady-state hit rate {:.2} (hits {} misses {})",
+                s.reg_cache_hit_rate(),
+                s.reg_cache_hits,
+                s.reg_cache_misses
+            );
+        }
+        rt.oob_barrier();
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Equivalence: a rendezvous iovec payload delivered through the
+    /// chunked pipeline is byte-identical to the same payload delivered
+    /// monolithically (chunking off).
+    #[test]
+    fn iovec_chunked_equals_monolithic(
+        segs in proptest::collection::vec((any::<u8>(), 0usize..4000), 1..6),
+        chunk_pow in 9u32..12, // 512 B .. 2 KiB chunks
+    ) {
+        // Force past the 4 KiB eager threshold so rendezvous triggers.
+        let mut segs = segs;
+        segs.push((0xEE, 6000));
+        let expected: Vec<u8> = segs
+            .iter()
+            .flat_map(|&(seed, len)| pattern(len, seed))
+            .collect();
+        let total = expected.len();
+
+        for chunked in [true, false] {
+            let cfg = RuntimeConfig {
+                rdv_chunking: chunked,
+                rdv_chunk_size: 1usize << chunk_pow,
+                rdv_max_inflight: 3,
+                ..RuntimeConfig::small()
+            };
+            let segs = segs.clone();
+            let expected = expected.clone();
+            with_ranks(2, cfg, move |rank, rt| {
+                if rank == 0 {
+                    let bufs: Vec<Box<[u8]>> = segs
+                        .iter()
+                        .map(|&(seed, len)| pattern(len, seed).into_boxed_slice())
+                        .collect();
+                    send_blocking(&rt, 1, bufs, 1);
+                } else {
+                    let d = recv_blocking(&rt, 0, total + 64, 1);
+                    assert_eq!(d.as_slice(), &expected[..], "chunking={chunked}");
+                }
+                rt.oob_barrier();
+            });
+        }
+    }
+}

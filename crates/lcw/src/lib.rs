@@ -85,6 +85,13 @@ pub struct WorldConfig {
     /// Zero-copy eager delivery on the receive side (LCI backend only;
     /// the other libraries always copy into staging buffers).
     pub zero_copy: bool,
+    /// Chunked pipelined rendezvous writes (LCI backend only; off
+    /// recovers the monolithic single-write large-message path).
+    pub rdv_chunking: bool,
+    /// Registration cache in the fabric device (LCI backend only here:
+    /// LCI's rendezvous path registers memory per message, so it is the
+    /// backend that feels the cache).
+    pub reg_cache: bool,
 }
 
 impl WorldConfig {
@@ -98,6 +105,8 @@ impl WorldConfig {
             pool_packets: 512,
             coalesce: lci::CoalesceConfig::default(),
             zero_copy: true,
+            rdv_chunking: true,
+            reg_cache: true,
         }
     }
 
@@ -113,6 +122,20 @@ impl WorldConfig {
     /// (LCI backend only) — the ablation knob for the receive path.
     pub fn with_zero_copy(mut self, on: bool) -> Self {
         self.zero_copy = on;
+        self
+    }
+
+    /// Selects chunked pipelined vs monolithic rendezvous writes (LCI
+    /// backend only) — the ablation knob for the large-message pipeline.
+    pub fn with_rdv_chunking(mut self, on: bool) -> Self {
+        self.rdv_chunking = on;
+        self
+    }
+
+    /// Enables or disables the fabric registration cache — the ablation
+    /// knob for per-message memory registration cost.
+    pub fn with_reg_cache(mut self, on: bool) -> Self {
+        self.reg_cache = on;
         self
     }
 }
@@ -170,7 +193,8 @@ impl World {
                 let mut coalesce = cfg.coalesce;
                 coalesce.max_bytes = coalesce.max_bytes.min(cfg.eager_size);
                 let rt_cfg = lci::RuntimeConfig {
-                    device: cfg.platform.device_config(),
+                    device: cfg.platform.device_config().with_reg_cache(cfg.reg_cache),
+                    rdv_chunking: cfg.rdv_chunking,
                     packet: lci::PacketPoolConfig {
                         payload_size: cfg.eager_size,
                         count: cfg.pool_packets.max(nthreads * 96),
