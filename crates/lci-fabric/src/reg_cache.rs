@@ -27,6 +27,13 @@
 //! (and is accepted, as real stacks accept it): after `release`, a freed
 //! buffer whose address is recycled by the allocator for a same-sized
 //! allocation will hit the cached registration.
+//!
+//! The cache sits under `NetDevice::register`/`deregister`, so the
+//! deferred-deregistration semantics apply to **every** registration —
+//! the internal rendezvous receives *and* the user-facing RMA path: an
+//! explicitly deregistered rkey keeps validating remote Put/Get until
+//! the entry is evicted. Callers needing strict deregister-now behaviour
+//! must disable the cache (`DeviceConfig::with_reg_cache(false)`).
 
 use crate::mem::{MemoryRegion, RegistrationTable};
 use crate::types::Rank;

@@ -329,6 +329,14 @@ impl Device {
     }
 
     /// Deregisters a memory region.
+    ///
+    /// With the registration cache enabled (the default), deregistration
+    /// is **deferred**: the registration stays cached (and the rkey stays
+    /// valid for remote access) until the cache evicts it, so a remote
+    /// Put/Get racing with deregistration does not fault. Build the
+    /// device with
+    /// [`with_reg_cache(false)`](lci_fabric::DeviceConfig::with_reg_cache)
+    /// for strict deregister-now semantics.
     pub fn deregister_memory(&self, mr: &MemoryRegion) -> Result<()> {
         self.inner.net.deregister(mr).map_err(net_fatal)
     }
@@ -806,7 +814,9 @@ impl Device {
                 scratch,
             }),
         });
-        self.pump_rdv(&active)?;
+        if self.pump_rdv(&active)? {
+            self.push_backlog(Backlogged::RdvPump { active });
+        }
         Ok(())
     }
 
@@ -814,8 +824,10 @@ impl Device {
     /// is fully posted, the inflight window fills, or the wire pushes
     /// back. Serialized per transfer by the pump lock; acquires no table
     /// locks (the chunk-continuation hot path). Returns whether the
-    /// transfer was parked in the backlog (wire full with nothing in
-    /// flight to re-drive it).
+    /// transfer stalled (wire full with nothing in flight to re-drive
+    /// it) — the caller must then park it in the backlog. (A completion
+    /// racing with the park may pump and even park a duplicate; the pump
+    /// is idempotent, so a stale backlog entry is a no-op.)
     fn pump_rdv(&self, active: &Arc<RdvActive>) -> Result<bool> {
         let mut st = active.pump.lock();
         while st.next < active.total
@@ -840,7 +852,9 @@ impl Device {
                         unreachable!("non-contiguous SendBuf is Iovec")
                     };
                     // inflight < max_inflight guarantees a free slot:
-                    // each busy slot is owned by one in-flight chunk.
+                    // each busy slot is owned by one in-flight chunk, and
+                    // the completion handler frees the slot before
+                    // decrementing inflight, both under this pump lock.
                     let idx = scratch.iter().position(|s| !s.busy).expect("free scratch slot");
                     let slot = &mut scratch[idx];
                     if slot.buf.is_some() {
@@ -878,16 +892,10 @@ impl Device {
                     if let Some(idx) = slot_idx {
                         st.scratch[idx].busy = false;
                     }
-                    if active.inflight.load(Ordering::Relaxed) == 0 {
-                        // Nothing in flight will re-drive this transfer:
-                        // park it for the progress loop. (A completion
-                        // racing here may park a duplicate; the pump is
-                        // idempotent, so a stale entry is a no-op.)
-                        drop(st);
-                        self.push_backlog(Backlogged::RdvPump { active: active.clone() });
-                        return Ok(true);
-                    }
-                    return Ok(false);
+                    // With chunks in flight, their completions re-drive
+                    // the transfer; otherwise report the stall so the
+                    // caller parks it for the progress loop.
+                    return Ok(active.inflight.load(Ordering::Relaxed) == 0);
                 }
                 Err(NetError::Fatal(m)) => {
                     // SAFETY: rejected post; context never handed over.
@@ -1003,6 +1011,11 @@ impl Device {
             return Ok(false);
         }
         let mut did = false;
+        // Pumps that stalled this drain are held aside and re-parked
+        // after the loop: unrelated entries queued behind them still get
+        // attempted this round (the wire may accept sends to other
+        // targets), and the drain cannot spin re-popping them.
+        let mut stalled_pumps: Vec<Arc<RdvActive>> = Vec::new();
         loop {
             let mut run = self.inner.backlog.pop_run(BACKLOG_BATCH);
             match run.len() {
@@ -1024,14 +1037,10 @@ impl Device {
                         }
                     }
                     Backlogged::RdvPump { active } => {
-                        // pump_rdv re-parks (at the back) when the wire
-                        // is still full and nothing in flight will
-                        // re-drive the transfer; stop so this drain does
-                        // not spin on it.
-                        let parked = self.pump_rdv(&active)?;
-                        did = true;
-                        if parked {
-                            break;
+                        if self.pump_rdv(&active)? {
+                            stalled_pumps.push(active);
+                        } else {
+                            did = true;
                         }
                     }
                     Backlogged::UserSend { target, target_dev, data, imm, ctx } => {
@@ -1094,6 +1103,9 @@ impl Device {
                     }
                 }
             }
+        }
+        for active in stalled_pumps {
+            self.push_backlog(Backlogged::RdvPump { active });
         }
         Ok(did)
     }
@@ -1192,12 +1204,17 @@ impl Device {
                 Ok(())
             }
             OpCtx::RdvChunk { active, slot } => {
-                active.inflight.fetch_sub(1, Ordering::Relaxed);
                 let finished = {
                     let mut st = active.pump.lock();
                     if let Some(idx) = slot {
                         st.scratch[idx].busy = false;
                     }
+                    // The window-slot release must happen inside the pump
+                    // critical section, after the scratch slot is freed: a
+                    // concurrent pump checks `inflight < max_inflight`
+                    // under this lock and relies on every freed window
+                    // slot having already released its scratch slot.
+                    active.inflight.fetch_sub(1, Ordering::Relaxed);
                     st.done += 1;
                     if st.done == active.nchunks {
                         Some((st.buf.take().expect("buffer present"), st.comp.take()))
@@ -1221,7 +1238,9 @@ impl Device {
                     }
                     None => {
                         // Launch the next chunk(s) of this transfer.
-                        self.pump_rdv(&active)?;
+                        if self.pump_rdv(&active)? {
+                            self.push_backlog(Backlogged::RdvPump { active });
+                        }
                         Ok(())
                     }
                 }

@@ -320,7 +320,8 @@ impl Runtime {
         self.device().register_memory(buf)
     }
 
-    /// Deregisters a memory region.
+    /// Deregisters a memory region. Deferred when the registration cache
+    /// is enabled — see [`Device::deregister_memory`](crate::Device::deregister_memory).
     pub fn deregister_memory(&self, mr: &lci_fabric::MemoryRegion) -> Result<()> {
         self.device().deregister_memory(mr)
     }

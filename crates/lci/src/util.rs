@@ -89,11 +89,21 @@ impl<T> ShardedSlab<T> {
 
     /// Inserts a value into the next shard (round-robin), returning its
     /// combined id.
+    ///
+    /// Combined ids ride in the 24-bit aux field of the wire header, so
+    /// the slab addresses at most `2^24 / nshards` concurrently live
+    /// entries per shard; an insert past that bound would alias ids on
+    /// the wire and is a debug-time panic.
     pub fn insert(&self, value: T) -> u32 {
         let n = self.shards.len() as u32;
         let shard = (self.next.fetch_add(1, Ordering::Relaxed) as u32) % n;
         let inner = self.shards[shard as usize].lock().insert(value);
-        inner * n + shard
+        let id = inner * n + shard;
+        debug_assert!(
+            id < (1 << 24),
+            "sharded-slab id {id} overflows the 24-bit wire aux field ({n} shards)"
+        );
+        id
     }
 
     /// Removes and returns the value with combined id `id`.

@@ -578,9 +578,12 @@ mod tests {
             while !ep.send_am(0, &msg.data, msg.tag + 1) {
                 ep.progress();
             }
-            // Keep progressing so the echo drains from our side.
-            for _ in 0..200 {
+            // Keep progressing until the echo has drained from our side
+            // (a fixed iteration count races against the peer's matching
+            // on the baseline backends; `quiesced` is the contract).
+            while !ep.quiesced() {
                 ep.progress();
+                std::thread::yield_now();
             }
         });
         let w = World::new(fabric, 0, cfg);
@@ -654,8 +657,14 @@ mod tests {
             while !ep.send(1, &vec![4u8; 2048], 3) {
                 ep.progress();
             }
-            for _ in 0..500 {
+            // Drain until the send no longer needs this side's progress:
+            // the MPI baseline moves a buffered send only on *sender*
+            // progress, and the receiver may post its matching recv
+            // arbitrarily late (thread-spawn race) — a fixed iteration
+            // count here hangs the receiver intermittently.
+            while !ep.quiesced() {
                 ep.progress();
+                std::thread::yield_now();
             }
             t.join().unwrap();
         }
