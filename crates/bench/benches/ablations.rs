@@ -18,10 +18,15 @@
 //!    fill);
 //! 8. **Large-message pipeline** (§4.6) — rendezvous bandwidth with
 //!    chunked pipelined writes and the registration cache each toggled
-//!    independently, on both simulated backends.
+//!    independently, on both simulated backends;
+//! 9. **Allocation recycling** (§4.1.2 extended — DESIGN.md §4.7) —
+//!    message rate and rendezvous bandwidth with the pooled op
+//!    contexts / recycled buffer shelves on vs the
+//!    allocate-per-operation baseline.
 
 use bench::{
-    bandwidth_thread_based_cfg, env_usize, iters, print_header, print_row, quick, thread_sweep,
+    bandwidth_thread_based_cfg, env_usize, iters, msgrate_thread_based_cfg, print_header,
+    print_row, quick, thread_sweep,
 };
 use kmer::{run_rank, KmerConfig, ReadSetConfig};
 use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingConfig, MatchingEngine};
@@ -272,6 +277,48 @@ fn main() {
                     format!("{bw:.1}"),
                 ]);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 9. Allocation recycling: the same eager and rendezvous workloads
+    // with steady-state storage recycling (pooled op contexts, recycled
+    // staging buffers, persistent scratch) on vs the
+    // allocate-per-operation baseline. The companion correctness
+    // artifact is crates/lci/tests/alloc_steady_state.rs, which proves
+    // the recycling path makes zero allocator calls per operation.
+    // ------------------------------------------------------------------
+    print_header(
+        "Ablation: allocation recycling (eager msgrate + rendezvous bandwidth)",
+        &["platform", "workload", "recycling", "threads", "rate"],
+    );
+    let ar_threads = if quick() { 2 } else { threads.max(4) };
+    for platform in [Platform::Expanse, Platform::Delta] {
+        for recycle in [false, true] {
+            let cfg =
+                WorldConfig::new(BackendKind::Lci, platform, ResourceMode::Dedicated(ar_threads))
+                    .with_alloc_recycling(recycle);
+            let rate = msgrate_thread_based_cfg(cfg, ar_threads, iters, 512);
+            print_row(&[
+                bench::platform_name(platform).into(),
+                "eager 512B".into(),
+                (if recycle { "on" } else { "off" }).into(),
+                ar_threads.to_string(),
+                format!("{rate:.4} Mmsg/s"),
+            ]);
+        }
+        for recycle in [false, true] {
+            let cfg =
+                WorldConfig::new(BackendKind::Lci, platform, ResourceMode::Dedicated(rdv_threads))
+                    .with_alloc_recycling(recycle);
+            let bw = bandwidth_thread_based_cfg(cfg, rdv_threads, 256 * 1024, rdv_iters);
+            print_row(&[
+                bench::platform_name(platform).into(),
+                "rdv 256KiB".into(),
+                (if recycle { "on" } else { "off" }).into(),
+                rdv_threads.to_string(),
+                format!("{bw:.1} MiB/s"),
+            ]);
         }
     }
 }

@@ -103,10 +103,22 @@ pub fn msgrate_thread_based(
     iters: usize,
     msg_size: usize,
 ) -> f64 {
+    let cfg = WorldConfig::new(backend, platform, mode);
+    msgrate_thread_based_cfg(cfg, nthreads, iters, msg_size)
+}
+
+/// [`msgrate_thread_based`] with an explicit [`WorldConfig`] — the entry
+/// point for ablations that toggle config knobs (storage recycling,
+/// coalescing, ...).
+pub fn msgrate_thread_based_cfg(
+    cfg: WorldConfig,
+    nthreads: usize,
+    iters: usize,
+    msg_size: usize,
+) -> f64 {
     let fabric = Fabric::new(2);
     let total = (nthreads * iters) as u64;
     let elapsed = Arc::new(AtomicU64::new(0));
-    let cfg = WorldConfig::new(backend, platform, mode);
 
     let mk_rank = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<AtomicU64>| {
         std::thread::spawn(move || {

@@ -9,6 +9,7 @@
 //! matching or handle unexpected messages: the LCI progress engine keeps
 //! enough receives pre-posted.
 
+use crate::buf_pool::{BufPool, BufPoolConfig, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint, DEFAULT_RX_CAPACITY};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCacheConfig, RegCacheStats};
@@ -71,6 +72,10 @@ pub struct DeviceConfig {
     /// Memory-registration cache (see [`crate::reg_cache`]). Shared by
     /// both backends; disable for the per-message-registration ablation.
     pub reg_cache: RegCacheConfig,
+    /// Recycled staging-buffer pool (see [`crate::buf_pool`]). Feeds
+    /// `WirePayload::Heap` staging on both backends and the LCI layer's
+    /// staging copies; disable for the allocate-per-message ablation.
+    pub buf_pool: BufPoolConfig,
 }
 
 impl Default for DeviceConfig {
@@ -82,6 +87,7 @@ impl Default for DeviceConfig {
             rx_capacity: DEFAULT_RX_CAPACITY,
             cq_drain_batch: 64,
             reg_cache: RegCacheConfig::default(),
+            buf_pool: BufPoolConfig::default(),
         }
     }
 }
@@ -131,6 +137,12 @@ impl DeviceConfig {
     pub fn with_reg_cache_bounds(mut self, max_entries: usize, max_bytes: usize) -> Self {
         self.reg_cache.max_entries = max_entries;
         self.reg_cache.max_bytes = max_bytes;
+        self
+    }
+
+    /// Enables or disables the recycled staging-buffer pool.
+    pub fn with_buf_pool(mut self, enabled: bool) -> Self {
+        self.buf_pool.enabled = enabled;
         self
     }
 }
@@ -273,6 +285,19 @@ pub trait NetDevice: Send + Sync {
     /// device has no cache (or it is disabled).
     fn reg_cache_stats(&self) -> RegCacheStats {
         RegCacheStats::default()
+    }
+
+    /// The device's recycled staging-buffer pool, if it has one. The LCI
+    /// layer stages its own per-operation copies (eager staging,
+    /// coalesced frames, rendezvous scratch, bounce buffers) through it
+    /// so the whole data path shares one recycling domain.
+    fn buf_pool(&self) -> Option<BufPool> {
+        None
+    }
+
+    /// Buffer-pool counters; all-zero when the device has no pool.
+    fn buf_pool_stats(&self) -> BufPoolStats {
+        BufPoolStats::default()
     }
 
     /// Number of currently pre-posted receives (used by the LCI progress

@@ -1,0 +1,392 @@
+//! Size-classed recycled byte-buffer pool.
+//!
+//! The paper's packet pool (§4.1.2) exists so the critical path never
+//! touches malloc; this module extends the same discipline to every
+//! *staging* buffer the fabric and the LCI runtime allocate per
+//! operation: `WirePayload::Heap` send staging, coalesced-frame
+//! aggregation buffers, rendezvous gather-scratch slots, and the
+//! unexpected-rendezvous bounce buffer. Buffers are recycled through
+//! power-of-two size-class shelves guarded by leaf spinlocks (never
+//! held while another lock is taken, so cross-device returns — a
+//! receiver dropping a sender-staged payload — cannot deadlock).
+//!
+//! A [`PoolBuf`] carries an `Arc` back to its owning pool and returns
+//! its storage on drop; [`PoolBuf::detached`] wraps a plain vector with
+//! no recycling for the ablation opt-out and for oversize payloads.
+//! Hit/miss/recycled-byte counters surface through
+//! [`BufPoolStats`] and the LCI `DeviceStats` overlay.
+
+use crate::sync::SpinLock;
+use crate::types::{WirePayload, INLINE_MAX};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest recycled size class, in bytes.
+pub const MIN_CLASS: usize = 128;
+/// Largest recycled size class, in bytes; bigger buffers are not pooled.
+pub const MAX_CLASS: usize = 1 << 20;
+/// Number of power-of-two shelves between [`MIN_CLASS`] and [`MAX_CLASS`].
+const NCLASSES: usize = (MAX_CLASS / MIN_CLASS).trailing_zeros() as usize + 1;
+
+/// Capacity of the size class with index `idx`.
+#[inline]
+fn class_size(idx: usize) -> usize {
+    MIN_CLASS << idx
+}
+
+/// Index of the smallest class holding `len` bytes; `None` when `len`
+/// exceeds [`MAX_CLASS`].
+#[inline]
+fn class_of(len: usize) -> Option<usize> {
+    if len > MAX_CLASS {
+        return None;
+    }
+    let c = len.next_power_of_two().max(MIN_CLASS);
+    Some((c / MIN_CLASS).trailing_zeros() as usize)
+}
+
+/// Buffer-pool configuration (a [`DeviceConfig`](crate::DeviceConfig)
+/// field).
+#[derive(Clone, Copy, Debug)]
+pub struct BufPoolConfig {
+    /// Master switch; when off every request returns a detached (heap,
+    /// non-recycled) buffer — the ablation baseline.
+    pub enabled: bool,
+    /// Maximum buffers kept per size class; returns past this bound are
+    /// dropped (freed) instead of shelved.
+    pub max_per_class: usize,
+}
+
+impl Default for BufPoolConfig {
+    fn default() -> Self {
+        Self { enabled: true, max_per_class: 64 }
+    }
+}
+
+/// Point-in-time pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufPoolStats {
+    /// Requests satisfied from a shelf (no allocation).
+    pub hits: u64,
+    /// Requests that had to allocate (cold shelf, oversize, or pool
+    /// disabled).
+    pub misses: u64,
+    /// Bytes of capacity returned to shelves for reuse.
+    pub recycled_bytes: u64,
+}
+
+struct PoolShared {
+    shelves: [SpinLock<Vec<Vec<u8>>>; NCLASSES],
+    max_per_class: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled_bytes: AtomicU64,
+}
+
+impl PoolShared {
+    /// Returns `vec`'s storage to its class shelf (or frees it when the
+    /// shelf is full or the capacity shrank below the class size).
+    fn put(&self, class: usize, mut vec: Vec<u8>) {
+        if vec.capacity() < class_size(class) {
+            return;
+        }
+        let mut shelf = self.shelves[class].lock();
+        if shelf.len() < self.max_per_class {
+            vec.clear();
+            shelf.push(vec);
+            self.recycled_bytes.fetch_add(class_size(class) as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A size-classed recycled byte-buffer pool. Cheap to clone (a shared
+/// handle); all clones feed the same shelves.
+#[derive(Clone)]
+pub struct BufPool {
+    shared: Arc<PoolShared>,
+    enabled: bool,
+}
+
+impl BufPool {
+    /// Creates a pool with `cfg`.
+    pub fn new(cfg: BufPoolConfig) -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                shelves: std::array::from_fn(|_| SpinLock::new(Vec::new())),
+                max_per_class: cfg.max_per_class.max(1),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled_bytes: AtomicU64::new(0),
+            }),
+            enabled: cfg.enabled,
+        }
+    }
+
+    /// Whether buffers are actually recycled (false under the ablation
+    /// opt-out: every request allocates and every return frees).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// An empty buffer with capacity for at least `len` bytes.
+    pub fn take_empty(&self, len: usize) -> PoolBuf {
+        let class = if self.enabled { class_of(len) } else { None };
+        let Some(class) = class else {
+            self.shared.misses.fetch_add(1, Ordering::Relaxed);
+            return PoolBuf::detached(Vec::with_capacity(len));
+        };
+        let recycled = self.shared.shelves[class].lock().pop();
+        let vec = match recycled {
+            Some(v) => {
+                self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.shared.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(class_size(class))
+            }
+        };
+        PoolBuf { vec, class, pool: Some(self.shared.clone()) }
+    }
+
+    /// A zero-filled buffer of exactly `len` bytes.
+    pub fn take_len(&self, len: usize) -> PoolBuf {
+        let mut b = self.take_empty(len);
+        b.vec.resize(len, 0);
+        b
+    }
+
+    /// A recycled copy of `src`.
+    pub fn stage_copy(&self, src: &[u8]) -> PoolBuf {
+        let mut b = self.take_empty(src.len());
+        b.vec.extend_from_slice(src);
+        b
+    }
+
+    /// Stages `src` as a wire payload: empty → `None`, small → `Inline`,
+    /// larger → a recycled `Heap` buffer.
+    pub fn stage(&self, src: &[u8]) -> WirePayload {
+        if src.is_empty() {
+            WirePayload::None
+        } else if src.len() <= INLINE_MAX {
+            let mut data = [0u8; INLINE_MAX];
+            data[..src.len()].copy_from_slice(src);
+            WirePayload::Inline { data, len: src.len() as u8 }
+        } else {
+            WirePayload::Heap(self.stage_copy(src))
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufPoolStats {
+        BufPoolStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            recycled_bytes: self.shared.recycled_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A byte buffer that returns its storage to its owning [`BufPool`] on
+/// drop. Derefs to `[u8]`; grow through [`vec_mut`](Self::vec_mut).
+pub struct PoolBuf {
+    vec: Vec<u8>,
+    /// Size-class index; unused when `pool` is `None`.
+    class: usize,
+    pool: Option<Arc<PoolShared>>,
+}
+
+impl PoolBuf {
+    /// Wraps a plain vector with no recycling (dropped storage is freed).
+    pub fn detached(vec: Vec<u8>) -> Self {
+        Self { vec, class: 0, pool: None }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Mutable access to the backing vector (append, resize, clear).
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+
+    /// Steals the backing vector, opting its storage out of recycling.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.vec)
+    }
+}
+
+impl std::ops::Deref for PoolBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for PoolBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for PoolBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for PoolBuf {
+    fn from(vec: Vec<u8>) -> Self {
+        PoolBuf::detached(vec)
+    }
+}
+
+impl Clone for PoolBuf {
+    /// Deep copy, detached from any pool (clones are rare and cold).
+    fn clone(&self) -> Self {
+        PoolBuf::detached(self.vec.clone())
+    }
+}
+
+impl std::fmt::Debug for PoolBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuf")
+            .field("len", &self.vec.len())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(self.class, std::mem::take(&mut self.vec));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_math() {
+        assert_eq!(class_of(0), Some(0));
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(128), Some(0));
+        assert_eq!(class_of(129), Some(1));
+        assert_eq!(class_of(256), Some(1));
+        assert_eq!(class_of(MAX_CLASS), Some(NCLASSES - 1));
+        assert_eq!(class_of(MAX_CLASS + 1), None);
+        for idx in 0..NCLASSES {
+            assert_eq!(class_of(class_size(idx)), Some(idx));
+        }
+    }
+
+    #[test]
+    fn recycle_round_trip() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let b = pool.stage_copy(&[7u8; 300]);
+        assert_eq!(&b[..], &[7u8; 300]);
+        let cap = b.vec.capacity();
+        drop(b); // returns the 512-class buffer
+        let b2 = pool.take_empty(400);
+        assert_eq!(b2.vec.capacity(), cap, "same-class storage is reused");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.recycled_bytes, 512);
+    }
+
+    #[test]
+    fn take_len_zero_fills_recycled_storage() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let mut b = pool.take_len(200);
+        b.copy_from_slice(&[0xAB; 200]);
+        drop(b);
+        let b2 = pool.take_len(200);
+        assert_eq!(&b2[..], &[0u8; 200], "recycled buffer is re-zeroed");
+    }
+
+    #[test]
+    fn oversize_and_disabled_are_detached() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let big = pool.take_empty(MAX_CLASS + 1);
+        assert!(big.pool.is_none());
+        drop(big);
+        let off = BufPool::new(BufPoolConfig { enabled: false, ..Default::default() });
+        let b = off.stage_copy(&[1u8; 256]);
+        assert!(b.pool.is_none());
+        drop(b);
+        assert_eq!(off.stats().hits, 0);
+        assert_eq!(off.stats().recycled_bytes, 0);
+    }
+
+    #[test]
+    fn shelf_bound_is_respected() {
+        let pool = BufPool::new(BufPoolConfig { enabled: true, max_per_class: 2 });
+        let bufs: Vec<_> = (0..4).map(|_| pool.take_len(128)).collect();
+        drop(bufs);
+        // Only two returns were shelved.
+        assert_eq!(pool.stats().recycled_bytes, 2 * 128);
+        let _a = pool.take_len(128);
+        let _b = pool.take_len(128);
+        let _c = pool.take_len(128);
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn into_vec_opts_out_of_recycling() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let b = pool.stage_copy(&[3u8; 200]);
+        let v = b.into_vec();
+        assert_eq!(v.len(), 200);
+        assert_eq!(pool.stats().recycled_bytes, 0);
+    }
+
+    #[test]
+    fn stage_picks_inline_and_heap() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        assert!(matches!(pool.stage(&[]), WirePayload::None));
+        assert!(matches!(pool.stage(&[0u8; 64]), WirePayload::Inline { .. }));
+        assert!(matches!(pool.stage(&[0u8; 65]), WirePayload::Heap(_)));
+    }
+
+    #[test]
+    fn concurrent_take_put() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000usize {
+                        let mut b = pool.take_len(64 + (i % 512));
+                        b[0] = i as u8;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 4000);
+        assert!(s.hits > 0);
+    }
+}

@@ -4,8 +4,8 @@
 use crate::mem::RegistrationTable;
 use crate::sync::MpmcArray;
 use crate::types::{DevId, NetError, NetResult, Rank, RetryReason, WireMsg};
-use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Default RX-ring capacity (messages in flight toward one device).
@@ -15,24 +15,20 @@ pub const DEFAULT_RX_CAPACITY: usize = 4096;
 /// a bounded multi-producer ring standing in for the NIC's inbound
 /// pipeline. Senders push; only the owning device pops (during its
 /// `poll_cq`).
+///
+/// The ring is a fixed-capacity lock-free array queue — like a real
+/// inbound FIFO it is sized at creation and never allocates on the push
+/// path (the allocation-free steady-state discipline, DESIGN.md §4.7).
+/// A full ring surfaces as RNR backpressure.
 pub struct RxEndpoint {
-    ring: SegQueue<WireMsg>,
-    /// Approximate occupancy, used to bound the ring. `SegQueue` is
-    /// unbounded; the counter provides flow control (RNR backpressure).
-    occupancy: AtomicUsize,
-    capacity: usize,
+    ring: ArrayQueue<WireMsg>,
     closed: AtomicBool,
 }
 
 impl RxEndpoint {
     /// Creates an endpoint with the given ring capacity.
     pub fn new(capacity: usize) -> Self {
-        Self {
-            ring: SegQueue::new(),
-            occupancy: AtomicUsize::new(0),
-            capacity,
-            closed: AtomicBool::new(false),
-        }
+        Self { ring: ArrayQueue::new(capacity.max(1)), closed: AtomicBool::new(false) }
     }
 
     /// Pushes a message toward the owning device.
@@ -40,29 +36,18 @@ impl RxEndpoint {
         if self.closed.load(Ordering::Acquire) {
             return Err(NetError::fatal("target device closed"));
         }
-        // Optimistically reserve a slot; back out on overflow. This keeps
-        // the push path lock-free (senders to the same target contend only
-        // on the atomic, like the NIC's inbound FIFO).
-        let prev = self.occupancy.fetch_add(1, Ordering::AcqRel);
-        if prev >= self.capacity {
-            self.occupancy.fetch_sub(1, Ordering::AcqRel);
-            return Err(NetError::Retry(RetryReason::RxFull));
-        }
-        self.ring.push(msg);
-        Ok(())
+        self.ring.push(msg).map_err(|_| NetError::Retry(RetryReason::RxFull))
     }
 
     /// Pops the next inbound message, if any. Only the owning device
     /// calls this.
     pub fn pop(&self) -> Option<WireMsg> {
-        let msg = self.ring.pop()?;
-        self.occupancy.fetch_sub(1, Ordering::AcqRel);
-        Some(msg)
+        self.ring.pop()
     }
 
     /// Occupancy snapshot (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.occupancy.load(Ordering::Acquire)
+        self.ring.len()
     }
 
     /// Marks the endpoint closed; subsequent pushes fail fatally.
@@ -204,6 +189,7 @@ impl std::fmt::Debug for Fabric {
 mod tests {
     use super::*;
     use crate::types::{WireMsgKind, WirePayload};
+    use std::sync::atomic::AtomicUsize;
 
     fn msg(i: u64) -> WireMsg {
         WireMsg {

@@ -51,6 +51,7 @@
 //!   (receiver-not-ready, RNR, behaviour).
 
 pub mod backend;
+pub mod buf_pool;
 pub mod fabric;
 pub mod mem;
 pub mod reg_cache;
@@ -60,6 +61,7 @@ pub mod sync;
 pub mod types;
 
 pub use backend::{BackendKind, DeviceConfig, NetContext, NetDevice, SendDesc, TdStrategy};
+pub use buf_pool::{BufPool, BufPoolConfig, BufPoolStats, PoolBuf};
 pub use fabric::Fabric;
 pub use mem::{MemoryRegion, Rkey};
 pub use reg_cache::{RegCache, RegCacheConfig, RegCacheStats};

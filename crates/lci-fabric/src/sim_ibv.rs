@@ -26,6 +26,7 @@
 //! paper highlights for AMT-style runtimes.
 
 use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc, TdStrategy};
+use crate::buf_pool::{BufPool, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCache, RegCacheStats};
@@ -34,7 +35,7 @@ use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
     WirePayload,
 };
-use crossbeam::queue::SegQueue;
+use crossbeam::queue::ArrayQueue;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -62,13 +63,19 @@ pub struct IbvDevice {
     /// device discipline.
     qp_discipline: LockDiscipline,
     /// CQEs written by the "NIC" (lock-free staging, like DMA'd CQEs).
-    cq_staging: SegQueue<Cqe>,
+    /// A fixed ring, as on real hardware: sized at creation, never
+    /// allocating on the post path. A full ring bounds the number of
+    /// unpolled local completions (send-queue depth) and surfaces as
+    /// `Retry(QueueFull)`.
+    cq_staging: ArrayQueue<Cqe>,
     /// The polled CQ; its lock models the `ibv_poll_cq` spinlock.
     cq: SpinLock<VecDeque<Cqe>>,
     /// The shared receive queue and its spinlock.
     srq: SpinLock<VecDeque<RecvBufDesc>>,
     /// Registration cache (per device, like a provider's domain cache).
     reg_cache: RegCache,
+    /// Recycled staging-buffer pool feeding `WirePayload::Heap`.
+    buf_pool: BufPool,
     posted_recvs: AtomicUsize,
 }
 
@@ -106,11 +113,23 @@ impl IbvDevice {
             rx,
             qps,
             qp_discipline,
-            cq_staging: SegQueue::new(),
+            cq_staging: ArrayQueue::new((cfg.rx_capacity * 2).max(256)),
             cq: SpinLock::new(VecDeque::new()),
             srq: SpinLock::new(VecDeque::new()),
             reg_cache: RegCache::new(cfg.reg_cache),
+            buf_pool: BufPool::new(cfg.buf_pool),
             posted_recvs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Writes a NIC completion into the staging ring. On the rare race
+    /// where the ring filled between the capacity pre-check and this
+    /// push, the CQE goes straight to the polled CQ instead — never
+    /// dropped.
+    #[inline]
+    fn stage_cqe(&self, cqe: Cqe) {
+        if let Err(cqe) = self.cq_staging.push(cqe) {
+            self.cq.lock().push_back(cqe);
         }
     }
 
@@ -185,18 +204,21 @@ impl NetDevice for IbvDevice {
         ctx: u64,
     ) -> NetResult<()> {
         let ep = self.fabric.endpoint(target, target_dev)?;
+        if self.cq_staging.is_full() {
+            return Err(NetError::Retry(RetryReason::QueueFull));
+        }
         let mut qp = self.lock_qp(target)?;
         ep.push(WireMsg {
             src_rank: self.rank,
             src_dev: self.dev_id,
             imm,
             kind: WireMsgKind::Send,
-            payload: WirePayload::from_slice(data),
+            payload: self.buf_pool.stage(data),
         })?;
         qp.posted += 1;
         drop(qp);
         // The NIC reports the send completion; the send buffer was staged.
-        self.cq_staging.push(Cqe::local(CqeKind::SendDone, ctx));
+        self.stage_cqe(Cqe::local(CqeKind::SendDone, ctx));
         Ok(())
     }
 
@@ -207,6 +229,9 @@ impl NetDevice for IbvDevice {
         msgs: &[SendDesc<'_>],
     ) -> NetResult<usize> {
         let ep = self.fabric.endpoint(target, target_dev)?;
+        if self.cq_staging.is_full() {
+            return Err(NetError::Retry(RetryReason::QueueFull));
+        }
         // One QP lock acquisition (doorbell) covers the whole batch.
         let mut qp = self.lock_qp(target)?;
         let mut posted = 0;
@@ -216,7 +241,7 @@ impl NetDevice for IbvDevice {
                 src_dev: self.dev_id,
                 imm: m.imm,
                 kind: WireMsgKind::Send,
-                payload: WirePayload::from_slice(m.data),
+                payload: self.buf_pool.stage(m.data),
             });
             match res {
                 Ok(()) => posted += 1,
@@ -227,7 +252,7 @@ impl NetDevice for IbvDevice {
         qp.posted += posted as u64;
         drop(qp);
         for m in &msgs[..posted] {
-            self.cq_staging.push(Cqe::local(CqeKind::SendDone, m.ctx));
+            self.stage_cqe(Cqe::local(CqeKind::SendDone, m.ctx));
         }
         Ok(posted)
     }
@@ -297,7 +322,7 @@ impl NetDevice for IbvDevice {
         }
         qp.posted += 1;
         drop(qp);
-        self.cq_staging.push(Cqe::local(CqeKind::WriteDone, ctx));
+        self.stage_cqe(Cqe::local(CqeKind::WriteDone, ctx));
         Ok(())
     }
 
@@ -319,7 +344,7 @@ impl NetDevice for IbvDevice {
         drop(qp);
         let mut cqe = Cqe::local(CqeKind::ReadDone, local.ctx);
         cqe.len = local.len;
-        self.cq_staging.push(cqe);
+        self.stage_cqe(cqe);
         Ok(())
     }
 
@@ -337,6 +362,14 @@ impl NetDevice for IbvDevice {
 
     fn reg_cache_stats(&self) -> RegCacheStats {
         self.reg_cache.stats()
+    }
+
+    fn buf_pool(&self) -> Option<BufPool> {
+        Some(self.buf_pool.clone())
+    }
+
+    fn buf_pool_stats(&self) -> BufPoolStats {
+        self.buf_pool.stats()
     }
 
     fn posted_recvs(&self) -> usize {

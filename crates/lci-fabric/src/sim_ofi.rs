@@ -13,6 +13,7 @@
 //! MPI implementations drive libfabric.
 
 use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc};
+use crate::buf_pool::{BufPool, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCache, RegCacheStats};
@@ -44,6 +45,8 @@ pub struct OfiDevice {
     /// Per-domain registration cache behind a mutex (see
     /// [`crate::reg_cache`]).
     reg_cache: RegCache,
+    /// Recycled staging-buffer pool feeding `WirePayload::Heap`.
+    buf_pool: BufPool,
     posted_recvs: AtomicUsize,
 }
 
@@ -65,6 +68,7 @@ impl OfiDevice {
             rx,
             ep: SpinLock::new(EpState { srq: VecDeque::new(), cq: VecDeque::new(), posted: 0 }),
             reg_cache: RegCache::new(cfg.reg_cache),
+            buf_pool: BufPool::new(cfg.buf_pool),
             posted_recvs: AtomicUsize::new(0),
         }
     }
@@ -122,7 +126,7 @@ impl NetDevice for OfiDevice {
             src_dev: self.dev_id,
             imm,
             kind: WireMsgKind::Send,
-            payload: WirePayload::from_slice(data),
+            payload: self.buf_pool.stage(data),
         })?;
         st.posted += 1;
         st.cq.push_back(Cqe::local(CqeKind::SendDone, ctx));
@@ -147,7 +151,7 @@ impl NetDevice for OfiDevice {
                 src_dev: self.dev_id,
                 imm: m.imm,
                 kind: WireMsgKind::Send,
-                payload: WirePayload::from_slice(m.data),
+                payload: self.buf_pool.stage(m.data),
             });
             match res {
                 Ok(()) => posted += 1,
@@ -255,6 +259,14 @@ impl NetDevice for OfiDevice {
 
     fn reg_cache_stats(&self) -> RegCacheStats {
         self.reg_cache.stats()
+    }
+
+    fn buf_pool(&self) -> Option<BufPool> {
+        Some(self.buf_pool.clone())
+    }
+
+    fn buf_pool_stats(&self) -> BufPoolStats {
+        self.buf_pool.stats()
     }
 
     fn posted_recvs(&self) -> usize {

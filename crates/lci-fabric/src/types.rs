@@ -87,19 +87,25 @@ impl NetError {
 /// Tiny messages ride inline in the ring slot (like NIC inline sends);
 /// larger eager messages are staged through one heap buffer — the analog
 /// of the NIC reading the send buffer over PCIe. RDMA never uses this
-/// path.
+/// path. The heap buffer is a [`PoolBuf`](crate::buf_pool::PoolBuf):
+/// when the sending device has buffer recycling enabled, its storage
+/// returns to the sender's pool as soon as the message is delivered
+/// (dropped on the receive side) — the steady-state staging path never
+/// touches malloc.
 #[derive(Clone, Debug)]
 pub enum WirePayload {
     /// No payload (pure notification, e.g. RDMA-write immediate).
     None,
     /// Payload stored inline.
     Inline { data: [u8; INLINE_MAX], len: u8 },
-    /// Payload staged on the heap.
-    Heap(Box<[u8]>),
+    /// Payload staged on the heap (recycled when pooled).
+    Heap(crate::buf_pool::PoolBuf),
 }
 
 impl WirePayload {
-    /// Builds a payload from a byte slice, choosing inline vs heap.
+    /// Builds a payload from a byte slice, choosing inline vs heap. The
+    /// heap copy is detached (not recycled); backends stage through
+    /// their device pool instead ([`BufPool::stage`](crate::buf_pool::BufPool::stage)).
     pub fn from_slice(src: &[u8]) -> Self {
         if src.is_empty() {
             WirePayload::None
@@ -108,7 +114,7 @@ impl WirePayload {
             data[..src.len()].copy_from_slice(src);
             WirePayload::Inline { data, len: src.len() as u8 }
         } else {
-            WirePayload::Heap(src.into())
+            WirePayload::Heap(crate::buf_pool::PoolBuf::detached(src.to_vec()))
         }
     }
 

@@ -10,22 +10,24 @@
 use crate::device::RdvActive;
 use crate::types::Rank;
 use lci_fabric::sync::SpinLock;
-use lci_fabric::DevId;
+use lci_fabric::{DevId, PoolBuf};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// A postponed request.
+/// A postponed request. Payloads are pool-recycled buffers: parking a
+/// message never costs a fresh allocation, and shipping it returns the
+/// staging storage to the device's buffer pool.
 pub(crate) enum Backlogged {
     /// An eager control/data message to (rank, dev): payload + header.
-    Ctrl { target: Rank, target_dev: DevId, payload: Vec<u8>, imm: u64 },
+    Ctrl { target: Rank, target_dev: DevId, payload: PoolBuf, imm: u64 },
     /// A stalled pipelined rendezvous transfer: the chunk pump hit a full
     /// wire with nothing in flight to re-drive it.
     RdvPump { active: Arc<RdvActive> },
     /// A user-level eager send whose retry was disallowed at post time.
     /// The flattened payload rides here; the in-flight operation context
     /// (buffer + completion) rides in `ctx`.
-    UserSend { target: Rank, target_dev: DevId, data: Vec<u8>, imm: u64, ctx: u64 },
+    UserSend { target: Rank, target_dev: DevId, data: PoolBuf, imm: u64, ctx: u64 },
 }
 
 /// The batching key of a plain send, or `None` for requests that must
@@ -145,7 +147,7 @@ mod tests {
     use super::*;
 
     fn ctrl(tag: u64) -> Backlogged {
-        Backlogged::Ctrl { target: 0, target_dev: 0, payload: vec![], imm: tag }
+        Backlogged::Ctrl { target: 0, target_dev: 0, payload: vec![].into(), imm: tag }
     }
 
     fn imm_of(b: &Backlogged) -> u64 {
@@ -183,9 +185,15 @@ mod tests {
     #[test]
     fn pop_run_groups_same_destination_sends() {
         let b = Backlog::new();
-        b.push(Backlogged::Ctrl { target: 1, target_dev: 0, payload: vec![], imm: 1 });
-        b.push(Backlogged::UserSend { target: 1, target_dev: 0, data: vec![], imm: 2, ctx: 0 });
-        b.push(Backlogged::Ctrl { target: 2, target_dev: 0, payload: vec![], imm: 3 });
+        b.push(Backlogged::Ctrl { target: 1, target_dev: 0, payload: vec![].into(), imm: 1 });
+        b.push(Backlogged::UserSend {
+            target: 1,
+            target_dev: 0,
+            data: vec![].into(),
+            imm: 2,
+            ctx: 0,
+        });
+        b.push(Backlogged::Ctrl { target: 2, target_dev: 0, payload: vec![].into(), imm: 3 });
         let run = b.pop_run(16);
         assert_eq!(run.iter().map(imm_of).collect::<Vec<_>>(), vec![1, 2]);
         let run = b.pop_run(16);

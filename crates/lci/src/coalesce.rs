@@ -24,7 +24,7 @@
 use crate::proto::{coalesce_pack, COALESCE_SUB_OVERHEAD};
 use crate::types::Rank;
 use lci_fabric::sync::SpinLock;
-use lci_fabric::DevId;
+use lci_fabric::{BufPool, DevId, PoolBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Coalescing configuration (a [`RuntimeConfig`](crate::RuntimeConfig)
@@ -59,11 +59,13 @@ impl CoalesceConfig {
     }
 }
 
-/// A full frame taken out of the coalescer, ready to post.
+/// A full frame taken out of the coalescer, ready to post. The frame
+/// buffer is pool-recycled: dropping it after the post returns the
+/// storage for the destination's next frame.
 pub(crate) struct Frame {
     pub target: Rank,
     pub target_dev: DevId,
-    pub data: Vec<u8>,
+    pub data: PoolBuf,
     /// Sub-messages in the frame (carried in the frame header's aux
     /// field for receive-side validation).
     pub count: usize,
@@ -72,7 +74,7 @@ pub(crate) struct Frame {
 /// One destination's open frame.
 struct Slot {
     dev: DevId,
-    data: Vec<u8>,
+    data: PoolBuf,
     count: usize,
     /// Epoch of the last append (for idle detection).
     epoch: u64,
@@ -83,6 +85,8 @@ struct Slot {
 pub(crate) struct Coalescer {
     cfg: CoalesceConfig,
     slots: Vec<SpinLock<Vec<Slot>>>,
+    /// Recycled storage for frame buffers (the owning device's pool).
+    pool: BufPool,
     /// Total buffered sub-messages — the progress/quiesce fast path.
     pending: AtomicUsize,
     /// Bumped by each idle sweep; slots untouched for a full epoch flush.
@@ -90,10 +94,11 @@ pub(crate) struct Coalescer {
 }
 
 impl Coalescer {
-    pub fn new(cfg: CoalesceConfig, nranks: usize) -> Self {
+    pub fn new(cfg: CoalesceConfig, nranks: usize, pool: BufPool) -> Self {
         Self {
             cfg,
             slots: (0..nranks).map(|_| SpinLock::new(Vec::new())).collect(),
+            pool,
             pending: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
         }
@@ -137,7 +142,12 @@ impl Coalescer {
         let slot = match slots.iter_mut().find(|s| s.dev == dev) {
             Some(s) => s,
             None => {
-                slots.push(Slot { dev, data: Vec::new(), count: 0, epoch });
+                slots.push(Slot {
+                    dev,
+                    data: self.pool.take_empty(self.cfg.max_bytes),
+                    count: 0,
+                    epoch,
+                });
                 slots.last_mut().unwrap()
             }
         };
@@ -147,7 +157,7 @@ impl Coalescer {
             let frame = self.take_slot(target, slot);
             post(frame)?;
         }
-        coalesce_pack(&mut slot.data, sub_imm, payload);
+        coalesce_pack(slot.data.vec_mut(), sub_imm, payload);
         slot.count += 1;
         slot.epoch = epoch;
         self.pending.fetch_add(1, Ordering::AcqRel);
@@ -218,10 +228,12 @@ impl Coalescer {
     }
 
     fn take_slot(&self, target: Rank, slot: &mut Slot) -> Frame {
+        // Restock the slot from the pool: in the steady state the frame
+        // just posted (and dropped) is the buffer handed back here.
         let frame = Frame {
             target,
             target_dev: slot.dev,
-            data: std::mem::take(&mut slot.data),
+            data: std::mem::replace(&mut slot.data, self.pool.take_empty(self.cfg.max_bytes)),
             count: slot.count,
         };
         self.pending.fetch_sub(slot.count, Ordering::AcqRel);
@@ -237,6 +249,10 @@ mod tests {
 
     fn cfg(max_bytes: usize, max_msgs: usize) -> CoalesceConfig {
         CoalesceConfig { enabled: true, max_bytes, max_msgs, max_sub_size: 256 }
+    }
+
+    fn mk(cfg: CoalesceConfig, nranks: usize) -> Coalescer {
+        Coalescer::new(cfg, nranks, BufPool::new(lci_fabric::BufPoolConfig::default()))
     }
 
     /// Test driver: collect flushed frames instead of posting them.
@@ -282,7 +298,7 @@ mod tests {
 
     #[test]
     fn count_threshold_flushes() {
-        let c = Coalescer::new(cfg(1 << 20, 3), 2);
+        let c = mk(cfg(1 << 20, 3), 2);
         assert!(append(&c, 1, 0, 10, b"a").is_empty());
         assert!(append(&c, 1, 0, 11, b"b").is_empty());
         assert_eq!(c.pending(), 2);
@@ -298,7 +314,7 @@ mod tests {
     fn byte_threshold_flushes_before_overflow() {
         // max_bytes 64: two 20-byte subs fit (2 * 32 = 64 >= threshold →
         // flush after second); a third would overflow first.
-        let c = Coalescer::new(cfg(64, 1000), 1);
+        let c = mk(cfg(64, 1000), 1);
         assert!(append(&c, 0, 0, 1, &[0u8; 20]).is_empty());
         let frames = append(&c, 0, 0, 2, &[1u8; 20]);
         assert_eq!(frames.len(), 1);
@@ -308,7 +324,7 @@ mod tests {
 
     #[test]
     fn per_destination_isolation_and_take() {
-        let c = Coalescer::new(cfg(1 << 20, 1000), 3);
+        let c = mk(cfg(1 << 20, 1000), 3);
         append(&c, 1, 0, 1, b"x");
         append(&c, 2, 0, 2, b"y");
         append(&c, 2, 1, 3, b"z");
@@ -323,7 +339,7 @@ mod tests {
 
     #[test]
     fn idle_sweep_gives_one_epoch_grace() {
-        let c = Coalescer::new(cfg(1 << 20, 1000), 1);
+        let c = mk(cfg(1 << 20, 1000), 1);
         append(&c, 0, 0, 1, b"x");
         // First sweep: appended during the current epoch — survives.
         assert!(take_idle(&c).is_empty());
@@ -336,12 +352,12 @@ mod tests {
 
     #[test]
     fn eligibility() {
-        let c = Coalescer::new(cfg(64, 8), 1);
+        let c = mk(cfg(64, 8), 1);
         assert!(c.eligible(0));
         assert!(c.eligible(52)); // 52 + 12 == 64
         assert!(!c.eligible(53)); // would exceed max_bytes alone
         assert!(!c.eligible(257)); // over max_sub_size
-        let off = Coalescer::new(CoalesceConfig::default(), 1);
+        let off = mk(CoalesceConfig::default(), 1);
         assert!(!off.enabled());
         assert!(!off.eligible(1));
     }

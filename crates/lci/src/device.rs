@@ -11,6 +11,7 @@
 use crate::backlog::{Backlog, Backlogged};
 use crate::coalesce::{Coalescer, Frame};
 use crate::comp::Comp;
+use crate::ctx_pool::CtxPool;
 use crate::error::{FatalError, PostResult, Result};
 use crate::matching::MatchKind;
 use crate::packet_pool::Packet;
@@ -23,13 +24,17 @@ use crate::types::{
 use crate::util::ShardedSlab;
 use lci_fabric::sync::SpinLock;
 use lci_fabric::{
-    Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, RecvBufDesc, Rkey, SendDesc,
+    BufPool, Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, PoolBuf, RecvBufDesc, Rkey,
+    SendDesc,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Longest run of backlogged sends submitted as one fabric batch.
 const BACKLOG_BATCH: usize = 32;
+
+/// Completed [`RdvActive`] shells kept per device for reuse.
+const RDV_REUSE_CAP: usize = 32;
 
 /// Entries stored in the matching engine.
 pub(crate) enum MatchEntry {
@@ -104,7 +109,9 @@ struct RdvPump {
 /// One gather buffer of the scratch ring.
 #[derive(Default)]
 struct ScratchSlot {
-    buf: Option<Box<[u8]>>,
+    /// Pool-recycled gather buffer; survives transfer recycling, so
+    /// repeated iovec rendezvous reuses the same storage.
+    buf: Option<PoolBuf>,
     /// Owned by an in-flight chunk write; reusable after its CQE.
     busy: bool,
 }
@@ -157,9 +164,42 @@ fn gather_iovec(segs: &[Box<[u8]>], seg: &mut usize, seg_off: &mut usize, out: &
     }
 }
 
+/// Landing buffer of a rendezvous receive: the user's posted buffer
+/// (two-sided) or a pool-recycled bounce buffer (unexpected AM
+/// rendezvous, where the runtime must provide the storage itself).
+enum RdvBuf {
+    Owned(Box<[u8]>),
+    Pooled(PoolBuf),
+}
+
+impl RdvBuf {
+    fn as_ptr(&self) -> *const u8 {
+        match self {
+            RdvBuf::Owned(b) => b.as_ptr(),
+            RdvBuf::Pooled(b) => b.as_ptr(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RdvBuf::Owned(b) => b.len(),
+            RdvBuf::Pooled(b) => b.len(),
+        }
+    }
+
+    /// Converts into the completion-descriptor payload carrying the
+    /// first `len` delivered bytes.
+    fn into_databuf(self, len: usize) -> DataBuf {
+        match self {
+            RdvBuf::Owned(b) => DataBuf::Partial(b, len),
+            RdvBuf::Pooled(b) => DataBuf::Pooled(b, len),
+        }
+    }
+}
+
 /// A pending zero-copy receive (RTR issued, waiting for FIN).
 struct RdvRecv {
-    buf: Box<[u8]>,
+    buf: RdvBuf,
     mr: MemoryRegion,
     comp: Comp,
     user_ctx: u64,
@@ -170,7 +210,10 @@ struct RdvRecv {
 }
 
 /// Per-operation context travelling through the fabric's completion
-/// context field as a raw `Box` pointer.
+/// context field — a generation-tagged [`CtxPool`] id in the recycling
+/// steady state (low bit set), or a raw `Box` pointer under the
+/// allocation-recycling ablation opt-out (low bit clear: boxes are at
+/// least 8-aligned).
 enum OpCtx {
     EagerSend {
         comp: Option<Comp>,
@@ -202,15 +245,14 @@ enum OpCtx {
     },
 }
 
-fn ctx_encode(op: OpCtx) -> u64 {
-    Box::into_raw(Box::new(op)) as u64
-}
-
-/// # Safety
-/// `ctx` must come from [`ctx_encode`] and be decoded exactly once (the
-/// fabric delivers each completion exactly once).
-unsafe fn ctx_decode(ctx: u64) -> Box<OpCtx> {
-    unsafe { Box::from_raw(ctx as *mut OpCtx) }
+/// Reusable buffers of one device's receive-replenish path: the packet
+/// batch pulled from the pool and the descriptor array handed to
+/// `post_recv_batch`. Persisted across refills so the steady state
+/// allocates neither.
+#[derive(Default)]
+struct ReplenishScratch {
+    packets: Vec<Packet>,
+    descs: Vec<RecvBufDesc>,
 }
 
 pub(crate) struct DeviceInner {
@@ -224,7 +266,76 @@ pub(crate) struct DeviceInner {
     /// but not yet complete. Keeps `pending_rendezvous` (and lcw
     /// quiescence) truthful.
     rdv_active: AtomicUsize,
+    /// Recycled staging-buffer pool shared with the fabric device (eager
+    /// staging, coalesced frames, rendezvous scratch, bounce buffers).
+    buf_pool: BufPool,
+    /// Allocation-recycling master switch (`RuntimeConfig::
+    /// alloc_recycling`). Off = the allocate-per-operation ablation:
+    /// boxed op contexts, detached buffers, no transfer-shell reuse.
+    recycle: bool,
+    /// Pooled per-operation contexts (replaces a Box per post).
+    ctx_pool: CtxPool<OpCtx>,
+    /// Reusable CQE array for `progress` polls.
+    cqe_scratch: SpinLock<Vec<Cqe>>,
+    /// Reusable batch buffers for `replenish_recvs`.
+    replenish_scratch: SpinLock<ReplenishScratch>,
+    /// Completed rendezvous-transfer shells awaiting reuse (bounded by
+    /// [`RDV_REUSE_CAP`]).
+    rdv_reuse: SpinLock<Vec<Arc<RdvActive>>>,
     stats: DeviceStats,
+}
+
+impl DeviceInner {
+    /// Encodes a per-operation context for the fabric's 64-bit ctx
+    /// field: a generation-tagged pool id (odd) in the recycling steady
+    /// state, a boxed pointer (even) under the ablation opt-out.
+    fn ctx_encode(&self, op: OpCtx) -> u64 {
+        if self.recycle {
+            self.ctx_pool.insert(op)
+        } else {
+            let ptr = Box::into_raw(Box::new(op)) as u64;
+            debug_assert_eq!(ptr & 1, 0, "Box pointers are at least 8-aligned");
+            ptr
+        }
+    }
+
+    /// Decodes (and consumes) a context produced by [`Self::ctx_encode`].
+    /// A pooled context that fails the generation check — a stale or
+    /// double decode, the pooled analogue of a use-after-free — is
+    /// reported as a fatal error instead of corrupting another operation.
+    ///
+    /// # Safety
+    /// `ctx` must come from [`Self::ctx_encode`] on this device and be
+    /// decoded at most once if it is a boxed (even) context.
+    unsafe fn ctx_decode(&self, ctx: u64) -> Result<OpCtx> {
+        if ctx & 1 == 1 {
+            self.ctx_pool
+                .remove(ctx)
+                .ok_or_else(|| FatalError::Net(format!("stale or double-decoded op ctx {ctx:#x}")))
+        } else {
+            // SAFETY: even contexts are unique boxed OpCtx pointers per
+            // this function's contract.
+            Ok(*unsafe { Box::from_raw(ctx as *mut OpCtx) })
+        }
+    }
+
+    /// Stages a send payload into one contiguous recycled buffer — the
+    /// buffer-copy protocol's one staging copy, without its allocation.
+    fn stage_payload(&self, buf: &SendBuf) -> PoolBuf {
+        match buf.as_contiguous() {
+            Some(data) => self.buf_pool.stage_copy(data),
+            None => {
+                let SendBuf::Iovec(segs) = buf else {
+                    unreachable!("non-contiguous SendBuf is Iovec")
+                };
+                let mut out = self.buf_pool.take_empty(buf.len());
+                for seg in segs.iter() {
+                    out.vec_mut().extend_from_slice(seg);
+                }
+                out
+            }
+        }
+    }
 }
 
 /// A communication device handle (cheap to clone, `Send + Sync`).
@@ -268,9 +379,20 @@ pub(crate) struct CommArgs {
 
 impl Device {
     pub(crate) fn create(rt: Arc<RuntimeInner>) -> Result<Device> {
-        let net = rt.netctx.create_device(rt.config.device);
-        let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks());
+        let recycle = rt.config.alloc_recycling;
+        let mut dev_cfg = rt.config.device;
+        if !recycle {
+            // The master switch overrides the fabric-level pool too, so
+            // one flag yields the full allocate-per-operation ablation.
+            dev_cfg.buf_pool.enabled = false;
+        }
+        let net = rt.netctx.create_device(dev_cfg);
+        // Share the fabric device's pool so the whole data path recycles
+        // through one set of shelves.
+        let buf_pool = net.buf_pool().unwrap_or_else(|| BufPool::new(dev_cfg.buf_pool));
+        let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks(), buf_pool.clone());
         let shards = rt.config.rdv_shards;
+        let batch = rt.config.progress_batch;
         let dev = Device {
             inner: Arc::new(DeviceInner {
                 rt,
@@ -280,6 +402,12 @@ impl Device {
                 rdv_sends: ShardedSlab::new(shards),
                 rdv_recvs: ShardedSlab::new(shards),
                 rdv_active: AtomicUsize::new(0),
+                buf_pool,
+                recycle,
+                ctx_pool: CtxPool::new(shards),
+                cqe_scratch: SpinLock::new(Vec::with_capacity(batch)),
+                replenish_scratch: SpinLock::new(ReplenishScratch::default()),
+                rdv_reuse: SpinLock::new(Vec::new()),
                 stats: DeviceStats::default(),
             }),
         };
@@ -312,13 +440,17 @@ impl Device {
     }
 
     /// Snapshot of this device's operation counters, with the fabric
-    /// registration-cache counters overlaid.
+    /// registration-cache and buffer-pool counters overlaid.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         let mut s = self.inner.stats.snapshot();
         let rc = self.inner.net.reg_cache_stats();
         s.reg_cache_hits = rc.hits;
         s.reg_cache_misses = rc.misses;
         s.reg_cache_evictions = rc.evictions;
+        let bp = self.inner.buf_pool.stats();
+        s.buf_pool_hits = bp.hits;
+        s.buf_pool_misses = bp.misses;
+        s.buf_pool_recycled_bytes = bp.recycled_bytes;
         s
     }
 
@@ -428,7 +560,7 @@ impl Device {
                     })?;
                 }
                 None => {
-                    let data = buf.flatten();
+                    let data = self.inner.stage_payload(&buf);
                     coal.append_with(args.rank, target_dev, imm, &data, |frame| {
                         self.post_frame(frame)
                     })?;
@@ -451,7 +583,7 @@ impl Device {
             let res = match buf.as_contiguous() {
                 Some(data) => self.inner.net.post_send(args.rank, target_dev, data, imm, 0),
                 None => {
-                    let data = buf.flatten();
+                    let data = self.inner.stage_payload(&buf);
                     self.inner.net.post_send(args.rank, target_dev, &data, imm, 0)
                 }
             };
@@ -479,8 +611,8 @@ impl Device {
 
         // Buffer-copy protocol: stage through the fabric; the send buffer
         // comes back with the completion.
-        let data = buf.flatten();
-        let ctx = ctx_encode(OpCtx::EagerSend {
+        let data = self.inner.stage_payload(&buf);
+        let ctx = self.inner.ctx_encode(OpCtx::EagerSend {
             comp: args.comp.clone(),
             buf,
             rank: args.rank,
@@ -497,7 +629,7 @@ impl Device {
                         // (caller resubmits with the same buffer).
                         // SAFETY: the fabric rejected the post, so the
                         // context was never handed over.
-                        let _op = unsafe { ctx_decode(ctx) };
+                        let _op = unsafe { self.inner.ctx_decode(ctx) }?;
                         Ok(PostResult::Retry(r.into()))
                     }
                     NetError::Retry(_) => {
@@ -516,7 +648,7 @@ impl Device {
                     }
                     NetError::Fatal(m) => {
                         // SAFETY: rejected post; context never handed over.
-                        let _op = unsafe { ctx_decode(ctx) };
+                        let _op = unsafe { self.inner.ctx_decode(ctx) }?;
                         Err(FatalError::Net(m))
                     }
                 }
@@ -562,7 +694,7 @@ impl Device {
                     self.push_backlog(Backlogged::Ctrl {
                         target: rank,
                         target_dev,
-                        payload: payload.to_vec(),
+                        payload: self.inner.buf_pool.stage_copy(&payload),
                         imm,
                     });
                     Ok(PostResult::Posted)
@@ -585,8 +717,8 @@ impl Device {
         let imm = args
             .remote_comp
             .map(|rc| Header::new(MsgType::PutSignal, args.policy, args.tag, rc).encode());
-        let data = buf.flatten();
-        let ctx = ctx_encode(OpCtx::Put {
+        let data = self.inner.stage_payload(&buf);
+        let ctx = self.inner.ctx_encode(OpCtx::Put {
             comp: args.comp,
             buf,
             rank: args.rank,
@@ -597,7 +729,7 @@ impl Device {
             Ok(()) => Ok(PostResult::Posted),
             Err(e) => {
                 // SAFETY: rejected post; context never handed over.
-                let _op = unsafe { ctx_decode(ctx) };
+                let _op = unsafe { self.inner.ctx_decode(ctx) }?;
                 match e {
                     NetError::Retry(r) => Ok(PostResult::Retry(r.into())),
                     NetError::Fatal(m) => Err(FatalError::Net(m)),
@@ -617,7 +749,7 @@ impl Device {
         let signal = args.remote_comp.map(|rc| (target_dev, rc));
         let len = buf.len();
         let ptr = buf.as_ptr() as *mut u8;
-        let ctx = ctx_encode(OpCtx::Get {
+        let ctx = self.inner.ctx_encode(OpCtx::Get {
             comp: args.comp,
             buf,
             rank: args.rank,
@@ -632,7 +764,7 @@ impl Device {
             Ok(()) => Ok(PostResult::Posted),
             Err(e) => {
                 // SAFETY: rejected post; context never handed over.
-                let _op = unsafe { ctx_decode(ctx) };
+                let _op = unsafe { self.inner.ctx_decode(ctx) }?;
                 match e {
                     NetError::Retry(r) => Ok(PostResult::Retry(r.into())),
                     NetError::Fatal(m) => Err(FatalError::Net(m)),
@@ -676,7 +808,7 @@ impl Device {
                             tag,
                             send_id,
                             size,
-                            recv.buf,
+                            RdvBuf::Owned(recv.buf),
                             recv.comp,
                             recv.user_ctx,
                             false,
@@ -738,7 +870,7 @@ impl Device {
         tag: Tag,
         send_id: u32,
         size: usize,
-        buf: Box<[u8]>,
+        buf: RdvBuf,
         comp: Comp,
         user_ctx: u64,
         is_am: bool,
@@ -762,7 +894,7 @@ impl Device {
                 self.push_backlog(Backlogged::Ctrl {
                     target: src,
                     target_dev: src_dev,
-                    payload: payload.to_vec(),
+                    payload: self.inner.buf_pool.stage_copy(&payload),
                     imm,
                 });
                 Ok(())
@@ -787,33 +919,73 @@ impl Device {
         let chunk = if cfg.rdv_chunking { cfg.rdv_chunk_size.min(total) } else { total };
         let nchunks = total.div_ceil(chunk);
         let max_inflight = cfg.rdv_max_inflight.min(nchunks).max(1);
-        let scratch = if entry.buf.as_contiguous().is_none() {
-            (0..max_inflight).map(|_| ScratchSlot::default()).collect()
-        } else {
-            Vec::new()
-        };
-        let active = Arc::new(RdvActive {
-            target,
-            target_dev,
-            rkey: Rkey(rtr.rkey),
-            fin_imm: Header::new(MsgType::Fin, MatchingPolicy::RankTag, 0, rtr.recv_id).encode(),
-            total,
-            chunk,
-            nchunks,
-            max_inflight,
-            tag: entry.tag,
-            user_ctx: entry.user_ctx,
-            inflight: AtomicUsize::new(0),
-            pump: SpinLock::new(RdvPump {
-                buf: Some(entry.buf),
-                comp: entry.comp,
-                next: 0,
-                done: 0,
-                seg: 0,
-                seg_off: 0,
-                scratch,
+        let contiguous = entry.buf.as_contiguous().is_some();
+        let fin_imm = Header::new(MsgType::Fin, MatchingPolicy::RankTag, 0, rtr.recv_id).encode();
+        let recycled = if self.inner.recycle { self.inner.rdv_reuse.lock().pop() } else { None };
+        let active = match recycled {
+            Some(mut arc) => {
+                // Reuse a finished transfer's shell (Arc + pump lock +
+                // scratch ring) instead of allocating a new one.
+                let a = Arc::get_mut(&mut arc)
+                    .expect("recycled transfer shells have a unique reference");
+                a.target = target;
+                a.target_dev = target_dev;
+                a.rkey = Rkey(rtr.rkey);
+                a.fin_imm = fin_imm;
+                a.total = total;
+                a.chunk = chunk;
+                a.nchunks = nchunks;
+                a.max_inflight = max_inflight;
+                a.tag = entry.tag;
+                a.user_ctx = entry.user_ctx;
+                a.inflight.store(0, Ordering::Relaxed);
+                {
+                    let mut p = a.pump.lock();
+                    p.buf = Some(entry.buf);
+                    p.comp = entry.comp;
+                    p.next = 0;
+                    p.done = 0;
+                    p.seg = 0;
+                    p.seg_off = 0;
+                    if contiguous {
+                        p.scratch.clear();
+                    } else {
+                        // Keep surviving slots' pooled gather buffers;
+                        // their size is re-checked against the new chunk
+                        // size on first use.
+                        p.scratch.resize_with(max_inflight, ScratchSlot::default);
+                        debug_assert!(p.scratch.iter().all(|s| !s.busy));
+                    }
+                }
+                arc
+            }
+            None => Arc::new(RdvActive {
+                target,
+                target_dev,
+                rkey: Rkey(rtr.rkey),
+                fin_imm,
+                total,
+                chunk,
+                nchunks,
+                max_inflight,
+                tag: entry.tag,
+                user_ctx: entry.user_ctx,
+                inflight: AtomicUsize::new(0),
+                pump: SpinLock::new(RdvPump {
+                    buf: Some(entry.buf),
+                    comp: entry.comp,
+                    next: 0,
+                    done: 0,
+                    seg: 0,
+                    seg_off: 0,
+                    scratch: if contiguous {
+                        Vec::new()
+                    } else {
+                        (0..max_inflight).map(|_| ScratchSlot::default()).collect()
+                    },
+                }),
             }),
-        });
+        };
         if self.pump_rdv(&active)? {
             self.push_backlog(Backlogged::RdvPump { active });
         }
@@ -857,10 +1029,12 @@ impl Device {
                     // decrementing inflight, both under this pump lock.
                     let idx = scratch.iter().position(|s| !s.busy).expect("free scratch slot");
                     let slot = &mut scratch[idx];
-                    if slot.buf.is_some() {
+                    // A recycled transfer shell may carry slots sized for
+                    // a previous (smaller) chunk size: re-check.
+                    if slot.buf.as_ref().is_some_and(|b| b.len() >= active.chunk) {
                         DeviceStats::bump(&self.inner.stats.rdv_scratch_reuses);
                     } else {
-                        slot.buf = Some(vec![0u8; active.chunk].into_boxed_slice());
+                        slot.buf = Some(self.inner.buf_pool.take_len(active.chunk));
                     }
                     let out = slot.buf.as_mut().expect("slot allocated");
                     gather_iovec(segs, &mut nseg, &mut nseg_off, &mut out[..len]);
@@ -868,7 +1042,8 @@ impl Device {
                     (&out[..len], Some(idx))
                 }
             };
-            let ctx = ctx_encode(OpCtx::RdvChunk { active: active.clone(), slot: slot_idx });
+            let ctx =
+                self.inner.ctx_encode(OpCtx::RdvChunk { active: active.clone(), slot: slot_idx });
             match self.inner.net.post_write(
                 active.target,
                 active.target_dev,
@@ -888,7 +1063,7 @@ impl Device {
                 }
                 Err(NetError::Retry(_)) => {
                     // SAFETY: rejected post; context never handed over.
-                    let _ = unsafe { ctx_decode(ctx) };
+                    unsafe { self.inner.ctx_decode(ctx) }?;
                     if let Some(idx) = slot_idx {
                         st.scratch[idx].busy = false;
                     }
@@ -899,7 +1074,7 @@ impl Device {
                 }
                 Err(NetError::Fatal(m)) => {
                     // SAFETY: rejected post; context never handed over.
-                    let _ = unsafe { ctx_decode(ctx) };
+                    unsafe { self.inner.ctx_decode(ctx) }?;
                     return Err(FatalError::Net(m));
                 }
             }
@@ -922,11 +1097,24 @@ impl Device {
             did |= self.flush_idle_coalesced()?;
         }
         let batch = self.inner.rt.config.progress_batch;
-        let mut cqes: Vec<Cqe> = Vec::with_capacity(batch);
-        match self.inner.net.poll_cq(&mut cqes, batch) {
+        // Reusable CQE scratch: the try-lock winner polls into the
+        // persistent buffer. A concurrent loser falls back to an empty
+        // local vector — which never allocates, because its poll bounces
+        // off the CQ trylock (held by the winner) before anything is
+        // pushed.
+        let mut local: Vec<Cqe> = Vec::new();
+        let mut guard = self.inner.cqe_scratch.try_lock();
+        let cqes: &mut Vec<Cqe> = match guard.as_mut() {
+            Some(g) => {
+                g.clear();
+                g
+            }
+            None => &mut local,
+        };
+        match self.inner.net.poll_cq(cqes, batch) {
             Ok(n) => {
                 did |= n > 0;
-                for cqe in cqes {
+                for cqe in cqes.drain(..) {
                     self.handle_cqe(cqe)?;
                 }
             }
@@ -1072,10 +1260,10 @@ impl Device {
                         .iter()
                         .map(|item| match item {
                             Backlogged::Ctrl { payload, imm, .. } => {
-                                SendDesc { data: payload, imm: *imm, ctx: 0 }
+                                SendDesc { data: payload.as_ref(), imm: *imm, ctx: 0 }
                             }
                             Backlogged::UserSend { data, imm, ctx, .. } => {
-                                SendDesc { data, imm: *imm, ctx: *ctx }
+                                SendDesc { data: data.as_ref(), imm: *imm, ctx: *ctx }
                             }
                             Backlogged::RdvPump { .. } => unreachable!("rdv pump in run"),
                         })
@@ -1125,7 +1313,14 @@ impl Device {
         if posted > cfg.effective_prepost_watermark() || posted >= target {
             return Ok(());
         }
-        let mut packets = Vec::with_capacity(target - posted);
+        // Persistent refill scratch: a busy lock means another thread is
+        // already refilling this device — skip, it has us covered.
+        let Some(mut scratch) = self.inner.replenish_scratch.try_lock() else {
+            return Ok(());
+        };
+        let ReplenishScratch { packets, descs } = &mut *scratch;
+        packets.clear();
+        descs.clear();
         for _ in 0..target - posted {
             let Some(packet) = self.inner.rt.pool.get() else { break };
             packets.push(packet);
@@ -1135,11 +1330,12 @@ impl Device {
         }
         // SAFETY: each packet's slot stays checked out (leaked below)
         // until the receive completion reclaims it.
-        let descs: Vec<RecvBufDesc> = packets
-            .iter()
-            .map(|p| unsafe { RecvBufDesc::new(p.raw_ptr(), p.capacity(), p.index() as u64) })
-            .collect();
-        match self.inner.net.post_recv_batch(&descs) {
+        descs.extend(
+            packets
+                .iter()
+                .map(|p| unsafe { RecvBufDesc::new(p.raw_ptr(), p.capacity(), p.index() as u64) }),
+        );
+        match self.inner.net.post_recv_batch(descs) {
             Ok(n) => {
                 DeviceStats::bump(&self.inner.stats.replenish_batches);
                 DeviceStats::add(&self.inner.stats.replenish_posted, n as u64);
@@ -1147,10 +1343,14 @@ impl Device {
                     p.leak();
                 }
                 // The unposted tail (if any) drops back to the pool.
+                packets.clear();
                 Ok(())
             }
             // Lock busy: every packet drops back; retry next progress.
-            Err(NetError::Retry(_)) => Ok(()),
+            Err(NetError::Retry(_)) => {
+                packets.clear();
+                Ok(())
+            }
             Err(NetError::Fatal(m)) => Err(FatalError::Net(m)),
         }
     }
@@ -1165,8 +1365,8 @@ impl Device {
                 }
                 // SAFETY: ctx was encoded at post time and this is its
                 // unique completion.
-                let op = unsafe { ctx_decode(cqe.ctx) };
-                self.handle_local_completion(*op)
+                let op = unsafe { self.inner.ctx_decode(cqe.ctx) }?;
+                self.handle_local_completion(op)
             }
             CqeKind::RecvDone => {
                 // SAFETY: receive contexts are leaked packet indices.
@@ -1234,6 +1434,17 @@ impl Device {
                             });
                         }
                         self.inner.rdv_active.fetch_sub(1, Ordering::Relaxed);
+                        // Recycle the transfer shell (Arc + lock + scratch
+                        // ring) — but only when ours is the last reference:
+                        // a stale backlog pump clone may still point here,
+                        // and reusing the shell under it would corrupt an
+                        // unrelated transfer.
+                        if self.inner.recycle && Arc::strong_count(&active) == 1 {
+                            let mut reuse = self.inner.rdv_reuse.lock();
+                            if reuse.len() < RDV_REUSE_CAP {
+                                reuse.push(active);
+                            }
+                        }
                         Ok(())
                     }
                     None => {
@@ -1268,7 +1479,7 @@ impl Device {
                         Err(NetError::Retry(_)) => self.push_backlog(Backlogged::Ctrl {
                             target: rank,
                             target_dev,
-                            payload: Vec::new(),
+                            payload: PoolBuf::detached(Vec::new()),
                             imm,
                         }),
                         Err(NetError::Fatal(m)) => return Err(FatalError::Net(m)),
@@ -1319,7 +1530,7 @@ impl Device {
                         hdr.tag,
                         rts.send_id,
                         rts.size as usize,
-                        recv.buf,
+                        RdvBuf::Owned(recv.buf),
                         recv.comp,
                         recv.user_ctx,
                         false,
@@ -1336,14 +1547,16 @@ impl Device {
                     .rcomp
                     .read(hdr.aux as usize)
                     .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
-                let buf = vec![0u8; rts.size as usize].into_boxed_slice();
+                // The runtime provides the landing storage for an
+                // unexpected AM rendezvous: a pool-recycled bounce buffer.
+                let buf = self.inner.buf_pool.take_len(rts.size as usize);
                 self.start_rtr(
                     cqe.src_rank,
                     cqe.src_dev,
                     hdr.tag,
                     rts.send_id,
                     rts.size as usize,
-                    buf,
+                    RdvBuf::Pooled(buf),
                     comp,
                     0,
                     true,
@@ -1455,7 +1668,7 @@ impl Device {
         entry.comp.signal(CompDesc {
             rank: entry.src,
             tag: entry.tag,
-            data: DataBuf::Partial(entry.buf, entry.size),
+            data: entry.buf.into_databuf(entry.size),
             user_ctx: entry.user_ctx,
             kind: if entry.is_am { CompKind::Am } else { CompKind::Recv },
         });
@@ -1501,8 +1714,8 @@ impl Drop for DeviceInner {
     fn drop(&mut self) {
         // Reclaim everything still checked out to the fabric so packet
         // and context memory is returned: undelivered completions carry
-        // either a packet index (receive side) or a boxed OpCtx (local
-        // side); still-posted receives carry packet indices.
+        // either a packet index (receive side) or an encoded OpCtx
+        // (local side); still-posted receives carry packet indices.
         let (cqes, descs) = self.net.teardown();
         for cqe in cqes {
             match cqe.kind {
@@ -1512,9 +1725,9 @@ impl Drop for DeviceInner {
                 }
                 CqeKind::SendDone | CqeKind::WriteDone | CqeKind::ReadDone => {
                     if cqe.ctx != 0 {
-                        // SAFETY: nonzero local contexts are unique boxed
-                        // OpCtx pointers.
-                        drop(unsafe { ctx_decode(cqe.ctx) });
+                        // SAFETY: nonzero local contexts were produced by
+                        // this device's ctx_encode and never decoded.
+                        let _ = unsafe { self.ctx_decode(cqe.ctx) };
                     }
                 }
             }

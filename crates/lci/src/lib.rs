@@ -80,6 +80,7 @@ mod backlog;
 pub mod coalesce;
 pub mod collective;
 pub mod comp;
+mod ctx_pool;
 pub mod device;
 pub mod error;
 pub mod matching;
@@ -109,7 +110,10 @@ pub use types::{
 };
 
 // Re-export the fabric handle types users need for setup.
-pub use lci_fabric::{BackendKind, DeviceConfig, Fabric, MemoryRegion, Rkey, TdStrategy};
+pub use lci_fabric::{
+    BackendKind, BufPool, BufPoolConfig, BufPoolStats, DeviceConfig, Fabric, MemoryRegion, PoolBuf,
+    Rkey, TdStrategy,
+};
 
 /// Commonly used items.
 pub mod prelude {

@@ -23,6 +23,7 @@
 use crate::types::{MatchingPolicy, Rank, Tag};
 use lci_fabric::sync::SpinLock;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Whether an entry is a send (unexpected message) or a receive (posted
@@ -189,6 +190,11 @@ pub struct MatchingEngine<T> {
     buckets: Box<[SpinLock<Bucket<T>>]>,
     mask: u64,
     make_key: Option<Arc<MakeKeyFn>>,
+    /// Stored-entry count, maintained on insert/match so [`len`](Self::len)
+    /// never walks the table. Relaxed: readers want a monotonic-ish
+    /// estimate, not a linearizable snapshot (matching correctness never
+    /// depends on it).
+    entries: AtomicUsize,
 }
 
 impl<T> MatchingEngine<T> {
@@ -202,7 +208,12 @@ impl<T> MatchingEngine<T> {
         let n = cfg.buckets.next_power_of_two().max(2);
         let buckets: Vec<SpinLock<Bucket<T>>> =
             (0..n).map(|_| SpinLock::new(Bucket::default())).collect();
-        Self { buckets: buckets.into_boxed_slice(), mask: (n - 1) as u64, make_key: None }
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            make_key: None,
+            entries: AtomicUsize::new(0),
+        }
     }
 
     /// Installs a custom key-derivation function used by
@@ -239,29 +250,40 @@ impl<T> MatchingEngine<T> {
                     if q.is_empty() {
                         bucket.remove_if_empty(key);
                     }
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
                     return Some((matched, value));
                 }
                 // Complementary queue exists but is empty (transient;
                 // normally removed) — repurpose it.
                 q.kind = kind;
                 q.push(value);
+                self.entries.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
             q.push(value);
+            self.entries.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         bucket.insert_queue(EntryQueue::new(key, kind, value));
+        self.entries.fetch_add(1, Ordering::Relaxed);
         None
     }
 
-    /// Total stored entries (diagnostics; takes every bucket lock).
+    /// Total stored entries: an O(1) counter read, approximate while
+    /// inserts race (each insert either stores one entry or removes one).
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.lock().total_entries()).sum()
+        self.entries.load(Ordering::Relaxed)
     }
 
-    /// Whether the engine holds no entries.
+    /// Whether the engine holds no entries (O(1); see [`len`](Self::len)).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exact stored-entry count by walking every bucket under its lock
+    /// (diagnostics; at quiescence it equals [`len`](Self::len)).
+    pub fn len_slow(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().total_entries()).sum()
     }
 
     /// Number of buckets (for tests/benches).
@@ -301,6 +323,7 @@ mod tests {
         assert!(m.insert(1, 10, MatchKind::Send).is_none());
         assert!(m.insert(2, 20, MatchKind::Recv).is_none());
         assert_eq!(m.len(), 2);
+        assert_eq!(m.len_slow(), 2);
     }
 
     #[test]
@@ -313,6 +336,7 @@ mod tests {
             assert_eq!(m.insert(3, 99, MatchKind::Recv), Some((i, 99)));
         }
         assert!(m.is_empty());
+        assert_eq!(m.len_slow(), 0);
     }
 
     #[test]
@@ -326,6 +350,7 @@ mod tests {
             }
         }
         assert_eq!(m.len(), 32 * 8);
+        assert_eq!(m.len_slow(), 32 * 8);
         for key in 0..32u64 {
             for v in 0..8usize {
                 assert_eq!(
@@ -397,5 +422,7 @@ mod tests {
         let total = nthreads * per;
         // Every insert either stored or matched exactly one stored entry.
         assert_eq!(m.len() + 2 * matched, total);
+        // At quiescence the O(1) counter agrees with the locked walk.
+        assert_eq!(m.len(), m.len_slow());
     }
 }

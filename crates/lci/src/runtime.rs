@@ -72,6 +72,12 @@ pub struct RuntimeConfig {
     /// Stripe count for the pending-rendezvous tables (send and receive
     /// state each sharded over this many independently locked slabs).
     pub rdv_shards: usize,
+    /// Recycle steady-state data-path storage: pooled operation contexts
+    /// (slab-backed, generation-tagged) instead of per-post boxes, and
+    /// shelf-recycled staging/bounce buffers instead of fresh heap
+    /// allocations. On by default; the ablation knob to recover the
+    /// allocate-per-operation baseline.
+    pub alloc_recycling: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -93,6 +99,7 @@ impl Default for RuntimeConfig {
             rdv_chunk_size: 64 << 10,
             rdv_max_inflight: 4,
             rdv_shards: 8,
+            alloc_recycling: true,
         }
     }
 }
@@ -113,6 +120,13 @@ impl RuntimeConfig {
     /// [`prepost_watermark`](Self::prepost_watermark)).
     pub fn effective_prepost_watermark(&self) -> usize {
         self.prepost_watermark.unwrap_or(self.prepost / 2)
+    }
+
+    /// Toggles data-path storage recycling (see
+    /// [`alloc_recycling`](Self::alloc_recycling)).
+    pub fn with_alloc_recycling(mut self, on: bool) -> Self {
+        self.alloc_recycling = on;
+        self
     }
 
     /// Scales pool/prepost sizes down, for tests and high-rank-count
@@ -266,10 +280,24 @@ impl Runtime {
 
     /// Spins `f` to readiness, pumping progress on the default device —
     /// the canonical blocking helper for tests and simple clients.
+    ///
+    /// Progress calls that find work reset the backoff; idle polls spin
+    /// briefly and then yield the core, so oversubscribed rank threads
+    /// (many ranks per core in this reproduction) don't starve the peer
+    /// whose progress they are waiting on.
     pub fn wait_until(&self, mut f: impl FnMut() -> bool) -> Result<()> {
+        let mut idle: u32 = 0;
         while !f() {
-            self.progress()?;
-            std::hint::spin_loop();
+            if self.progress()? {
+                idle = 0;
+            } else {
+                idle += 1;
+            }
+            if idle < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
         Ok(())
     }

@@ -108,6 +108,15 @@ pub struct StatsSnapshot {
     pub reg_cache_misses: u64,
     /// Registration-cache evictions (see [`Self::reg_cache_hits`]).
     pub reg_cache_evictions: u64,
+    /// Buffer-pool requests served from a shelf, no allocation (overlaid
+    /// by [`Device::stats`](crate::device::Device::stats) from the shared
+    /// fabric pool, not tracked in [`DeviceStats`]).
+    pub buf_pool_hits: u64,
+    /// Buffer-pool requests that allocated (see [`Self::buf_pool_hits`]).
+    pub buf_pool_misses: u64,
+    /// Bytes of buffer capacity recycled through pool shelves (see
+    /// [`Self::buf_pool_hits`]).
+    pub buf_pool_recycled_bytes: u64,
 }
 
 impl DeviceStats {
@@ -152,6 +161,9 @@ impl DeviceStats {
             reg_cache_hits: 0,
             reg_cache_misses: 0,
             reg_cache_evictions: 0,
+            buf_pool_hits: 0,
+            buf_pool_misses: 0,
+            buf_pool_recycled_bytes: 0,
         }
     }
 }
@@ -185,6 +197,9 @@ impl StatsSnapshot {
             reg_cache_hits: self.reg_cache_hits - earlier.reg_cache_hits,
             reg_cache_misses: self.reg_cache_misses - earlier.reg_cache_misses,
             reg_cache_evictions: self.reg_cache_evictions - earlier.reg_cache_evictions,
+            buf_pool_hits: self.buf_pool_hits - earlier.buf_pool_hits,
+            buf_pool_misses: self.buf_pool_misses - earlier.buf_pool_misses,
+            buf_pool_recycled_bytes: self.buf_pool_recycled_bytes - earlier.buf_pool_recycled_bytes,
         }
     }
 
@@ -232,6 +247,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.reg_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Buffer-pool hit rate (0 when no buffers were requested).
+    pub fn buf_pool_hit_rate(&self) -> f64 {
+        let total = self.buf_pool_hits + self.buf_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.buf_pool_hits as f64 / total as f64
         }
     }
 }

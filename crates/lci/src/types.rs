@@ -190,6 +190,10 @@ pub enum DataBuf {
     /// An owned buffer of which only the first `len` bytes are message
     /// data (zero-copy receives into a larger posted buffer).
     Partial(Box<[u8]>, usize),
+    /// A pool-recycled buffer of which only the first `len` bytes are
+    /// message data (unexpected AM rendezvous bounce buffers); its
+    /// storage returns to the buffer pool when this is dropped.
+    Pooled(lci_fabric::PoolBuf, usize),
     /// The send buffer coming back to its owner on a send completion.
     SendBuf(SendBuf),
 }
@@ -203,6 +207,7 @@ impl DataBuf {
             DataBuf::Packet(p, len) => &p.as_slice()[..*len],
             DataBuf::View(v) => v.as_slice(),
             DataBuf::Partial(b, len) => &b[..*len],
+            DataBuf::Pooled(b, len) => &b[..*len],
             DataBuf::SendBuf(s) => s.as_contiguous().unwrap_or(&[]),
         }
     }
@@ -215,6 +220,7 @@ impl DataBuf {
             DataBuf::Packet(_, len) => *len,
             DataBuf::View(v) => v.len(),
             DataBuf::Partial(_, len) => *len,
+            DataBuf::Pooled(_, len) => *len,
             DataBuf::SendBuf(s) => s.len(),
         }
     }
@@ -236,6 +242,7 @@ impl DataBuf {
                 v.truncate(len);
                 v
             }
+            DataBuf::Pooled(b, len) => b[..len].to_vec(),
             DataBuf::SendBuf(s) => s.flatten(),
         }
     }

@@ -1,0 +1,202 @@
+//! Steady-state allocation audit (DESIGN.md §4.7): a counting global
+//! allocator wraps `System` and the tests assert that the data path
+//! performs **zero** heap allocations per operation once warmed up —
+//! pooled op contexts, recycled staging buffers, persistent progress
+//! scratch, reusable rendezvous transfer shells, and the packet pool
+//! together mean the steady state never touches malloc (the paper's
+//! §4.1.2 design goal, extended from packets to the whole path).
+//!
+//! The harness drives both ranks of a 2-rank fabric from one thread, so
+//! the global counter observes exactly the operations under test. User
+//! buffers are recovered from completion descriptors and reposted, as a
+//! steady-state application would.
+
+use crossbeam::queue::ArrayQueue;
+use lci::{Comp, CompDesc, DataBuf, Fabric, PostResult, Runtime, RuntimeConfig, SendBuf};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counts every allocation call (alloc, alloc_zeroed, realloc) passing
+/// through the global allocator. Frees are not counted: the audit is
+/// about acquiring memory on the critical path.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// The counter is process-global, so tests must not overlap; the test
+/// runner uses one thread per test by default. Locking never allocates.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Two single-threaded ranks over one fabric plus fixed-capacity
+/// completion collectors (handler comps push into bounded queues —
+/// no allocation on the completion path).
+struct Pair {
+    rt0: Runtime,
+    rt1: Runtime,
+    send_done: Arc<ArrayQueue<CompDesc>>,
+    recv_done: Arc<ArrayQueue<CompDesc>>,
+    send_comp: Comp,
+    recv_comp: Comp,
+}
+
+impl Pair {
+    fn new(recycling: bool) -> Pair {
+        let cfg = RuntimeConfig::small().with_alloc_recycling(recycling);
+        let fabric = Fabric::new(2);
+        let rt0 = Runtime::new(fabric.clone(), 0, cfg.clone()).unwrap();
+        let rt1 = Runtime::new(fabric, 1, cfg).unwrap();
+        let send_done: Arc<ArrayQueue<CompDesc>> = Arc::new(ArrayQueue::new(4));
+        let recv_done: Arc<ArrayQueue<CompDesc>> = Arc::new(ArrayQueue::new(4));
+        let send_comp = {
+            let q = send_done.clone();
+            Comp::alloc_handler(move |d| {
+                let _ = q.push(d);
+            })
+        };
+        let recv_comp = {
+            let q = recv_done.clone();
+            Comp::alloc_handler(move |d| {
+                let _ = q.push(d);
+            })
+        };
+        Pair { rt0, rt1, send_done, recv_done, send_comp, recv_comp }
+    }
+
+    /// One transfer: rank 1 posts the receive, rank 0 sends, both ranks
+    /// progress until both sides complete. Returns (send, recv)
+    /// descriptors so the caller can recover and repost the buffers.
+    fn xfer(&self, payload: SendBuf, landing: Box<[u8]>, tag: u32) -> (CompDesc, CompDesc) {
+        match self.rt1.post_recv(0, landing, tag, self.recv_comp.clone()).unwrap() {
+            PostResult::Posted => {}
+            other => panic!("recv did not post: {other:?}"),
+        }
+        let mut sent = match self.rt0.post_send(1, payload, tag, self.send_comp.clone()).unwrap() {
+            PostResult::Done(d) => Some(d),
+            PostResult::Posted => None,
+            PostResult::Retry(r) => panic!("send retried under a quiet harness: {r:?}"),
+        };
+        let mut received: Option<CompDesc> = None;
+        while sent.is_none() || received.is_none() {
+            self.rt0.progress().unwrap();
+            self.rt1.progress().unwrap();
+            if sent.is_none() {
+                sent = self.send_done.pop();
+            }
+            if received.is_none() {
+                received = self.recv_done.pop();
+            }
+        }
+        (sent.unwrap(), received.unwrap())
+    }
+}
+
+/// Recovers the send buffer handed back by a send completion.
+fn recover_send(d: CompDesc) -> SendBuf {
+    match d.data {
+        DataBuf::SendBuf(s) => s,
+        other => panic!("send completion did not return the buffer: {other:?}"),
+    }
+}
+
+/// Recovers the posted landing buffer from a receive completion.
+fn recover_recv(d: CompDesc) -> Box<[u8]> {
+    match d.data {
+        DataBuf::Partial(b, _) => b,
+        DataBuf::Owned(b) => b,
+        other => panic!("recv completion did not return the landing buffer: {other:?}"),
+    }
+}
+
+/// Runs `warmup + iters` ping transfers of `size` bytes, recycling the
+/// user buffers across iterations, and returns the number of allocator
+/// calls made during the measured `iters`.
+fn steady_state_allocs(recycling: bool, size: usize, warmup: usize, iters: usize) -> u64 {
+    let pair = Pair::new(recycling);
+    let mut payload: SendBuf = vec![0xA5u8; size].into();
+    let mut landing: Box<[u8]> = vec![0u8; size].into();
+    for _ in 0..warmup {
+        let (s, r) = pair.xfer(payload, landing, 5);
+        payload = recover_send(s);
+        landing = recover_recv(r);
+    }
+    let before = alloc_calls();
+    for _ in 0..iters {
+        let (s, r) = pair.xfer(payload, landing, 5);
+        payload = recover_send(s);
+        landing = recover_recv(r);
+    }
+    alloc_calls() - before
+}
+
+/// Inject-size messages (≤ `inject_size`): the whole path — inline
+/// send buffer, packet-pool delivery, handler completion — is
+/// allocation-free at steady state.
+#[test]
+fn inject_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs(true, 8, 64, 256);
+    assert_eq!(allocs, 0, "8-byte inject loop made {allocs} allocator calls after warmup");
+}
+
+/// Buffer-copy eager messages: staging comes from the recycled buffer
+/// pool, op contexts from the slab pool — zero allocator calls per
+/// operation once shelves are warm.
+#[test]
+fn eager_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs(true, 512, 64, 256);
+    assert_eq!(allocs, 0, "512-byte eager loop made {allocs} allocator calls after warmup");
+}
+
+/// Repeated same-size rendezvous transfers: registration-cache hits,
+/// recycled transfer shells, and the persistent chunk scratch ring make
+/// the large-message pipeline allocation-free at steady state.
+#[test]
+fn rendezvous_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs(true, 256 << 10, 16, 32);
+    assert_eq!(allocs, 0, "256 KiB rendezvous loop made {allocs} allocator calls after warmup");
+}
+
+/// The ablation baseline really does allocate: with recycling off the
+/// same eager loop hits the allocator every iteration, which also
+/// proves the harness counts what it claims to count.
+#[test]
+fn recycling_off_allocates_per_operation() {
+    let _g = SERIAL.lock().unwrap();
+    let iters = 256;
+    let allocs = steady_state_allocs(false, 512, 64, iters);
+    assert!(
+        allocs >= iters as u64,
+        "expected at least one allocator call per op with recycling off, got {allocs}"
+    );
+}

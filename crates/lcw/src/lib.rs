@@ -92,6 +92,10 @@ pub struct WorldConfig {
     /// LCI's rendezvous path registers memory per message, so it is the
     /// backend that feels the cache).
     pub reg_cache: bool,
+    /// Steady-state storage recycling — pooled op contexts and recycled
+    /// staging buffers (LCI backend only; the ablation knob for the
+    /// allocate-per-operation baseline).
+    pub alloc_recycling: bool,
 }
 
 impl WorldConfig {
@@ -107,6 +111,7 @@ impl WorldConfig {
             zero_copy: true,
             rdv_chunking: true,
             reg_cache: true,
+            alloc_recycling: true,
         }
     }
 
@@ -136,6 +141,13 @@ impl WorldConfig {
     /// knob for per-message memory registration cost.
     pub fn with_reg_cache(mut self, on: bool) -> Self {
         self.reg_cache = on;
+        self
+    }
+
+    /// Enables or disables steady-state storage recycling — the ablation
+    /// knob for per-operation allocation cost.
+    pub fn with_alloc_recycling(mut self, on: bool) -> Self {
+        self.alloc_recycling = on;
         self
     }
 }
@@ -204,6 +216,7 @@ impl World {
                     matching: lci::MatchingConfig { buckets: 1024 },
                     coalesce,
                     zero_copy_recv: cfg.zero_copy,
+                    alloc_recycling: cfg.alloc_recycling,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");

@@ -1,9 +1,9 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Implements the subset the workspace uses — `queue::SegQueue`,
-//! `deque::{Worker, Stealer, Injector, Steal}`, `utils::Backoff` — on a
-//! short-spin mutex so the simulated-fabric hot paths stay syscall-free
-//! in the common (uncontended) case.
+//! Implements the subset the workspace uses — `queue::{SegQueue,
+//! ArrayQueue}`, `deque::{Worker, Stealer, Injector, Steal}`,
+//! `utils::Backoff` — on a short-spin mutex so the simulated-fabric hot
+//! paths stay syscall-free in the common (uncontended) case.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -80,6 +80,57 @@ pub mod queue {
     impl<T> Default for SegQueue<T> {
         fn default() -> Self {
             Self::new()
+        }
+    }
+
+    /// Bounded MPMC FIFO queue (stand-in for crossbeam's lock-free array
+    /// queue). Capacity is reserved at construction and never exceeded,
+    /// so push/pop are allocation-free for the queue's whole lifetime.
+    pub struct ArrayQueue<T> {
+        inner: Spin<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` items.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero (matches crossbeam).
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "ArrayQueue capacity must be non-zero");
+            Self { inner: Spin::new(VecDeque::with_capacity(cap)), cap }
+        }
+
+        /// Pushes `value`, handing it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            self.inner.with(|q| {
+                if q.len() >= self.cap {
+                    Err(value)
+                } else {
+                    q.push_back(value);
+                    Ok(())
+                }
+            })
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.with(|q| q.pop_front())
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.with(|q| q.len())
+        }
+
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.cap
         }
     }
 }
@@ -272,7 +323,23 @@ pub mod utils {
 #[cfg(test)]
 mod tests {
     use super::deque::{Injector, Worker};
-    use super::queue::SegQueue;
+    use super::queue::{ArrayQueue, SegQueue};
+
+    #[test]
+    fn arrayqueue_bounds_and_fifo() {
+        let q: ArrayQueue<u32> = ArrayQueue::new(2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.capacity(), 2);
+    }
 
     #[test]
     fn segqueue_fifo_mpmc() {
