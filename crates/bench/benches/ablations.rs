@@ -22,11 +22,15 @@
 //! 9. **Allocation recycling** (§4.1.2 extended — DESIGN.md §4.7) —
 //!    message rate and rendezvous bandwidth with the pooled op
 //!    contexts / recycled buffer shelves on vs the
-//!    allocate-per-operation baseline.
+//!    allocate-per-operation baseline;
+//! 10. **Progress engine** (DESIGN.md §4.8) — polling workers vs
+//!     dedicated progress threads with doorbell parking vs the hybrid,
+//!     on message rate (with poll/park/doorbell counter evidence) and
+//!     rendezvous bandwidth, both simulated backends.
 
 use bench::{
-    bandwidth_thread_based_cfg, env_usize, iters, msgrate_thread_based_cfg, print_header,
-    print_row, quick, thread_sweep,
+    bandwidth_thread_based_cfg, env_usize, iters, msgrate_thread_based_cfg,
+    msgrate_thread_based_stats, print_header, print_row, quick, thread_sweep,
 };
 use kmer::{run_rank, KmerConfig, ReadSetConfig};
 use lci::{CompDesc, CompQueue, CqConfig, CqImpl, MatchKind, MatchingConfig, MatchingEngine};
@@ -318,6 +322,65 @@ fn main() {
                 (if recycle { "on" } else { "off" }).into(),
                 rdv_threads.to_string(),
                 format!("{bw:.1} MiB/s"),
+            ]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 10. Progress engine: who polls. Workers-mode threads all hammer
+    // progress (most wasted polls, especially behind the ofi-like
+    // endpoint lock); a dedicated engine polls alone while workers
+    // block, so nearly every poll finds work. The counter columns are
+    // the evidence: useful = progress_useful/progress_calls on rank 0's
+    // device, wpolls = worker-side polls, parks = engine parks, rings =
+    // doorbell rings.
+    // ------------------------------------------------------------------
+    print_header(
+        "Ablation: progress engine (thread-based msgrate, shared device)",
+        &["platform", "mode", "threads", "Mmsg/s", "useful", "polls", "wpolls", "parks", "rings"],
+    );
+    let pm_threads: Vec<usize> = if quick() { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let pm_modes = [
+        ("workers", lci::ProgressMode::Workers),
+        ("dedicated(1)", lci::ProgressMode::Dedicated(1)),
+        ("hybrid(1)", lci::ProgressMode::Hybrid(1)),
+    ];
+    for platform in [Platform::Expanse, Platform::Delta] {
+        for (mname, pmode) in pm_modes {
+            for &t in &pm_threads {
+                let cfg = WorldConfig::new(BackendKind::Lci, platform, ResourceMode::Shared)
+                    .with_progress_mode(pmode);
+                let (rate, stats) = msgrate_thread_based_stats(cfg, t, iters, 8);
+                let s = stats.expect("lci stats");
+                print_row(&[
+                    bench::platform_name(platform).into(),
+                    mname.into(),
+                    t.to_string(),
+                    format!("{rate:.4}"),
+                    format!("{:.3}", s.useful_poll_rate()),
+                    s.progress_calls.to_string(),
+                    s.worker_polls.to_string(),
+                    s.progress_parks.to_string(),
+                    s.doorbell_rings.to_string(),
+                ]);
+            }
+        }
+    }
+    print_header(
+        "Ablation: progress engine (rendezvous bandwidth 256KiB)",
+        &["platform", "mode", "threads", "MiB/s"],
+    );
+    for platform in [Platform::Expanse, Platform::Delta] {
+        for (mname, pmode) in pm_modes {
+            let cfg =
+                WorldConfig::new(BackendKind::Lci, platform, ResourceMode::Dedicated(rdv_threads))
+                    .with_progress_mode(pmode);
+            let bw = bandwidth_thread_based_cfg(cfg, rdv_threads, 256 * 1024, rdv_iters);
+            print_row(&[
+                bench::platform_name(platform).into(),
+                mname.into(),
+                rdv_threads.to_string(),
+                format!("{bw:.1}"),
             ]);
         }
     }

@@ -93,6 +93,16 @@ fn main() {
             }
         });
         print_row(&[t.to_string(), "packet_pool".into(), format!("{mops:.2}")]);
+
+        // Doorbell: ring/observe pairs on one shared bell (the progress
+        // engine's wakeup path, DESIGN.md §4.8). Rings with no waiter
+        // are the common case — an uncontended fetch-add plus a fence.
+        let bell = Arc::new(lci_fabric::sync::Doorbell::new());
+        let mops = measure(t, per, |_, _| {
+            bell.ring();
+            let _ = bell.epoch();
+        });
+        print_row(&[t.to_string(), "doorbell".into(), format!("{mops:.2}")]);
     }
 
     // Large-message pipeline counters: stream rendezvous transfers

@@ -116,13 +116,30 @@ pub fn msgrate_thread_based_cfg(
     iters: usize,
     msg_size: usize,
 ) -> f64 {
+    msgrate_thread_based_stats(cfg, nthreads, iters, msg_size).0
+}
+
+/// [`msgrate_thread_based_cfg`] that also returns rank 0's LCI device
+/// stats delta over the timed section (`None` on the baseline
+/// backends) — the entry point for ablations that need counter evidence
+/// (progress-engine poll/park/doorbell accounting).
+pub fn msgrate_thread_based_stats(
+    cfg: WorldConfig,
+    nthreads: usize,
+    iters: usize,
+    msg_size: usize,
+) -> (f64, Option<lci::StatsSnapshot>) {
     let fabric = Fabric::new(2);
     let total = (nthreads * iters) as u64;
     let elapsed = Arc::new(AtomicU64::new(0));
+    let stats_out: Arc<parking_lot::Mutex<Option<lci::StatsSnapshot>>> =
+        Arc::new(parking_lot::Mutex::new(None));
 
     let mk_rank = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<AtomicU64>| {
+        let stats_out = stats_out.clone();
         std::thread::spawn(move || {
             let world = Arc::new(World::new(fabric.clone(), rank, cfg));
+            let stats_base = world.endpoint(0).lci_device().map(|d| d.stats()).unwrap_or_default();
             // credits[t]: pongs received for thread t (rank 0);
             // pings seen for thread t (rank 1 forwards immediately).
             let credits: Arc<Vec<AtomicU64>> =
@@ -176,6 +193,8 @@ pub fn msgrate_thread_based_cfg(
             fabric.oob_barrier();
             if rank == 0 {
                 elapsed.store(dt.as_nanos() as u64, Ordering::Release);
+                *stats_out.lock() =
+                    world.endpoint(0).lci_device().map(|d| d.stats().since(&stats_base));
             }
             drop(world);
         })
@@ -186,8 +205,9 @@ pub fn msgrate_thread_based_cfg(
     h0.join().unwrap();
     h1.join().unwrap();
     let ns = elapsed.load(Ordering::Acquire) as f64;
+    let stats = stats_out.lock().take();
     // Unidirectional: count pings only.
-    total as f64 / (ns / 1e9) / 1e6
+    (total as f64 / (ns / 1e9) / 1e6, stats)
 }
 
 /// Process-based mode (paper Fig. 2): `pairs` ranks per "node", one

@@ -15,7 +15,7 @@ use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCacheConfig, RegCacheStats};
 use crate::sim_ibv::IbvDevice;
 use crate::sim_ofi::OfiDevice;
-use crate::sync::LockDiscipline;
+use crate::sync::{Doorbell, LockDiscipline};
 use crate::types::{Cqe, CqeKind, DevId, NetResult, Rank, RecvBufDesc, WireMsg, WireMsgKind};
 use std::sync::Arc;
 
@@ -304,6 +304,23 @@ pub trait NetDevice: Send + Sync {
     /// engine to decide when to replenish).
     fn posted_recvs(&self) -> usize;
 
+    /// The device's doorbell, rung whenever work plausibly becomes
+    /// available for `poll_cq` (wire delivery into the RX ring, locally
+    /// staged completions). A progress thread parks on it instead of
+    /// spin-polling. `None` for backends without doorbell support.
+    fn doorbell(&self) -> Option<Arc<Doorbell>> {
+        None
+    }
+
+    /// Number of inbound wire messages waiting in the device's RX ring
+    /// (racy snapshot). A progress thread refuses to park while this is
+    /// non-zero: a message can sit in the ring without a matching
+    /// pre-posted receive (RNR), and draining it needs further polls,
+    /// not another doorbell ring.
+    fn inbound_pending(&self) -> usize {
+        0
+    }
+
     /// Tears the device down: closes its RX endpoint (subsequent sends
     /// to it fail fatally), and hands back every undelivered completion
     /// and every still-posted receive buffer so the owner can reclaim
@@ -342,14 +359,18 @@ impl NetContext {
 
     /// Creates a device with the given configuration.
     pub fn create_device(&self, cfg: DeviceConfig) -> Arc<dyn NetDevice> {
-        let rx = Arc::new(RxEndpoint::new(cfg.rx_capacity));
+        // One doorbell per device, shared by the RX endpoint (remote
+        // senders ring it on wire delivery) and the backend (local posts
+        // ring it when they stage completions).
+        let bell = Arc::new(Doorbell::new());
+        let rx = Arc::new(RxEndpoint::with_doorbell(cfg.rx_capacity, bell.clone()));
         let dev_id = self.fabric.add_device(self.rank, rx.clone());
         match cfg.backend {
             BackendKind::Ibv => {
-                Arc::new(IbvDevice::new(self.fabric.clone(), self.rank, dev_id, rx, cfg))
+                Arc::new(IbvDevice::new(self.fabric.clone(), self.rank, dev_id, rx, bell, cfg))
             }
             BackendKind::Ofi => {
-                Arc::new(OfiDevice::new(self.fabric.clone(), self.rank, dev_id, rx, cfg))
+                Arc::new(OfiDevice::new(self.fabric.clone(), self.rank, dev_id, rx, bell, cfg))
             }
         }
     }

@@ -2,7 +2,7 @@
 //! bootstrap (the PMI stand-in).
 
 use crate::mem::RegistrationTable;
-use crate::sync::MpmcArray;
+use crate::sync::{Doorbell, MpmcArray};
 use crate::types::{DevId, NetError, NetResult, Rank, RetryReason, WireMsg};
 use crossbeam::queue::ArrayQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,12 +23,25 @@ pub const DEFAULT_RX_CAPACITY: usize = 4096;
 pub struct RxEndpoint {
     ring: ArrayQueue<WireMsg>,
     closed: AtomicBool,
+    /// Rung on every successful push so a parked progress thread on the
+    /// owning device wakes when wire traffic arrives.
+    bell: Option<Arc<Doorbell>>,
 }
 
 impl RxEndpoint {
     /// Creates an endpoint with the given ring capacity.
     pub fn new(capacity: usize) -> Self {
-        Self { ring: ArrayQueue::new(capacity.max(1)), closed: AtomicBool::new(false) }
+        Self { ring: ArrayQueue::new(capacity.max(1)), closed: AtomicBool::new(false), bell: None }
+    }
+
+    /// Creates an endpoint whose pushes ring `bell` (the owning device's
+    /// doorbell).
+    pub fn with_doorbell(capacity: usize, bell: Arc<Doorbell>) -> Self {
+        Self {
+            ring: ArrayQueue::new(capacity.max(1)),
+            closed: AtomicBool::new(false),
+            bell: Some(bell),
+        }
     }
 
     /// Pushes a message toward the owning device.
@@ -36,7 +49,11 @@ impl RxEndpoint {
         if self.closed.load(Ordering::Acquire) {
             return Err(NetError::fatal("target device closed"));
         }
-        self.ring.push(msg).map_err(|_| NetError::Retry(RetryReason::RxFull))
+        self.ring.push(msg).map_err(|_| NetError::Retry(RetryReason::RxFull))?;
+        if let Some(bell) = &self.bell {
+            bell.ring();
+        }
+        Ok(())
     }
 
     /// Pops the next inbound message, if any. Only the owning device

@@ -30,7 +30,7 @@ use crate::buf_pool::{BufPool, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCache, RegCacheStats};
-use crate::sync::{LockDiscipline, SpinLock};
+use crate::sync::{Doorbell, LockDiscipline, SpinLock};
 use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
     WirePayload,
@@ -77,6 +77,10 @@ pub struct IbvDevice {
     /// Recycled staging-buffer pool feeding `WirePayload::Heap`.
     buf_pool: BufPool,
     posted_recvs: AtomicUsize,
+    /// Shared with the RX endpoint; rung by [`IbvDevice::stage_cqe`]
+    /// whenever the "NIC" writes a local completion so a parked progress
+    /// thread wakes to reap it.
+    bell: Arc<Doorbell>,
 }
 
 impl IbvDevice {
@@ -87,6 +91,7 @@ impl IbvDevice {
         rank: Rank,
         dev_id: DevId,
         rx: Arc<RxEndpoint>,
+        bell: Arc<Doorbell>,
         cfg: DeviceConfig,
     ) -> Self {
         let nranks = fabric.nranks();
@@ -119,18 +124,21 @@ impl IbvDevice {
             reg_cache: RegCache::new(cfg.reg_cache),
             buf_pool: BufPool::new(cfg.buf_pool),
             posted_recvs: AtomicUsize::new(0),
+            bell,
         }
     }
 
     /// Writes a NIC completion into the staging ring. On the rare race
     /// where the ring filled between the capacity pre-check and this
     /// push, the CQE goes straight to the polled CQ instead — never
-    /// dropped.
+    /// dropped. Rings the doorbell either way: a completion is now
+    /// waiting for a poll.
     #[inline]
     fn stage_cqe(&self, cqe: Cqe) {
         if let Err(cqe) = self.cq_staging.push(cqe) {
             self.cq.lock().push_back(cqe);
         }
+        self.bell.ring();
     }
 
     /// Acquires the QP lock for `target` per the effective discipline.
@@ -262,6 +270,12 @@ impl NetDevice for IbvDevice {
             self.cfg.discipline.acquire(&self.srq).ok_or(NetError::Retry(RetryReason::LockBusy))?;
         srq.push_back(desc);
         self.posted_recvs.fetch_add(1, Ordering::AcqRel);
+        drop(srq);
+        // A fresh receive can unpark RNR-parked wire messages: wake the
+        // progress thread so it re-polls (delivery happens in poll_cq).
+        if self.rx.occupancy() > 0 {
+            self.bell.ring();
+        }
         Ok(())
     }
 
@@ -272,6 +286,10 @@ impl NetDevice for IbvDevice {
             self.cfg.discipline.acquire(&self.srq).ok_or(NetError::Retry(RetryReason::LockBusy))?;
         srq.extend(descs.iter().copied());
         self.posted_recvs.fetch_add(descs.len(), Ordering::AcqRel);
+        drop(srq);
+        if !descs.is_empty() && self.rx.occupancy() > 0 {
+            self.bell.ring();
+        }
         Ok(descs.len())
     }
 
@@ -374,6 +392,14 @@ impl NetDevice for IbvDevice {
 
     fn posted_recvs(&self) -> usize {
         self.posted_recvs.load(Ordering::Acquire)
+    }
+
+    fn doorbell(&self) -> Option<Arc<Doorbell>> {
+        Some(self.bell.clone())
+    }
+
+    fn inbound_pending(&self) -> usize {
+        self.rx.occupancy()
     }
 
     fn teardown(&self) -> (Vec<Cqe>, Vec<RecvBufDesc>) {

@@ -17,7 +17,7 @@ use crate::buf_pool::{BufPool, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCache, RegCacheStats};
-use crate::sync::SpinLock;
+use crate::sync::{Doorbell, SpinLock};
 use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
     WirePayload,
@@ -48,6 +48,10 @@ pub struct OfiDevice {
     /// Recycled staging-buffer pool feeding `WirePayload::Heap`.
     buf_pool: BufPool,
     posted_recvs: AtomicUsize,
+    /// Shared with the RX endpoint; rung here whenever a *local*
+    /// completion is staged (SendDone/WriteDone/ReadDone) so a parked
+    /// progress thread wakes to reap it.
+    bell: Arc<Doorbell>,
 }
 
 impl OfiDevice {
@@ -58,6 +62,7 @@ impl OfiDevice {
         rank: Rank,
         dev_id: DevId,
         rx: Arc<RxEndpoint>,
+        bell: Arc<Doorbell>,
         cfg: DeviceConfig,
     ) -> Self {
         Self {
@@ -70,6 +75,7 @@ impl OfiDevice {
             reg_cache: RegCache::new(cfg.reg_cache),
             buf_pool: BufPool::new(cfg.buf_pool),
             posted_recvs: AtomicUsize::new(0),
+            bell,
         }
     }
 
@@ -130,6 +136,8 @@ impl NetDevice for OfiDevice {
         })?;
         st.posted += 1;
         st.cq.push_back(Cqe::local(CqeKind::SendDone, ctx));
+        drop(st);
+        self.bell.ring();
         Ok(())
     }
 
@@ -163,6 +171,10 @@ impl NetDevice for OfiDevice {
         for m in &msgs[..posted] {
             st.cq.push_back(Cqe::local(CqeKind::SendDone, m.ctx));
         }
+        drop(st);
+        if posted > 0 {
+            self.bell.ring();
+        }
         Ok(posted)
     }
 
@@ -170,6 +182,12 @@ impl NetDevice for OfiDevice {
         let mut st = self.lock_ep()?;
         st.srq.push_back(desc);
         self.posted_recvs.fetch_add(1, Ordering::AcqRel);
+        drop(st);
+        // A fresh receive can unpark RNR-parked wire messages: wake the
+        // progress thread so it re-polls (delivery happens in poll_cq).
+        if self.rx.occupancy() > 0 {
+            self.bell.ring();
+        }
         Ok(())
     }
 
@@ -181,6 +199,10 @@ impl NetDevice for OfiDevice {
         let mut st = self.lock_ep()?;
         st.srq.extend(descs.iter().copied());
         self.posted_recvs.fetch_add(descs.len(), Ordering::AcqRel);
+        drop(st);
+        if !descs.is_empty() && self.rx.occupancy() > 0 {
+            self.bell.ring();
+        }
         Ok(descs.len())
     }
 
@@ -221,6 +243,8 @@ impl NetDevice for OfiDevice {
         }
         st.posted += 1;
         st.cq.push_back(Cqe::local(CqeKind::WriteDone, ctx));
+        drop(st);
+        self.bell.ring();
         Ok(())
     }
 
@@ -243,6 +267,8 @@ impl NetDevice for OfiDevice {
         let mut cqe = Cqe::local(CqeKind::ReadDone, local.ctx);
         cqe.len = local.len;
         st.cq.push_back(cqe);
+        drop(st);
+        self.bell.ring();
         Ok(())
     }
 
@@ -271,6 +297,14 @@ impl NetDevice for OfiDevice {
 
     fn posted_recvs(&self) -> usize {
         self.posted_recvs.load(Ordering::Acquire)
+    }
+
+    fn doorbell(&self) -> Option<Arc<Doorbell>> {
+        Some(self.bell.clone())
+    }
+
+    fn inbound_pending(&self) -> usize {
+        self.rx.occupancy()
     }
 
     fn teardown(&self) -> (Vec<Cqe>, Vec<RecvBufDesc>) {

@@ -1,11 +1,14 @@
 //! Threading-efficiency primitives shared by the fabric and the LCI
 //! runtime: a spinlock with first-class `try_lock`, the *trylock wrapper*
-//! of paper §4.2.2, and the resizable MPMC array of paper §4.1.1.
+//! of paper §4.2.2, the resizable MPMC array of paper §4.1.1, and the
+//! [`Doorbell`] eventcount that lets progress threads park instead of
+//! spin-polling.
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// A simple test-and-test-and-set spinlock.
 ///
@@ -350,6 +353,153 @@ impl<T: Clone> Default for MpmcArray<T> {
     }
 }
 
+/// An eventcount ("doorbell") that lets a polling thread park until work
+/// plausibly exists.
+///
+/// The NIC simulators ring a device's doorbell whenever a wire message
+/// lands in its RX ring or a local completion is staged; a dedicated
+/// progress thread parks on the doorbell when a full poll round found
+/// nothing, instead of burning a core (the concern the AMT companion
+/// paper raises about burn-a-core progress engines).
+///
+/// ## Protocol (no lost wakeups)
+///
+/// The waiter:
+/// 1. reads [`Doorbell::epoch`] — call it `seen`;
+/// 2. polls for work; if it finds any it never parks;
+/// 3. calls [`Doorbell::wait`]`(seen, ..)`, which parks only while the
+///    epoch still equals `seen`.
+///
+/// The ringer bumps the epoch *after* publishing the work, then wakes any
+/// parked waiters. A SeqCst fence separates each side's store from its
+/// subsequent load (store-buffer litmus): either the ringer observes the
+/// registered waiter and takes the mutex to notify it, or the waiter's
+/// epoch check (made while holding the mutex) observes the bumped epoch
+/// and returns without parking. The work published before the epoch bump
+/// is visible to any waiter that observes the bump (release/acquire on
+/// the epoch counter).
+pub struct Doorbell {
+    /// Bumped on every ring; waiters park only while it is unchanged.
+    epoch: AtomicU64,
+    /// Total rings (stats; relaxed).
+    rings: AtomicU64,
+    /// Number of threads registered in [`Doorbell::wait`]. A ringer only
+    /// touches the mutex when this is non-zero, so the idle-free fast
+    /// path of `ring` is a handful of atomics.
+    waiters: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+    /// Peer doorbells also rung by [`Doorbell::ring`] — used by progress
+    /// threads to aggregate several devices' doorbells into one parkable
+    /// bell. One level only: subscribers must not have subscribers of
+    /// their own (no cycle detection is performed).
+    subscribers: OnceLock<MpmcArray<Arc<Doorbell>>>,
+}
+
+impl Default for Doorbell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Doorbell {
+    /// Creates a quiet doorbell. Allocation-free (subscriber storage is
+    /// created lazily), so it can be embedded in hot-path objects.
+    pub const fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            rings: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+            subscribers: OnceLock::new(),
+        }
+    }
+
+    /// Current epoch; pass it to [`Doorbell::wait`] after a failed poll.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total number of rings so far (stats).
+    #[inline]
+    pub fn rings(&self) -> u64 {
+        self.rings.load(Ordering::Relaxed)
+    }
+
+    /// Rings the doorbell: bumps the epoch, wakes parked waiters, and
+    /// forwards the ring to subscribed peer doorbells.
+    #[inline]
+    pub fn ring(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.rings.fetch_add(1, Ordering::Relaxed);
+        // Store-buffer fence: pairs with the fence in `wait` so that at
+        // least one side observes the other (see type-level docs).
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) > 0 {
+            // Taking the mutex serializes with a waiter between its epoch
+            // check and its condvar wait, so the notify cannot be lost.
+            let _g = self.mutex.lock().expect("Doorbell mutex poisoned");
+            self.cond.notify_all();
+        }
+        if let Some(subs) = self.subscribers.get() {
+            for i in 0..subs.len() {
+                if let Some(peer) = subs.read(i) {
+                    peer.ring();
+                }
+            }
+        }
+    }
+
+    /// Also rings `peer` on every subsequent ring of `self`.
+    ///
+    /// Used once per (device, progress thread) pairing at spawn time;
+    /// subscriptions cannot be removed.
+    pub fn subscribe(&self, peer: Arc<Doorbell>) {
+        self.subscribers.get_or_init(|| MpmcArray::with_capacity(2)).push(peer);
+    }
+
+    /// Parks until the epoch differs from `seen` or `timeout` elapses.
+    /// Returns whether the epoch advanced.
+    ///
+    /// The timeout is a belt-and-braces bound, not part of the
+    /// correctness argument: callers re-poll after every return.
+    pub fn wait(&self, seen: u64, timeout: Duration) -> bool {
+        let mut g = self.mutex.lock().expect("Doorbell mutex poisoned");
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        // Store-buffer fence: pairs with the fence in `ring`.
+        fence(Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + timeout;
+        let advanced = loop {
+            if self.epoch.load(Ordering::Acquire) != seen {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (g2, res) =
+                self.cond.wait_timeout(g, deadline - now).expect("Doorbell mutex poisoned");
+            g = g2;
+            if res.timed_out() {
+                break self.epoch.load(Ordering::Acquire) != seen;
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        advanced
+    }
+}
+
+impl std::fmt::Debug for Doorbell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Doorbell")
+            .field("epoch", &self.epoch())
+            .field("rings", &self.rings())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +615,85 @@ mod tests {
         assert_eq!(a.len(), 2000);
         let snap = a.snapshot();
         assert_eq!(snap.len(), 2000);
+    }
+
+    #[test]
+    fn doorbell_ring_before_wait_returns_immediately() {
+        let bell = Doorbell::new();
+        let seen = bell.epoch();
+        bell.ring();
+        // The epoch advanced between the snapshot and the wait, so the
+        // waiter must not park at all.
+        assert!(bell.wait(seen, Duration::from_secs(5)));
+        assert_eq!(bell.rings(), 1);
+    }
+
+    #[test]
+    fn doorbell_wait_times_out_when_quiet() {
+        let bell = Doorbell::new();
+        let seen = bell.epoch();
+        assert!(!bell.wait(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn doorbell_wakes_parked_waiter() {
+        let bell = Arc::new(Doorbell::new());
+        let waiter = {
+            let bell = bell.clone();
+            std::thread::spawn(move || {
+                let seen = bell.epoch();
+                bell.wait(seen, Duration::from_secs(10))
+            })
+        };
+        // Give the waiter a moment to park, then ring.
+        std::thread::sleep(Duration::from_millis(20));
+        bell.ring();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn doorbell_subscriber_forwarding() {
+        let dev_bell = Arc::new(Doorbell::new());
+        let agg = Arc::new(Doorbell::new());
+        dev_bell.subscribe(agg.clone());
+        let seen = agg.epoch();
+        dev_bell.ring();
+        assert_ne!(agg.epoch(), seen);
+        assert_eq!(agg.rings(), 1);
+    }
+
+    #[test]
+    fn doorbell_no_lost_wakeup_stress() {
+        // Producer rings after each publish; consumer parks between
+        // observations. Every published value must be observed promptly
+        // (the long per-wait timeout would turn a lost wakeup into a
+        // multi-minute run; the outer assert bounds total time).
+        const N: u64 = 2000;
+        let bell = Arc::new(Doorbell::new());
+        let published = Arc::new(AtomicU64::new(0));
+        let t0 = std::time::Instant::now();
+        let consumer = {
+            let bell = bell.clone();
+            let published = published.clone();
+            std::thread::spawn(move || {
+                let mut seen_val = 0u64;
+                while seen_val < N {
+                    let seen = bell.epoch();
+                    let now = published.load(Ordering::Acquire);
+                    if now > seen_val {
+                        seen_val = now;
+                        continue;
+                    }
+                    bell.wait(seen, Duration::from_secs(10));
+                }
+            })
+        };
+        for i in 1..=N {
+            published.store(i, Ordering::Release);
+            bell.ring();
+        }
+        consumer.join().unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(60), "lost wakeups made the stress crawl");
     }
 
     #[test]

@@ -22,12 +22,12 @@ use crate::types::{
     CompDesc, CompKind, DataBuf, Direction, MatchingPolicy, RComp, Rank, SendBuf, Tag,
 };
 use crate::util::ShardedSlab;
-use lci_fabric::sync::SpinLock;
+use lci_fabric::sync::{Doorbell, SpinLock};
 use lci_fabric::{
     BufPool, Cqe, CqeKind, DevId, MemoryRegion, NetDevice, NetError, PoolBuf, RecvBufDesc, Rkey,
     SendDesc,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Longest run of backlogged sends submitted as one fabric batch.
@@ -282,7 +282,43 @@ pub(crate) struct DeviceInner {
     /// Completed rendezvous-transfer shells awaiting reuse (bounded by
     /// [`RDV_REUSE_CAP`]).
     rdv_reuse: SpinLock<Vec<Arc<RdvActive>>>,
+    /// This device's doorbell (cached from the fabric device): rung on
+    /// wire delivery, local completion staging, and worker-side backlog
+    /// parking, it wakes the parked progress thread that owns this
+    /// device (see [`crate::progress`]).
+    bell: Option<Arc<Doorbell>>,
+    /// Whether a dedicated progress thread currently polls this device
+    /// (it is awake, not parked). Hybrid-mode workers skip stealing
+    /// progress while this is set.
+    dedicated_active: AtomicBool,
+    /// Inbound deliveries whose target rcomp was not registered yet,
+    /// parked for retry on later progress calls. The rcomp table is
+    /// append-only, so a failed lookup always means "not yet" — a race
+    /// an auto-spawned progress engine makes real (it can poll a wire
+    /// message in before the application finishes registering handlers).
+    pending_inbound: SpinLock<Vec<PendingInbound>>,
     stats: DeviceStats,
+}
+
+/// An inbound delivery parked until its rcomp is registered (see
+/// [`DeviceInner::pending_inbound`]).
+enum PendingInbound {
+    /// An eager active message.
+    EagerAm { rcomp: u32, src: Rank, tag: Tag, data: DataBuf },
+    /// An AM-rendezvous RTS (the RTR is sent once the rcomp exists).
+    RtsAm { rcomp: u32, src: Rank, src_dev: DevId, tag: Tag, send_id: u32, size: usize },
+    /// A remote completion signal.
+    RemoteSignal { rcomp: u32, src: Rank, tag: Tag },
+}
+
+impl PendingInbound {
+    fn rcomp(&self) -> u32 {
+        match self {
+            PendingInbound::EagerAm { rcomp, .. }
+            | PendingInbound::RtsAm { rcomp, .. }
+            | PendingInbound::RemoteSignal { rcomp, .. } => *rcomp,
+        }
+    }
 }
 
 impl DeviceInner {
@@ -393,6 +429,7 @@ impl Device {
         let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks(), buf_pool.clone());
         let shards = rt.config.rdv_shards;
         let batch = rt.config.progress_batch;
+        let bell = net.doorbell();
         let dev = Device {
             inner: Arc::new(DeviceInner {
                 rt,
@@ -408,9 +445,17 @@ impl Device {
                 cqe_scratch: SpinLock::new(Vec::with_capacity(batch)),
                 replenish_scratch: SpinLock::new(ReplenishScratch::default()),
                 rdv_reuse: SpinLock::new(Vec::new()),
+                bell,
+                dedicated_active: AtomicBool::new(false),
+                pending_inbound: SpinLock::new(Vec::new()),
                 stats: DeviceStats::default(),
             }),
         };
+        // Register in the runtime's device registry (weak: DeviceInner
+        // holds the runtime strongly) and wake any parked progress
+        // threads so the new device's owner subscribes to its doorbell.
+        dev.inner.rt.devices.push(Arc::downgrade(&dev.inner));
+        dev.inner.rt.progress.ring_all();
         // Stock the shared receive queue so peers can start immediately.
         dev.replenish_recvs()?;
         Ok(dev)
@@ -451,6 +496,7 @@ impl Device {
         s.buf_pool_hits = bp.hits;
         s.buf_pool_misses = bp.misses;
         s.buf_pool_recycled_bytes = bp.recycled_bytes;
+        s.doorbell_rings = self.inner.bell.as_ref().map_or(0, |b| b.rings());
         s
     }
 
@@ -1093,6 +1139,7 @@ impl Device {
         DeviceStats::bump(&self.inner.stats.progress_calls);
         let mut did = false;
         did |= self.drain_backlog()?;
+        did |= self.retry_pending_inbound()?;
         if self.inner.coalescer.enabled() {
             did |= self.flush_idle_coalesced()?;
         }
@@ -1132,10 +1179,73 @@ impl Device {
         Ok(did)
     }
 
-    /// Parks a request in the backlog, counting it.
+    /// Worker-side progress entry point: defers to the runtime's
+    /// progress mode before really polling.
+    ///
+    /// * `Workers` (or no engine running) — polls like
+    ///   [`progress`](Self::progress), counting a `worker_polls` stat.
+    /// * `Dedicated` with the engine running — a no-op (`Ok(false)`):
+    ///   the dedicated threads own all polling.
+    /// * `Hybrid` with the engine running — steals a poll only while
+    ///   this device's dedicated thread is parked.
+    ///
+    /// Useful worker polls ring the runtime's completion bell while an
+    /// engine runs, so threads parked in `Runtime::wait_until` observe
+    /// completions delivered by a stealing worker, not just by the
+    /// engine.
+    pub fn worker_progress(&self) -> Result<bool> {
+        use crate::progress::ProgressMode;
+        let engine_active = self.inner.rt.progress.engine_active();
+        match self.inner.rt.config.progress_mode {
+            ProgressMode::Dedicated(_) if engine_active => return Ok(false),
+            ProgressMode::Hybrid(_)
+                if engine_active && self.inner.dedicated_active.load(Ordering::Relaxed) =>
+            {
+                return Ok(false)
+            }
+            _ => {}
+        }
+        DeviceStats::bump(&self.inner.stats.worker_polls);
+        let did = self.progress()?;
+        if did && engine_active {
+            self.inner.rt.comp_bell.ring();
+        }
+        Ok(did)
+    }
+
+    /// Marks whether this device's dedicated progress thread is awake
+    /// (progress-engine bookkeeping).
+    pub(crate) fn set_dedicated_active(&self, active: bool) {
+        self.inner.dedicated_active.store(active, Ordering::Release);
+    }
+
+    /// Counts a progress-thread park against this device.
+    pub(crate) fn note_progress_park(&self) {
+        DeviceStats::bump(&self.inner.stats.progress_parks);
+    }
+
+    /// Whether this device holds deferred work that needs more progress
+    /// calls but will never ring a doorbell: backlogged sends, buffered
+    /// coalesced sub-messages, inbound wire messages parked by RNR, or
+    /// deliveries waiting on an rcomp registration.
+    /// A progress thread must not park while any of these are pending.
+    pub(crate) fn has_deferred_work(&self) -> bool {
+        !self.inner.backlog.is_empty()
+            || self.inner.coalescer.pending() > 0
+            || self.inner.net.inbound_pending() > 0
+            || !self.inner.pending_inbound.lock().is_empty()
+    }
+
+    /// Parks a request in the backlog, counting it. Rings the device
+    /// doorbell: in dedicated-progress modes the worker that parked this
+    /// work never polls, so the (possibly parked) progress thread that
+    /// owns the device must be told the backlog is non-empty.
     fn push_backlog(&self, item: Backlogged) {
         DeviceStats::bump(&self.inner.stats.backlogged);
         self.inner.backlog.push(item);
+        if let Some(bell) = &self.inner.bell {
+            bell.ring();
+        }
     }
 
     /// Ships one coalesced frame; a full wire parks it in the backlog
@@ -1541,12 +1651,17 @@ impl Device {
             MsgType::RtsAm => {
                 let rts = RtsPayload::decode(&packet.as_slice()[..cqe.len])?;
                 drop(packet);
-                let comp = self
-                    .inner
-                    .rt
-                    .rcomp
-                    .read(hdr.aux as usize)
-                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
+                let Some(comp) = self.inner.rt.rcomp.read(hdr.aux as usize) else {
+                    self.park_early_inbound(PendingInbound::RtsAm {
+                        rcomp: hdr.aux,
+                        src: cqe.src_rank,
+                        src_dev: cqe.src_dev,
+                        tag: hdr.tag,
+                        send_id: rts.send_id,
+                        size: rts.size as usize,
+                    });
+                    return Ok(());
+                };
                 // The runtime provides the landing storage for an
                 // unexpected AM rendezvous: a pool-recycled bounce buffer.
                 let buf = self.inner.buf_pool.take_len(rts.size as usize);
@@ -1632,25 +1747,15 @@ impl Device {
                 Ok(())
             }
             MsgType::EagerAm => {
-                let comp = self
-                    .inner
-                    .rt
-                    .rcomp
-                    .read(hdr.aux as usize)
-                    .ok_or_else(|| FatalError::Net(format!("unknown rcomp {}", hdr.aux)))?;
-                match &data {
-                    DataBuf::Packet(..) | DataBuf::View(_) => {
-                        DeviceStats::bump(&self.inner.stats.zero_copy_deliveries);
-                    }
-                    _ => DeviceStats::bump(&self.inner.stats.copied_deliveries),
+                match self.inner.rt.rcomp.read(hdr.aux as usize) {
+                    Some(comp) => self.deliver_eager_am(&comp, src, hdr.tag, data),
+                    None => self.park_early_inbound(PendingInbound::EagerAm {
+                        rcomp: hdr.aux,
+                        src,
+                        tag: hdr.tag,
+                        data,
+                    }),
                 }
-                comp.signal(CompDesc {
-                    rank: src,
-                    tag: hdr.tag,
-                    data,
-                    user_ctx: 0,
-                    kind: CompKind::Am,
-                });
                 Ok(())
             }
             other => Err(FatalError::Net(format!("invalid eager payload type {other:?}"))),
@@ -1677,20 +1782,95 @@ impl Device {
 
     /// Signals a registered remote-completion object.
     fn signal_rcomp(&self, rcomp: u32, src: Rank, tag: Tag) -> Result<()> {
-        let comp = self
-            .inner
-            .rt
-            .rcomp
-            .read(rcomp as usize)
-            .ok_or_else(|| FatalError::Net(format!("unknown rcomp {rcomp}")))?;
-        comp.signal(CompDesc {
-            rank: src,
-            tag,
-            data: DataBuf::Empty,
-            user_ctx: 0,
-            kind: CompKind::RemoteSignal,
-        });
+        match self.inner.rt.rcomp.read(rcomp as usize) {
+            Some(comp) => comp.signal(CompDesc {
+                rank: src,
+                tag,
+                data: DataBuf::Empty,
+                user_ctx: 0,
+                kind: CompKind::RemoteSignal,
+            }),
+            None => self.park_early_inbound(PendingInbound::RemoteSignal { rcomp, src, tag }),
+        }
         Ok(())
+    }
+
+    /// Delivers an eager active message to its registered completion
+    /// object, counting the delivery as zero-copy or copied.
+    fn deliver_eager_am(&self, comp: &Comp, src: Rank, tag: Tag, data: DataBuf) {
+        match &data {
+            DataBuf::Packet(..) | DataBuf::View(_) => {
+                DeviceStats::bump(&self.inner.stats.zero_copy_deliveries);
+            }
+            _ => DeviceStats::bump(&self.inner.stats.copied_deliveries),
+        }
+        comp.signal(CompDesc { rank: src, tag, data, user_ctx: 0, kind: CompKind::Am });
+    }
+
+    /// Parks an inbound delivery whose rcomp is not registered yet;
+    /// retried on every progress call until the registration lands (see
+    /// [`PendingInbound`]).
+    fn park_early_inbound(&self, p: PendingInbound) {
+        DeviceStats::bump(&self.inner.stats.early_inbound);
+        self.inner.pending_inbound.lock().push(p);
+    }
+
+    /// Retries parked early-inbound deliveries whose rcomp may have
+    /// been registered since. Still-unregistered entries are re-parked
+    /// in arrival order. Returns whether anything was delivered.
+    fn retry_pending_inbound(&self) -> Result<bool> {
+        let pending = {
+            let mut guard = self.inner.pending_inbound.lock();
+            if guard.is_empty() {
+                return Ok(false);
+            }
+            std::mem::take(&mut *guard)
+        };
+        let mut kept = Vec::new();
+        let mut did = false;
+        for p in pending {
+            let Some(comp) = self.inner.rt.rcomp.read(p.rcomp() as usize) else {
+                kept.push(p);
+                continue;
+            };
+            did = true;
+            match p {
+                PendingInbound::EagerAm { src, tag, data, .. } => {
+                    self.deliver_eager_am(&comp, src, tag, data);
+                }
+                PendingInbound::RtsAm { src, src_dev, tag, send_id, size, .. } => {
+                    let buf = self.inner.buf_pool.take_len(size);
+                    self.start_rtr(
+                        src,
+                        src_dev,
+                        tag,
+                        send_id,
+                        size,
+                        RdvBuf::Pooled(buf),
+                        comp,
+                        0,
+                        true,
+                    )?;
+                }
+                PendingInbound::RemoteSignal { src, tag, .. } => {
+                    comp.signal(CompDesc {
+                        rank: src,
+                        tag,
+                        data: DataBuf::Empty,
+                        user_ctx: 0,
+                        kind: CompKind::RemoteSignal,
+                    });
+                }
+            }
+        }
+        if !kept.is_empty() {
+            let mut guard = self.inner.pending_inbound.lock();
+            // Entries parked while we held the taken batch arrived
+            // after `kept`: splice them behind to keep arrival order.
+            kept.append(&mut guard);
+            *guard = kept;
+        }
+        Ok(did)
     }
 
     /// Backlog depth (diagnostics).

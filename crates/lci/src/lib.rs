@@ -86,6 +86,7 @@ pub mod error;
 pub mod matching;
 pub mod packet_pool;
 pub mod post;
+pub mod progress;
 pub mod proto;
 pub mod runtime;
 pub mod stats;
@@ -103,6 +104,7 @@ pub use error::{FatalError, PostResult, Result, RetryReason};
 pub use matching::{MatchKind, MatchingConfig, MatchingEngine};
 pub use packet_pool::{Packet, PacketPool, PacketPoolConfig, PacketView, SharedPacket};
 pub use post::CommBuilder;
+pub use progress::ProgressMode;
 pub use runtime::{Runtime, RuntimeConfig};
 pub use stats::{DeviceStats, StatsSnapshot};
 pub use types::{

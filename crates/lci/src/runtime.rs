@@ -13,14 +13,16 @@
 use crate::coalesce::CoalesceConfig;
 use crate::comp::queue::CqConfig;
 use crate::comp::Comp;
-use crate::device::{Device, MatchEntry};
+use crate::device::{Device, DeviceInner, MatchEntry};
 use crate::error::{FatalError, Result};
 use crate::matching::{MatchingConfig, MatchingEngine};
 use crate::packet_pool::{PacketPool, PacketPoolConfig};
+use crate::progress::{ProgressEngine, ProgressMode};
 use crate::types::{RComp, Rank};
-use lci_fabric::sync::MpmcArray;
+use lci_fabric::sync::{Doorbell, MpmcArray};
 use lci_fabric::{DeviceConfig, Fabric, NetContext};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Runtime configuration: the attributes a runtime is allocated with.
 #[derive(Clone, Debug)]
@@ -78,6 +80,12 @@ pub struct RuntimeConfig {
     /// allocations. On by default; the ablation knob to recover the
     /// allocate-per-operation baseline.
     pub alloc_recycling: bool,
+    /// Who drives progress: polling workers (the default), dedicated
+    /// progress threads with doorbell-driven parking, or a hybrid where
+    /// workers steal progress while the dedicated thread is parked (see
+    /// [`crate::progress`]). `Dedicated`/`Hybrid` auto-spawn their
+    /// threads at runtime allocation.
+    pub progress_mode: ProgressMode,
 }
 
 impl Default for RuntimeConfig {
@@ -100,6 +108,7 @@ impl Default for RuntimeConfig {
             rdv_max_inflight: 4,
             rdv_shards: 8,
             alloc_recycling: true,
+            progress_mode: ProgressMode::Workers,
         }
     }
 }
@@ -129,6 +138,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Selects who drives progress (see
+    /// [`progress_mode`](Self::progress_mode)).
+    pub fn with_progress_mode(mut self, mode: ProgressMode) -> Self {
+        self.progress_mode = mode;
+        self
+    }
+
     /// Scales pool/prepost sizes down, for tests and high-rank-count
     /// benchmarks inside one process.
     pub fn small() -> Self {
@@ -152,6 +168,25 @@ pub(crate) struct RuntimeInner {
     pub rcomp: MpmcArray<Comp>,
     /// Collective sequence counter (see `crate::collective`).
     pub coll_seq: std::sync::atomic::AtomicU32,
+    /// Every device allocated on this runtime, in creation order. Weak:
+    /// `DeviceInner` holds `rt: Arc<RuntimeInner>`, so a strong registry
+    /// would cycle and leak. Progress threads and
+    /// [`Runtime::progress_all`] round-robin over this.
+    pub devices: MpmcArray<Weak<DeviceInner>>,
+    /// Rung by progress threads after every useful sweep (and by useful
+    /// worker steals while an engine runs); lets blocking `wait_until`
+    /// park on arbitrary predicates.
+    pub comp_bell: Arc<Doorbell>,
+    /// The dedicated progress threads, if any.
+    pub progress: ProgressEngine,
+}
+
+impl Drop for RuntimeInner {
+    fn drop(&mut self) {
+        // Progress threads hold only `Weak` runtime references, so they
+        // are never inside an upgraded section here; wake and join them.
+        self.progress.shutdown_and_join();
+    }
 }
 
 /// A runtime handle (cheap to clone). Dropping the last handle releases
@@ -196,6 +231,14 @@ impl Runtime {
         if config.rdv_shards == 0 || config.rdv_shards > 256 {
             return Err(FatalError::InvalidArg("rdv_shards must be in 1..=256".into()));
         }
+        match config.progress_mode {
+            ProgressMode::Dedicated(n) | ProgressMode::Hybrid(n) if n == 0 || n > 64 => {
+                return Err(FatalError::InvalidArg(
+                    "progress thread count must be in 1..=64".into(),
+                ));
+            }
+            _ => {}
+        }
         if rank >= fabric.nranks() {
             return Err(FatalError::InvalidArg(format!(
                 "rank {rank} out of range for fabric of {}",
@@ -212,9 +255,16 @@ impl Runtime {
             matching: Arc::new(MatchingEngine::with_config(config.matching)),
             rcomp: MpmcArray::with_capacity(16),
             coll_seq: std::sync::atomic::AtomicU32::new(0),
+            devices: MpmcArray::with_capacity(4),
+            comp_bell: Arc::new(Doorbell::new()),
+            progress: ProgressEngine::new(),
             config,
         });
         let default_dev = Device::create(inner.clone())?;
+        let nthreads = inner.config.progress_mode.dedicated_threads();
+        if nthreads > 0 {
+            ProgressEngine::spawn(&inner, nthreads)?;
+        }
         Ok(Runtime { inner, default_dev })
     }
 
@@ -264,7 +314,12 @@ impl Runtime {
     /// objects in the same order so handles agree, or exchange handles
     /// out of band.
     pub fn register_rcomp(&self, comp: Comp) -> RComp {
-        self.inner.rcomp.push(comp) as RComp
+        let rcomp = self.inner.rcomp.push(comp) as RComp;
+        // Wake parked progress threads: an inbound delivery that raced
+        // this registration is parked on the device and retried on the
+        // next progress call (see `Device::retry_pending_inbound`).
+        self.inner.progress.ring_all();
+        rcomp
     }
 
     /// Looks up a registered completion object.
@@ -278,28 +333,107 @@ impl Runtime {
         self.default_dev.progress()
     }
 
-    /// Spins `f` to readiness, pumping progress on the default device —
-    /// the canonical blocking helper for tests and simple clients.
+    /// Makes progress on *every* device allocated on this runtime
+    /// ([`alloc_device`](Self::alloc_device) included), in creation
+    /// order. Returns whether any device performed work.
+    pub fn progress_all(&self) -> Result<bool> {
+        let mut did = false;
+        let n = self.inner.devices.len();
+        for i in 0..n {
+            if let Some(inner) = self.inner.devices.read(i).and_then(|w| w.upgrade()) {
+                did |= Device { inner }.progress()?;
+            }
+        }
+        Ok(did)
+    }
+
+    /// Mode-aware variant of [`progress_all`](Self::progress_all):
+    /// each device decides per the runtime's progress mode whether a
+    /// worker-side call should really poll (see
+    /// [`Device::worker_progress`]).
+    pub fn worker_progress_all(&self) -> Result<bool> {
+        let mut did = false;
+        let n = self.inner.devices.len();
+        for i in 0..n {
+            if let Some(inner) = self.inner.devices.read(i).and_then(|w| w.upgrade()) {
+                did |= Device { inner }.worker_progress()?;
+            }
+        }
+        Ok(did)
+    }
+
+    /// Spawns `n` dedicated progress threads that partition this
+    /// runtime's devices and run the spin→yield→park loop (see
+    /// [`crate::progress`]). `Dedicated`/`Hybrid` runtimes do this
+    /// automatically at allocation; call it manually to add an engine to
+    /// a `Workers`-mode runtime. Errors if threads are already running.
+    pub fn spawn_progress_threads(&self, n: usize) -> Result<()> {
+        ProgressEngine::spawn(&self.inner, n)
+    }
+
+    /// Stops and joins this runtime's dedicated progress threads, if
+    /// any. Workers fall back to polling for themselves.
+    pub fn stop_progress_threads(&self) {
+        self.inner.progress.shutdown_and_join();
+    }
+
+    /// Whether dedicated progress threads are currently running.
+    pub fn progress_engine_active(&self) -> bool {
+        self.inner.progress.engine_active()
+    }
+
+    /// Spins `f` to readiness — the canonical blocking helper for tests
+    /// and simple clients. Pumps progress on every device of this
+    /// runtime (mode-aware).
     ///
-    /// Progress calls that find work reset the backoff; idle polls spin
-    /// briefly and then yield the core, so oversubscribed rank threads
-    /// (many ranks per core in this reproduction) don't starve the peer
-    /// whose progress they are waiting on.
+    /// With polling workers, progress calls that find work reset the
+    /// backoff; idle polls spin briefly and then yield the core, so
+    /// oversubscribed rank threads (many ranks per core in this
+    /// reproduction) don't starve the peer whose progress they are
+    /// waiting on. With a dedicated progress engine the call parks on
+    /// the runtime's completion bell instead of polling (`Dedicated`),
+    /// or steals progress until the backoff runs out and then parks
+    /// (`Hybrid`); the engine rings the bell after every useful sweep,
+    /// and the eventcount protocol (epoch snapshot → recheck predicate →
+    /// wait) makes the handoff lost-wakeup-free.
     pub fn wait_until(&self, mut f: impl FnMut() -> bool) -> Result<()> {
+        const WAIT_SLICE: Duration = Duration::from_millis(100);
         let mut idle: u32 = 0;
-        while !f() {
-            if self.progress()? {
+        loop {
+            if f() {
+                return Ok(());
+            }
+            if matches!(self.inner.config.progress_mode, ProgressMode::Dedicated(_))
+                && self.inner.progress.engine_active()
+            {
+                // Fully blocking: the engine owns all polling.
+                let seen = self.inner.comp_bell.epoch();
+                if f() {
+                    return Ok(());
+                }
+                self.inner.comp_bell.wait(seen, WAIT_SLICE);
+                continue;
+            }
+            if self.worker_progress_all()? {
                 idle = 0;
             } else {
-                idle += 1;
+                idle = idle.saturating_add(1);
             }
             if idle < 64 {
                 std::hint::spin_loop();
-            } else {
+            } else if idle < 256 || !self.inner.progress.engine_active() {
                 std::thread::yield_now();
+            } else {
+                // Hybrid (or a manually spawned engine): the dedicated
+                // thread is awake and polling, so stealing found nothing;
+                // park on the completion bell until its next useful sweep.
+                let seen = self.inner.comp_bell.epoch();
+                if f() {
+                    return Ok(());
+                }
+                self.inner.comp_bell.wait(seen, WAIT_SLICE);
             }
         }
-        Ok(())
     }
 
     /// Barrier across all ranks, implemented over the out-of-band

@@ -55,6 +55,17 @@ pub struct DeviceStats {
     pub rdv_inflight_hwm: AtomicU64,
     /// Scratch-ring slots reused (gather copies that did not allocate).
     pub rdv_scratch_reuses: AtomicU64,
+    /// Progress polls driven by *worker* threads (through
+    /// [`Device::worker_progress`](crate::device::Device::worker_progress)).
+    /// Zero in `Dedicated` mode: the worker entry point never polls there.
+    pub worker_polls: AtomicU64,
+    /// Times a dedicated progress thread parked this device on its
+    /// doorbell (idle, consuming no CPU).
+    pub progress_parks: AtomicU64,
+    /// Inbound deliveries that arrived before their target rcomp was
+    /// registered and were parked for retry (the registration race an
+    /// auto-spawned progress engine makes real).
+    pub early_inbound: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DeviceStats`].
@@ -100,6 +111,16 @@ pub struct StatsSnapshot {
     pub rdv_inflight_hwm: u64,
     /// See [`DeviceStats::rdv_scratch_reuses`].
     pub rdv_scratch_reuses: u64,
+    /// See [`DeviceStats::worker_polls`].
+    pub worker_polls: u64,
+    /// See [`DeviceStats::progress_parks`].
+    pub progress_parks: u64,
+    /// See [`DeviceStats::early_inbound`].
+    pub early_inbound: u64,
+    /// Times the device's fabric doorbell rang (overlaid by
+    /// [`Device::stats`](crate::device::Device::stats) from the
+    /// [`lci_fabric::Doorbell`] counter, not tracked in [`DeviceStats`]).
+    pub doorbell_rings: u64,
     /// Registration-cache hits on the device's fabric cache (overlaid by
     /// [`Device::stats`](crate::device::Device::stats), not tracked in
     /// [`DeviceStats`]).
@@ -158,6 +179,10 @@ impl DeviceStats {
             rdv_chunks_posted: self.rdv_chunks_posted.load(Ordering::Relaxed),
             rdv_inflight_hwm: self.rdv_inflight_hwm.load(Ordering::Relaxed),
             rdv_scratch_reuses: self.rdv_scratch_reuses.load(Ordering::Relaxed),
+            worker_polls: self.worker_polls.load(Ordering::Relaxed),
+            progress_parks: self.progress_parks.load(Ordering::Relaxed),
+            early_inbound: self.early_inbound.load(Ordering::Relaxed),
+            doorbell_rings: 0,
             reg_cache_hits: 0,
             reg_cache_misses: 0,
             reg_cache_evictions: 0,
@@ -194,12 +219,29 @@ impl StatsSnapshot {
             // the mark over the whole interval.
             rdv_inflight_hwm: self.rdv_inflight_hwm,
             rdv_scratch_reuses: self.rdv_scratch_reuses - earlier.rdv_scratch_reuses,
+            worker_polls: self.worker_polls - earlier.worker_polls,
+            progress_parks: self.progress_parks - earlier.progress_parks,
+            early_inbound: self.early_inbound - earlier.early_inbound,
+            doorbell_rings: self.doorbell_rings - earlier.doorbell_rings,
             reg_cache_hits: self.reg_cache_hits - earlier.reg_cache_hits,
             reg_cache_misses: self.reg_cache_misses - earlier.reg_cache_misses,
             reg_cache_evictions: self.reg_cache_evictions - earlier.reg_cache_evictions,
             buf_pool_hits: self.buf_pool_hits - earlier.buf_pool_hits,
             buf_pool_misses: self.buf_pool_misses - earlier.buf_pool_misses,
             buf_pool_recycled_bytes: self.buf_pool_recycled_bytes - earlier.buf_pool_recycled_bytes,
+        }
+    }
+
+    /// Fraction of progress polls that found work — the progress-engine
+    /// efficiency metric of ablation section 10. Low under all-worker
+    /// polling (most polls are wasted lock traffic, paper §5.3); high
+    /// under dedicated progress (the thread polls only when the doorbell
+    /// says there is plausible work).
+    pub fn useful_poll_rate(&self) -> f64 {
+        if self.progress_calls == 0 {
+            0.0
+        } else {
+            self.progress_useful as f64 / self.progress_calls as f64
         }
     }
 

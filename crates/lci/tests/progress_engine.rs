@@ -1,0 +1,246 @@
+//! Progress-engine tests: dedicated progress threads park when idle and
+//! wake on doorbells, workers never poll in `Dedicated` mode, and the
+//! blocking completion waits (synchronizer, completion queue) lose no
+//! wakeups under producer/consumer stress.
+
+use lci::{Comp, CompDesc, CompKind, Fabric, PostResult, ProgressMode, Runtime, RuntimeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn dedicated_cfg() -> RuntimeConfig {
+    RuntimeConfig::small().with_progress_mode(ProgressMode::Dedicated(1))
+}
+
+/// An idle dedicated engine must park (park count grows) and stop
+/// polling (poll count bounded by the occasional safety-timeout wake) —
+/// the "no CPU while idle" acceptance check.
+#[test]
+fn dedicated_engine_parks_while_idle() {
+    let fabric = Fabric::new(1);
+    let rt = Runtime::new(fabric, 0, dedicated_cfg()).unwrap();
+    assert!(rt.progress_engine_active());
+
+    // Let the engine run out its spin/yield ramp and park.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while rt.device().stats().progress_parks == 0 {
+        assert!(Instant::now() < deadline, "engine never parked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // While idle, parks keep growing (safety-timeout wakes re-park) but
+    // polls stay rare: one sweep per ~250 ms timeout wake, nothing else.
+    let s1 = rt.device().stats();
+    std::thread::sleep(Duration::from_millis(600));
+    let s2 = rt.device().stats().since(&s1);
+    assert!(s2.progress_parks >= 1, "parked engine stopped parking");
+    assert!(
+        s2.progress_calls <= 10,
+        "idle engine polled {} times in 600ms (should be ~2 timeout wakes)",
+        s2.progress_calls
+    );
+}
+
+/// A doorbell ring (new work) must wake the parked engine promptly, and
+/// in `Dedicated` mode the whole exchange must complete with zero
+/// worker-side polls — workers block instead.
+#[test]
+fn doorbell_wakes_parked_engine_and_workers_never_poll() {
+    let fabric = Fabric::new(2);
+    let mut handles = Vec::new();
+    for rank in 0..2 {
+        let fabric = fabric.clone();
+        handles.push(std::thread::spawn(move || {
+            let rt = Runtime::new(fabric, rank, dedicated_cfg()).unwrap();
+            rt.oob_barrier();
+            // Wait for this rank's engine to park so the exchange below
+            // exercises the doorbell wakeup, not a still-spinning thread.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while rt.device().stats().progress_parks == 0 {
+                assert!(Instant::now() < deadline, "engine never parked");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            rt.oob_barrier();
+            if rank == 0 {
+                let comp = Comp::alloc_sync(1);
+                let signaled = loop {
+                    match rt.post_send(1, vec![7u8; 1024], 9, comp.clone()).unwrap() {
+                        PostResult::Done(_) => break false,
+                        PostResult::Posted => break true,
+                        PostResult::Retry(_) => std::thread::yield_now(),
+                    }
+                };
+                if signaled {
+                    // Blocking wait through the runtime's completion
+                    // bell (the wait_until blocking path).
+                    rt.wait_until(|| comp.as_sync().unwrap().test()).unwrap();
+                }
+            } else {
+                let comp = Comp::alloc_sync(1);
+                match rt.post_recv(0, vec![0u8; 4096], 9, comp.clone()).unwrap() {
+                    PostResult::Done(_) => {}
+                    PostResult::Posted => {
+                        // Blocking wait on the synchronizer itself (the
+                        // comp-layer doorbell).
+                        comp.as_sync().unwrap().wait_blocking();
+                        let desc = comp.as_sync().unwrap().take().pop().unwrap();
+                        assert_eq!(desc.rank, 0);
+                        assert_eq!(desc.data.as_slice(), &[7u8; 1024][..]);
+                    }
+                    PostResult::Retry(_) => unreachable!("recv never retries"),
+                }
+            }
+            rt.oob_barrier();
+            let stats = rt.device().stats();
+            assert_eq!(stats.worker_polls, 0, "rank {rank} worker polled in Dedicated mode");
+            assert!(stats.progress_calls > 0, "rank {rank} engine never polled");
+            assert!(stats.doorbell_rings > 0, "rank {rank} doorbell never rang");
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Synchronizer blocking waits: a producer thread signals while the
+/// consumer parks in `wait_blocking`; no round may lose its wakeup.
+#[test]
+fn synchronizer_wait_blocking_stress() {
+    const ROUNDS: usize = 2000;
+    let syncs: Vec<Arc<lci::Synchronizer>> =
+        (0..ROUNDS).map(|_| Arc::new(lci::Synchronizer::new(1))).collect();
+    let producer_syncs = syncs.clone();
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for (i, s) in producer_syncs.iter().enumerate() {
+            if i % 64 == 0 {
+                std::thread::yield_now(); // vary the interleaving
+            }
+            s.signal(CompDesc { tag: i as u32, kind: CompKind::Send, ..Default::default() });
+        }
+    });
+    for (i, s) in syncs.iter().enumerate() {
+        s.wait_blocking();
+        let descs = s.take();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].tag, i as u32);
+    }
+    producer.join().unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "blocking waits relied on safety timeouts (lost wakeups)"
+    );
+}
+
+/// Completion-queue blocking pops: multiple producers push while
+/// consumers park in `pop_wait`; every descriptor must be observed
+/// without timeout-driven recovery.
+#[test]
+fn comp_queue_pop_wait_stress() {
+    const PRODUCERS: usize = 3;
+    const PER: usize = 5000;
+    let cq = Comp::alloc_cq();
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let cq = cq.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                if i % 128 == 0 {
+                    std::thread::yield_now();
+                }
+                let tag = (p * PER + i) as u32;
+                cq.signal(CompDesc { tag, kind: CompKind::Am, ..Default::default() });
+            }
+        }));
+    }
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let sum = Arc::new(AtomicUsize::new(0));
+    for _ in 0..2 {
+        let cq = cq.clone();
+        let consumed = consumed.clone();
+        let sum = sum.clone();
+        handles.push(std::thread::spawn(move || {
+            while consumed.load(Ordering::Relaxed) < PRODUCERS * PER {
+                if let Some(d) = cq.pop_wait(Duration::from_millis(20)) {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                    sum.fetch_add(d.tag as usize, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(consumed.load(Ordering::Relaxed), PRODUCERS * PER);
+    let expect: usize = (0..PRODUCERS * PER).sum();
+    assert_eq!(sum.load(Ordering::Relaxed), expect);
+    assert!(start.elapsed() < Duration::from_secs(60));
+}
+
+/// `Hybrid`: workers may steal progress while the engine is parked, so
+/// a classic polling loop still works — and the engine still parks when
+/// everyone is idle.
+#[test]
+fn hybrid_mode_worker_stealing_roundtrip() {
+    let cfg = RuntimeConfig::small().with_progress_mode(ProgressMode::Hybrid(1));
+    let fabric = Fabric::new(2);
+    let mut handles = Vec::new();
+    for rank in 0..2 {
+        let fabric = fabric.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let rt = Runtime::new(fabric, rank, cfg).unwrap();
+            rt.oob_barrier();
+            let comp = Comp::alloc_sync(1);
+            if rank == 0 {
+                let signaled = loop {
+                    match rt.post_send(1, vec![3u8; 512], 4, comp.clone()).unwrap() {
+                        PostResult::Done(_) => break false,
+                        PostResult::Posted => break true,
+                        PostResult::Retry(_) => {
+                            rt.device().worker_progress().unwrap();
+                        }
+                    }
+                };
+                if signaled {
+                    rt.wait_until(|| comp.as_sync().unwrap().test()).unwrap();
+                }
+            } else {
+                match rt.post_recv(0, vec![0u8; 4096], 4, comp.clone()).unwrap() {
+                    PostResult::Done(_) => {}
+                    PostResult::Posted => {
+                        rt.wait_until(|| comp.as_sync().unwrap().test()).unwrap();
+                        let desc = comp.as_sync().unwrap().take().pop().unwrap();
+                        assert_eq!(desc.data.as_slice(), &[3u8; 512][..]);
+                    }
+                    PostResult::Retry(_) => unreachable!(),
+                }
+            }
+            rt.oob_barrier();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// An explicitly spawned engine on a `Workers` runtime can be stopped;
+/// workers then poll for themselves again.
+#[test]
+fn manual_spawn_and_stop() {
+    let fabric = Fabric::new(1);
+    let rt = Runtime::new(fabric, 0, RuntimeConfig::small()).unwrap();
+    assert!(!rt.progress_engine_active());
+    rt.spawn_progress_threads(2).unwrap();
+    assert!(rt.progress_engine_active());
+    assert!(rt.spawn_progress_threads(1).is_err(), "double spawn must fail");
+    rt.stop_progress_threads();
+    assert!(!rt.progress_engine_active());
+    // Worker progress works (and counts) once the engine is gone.
+    rt.device().worker_progress().unwrap();
+    assert!(rt.device().stats().worker_polls > 0);
+    // Respawn after stop is allowed.
+    rt.spawn_progress_threads(1).unwrap();
+    assert!(rt.progress_engine_active());
+}

@@ -96,6 +96,11 @@ pub struct WorldConfig {
     /// staging buffers (LCI backend only; the ablation knob for the
     /// allocate-per-operation baseline).
     pub alloc_recycling: bool,
+    /// Who drives progress (LCI backend only): polling workers (the
+    /// default), dedicated progress threads with doorbell parking, or
+    /// the hybrid. With `Dedicated`/`Hybrid`, [`Endpoint::progress`]
+    /// defers to the engine per the mode instead of always polling.
+    pub progress_mode: lci::ProgressMode,
 }
 
 impl WorldConfig {
@@ -112,6 +117,7 @@ impl WorldConfig {
             rdv_chunking: true,
             reg_cache: true,
             alloc_recycling: true,
+            progress_mode: lci::ProgressMode::Workers,
         }
     }
 
@@ -150,6 +156,14 @@ impl WorldConfig {
         self.alloc_recycling = on;
         self
     }
+
+    /// Selects who drives progress on the LCI backend (polling workers,
+    /// dedicated progress threads, or the hybrid) — the ablation knob
+    /// for the progress engine.
+    pub fn with_progress_mode(mut self, mode: lci::ProgressMode) -> Self {
+        self.progress_mode = mode;
+        self
+    }
 }
 
 /// A received message.
@@ -172,7 +186,7 @@ pub enum RecvToken {
 }
 
 enum WorldInner {
-    Lci { rt: lci::Runtime, devices: Vec<lci::Device>, am_cqs: Vec<Comp> },
+    Lci { rt: lci::Runtime, devices: Vec<lci::Device>, am_cqs: Vec<Comp>, noop: Comp },
     Mpi { comm: MpiComm, am_recvs: AmPool },
     Vci { comm: VciComm, am_recvs: Vec<AmPool> },
     Gasnet { g: Arc<Gasnet>, inbox: Arc<SegQueue<Msg>> },
@@ -217,6 +231,7 @@ impl World {
                     coalesce,
                     zero_copy_recv: cfg.zero_copy,
                     alloc_recycling: cfg.alloc_recycling,
+                    progress_mode: cfg.progress_mode,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
@@ -233,7 +248,11 @@ impl World {
                         (0..n).map(|_| rt.alloc_device().expect("device")).collect()
                     }
                 };
-                WorldInner::Lci { rt, devices, am_cqs }
+                // One shared no-op completion handler for all endpoints
+                // (send-side completions the wrapper ignores), instead of
+                // allocating one per `endpoint()` call.
+                let noop = Comp::alloc_handler(|_| {});
+                WorldInner::Lci { rt, devices, am_cqs, noop }
             }
             BackendKind::Mpi => {
                 let mut mcfg = match cfg.platform {
@@ -299,7 +318,7 @@ impl World {
     /// reference the same resources. Call once per thread.
     pub fn endpoint(&self, tid: usize) -> Endpoint {
         let inner = match &self.inner {
-            WorldInner::Lci { rt, devices, am_cqs } => {
+            WorldInner::Lci { rt, devices, am_cqs, noop } => {
                 let device = match self.cfg.mode {
                     ResourceMode::Shared => rt.device().clone(),
                     ResourceMode::Dedicated(_) => devices[tid].clone(),
@@ -309,7 +328,7 @@ impl World {
                     device,
                     am_cq: am_cqs[tid % am_cqs.len()].clone(),
                     rcomp: (tid % am_cqs.len()) as u32,
-                    noop: Comp::alloc_handler(|_| {}),
+                    noop: noop.clone(),
                 }
             }
             WorldInner::Mpi { comm, am_recvs } => {
@@ -556,10 +575,14 @@ impl Endpoint {
         }
     }
 
-    /// Makes communication progress on this endpoint's resources.
+    /// Makes communication progress on this endpoint's resources. On
+    /// the LCI backend this is the *worker-side* entry point: with a
+    /// dedicated progress engine it defers per the runtime's progress
+    /// mode (no-op in `Dedicated`, steal-when-parked in `Hybrid`)
+    /// instead of always polling.
     pub fn progress(&mut self) -> bool {
         match &mut self.inner {
-            EpInner::Lci { device, .. } => device.progress().expect("lci progress"),
+            EpInner::Lci { device, .. } => device.worker_progress().expect("lci progress"),
             EpInner::Mpi { comm, .. } => comm.progress(),
             EpInner::Vci { comm, vci, .. } => comm.progress(*vci),
             EpInner::Gasnet { g, .. } => g.poll(),
@@ -572,8 +595,13 @@ mod tests {
     use super::*;
 
     fn roundtrip(backend: BackendKind, platform: Platform, mode: ResourceMode) {
+        roundtrip_cfg(WorldConfig::new(backend, platform, mode));
+    }
+
+    /// Runs the AM echo roundtrip under `cfg`; returns rank 0's LCI
+    /// device stats (None on the baseline backends).
+    fn roundtrip_cfg(cfg: WorldConfig) -> Option<lci::StatsSnapshot> {
         let fabric = Fabric::new(2);
-        let cfg = WorldConfig::new(backend, platform, mode);
         let f2 = fabric.clone();
         let t = std::thread::spawn(move || {
             let w = World::new(f2, 1, cfg);
@@ -613,6 +641,7 @@ mod tests {
         assert_eq!(reply.tag, 6);
         assert_eq!(reply.data, vec![9u8; 32]);
         t.join().unwrap();
+        ep.lci_device().map(|d| d.stats())
     }
 
     #[test]
@@ -643,6 +672,26 @@ mod tests {
     #[test]
     fn am_roundtrip_gasnet() {
         roundtrip(BackendKind::Gasnet, Platform::Expanse, ResourceMode::Shared);
+    }
+
+    #[test]
+    fn progress_mode_dedicated_roundtrip() {
+        // Workers never poll in Dedicated mode: the roundtrip completes
+        // on the engine's polling alone, and the worker-poll counter
+        // stays at zero (the zero-worker-poll regression check).
+        let cfg = WorldConfig::new(BackendKind::Lci, Platform::Delta, ResourceMode::Shared)
+            .with_progress_mode(lci::ProgressMode::Dedicated(1));
+        let stats = roundtrip_cfg(cfg).expect("lci stats");
+        assert_eq!(stats.worker_polls, 0, "worker polled in Dedicated mode");
+        assert!(stats.progress_calls > 0, "engine never polled");
+    }
+
+    #[test]
+    fn progress_mode_hybrid_roundtrip() {
+        let cfg = WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Shared)
+            .with_progress_mode(lci::ProgressMode::Hybrid(1));
+        let stats = roundtrip_cfg(cfg).expect("lci stats");
+        assert!(stats.progress_calls > 0);
     }
 
     #[test]
