@@ -8,9 +8,10 @@
 //! unidirectional Mmsg/s).
 
 use bench::{
-    iters, lib_name, msgrate_process_based, platform_name, print_header, print_row, thread_sweep,
+    iters, lib_name, msgrate_process_based, platform_name, platform_sweep, print_header, print_row,
+    thread_sweep,
 };
-use lcw::{BackendKind, Platform};
+use lcw::BackendKind;
 
 fn main() {
     let pair_sweep = thread_sweep();
@@ -19,7 +20,7 @@ fn main() {
     println!(
         "# paper: 1-128 processes/node, 100k iters; here: {pair_sweep:?} pairs, {iters} iters"
     );
-    for platform in [Platform::Expanse, Platform::Delta] {
+    for platform in platform_sweep() {
         print_header(&format!("Fig2 {}", platform_name(platform)), &["pairs", "lib", "Mmsg/s"]);
         for &pairs in &pair_sweep {
             for backend in [BackendKind::Lci, BackendKind::Mpi, BackendKind::Gasnet] {

@@ -10,9 +10,10 @@
 //! * shared: lci, mpi, mpix(1 VCI ≙ mpi with the VCI code path), gasnet.
 
 use bench::{
-    iters, lib_name, msgrate_thread_based, platform_name, print_header, print_row, thread_sweep,
+    iters, lib_name, msgrate_thread_based, platform_name, platform_sweep, print_header, print_row,
+    thread_sweep,
 };
-use lcw::{BackendKind, Platform, ResourceMode};
+use lcw::{BackendKind, ResourceMode};
 
 fn main() {
     let sweep = thread_sweep();
@@ -20,7 +21,7 @@ fn main() {
     println!("# Fig 3: thread-based message rate (8 B, ping-pong)");
     println!("# paper: 1-128 threads, 100k iters; here: {sweep:?} threads, {iters} iters");
 
-    for platform in [Platform::Expanse, Platform::Delta] {
+    for platform in platform_sweep() {
         // Dedicated-resource panels (Fig 3a / 3c).
         print_header(
             &format!("Fig3 dedicated {}", platform_name(platform)),

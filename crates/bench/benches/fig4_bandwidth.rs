@@ -7,9 +7,10 @@
 //! LCW backend, as in the paper).
 
 use bench::{
-    bandwidth_thread_based, env_usize, lib_name, platform_name, print_header, print_row, quick,
+    bandwidth_thread_based, env_usize, lib_name, platform_name, platform_sweep, print_header,
+    print_row, quick,
 };
-use lcw::{BackendKind, Platform, ResourceMode};
+use lcw::{BackendKind, ResourceMode};
 
 fn main() {
     let nthreads = env_usize("BENCH_MAX_THREADS", 4).max(1);
@@ -19,7 +20,7 @@ fn main() {
     println!("# Fig 4: thread-based bandwidth (send-receive, window=8)");
     println!("# paper: 64 threads, 16B-1MiB; here: {nthreads} threads, sizes {sizes:?}");
 
-    for platform in [Platform::Expanse, Platform::Delta] {
+    for platform in platform_sweep() {
         for (mode_name, mode) in
             [("dedicated", ResourceMode::Dedicated(nthreads)), ("shared", ResourceMode::Shared)]
         {

@@ -1,0 +1,195 @@
+//! Multi-process scaling over the shared-memory transport ("sim →
+//! wire"): message rate and bandwidth at 2/4/8 *real OS processes*,
+//! the shm analogue of the Fig. 2 process-based sweep.
+//!
+//! The harness re-executes itself as the worker ranks (env rendezvous,
+//! see `lci_fabric::bootstrap`). Ranks pair up as in Fig. 2: rank `i`
+//! of the first half talks to rank `pairs + i`; each sender times its
+//! own loop, the per-rank times are allgathered through the segment,
+//! and rank 0 prints the aggregated row.
+//!
+//! Env knobs: `BENCH_SHM_RANKS` (comma list, default `2,4,8`),
+//! `BENCH_ITERS`, `BENCH_BW_ITERS`, `BENCH_QUICK=1`.
+
+use bench::env_usize;
+use lcw::{BackendKind, Endpoint, Platform, ResourceMode, World, WorldConfig};
+use std::ffi::OsString;
+use std::time::{Duration, Instant};
+
+const JOB_ENV: &str = "BENCH_SHM_JOB";
+const JOB_TIMEOUT: Duration = Duration::from_secs(300);
+const BW_SIZE: usize = 64 << 10;
+const BW_WINDOW: usize = 8;
+
+fn main() {
+    match World::from_env(WorldConfig::new(
+        BackendKind::Lci,
+        Platform::ShmHost,
+        ResourceMode::Shared,
+    ))
+    .expect("attach")
+    {
+        Some(world) => child(world),
+        None => parent(),
+    }
+}
+
+fn rank_sweep() -> Vec<usize> {
+    if bench::quick() {
+        return vec![2];
+    }
+    std::env::var("BENCH_SHM_RANKS")
+        .unwrap_or_else(|_| "2,4,8".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n >= 2 && n % 2 == 0)
+        .collect()
+}
+
+fn parent() {
+    let iters = bench::iters();
+    let bw_iters = if bench::quick() { 5 } else { env_usize("BENCH_BW_ITERS", 40) };
+    println!("# shm_scale: real multi-process shared-memory transport");
+    println!(
+        "# pairs = processes/2; msgrate: 8 B ping-pong x{iters}; \
+         bandwidth: {BW_SIZE} B send-receive, window={BW_WINDOW}, x{bw_iters}"
+    );
+    let args: Vec<OsString> = Vec::new();
+    for job in ["msgrate", "bandwidth"] {
+        let metric = if job == "msgrate" { "Mmsg/s" } else { "MiB/s" };
+        bench::print_header(&format!("shm_scale {job}"), &["procs", "pairs", "lib", metric]);
+        for nranks in rank_sweep() {
+            std::env::set_var(JOB_ENV, job); // children inherit our env
+            let report = World::spawn_local(nranks, &args, JOB_TIMEOUT).expect("spawn");
+            assert!(report.all_ok(), "{job} at {nranks} procs: exits {:?}", report.exit_codes);
+        }
+    }
+    std::env::remove_var(JOB_ENV);
+}
+
+fn child(world: World) {
+    let job = std::env::var(JOB_ENV).expect("child without a job");
+    match job.as_str() {
+        "msgrate" => msgrate(world),
+        "bandwidth" => bandwidth(world),
+        other => panic!("unknown shm_scale job {other:?}"),
+    }
+}
+
+/// Pings cross from the first half of the ranks to the second and pong
+/// straight back; the aggregate unidirectional rate is the sum of the
+/// per-pair rates (same accounting as Fig. 2).
+fn msgrate(world: World) {
+    let iters = bench::iters();
+    let pairs = world.size() / 2;
+    let rank = world.rank();
+    let mut ep = world.endpoint(0);
+    let payload = [0u8; 8];
+    world.fabric().oob_barrier();
+    let t0 = Instant::now();
+    if rank < pairs {
+        let peer = pairs + rank;
+        for _ in 0..iters {
+            while !ep.send_am(peer, &payload, 0) {
+                ep.progress();
+            }
+            recv_one(&mut ep);
+        }
+    } else {
+        let peer = rank - pairs;
+        for _ in 0..iters {
+            recv_one(&mut ep);
+            while !ep.send_am(peer, &payload, 0) {
+                ep.progress();
+            }
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    report(&world, &mut ep, ns, |per_pair_ns| {
+        let rate: f64 = per_pair_ns.iter().map(|&ns| iters as f64 / (ns as f64 / 1e9)).sum();
+        format!("{:.4}", rate / 1e6)
+    });
+}
+
+/// Windowed unidirectional send-receive streams per pair, 64 KiB
+/// messages (the rendezvous path: every chunk spills through the
+/// segment), credit-gated like the Fig. 4 workload.
+fn bandwidth(world: World) {
+    let iters = if bench::quick() { 5 } else { env_usize("BENCH_BW_ITERS", 40) };
+    let pairs = world.size() / 2;
+    let rank = world.rank();
+    let mut ep = world.endpoint(0);
+    world.fabric().oob_barrier();
+    let t0 = Instant::now();
+    if rank < pairs {
+        let peer = pairs + rank;
+        let payload = vec![0x6Bu8; BW_SIZE];
+        for _ in 0..iters {
+            for w in 0..BW_WINDOW {
+                while !ep.send(peer, &payload, w as u32) {
+                    ep.progress();
+                }
+            }
+            let tok = ep.post_recv(peer, 0xF000, 8);
+            while ep.test_recv(&tok).is_none() {
+                ep.progress();
+                std::thread::yield_now();
+            }
+        }
+    } else {
+        let peer = rank - pairs;
+        for _ in 0..iters {
+            let toks: Vec<_> =
+                (0..BW_WINDOW).map(|w| ep.post_recv(peer, w as u32, BW_SIZE)).collect();
+            for tok in &toks {
+                while ep.test_recv(tok).is_none() {
+                    ep.progress();
+                    std::thread::yield_now();
+                }
+            }
+            while !ep.send(peer, &[1u8], 0xF000) {
+                ep.progress();
+            }
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    let bytes_per_pair = (iters * BW_WINDOW * BW_SIZE) as f64;
+    report(&world, &mut ep, ns, |per_pair_ns| {
+        let bw: f64 = per_pair_ns
+            .iter()
+            .map(|&ns| bytes_per_pair / (ns as f64 / 1e9) / (1024.0 * 1024.0))
+            .sum();
+        format!("{bw:.1}")
+    });
+}
+
+fn recv_one(ep: &mut Endpoint) {
+    loop {
+        ep.progress();
+        if ep.poll_msg().is_some() {
+            return;
+        }
+        // Processes share cores on this box: hand the timeslice to the
+        // peer instead of burning it polling an empty ring.
+        std::thread::yield_now();
+    }
+}
+
+/// Allgathers the per-rank elapsed times and has rank 0 print the row
+/// from the *senders'* clocks; every rank then drains cleanly.
+fn report(world: &World, ep: &mut Endpoint, my_ns: u64, row: impl Fn(&[u64]) -> String) {
+    let all = world.fabric().oob_allgather(world.rank(), my_ns.to_le_bytes().to_vec());
+    if world.rank() == 0 {
+        let pairs = world.size() / 2;
+        let per_pair: Vec<u64> =
+            all[..pairs].iter().map(|b| u64::from_le_bytes(b[..8].try_into().unwrap())).collect();
+        bench::print_row(&[
+            world.size().to_string(),
+            pairs.to_string(),
+            "lci".to_string(),
+            row(&per_pair),
+        ]);
+    }
+    ep.quiesce(Duration::from_secs(30)).expect("drain");
+    world.fabric().oob_barrier();
+}

@@ -80,6 +80,19 @@ pub fn platform_name(p: Platform) -> &'static str {
     match p {
         Platform::Expanse => "expanse(ibv-sim)",
         Platform::Delta => "delta(ofi-sim)",
+        Platform::ShmHost => "shm",
+    }
+}
+
+/// The platform axis of the sweeps: both simulated platforms by
+/// default, or exactly the transport named by `--transport`/
+/// `LCI_TRANSPORT` when one is given (so
+/// `cargo bench --bench fig3_msgrate_thread -- --transport shm`
+/// regenerates one figure on the real wire).
+pub fn platform_sweep() -> Vec<Platform> {
+    match Platform::selected() {
+        Some(p) => vec![p],
+        None => vec![Platform::Expanse, Platform::Delta],
     }
 }
 

@@ -13,6 +13,7 @@ use crate::buf_pool::{BufPool, BufPoolConfig, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint, DEFAULT_RX_CAPACITY};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCacheConfig, RegCacheStats};
+use crate::shm::ShmDevice;
 use crate::sim_ibv::IbvDevice;
 use crate::sim_ofi::OfiDevice;
 use crate::sync::{Doorbell, LockDiscipline};
@@ -33,6 +34,11 @@ pub enum BackendKind {
     /// Coarse endpoint lock: one spinlock serializes post and poll;
     /// registration goes through a mutex-protected cache.
     Ofi,
+    /// Real shared-memory transport (DESIGN.md §4.9): frames travel
+    /// through per-rank-pair SPSC rings in a memory segment other OS
+    /// processes can map, with ibv-style lock granularity on the
+    /// posting side.
+    Shm,
 }
 
 /// How queue pairs share posting locks on the ibv backend — the
@@ -103,6 +109,12 @@ impl DeviceConfig {
         Self { backend: BackendKind::Ofi, ..Self::default() }
     }
 
+    /// Config preset for the shared-memory backend (same lock layout as
+    /// `ibv`; the wire is a real cross-process segment).
+    pub fn shm() -> Self {
+        Self { backend: BackendKind::Shm, ..Self::default() }
+    }
+
     /// Sets the lock discipline.
     pub fn with_discipline(mut self, d: LockDiscipline) -> Self {
         self.discipline = d;
@@ -145,6 +157,19 @@ impl DeviceConfig {
         self.buf_pool.enabled = enabled;
         self
     }
+}
+
+/// Transport-level counters exposed by backends that have a physical
+/// (or physically modeled) wire; all-zero elsewhere. Snapshotted into
+/// the LCI stats overlay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// High-water mark of per-channel ring occupancy (frames) over every
+    /// shm channel touching this device's rank. Monotone.
+    pub shm_ring_hwm: u64,
+    /// Times the cross-process doorbell bridge woke this rank's devices
+    /// on behalf of a remote producer. Monotone; zero in-process.
+    pub doorbell_cross_proc_wakes: u64,
 }
 
 /// One send in a [`NetDevice::post_send_batch`] call.
@@ -321,6 +346,12 @@ pub trait NetDevice: Send + Sync {
         0
     }
 
+    /// Transport-level counters (ring occupancy HWM, cross-process
+    /// doorbell wakes). All-zero for backends without a transport layer.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+
     /// Tears the device down: closes its RX endpoint (subsequent sends
     /// to it fail fatally), and hands back every undelivered completion
     /// and every still-posted receive buffer so the owner can reclaim
@@ -371,6 +402,9 @@ impl NetContext {
             }
             BackendKind::Ofi => {
                 Arc::new(OfiDevice::new(self.fabric.clone(), self.rank, dev_id, rx, bell, cfg))
+            }
+            BackendKind::Shm => {
+                Arc::new(ShmDevice::new(self.fabric.clone(), self.rank, dev_id, rx, bell, cfg))
             }
         }
     }

@@ -1,0 +1,243 @@
+//! Multi-process bootstrap for the shared-memory transport: a named
+//! segment plus an environment-variable rendezvous, and a launcher that
+//! re-executes the current binary as the worker ranks.
+//!
+//! The protocol is deliberately tiny (the PMI of this repo):
+//!
+//! 1. The launcher creates a fully-sized segment file (under `/dev/shm`
+//!    when present) and spawns `nranks` copies of the current executable
+//!    with `LCI_SHM_PATH`, `LCI_RANK`, `LCI_NRANKS` set.
+//! 2. Each child calls [`launch`] (or [`from_env`]), attaches the file,
+//!    marks its peer slot attached, and blocks on the attach barrier in
+//!    the segment header until every rank has arrived.
+//! 3. The launcher waits for the same barrier, unlinks the file (the
+//!    mappings stay valid), then waits for the children and reports
+//!    their exit codes. A per-child reaper marks the peer slot
+//!    `PEER_DIED` if the child exits without detaching cleanly, so
+//!    survivors observe the death instead of hanging.
+
+use crate::fabric::Fabric;
+use crate::shm::os;
+use crate::shm::segment::{geometry_from_env, ShmSegment, PEER_DIED};
+use std::ffi::OsString;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Environment variable carrying the segment path to children.
+pub const ENV_PATH: &str = "LCI_SHM_PATH";
+/// Environment variable carrying the child's rank.
+pub const ENV_RANK: &str = "LCI_RANK";
+/// Environment variable carrying the job size.
+pub const ENV_NRANKS: &str = "LCI_NRANKS";
+/// Environment variable selecting a transport by name (`sim-ibv`,
+/// `sim-ofi`, `shm`); read by the higher layers, re-exported here so the
+/// whole rendezvous contract lives in one module.
+pub const ENV_TRANSPORT: &str = "LCI_TRANSPORT";
+
+/// How long children wait for the segment and for their peers.
+const ATTACH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The outcome of [`launch`]: either this process is one of the worker
+/// ranks, or it was the launcher and the whole job has finished.
+pub enum Launch {
+    /// This process is a worker rank; run the job body.
+    Child(ChildCtx),
+    /// This process spawned the workers and they have all exited.
+    Parent(ParentReport),
+}
+
+/// Worker-side context: an attached [`Fabric`] whose other ranks are
+/// separate OS processes.
+pub struct ChildCtx {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total ranks in the job.
+    pub nranks: usize,
+    /// The attached fabric (OOB collectives route through the segment).
+    pub fabric: Arc<Fabric>,
+}
+
+/// Launcher-side report.
+pub struct ParentReport {
+    /// Exit codes in rank order (`-1` for signal-killed children).
+    pub exit_codes: Vec<i32>,
+}
+
+impl ParentReport {
+    /// Whether every rank exited 0.
+    pub fn all_ok(&self) -> bool {
+        self.exit_codes.iter().all(|&c| c == 0)
+    }
+}
+
+/// Attaches to a spawner-provided segment if the rendezvous environment
+/// is present; `Ok(None)` when this process was started directly.
+pub fn from_env() -> std::io::Result<Option<ChildCtx>> {
+    #[cfg(unix)]
+    {
+        let Ok(path) = std::env::var(ENV_PATH) else { return Ok(None) };
+        let rank: usize = std::env::var(ENV_RANK)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad LCI_RANK"))?;
+        let seg = Arc::new(ShmSegment::attach_file(PathBuf::from(path).as_path(), ATTACH_TIMEOUT)?);
+        seg.attach(rank);
+        seg.attach_barrier(ATTACH_TIMEOUT)?;
+        let nranks = seg.nranks();
+        Ok(Some(ChildCtx { rank, nranks, fabric: Fabric::attached(seg, rank) }))
+    }
+    #[cfg(not(unix))]
+    Ok(None)
+}
+
+static SEG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn segment_path() -> PathBuf {
+    let dir = if cfg!(target_os = "linux") && PathBuf::from("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    dir.join(format!(
+        "lci-seg-{}-{}",
+        std::process::id(),
+        SEG_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Spawns `nranks` copies of the current executable with `child_args`,
+/// connected through a fresh named segment, and waits for them.
+///
+/// `timeout` bounds the whole job; on expiry the remaining children are
+/// SIGKILLed (and reported as `-1`). The segment file is unlinked as
+/// soon as every rank has attached, and unconditionally before this
+/// returns.
+pub fn spawn_local(
+    nranks: usize,
+    child_args: &[OsString],
+    timeout: Duration,
+) -> std::io::Result<ParentReport> {
+    #[cfg(not(unix))]
+    {
+        let _ = (nranks, child_args, timeout);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "multi-process shm requires a unix host",
+        ));
+    }
+    #[cfg(unix)]
+    spawn_local_unix(nranks, child_args, timeout)
+}
+
+#[cfg(unix)]
+fn spawn_local_unix(
+    nranks: usize,
+    child_args: &[OsString],
+    timeout: Duration,
+) -> std::io::Result<ParentReport> {
+    let path = segment_path();
+    let seg = Arc::new(ShmSegment::create_file(&path, nranks, geometry_from_env())?);
+    let exe = std::env::current_exe()?;
+    let mut pids = Vec::with_capacity(nranks);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, i32)>();
+    for rank in 0..nranks {
+        let child = std::process::Command::new(&exe)
+            .args(child_args)
+            .env(ENV_PATH, &path)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, nranks.to_string())
+            .spawn();
+        let mut child = match child {
+            Ok(c) => c,
+            Err(e) => {
+                seg.unlink();
+                for &pid in &pids {
+                    os::kill_process(pid);
+                }
+                return Err(e);
+            }
+        };
+        pids.push(child.id() as u64);
+        // Reaper: wait for the child and mark its slot dead if it never
+        // detached cleanly (the CAS inside only fires from ATTACHED, so
+        // a clean exit — slot already EXITED — is left alone).
+        let seg = seg.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let code = match child.wait() {
+                Ok(st) => st.code().unwrap_or(-1),
+                Err(_) => -1,
+            };
+            seg.set_peer_state(rank, PEER_DIED);
+            let _ = tx.send((rank, code));
+        });
+    }
+    drop(tx);
+    // Unlink as soon as everyone is attached; if a child dies first the
+    // barrier times out and we fall through to the unconditional unlink.
+    if seg.attach_barrier(ATTACH_TIMEOUT).is_ok() {
+        seg.unlink();
+    }
+    let deadline = std::time::Instant::now() + timeout;
+    let mut codes = vec![i32::MIN; nranks];
+    let mut pending = nranks;
+    while pending > 0 {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        match rx.recv_timeout(left) {
+            Ok((rank, code)) => {
+                codes[rank] = code;
+                pending -= 1;
+            }
+            Err(_) => {
+                for (rank, &pid) in pids.iter().enumerate() {
+                    if codes[rank] == i32::MIN {
+                        os::kill_process(pid);
+                        codes[rank] = -1;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    seg.unlink();
+    for c in codes.iter_mut() {
+        if *c == i32::MIN {
+            *c = -1;
+        }
+    }
+    Ok(ParentReport { exit_codes: codes })
+}
+
+/// One-call harness: in a freshly-started process, spawns the job; in a
+/// spawned child, attaches and returns the worker context. Test and
+/// example code writes
+///
+/// ```ignore
+/// match bootstrap::launch(2, &args, timeout)? {
+///     Launch::Child(ctx) => run_rank(ctx),
+///     Launch::Parent(report) => assert!(report.all_ok()),
+/// }
+/// ```
+pub fn launch(
+    nranks: usize,
+    child_args: &[OsString],
+    timeout: Duration,
+) -> std::io::Result<Launch> {
+    if let Some(ctx) = from_env()? {
+        return Ok(Launch::Child(ctx));
+    }
+    spawn_local(nranks, child_args, timeout).map(Launch::Parent)
+}
+
+/// The argument vector that re-runs exactly one libtest test in a child
+/// process: `<name> --exact --nocapture --test-threads=1`.
+pub fn test_child_args(test_name: &str) -> Vec<OsString> {
+    vec![
+        OsString::from(test_name),
+        OsString::from("--exact"),
+        OsString::from("--nocapture"),
+        OsString::from("--test-threads=1"),
+    ]
+}

@@ -2,11 +2,12 @@
 //! bootstrap (the PMI stand-in).
 
 use crate::mem::RegistrationTable;
+use crate::shm::{ShmFabric, ShmSegment};
 use crate::sync::{Doorbell, MpmcArray};
 use crate::types::{DevId, NetError, NetResult, Rank, RetryReason, WireMsg};
 use crossbeam::queue::ArrayQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Default RX-ring capacity (messages in flight toward one device).
 pub const DEFAULT_RX_CAPACITY: usize = 4096;
@@ -102,6 +103,10 @@ pub struct Fabric {
     endpoints: Vec<MpmcArray<Arc<RxEndpoint>>>,
     mem: RegistrationTable,
     oob: Oob,
+    /// Shared-memory transport state, created lazily the first time an
+    /// `shm` device is built (in-process mode) or eagerly by the
+    /// multi-process bootstrap ([`Fabric::attached`]).
+    shm: OnceLock<Arc<ShmFabric>>,
 }
 
 impl Fabric {
@@ -120,7 +125,45 @@ impl Fabric {
                 }),
                 cond: Condvar::new(),
             },
+            shm: OnceLock::new(),
         })
+    }
+
+    /// Creates a fabric attached to an existing multi-process shared
+    /// segment: this process hosts only `my_rank`; the other ranks are
+    /// other OS processes. OOB collectives go through the segment.
+    pub fn attached(seg: Arc<ShmSegment>, my_rank: Rank) -> Arc<Self> {
+        let nranks = seg.nranks();
+        assert!(my_rank < nranks, "rank {my_rank} out of range");
+        let f = Self::new(nranks);
+        f.shm
+            .set(Arc::new(ShmFabric::attached(seg, my_rank)))
+            .ok()
+            .expect("fresh fabric cannot already have shm state");
+        f
+    }
+
+    /// The shared-memory transport state, creating an in-process
+    /// anonymous segment on first use (so any test or bench switches to
+    /// the shm transport with a `DeviceConfig` alone).
+    pub(crate) fn shm_fabric(&self) -> &Arc<ShmFabric> {
+        self.shm.get_or_init(|| {
+            Arc::new(
+                ShmFabric::in_process(self.nranks)
+                    .expect("failed to create in-process shm segment"),
+            )
+        })
+    }
+
+    /// This process's rank when attached to a multi-process segment.
+    pub fn shm_rank(&self) -> Option<Rank> {
+        self.shm.get().filter(|s| s.multiproc).map(|s| s.my_rank)
+    }
+
+    /// First shm peer known to be dead or cleanly exited, if any
+    /// (multi-process mode only).
+    pub fn shm_dead_peer(&self) -> Option<Rank> {
+        self.shm.get().and_then(|s| s.dead_peer())
     }
 
     /// Number of ranks the fabric connects.
@@ -155,6 +198,12 @@ impl Fabric {
     /// Out-of-band barrier across all ranks (bootstrap only; do not use on
     /// the data path).
     pub fn oob_barrier(&self) {
+        if let Some(shm) = self.shm.get() {
+            if shm.multiproc {
+                shm.seg.barrier();
+                return;
+            }
+        }
         let mut g = self.oob.mutex.lock().expect("oob poisoned");
         let gen = g.barrier_gen;
         g.barrier_count += 1;
@@ -175,6 +224,11 @@ impl Fabric {
     /// Built from three barriers (write / read / reset) so consecutive
     /// rounds can never interleave.
     pub fn oob_allgather(&self, rank: Rank, data: Vec<u8>) -> Vec<Vec<u8>> {
+        if let Some(shm) = self.shm.get() {
+            if shm.multiproc {
+                return shm.seg.allgather(rank, &data);
+            }
+        }
         {
             let mut g = self.oob.mutex.lock().expect("oob poisoned");
             g.gather[rank] = Some(data);

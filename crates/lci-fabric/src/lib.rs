@@ -51,16 +51,20 @@
 //!   (receiver-not-ready, RNR, behaviour).
 
 pub mod backend;
+pub mod bootstrap;
 pub mod buf_pool;
 pub mod fabric;
 pub mod mem;
 pub mod reg_cache;
+pub mod shm;
 pub mod sim_ibv;
 pub mod sim_ofi;
 pub mod sync;
 pub mod types;
 
-pub use backend::{BackendKind, DeviceConfig, NetContext, NetDevice, SendDesc, TdStrategy};
+pub use backend::{
+    BackendKind, DeviceConfig, NetContext, NetDevice, SendDesc, TdStrategy, TransportStats,
+};
 pub use buf_pool::{BufPool, BufPoolConfig, BufPoolStats, PoolBuf};
 pub use fabric::Fabric;
 pub use mem::{MemoryRegion, Rkey};

@@ -497,6 +497,9 @@ impl Device {
         s.buf_pool_misses = bp.misses;
         s.buf_pool_recycled_bytes = bp.recycled_bytes;
         s.doorbell_rings = self.inner.bell.as_ref().map_or(0, |b| b.rings());
+        let ts = self.inner.net.transport_stats();
+        s.shm_ring_hwm = ts.shm_ring_hwm;
+        s.doorbell_cross_proc_wakes = ts.doorbell_cross_proc_wakes;
         s
     }
 

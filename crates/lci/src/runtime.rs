@@ -125,6 +125,30 @@ impl RuntimeConfig {
         Self { device: DeviceConfig::ofi(), ..Self::default() }
     }
 
+    /// Preset for the shared-memory backend (real cross-process-capable
+    /// rings; ibv-style lock layout).
+    pub fn shm() -> Self {
+        Self { device: DeviceConfig::shm(), ..Self::default() }
+    }
+
+    /// Replaces the device configuration, keeping everything else.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Selects the runtime's transport by name: `sim-ibv`, `sim-ofi`, or
+    /// `shm`. Unknown names return `None`.
+    pub fn with_transport(self, name: &str) -> Option<Self> {
+        let device = match name {
+            "sim-ibv" | "ibv" => DeviceConfig::ibv(),
+            "sim-ofi" | "ofi" => DeviceConfig::ofi(),
+            "shm" => DeviceConfig::shm(),
+            _ => return None,
+        };
+        Some(self.with_device(device))
+    }
+
     /// Effective low watermark for receive replenishment (see
     /// [`prepost_watermark`](Self::prepost_watermark)).
     pub fn effective_prepost_watermark(&self) -> usize {

@@ -138,6 +138,16 @@ pub struct StatsSnapshot {
     /// Bytes of buffer capacity recycled through pool shelves (see
     /// [`Self::buf_pool_hits`]).
     pub buf_pool_recycled_bytes: u64,
+    /// High-water mark of shared-memory ring occupancy (frames) over
+    /// every shm channel touching this device's rank (overlaid by
+    /// [`Device::stats`](crate::device::Device::stats) from the
+    /// transport; zero on simulated backends).
+    pub shm_ring_hwm: u64,
+    /// Cross-process doorbell wakes delivered to this device's rank by
+    /// the shm futex bridge (overlaid by
+    /// [`Device::stats`](crate::device::Device::stats); zero in-process
+    /// and on simulated backends).
+    pub doorbell_cross_proc_wakes: u64,
 }
 
 impl DeviceStats {
@@ -189,6 +199,8 @@ impl DeviceStats {
             buf_pool_hits: 0,
             buf_pool_misses: 0,
             buf_pool_recycled_bytes: 0,
+            shm_ring_hwm: 0,
+            doorbell_cross_proc_wakes: 0,
         }
     }
 }
@@ -229,6 +241,10 @@ impl StatsSnapshot {
             buf_pool_hits: self.buf_pool_hits - earlier.buf_pool_hits,
             buf_pool_misses: self.buf_pool_misses - earlier.buf_pool_misses,
             buf_pool_recycled_bytes: self.buf_pool_recycled_bytes - earlier.buf_pool_recycled_bytes,
+            // High-water mark: the later value covers the interval.
+            shm_ring_hwm: self.shm_ring_hwm,
+            doorbell_cross_proc_wakes: self.doorbell_cross_proc_wakes
+                - earlier.doorbell_cross_proc_wakes,
         }
     }
 

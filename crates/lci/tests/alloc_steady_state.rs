@@ -69,8 +69,8 @@ struct Pair {
 }
 
 impl Pair {
-    fn new(recycling: bool) -> Pair {
-        let cfg = RuntimeConfig::small().with_alloc_recycling(recycling);
+    fn new_on(device: lci_fabric::DeviceConfig, recycling: bool) -> Pair {
+        let cfg = RuntimeConfig::small().with_device(device).with_alloc_recycling(recycling);
         let fabric = Fabric::new(2);
         let rt0 = Runtime::new(fabric.clone(), 0, cfg.clone()).unwrap();
         let rt1 = Runtime::new(fabric, 1, cfg).unwrap();
@@ -140,7 +140,17 @@ fn recover_recv(d: CompDesc) -> Box<[u8]> {
 /// user buffers across iterations, and returns the number of allocator
 /// calls made during the measured `iters`.
 fn steady_state_allocs(recycling: bool, size: usize, warmup: usize, iters: usize) -> u64 {
-    let pair = Pair::new(recycling);
+    steady_state_allocs_on(lci_fabric::DeviceConfig::ibv(), recycling, size, warmup, iters)
+}
+
+fn steady_state_allocs_on(
+    device: lci_fabric::DeviceConfig,
+    recycling: bool,
+    size: usize,
+    warmup: usize,
+    iters: usize,
+) -> u64 {
+    let pair = Pair::new_on(device, recycling);
     let mut payload: SendBuf = vec![0xA5u8; size].into();
     let mut landing: Box<[u8]> = vec![0u8; size].into();
     for _ in 0..warmup {
@@ -185,6 +195,27 @@ fn rendezvous_steady_state_is_allocation_free() {
     let _g = SERIAL.lock().unwrap();
     let allocs = steady_state_allocs(true, 256 << 10, 16, 32);
     assert_eq!(allocs, 0, "256 KiB rendezvous loop made {allocs} allocator calls after warmup");
+}
+
+/// The shared-memory transport keeps the same guarantee: ring frames
+/// are encoded in place, inbound payloads stage through the recycled
+/// buffer pool, and spill space comes from the segment — the eager loop
+/// never calls the allocator once warm.
+#[test]
+fn shm_eager_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs_on(lci_fabric::DeviceConfig::shm(), true, 512, 64, 256);
+    assert_eq!(allocs, 0, "shm 512-byte eager loop made {allocs} allocator calls after warmup");
+}
+
+/// Rendezvous over shm: every 64 KiB chunk crosses the ring as a
+/// spilled frame, and spill reclamation is pointer arithmetic on the
+/// shared segment — still zero allocator calls per transfer.
+#[test]
+fn shm_rendezvous_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs_on(lci_fabric::DeviceConfig::shm(), true, 256 << 10, 16, 32);
+    assert_eq!(allocs, 0, "shm 256 KiB rendezvous loop made {allocs} allocator calls after warmup");
 }
 
 /// The ablation baseline really does allocate: with recycling off the

@@ -152,6 +152,28 @@ fn matching_order_and_counts_identical_on_vs_off() {
     );
 }
 
+/// The same on-vs-off equivalence, carried by the shared-memory
+/// transport (in-process mode): the coalesce path's frames must survive
+/// the ring codec byte-for-byte and in order.
+#[test]
+fn matching_order_identical_on_shm_transport() {
+    let off = run(RuntimeConfig::small().with_device(lci_fabric::DeviceConfig::shm()));
+    let mut on_cfg = RuntimeConfig::small().with_device(lci_fabric::DeviceConfig::shm());
+    on_cfg.coalesce = CoalesceConfig::enabled_with_bytes(2048);
+    let on = run(on_cfg);
+
+    let expect: Vec<u64> = (0..MSGS as u64).collect();
+    for t in 0..THREADS {
+        assert_eq!(off.0[t], expect, "shm uncoalesced: tag {t} out of order");
+        assert_eq!(on.0[t], expect, "shm coalesced: tag {t} out of order");
+    }
+    assert_eq!(off.1, THREADS * MSGS);
+    assert_eq!(on.1, THREADS * MSGS);
+    assert!(on.2.coalesced_msgs > 0, "coalescing enabled but never used");
+    // The traffic really crossed the shm rings.
+    assert!(off.2.shm_ring_hwm > 0, "shm transport unused by the workload");
+}
+
 #[test]
 fn per_message_opt_out_bypasses_coalescing() {
     let mut cfg = RuntimeConfig::small();

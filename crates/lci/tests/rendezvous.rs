@@ -128,6 +128,50 @@ fn chunk_boundary_sizes() {
     });
 }
 
+/// The chunk-boundary suite over the shared-memory transport: chunk
+/// RDMA writes become spilled ring frames applied to registered memory
+/// at drain time, and the FIN still arrives strictly after every chunk.
+#[test]
+fn chunk_boundary_sizes_over_shm() {
+    let chunk = 1024usize;
+    let sizes: Vec<usize> = vec![8 * chunk, 8 * chunk - 1, 8 * chunk + 1, 5000];
+    let sizes2 = sizes.clone();
+    let cfg = chunked_cfg(chunk, 3).with_device(lci_fabric::DeviceConfig::shm());
+    with_ranks(2, cfg, move |rank, rt| {
+        for (i, &size) in sizes2.iter().enumerate() {
+            let tag = i as u32;
+            if rank == 0 {
+                let d = send_blocking(&rt, 1, pattern(size, i as u8), tag);
+                assert_eq!(d.kind, CompKind::Send);
+            } else {
+                let d = recv_blocking(&rt, 0, sizes2.iter().max().unwrap() + 64, tag);
+                assert_eq!(d.data.len(), size);
+                assert_eq!(d.as_slice(), &pattern(size, i as u8)[..]);
+            }
+            rt.oob_barrier();
+        }
+    });
+
+    // A 256 KiB transfer with the default 64 KiB chunks: each chunk
+    // frame spills (64 KiB ≫ the inline cap) and reclaims in FIFO order.
+    let big = 256 << 10;
+    with_ranks(
+        2,
+        RuntimeConfig::small().with_device(lci_fabric::DeviceConfig::shm()),
+        move |rank, rt| {
+            if rank == 0 {
+                send_blocking(&rt, 1, pattern(big, 9), 77);
+            } else {
+                let d = recv_blocking(&rt, 0, big + 64, 77);
+                assert_eq!(d.data.len(), big);
+                assert_eq!(d.as_slice(), &pattern(big, 9)[..]);
+                assert!(rt.device().stats().shm_ring_hwm > 0, "shm transport unused");
+            }
+            rt.oob_barrier();
+        },
+    );
+}
+
 /// With chunking disabled the pipeline degenerates to one write per
 /// transfer (the pre-pipeline behaviour), still correct.
 #[test]

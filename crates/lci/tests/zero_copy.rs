@@ -104,7 +104,15 @@ fn payload(t: usize, seq: u64) -> Vec<u8> {
 /// rank 0 to rank 1 with coalescing on, returning the payload sequences
 /// each receiver CQ observed and the receiver device's stats.
 fn run_am(zero_copy: bool) -> (Vec<Vec<Vec<u8>>>, StatsSnapshot) {
-    let mut cfg = RuntimeConfig::small();
+    run_am_on(lci_fabric::DeviceConfig::ibv(), zero_copy)
+}
+
+/// Same workload on an arbitrary transport.
+fn run_am_on(
+    device: lci_fabric::DeviceConfig,
+    zero_copy: bool,
+) -> (Vec<Vec<Vec<u8>>>, StatsSnapshot) {
+    let mut cfg = RuntimeConfig::small().with_device(device);
     cfg.coalesce = CoalesceConfig::enabled_with_bytes(2048);
     cfg.zero_copy_recv = zero_copy;
     let fabric = Fabric::new(2);
@@ -204,4 +212,20 @@ fn am_payloads_identical_zero_copy_on_vs_off() {
             "{name}: batches must post at least one receive each"
         );
     }
+}
+
+/// The zero-copy delivery path over the shared-memory transport: frames
+/// crossing the ring still demux into refcounted views without copies,
+/// byte-identical to the simulated wire.
+#[test]
+fn am_payloads_zero_copy_over_shm() {
+    let (out, stats) = run_am_on(lci_fabric::DeviceConfig::shm(), true);
+    for (t, got) in out.iter().enumerate().take(THREADS) {
+        let expect: Vec<Vec<u8>> = (0..MSGS as u64).map(|seq| payload(t, seq)).collect();
+        assert_eq!(*got, expect, "shm zero-copy: rcomp {t} corrupted or reordered");
+    }
+    let total = (THREADS * MSGS) as u64;
+    assert_eq!(stats.zero_copy_deliveries, total, "every AM should deliver zero-copy");
+    assert_eq!(stats.copied_deliveries, 0);
+    assert!(stats.shm_ring_hwm > 0, "shm transport unused by the workload");
 }

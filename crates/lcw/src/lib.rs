@@ -37,13 +37,17 @@ pub enum BackendKind {
     Gasnet,
 }
 
-/// Which simulated platform (paper Table 2) the fabric devices model.
+/// Which transport the fabric devices ride: a simulated platform (paper
+/// Table 2) or the real shared-memory wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Platform {
     /// SDSC Expanse: InfiniBand / libibverbs-like fine-grained locks.
     Expanse,
     /// NCSA Delta: Slingshot-11 / libfabric-like endpoint lock.
     Delta,
+    /// Same-host shared-memory rings: real inter-process transport (or
+    /// the in-process segment when the fabric is not attached).
+    ShmHost,
 }
 
 impl Platform {
@@ -52,6 +56,76 @@ impl Platform {
         match self {
             Platform::Expanse => DeviceConfig::ibv(),
             Platform::Delta => DeviceConfig::ofi(),
+            Platform::ShmHost => DeviceConfig::shm(),
+        }
+    }
+
+    /// Parses a transport selector (the `--transport` flag /
+    /// `LCI_TRANSPORT` values): `sim-ibv`/`ibv`, `sim-ofi`/`ofi`, `shm`.
+    pub fn from_name(name: &str) -> Option<Platform> {
+        match name {
+            "sim-ibv" | "ibv" => Some(Platform::Expanse),
+            "sim-ofi" | "ofi" => Some(Platform::Delta),
+            "shm" => Some(Platform::ShmHost),
+            _ => None,
+        }
+    }
+
+    /// Reads the transport selector from `LCI_TRANSPORT`, if set and
+    /// valid.
+    pub fn from_env() -> Option<Platform> {
+        std::env::var(lci_fabric::bootstrap::ENV_TRANSPORT)
+            .ok()
+            .and_then(|v| Platform::from_name(v.trim()))
+    }
+
+    /// The transport selected on the command line (`--transport <name>`
+    /// or `--transport=<name>`) or, failing that, by `LCI_TRANSPORT`;
+    /// `default` when neither is present. Unknown names panic with the
+    /// valid selectors — a silent fallback would bench the wrong wire.
+    pub fn from_args_or_env(default: Platform) -> Platform {
+        let parse = |v: &str| {
+            Platform::from_name(v).unwrap_or_else(|| {
+                panic!("unknown transport {v:?}; expected sim-ibv, sim-ofi, or shm")
+            })
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--transport" {
+                if let Some(v) = args.next() {
+                    return parse(&v);
+                }
+            } else if let Some(v) = a.strip_prefix("--transport=") {
+                return parse(v);
+            }
+        }
+        Platform::from_env().unwrap_or(default)
+    }
+
+    /// Like [`from_args_or_env`](Platform::from_args_or_env) but with no
+    /// default: `None` means "no selector given, run the full sweep".
+    pub fn selected() -> Option<Platform> {
+        let mut args = std::env::args().skip(1);
+        let explicit = loop {
+            let Some(a) = args.next() else { break false };
+            if a == "--transport" || a.starts_with("--transport=") {
+                break true;
+            }
+        };
+        if explicit {
+            Some(Platform::from_args_or_env(Platform::Expanse))
+        } else {
+            Platform::from_env()
+        }
+    }
+
+    /// The selector name this platform answers to (round-trips through
+    /// [`from_name`](Platform::from_name)).
+    pub fn transport_name(self) -> &'static str {
+        match self {
+            Platform::Expanse => "sim-ibv",
+            Platform::Delta => "sim-ofi",
+            Platform::ShmHost => "shm",
         }
     }
 }
@@ -197,6 +271,7 @@ enum WorldInner {
 pub struct World {
     inner: WorldInner,
     cfg: WorldConfig,
+    fabric: Arc<Fabric>,
     rank: Rank,
     nranks: usize,
 }
@@ -207,6 +282,7 @@ impl World {
     /// In dedicated mode all per-thread resources are created here, in
     /// deterministic order, so device/VCI indices pair up across ranks.
     pub fn new(fabric: Arc<Fabric>, rank: Rank, cfg: WorldConfig) -> World {
+        let fab = fabric.clone();
         let nranks = fabric.nranks();
         let nthreads = match cfg.mode {
             ResourceMode::Shared => 1,
@@ -255,10 +331,9 @@ impl World {
                 WorldInner::Lci { rt, devices, am_cqs, noop }
             }
             BackendKind::Mpi => {
-                let mut mcfg = match cfg.platform {
-                    Platform::Expanse => MpiConfig::ibv(),
-                    Platform::Delta => MpiConfig::ofi(),
-                };
+                let mut mcfg = MpiConfig::ibv();
+                mcfg.channel.device =
+                    cfg.platform.device_config().with_discipline(LockDiscipline::Blocking);
                 mcfg.channel.eager_size = cfg.eager_size;
                 WorldInner::Mpi {
                     comm: MpiComm::init(fabric, rank, mcfg),
@@ -266,11 +341,7 @@ impl World {
                 }
             }
             BackendKind::Vci => {
-                let dev = match cfg.platform {
-                    Platform::Expanse => DeviceConfig::ibv(),
-                    Platform::Delta => DeviceConfig::ofi(),
-                }
-                .with_discipline(LockDiscipline::Blocking);
+                let dev = cfg.platform.device_config().with_discipline(LockDiscipline::Blocking);
                 let ccfg = ChannelConfig { device: dev, eager_size: cfg.eager_size, prepost: 64 };
                 WorldInner::Vci {
                     comm: VciComm::init(fabric, rank, nthreads, ccfg),
@@ -294,7 +365,45 @@ impl World {
                 WorldInner::Gasnet { g, inbox }
             }
         };
-        World { inner, cfg, rank, nranks }
+        World { inner, cfg, fabric: fab, rank, nranks }
+    }
+
+    /// Attaches to a spawner-provided shared-memory segment when the
+    /// rendezvous environment (`LCI_SHM_PATH`/`LCI_RANK`) is present and
+    /// builds the worker's world over it; `Ok(None)` when this process
+    /// was started directly (run the launcher side instead).
+    ///
+    /// The platform is forced to [`Platform::ShmHost`] — an attached
+    /// fabric's peers live in other processes, which only the shm
+    /// backend can reach — and only the LCI backend is supported
+    /// (the baseline sims are in-process by construction).
+    pub fn from_env(mut cfg: WorldConfig) -> std::io::Result<Option<World>> {
+        let Some(ctx) = lci_fabric::bootstrap::from_env()? else { return Ok(None) };
+        if cfg.backend != BackendKind::Lci {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "multi-process worlds require the LCI backend",
+            ));
+        }
+        cfg.platform = Platform::ShmHost;
+        Ok(Some(World::new(ctx.fabric, ctx.rank, cfg)))
+    }
+
+    /// Launcher side of a multi-process job: forks `nranks` copies of
+    /// the current binary (passing `child_args`) over a fresh named
+    /// segment and waits for them. The children find the segment via
+    /// [`World::from_env`]. See [`lci_fabric::bootstrap::spawn_local`].
+    pub fn spawn_local(
+        nranks: usize,
+        child_args: &[std::ffi::OsString],
+        timeout: std::time::Duration,
+    ) -> std::io::Result<lci_fabric::bootstrap::ParentReport> {
+        lci_fabric::bootstrap::spawn_local(nranks, child_args, timeout)
+    }
+
+    /// The fabric backing this world.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
     }
 
     /// This rank.
@@ -343,9 +452,30 @@ impl World {
                 EpInner::Gasnet { g: g.clone(), inbox: inbox.clone() }
             }
         };
-        Endpoint { inner, nranks: self.nranks, rank: self.rank }
+        Endpoint { inner, fabric: self.fabric.clone(), nranks: self.nranks, rank: self.rank }
     }
 }
+
+/// Why [`Endpoint::quiesce`] gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuiesceError {
+    /// A peer process exited or died mid-conversation (shared-memory
+    /// transport only; the sims cannot lose a rank).
+    PeerDead(Rank),
+    /// The endpoint still had in-flight work when the timeout expired.
+    Timeout,
+}
+
+impl std::fmt::Display for QuiesceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuiesceError::PeerDead(r) => write!(f, "peer rank {r} exited or died"),
+            QuiesceError::Timeout => write!(f, "quiesce timed out with work in flight"),
+        }
+    }
+}
+
+impl std::error::Error for QuiesceError {}
 
 /// How many pre-posted AM receives the MPI/VCI endpoints keep.
 const MPI_AM_PREPOST: usize = 32;
@@ -369,6 +499,7 @@ enum EpInner {
 /// A per-thread communication endpoint.
 pub struct Endpoint {
     inner: EpInner,
+    fabric: Arc<Fabric>,
     nranks: usize,
     rank: Rank,
 }
@@ -554,6 +685,28 @@ impl Endpoint {
             EpInner::Mpi { comm, .. } => comm.pending() == 0,
             EpInner::Vci { comm, vci, .. } => comm.pending(*vci) == 0,
             EpInner::Gasnet { .. } => true, // medium AMs complete at post
+        }
+    }
+
+    /// Drives progress until [`quiesced`](Endpoint::quiesced) holds,
+    /// giving up when the deadline expires or — on the shared-memory
+    /// transport — when a peer process is observed dead. A survivor of
+    /// an abrupt peer exit gets `Err(PeerDead(rank))` here instead of
+    /// spinning forever on a handshake the peer will never answer.
+    pub fn quiesce(&mut self, timeout: std::time::Duration) -> Result<(), QuiesceError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.quiesced() {
+                return Ok(());
+            }
+            if let Some(r) = self.fabric.shm_dead_peer() {
+                return Err(QuiesceError::PeerDead(r));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(QuiesceError::Timeout);
+            }
+            self.progress();
+            std::thread::yield_now();
         }
     }
 

@@ -41,7 +41,13 @@ fn main() {
         k: 31,
         nthreads: 2,
         agg_size: 8192,
-        world: WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Dedicated(2)),
+        // `--transport {sim-ibv,sim-ofi,shm}` / LCI_TRANSPORT selects
+        // the wire; the ibv-like sim is the default.
+        world: WorldConfig::new(
+            BackendKind::Lci,
+            Platform::from_args_or_env(Platform::Expanse),
+            ResourceMode::Dedicated(2),
+        ),
         expected_distinct: reads.genome_len * 2,
         max_count: 16,
     };

@@ -14,7 +14,13 @@ fn main() {
         steps: 5,
         nthreads: 2,
         chunk: 128,
-        world: WorldConfig::new(BackendKind::Lci, Platform::Expanse, ResourceMode::Dedicated(2)),
+        // `--transport {sim-ibv,sim-ofi,shm}` / LCI_TRANSPORT selects
+        // the wire; the ibv-like sim is the default.
+        world: WorldConfig::new(
+            BackendKind::Lci,
+            Platform::from_args_or_env(Platform::Expanse),
+            ResourceMode::Dedicated(2),
+        ),
         ..OctoConfig::default()
     };
     println!(

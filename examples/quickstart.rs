@@ -1,12 +1,20 @@
 //! Quickstart: two ranks exchange messages with every completion style.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (`--transport {sim-ibv,sim-ofi,shm}` or LCI_TRANSPORT selects the
+//! wire; the ibv-like sim is the default.)
 
 use lci::{collective, Comp, PostResult, Runtime};
 use lci_fabric::Fabric;
 
+/// The runtime configuration, honoring the transport selector.
+fn config() -> lci::RuntimeConfig {
+    let platform = lcw::Platform::from_args_or_env(lcw::Platform::Expanse);
+    lci::RuntimeConfig::default().with_device(platform.device_config())
+}
+
 fn main() {
-    // The fabric is the simulated interconnect; ranks are threads.
+    // The fabric: a simulated interconnect, or shared-memory rings.
     let fabric = Fabric::new(2);
     let f1 = fabric.clone();
     let peer = std::thread::spawn(move || rank1(f1));
@@ -16,7 +24,7 @@ fn main() {
 }
 
 fn rank0(fabric: std::sync::Arc<Fabric>) {
-    let rt = Runtime::with_defaults(fabric, 0).unwrap();
+    let rt = Runtime::new(fabric, 0, config()).unwrap();
     println!("rank {}/{} up", rt.rank_me(), rt.rank_n());
 
     // 1. Two-sided send with a synchronizer completion. Retry covers
@@ -62,7 +70,7 @@ fn rank0(fabric: std::sync::Arc<Fabric>) {
 }
 
 fn rank1(fabric: std::sync::Arc<Fabric>) {
-    let rt = Runtime::with_defaults(fabric, 1).unwrap();
+    let rt = Runtime::new(fabric, 1, config()).unwrap();
 
     // Completion queue for the receives.
     let cq = Comp::alloc_cq();

@@ -218,6 +218,8 @@ pub mod strategy {
         (A, B, C, D)
         (A, B, C, D, E)
         (A, B, C, D, E, G)
+        (A, B, C, D, E, G, H)
+        (A, B, C, D, E, G, H, I)
     }
 
     /// Types with a canonical "any value" strategy.

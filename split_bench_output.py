@@ -1,6 +1,17 @@
 #!/usr/bin/env python3
-"""Splits bench_output.txt into per-figure files under bench_results/."""
-import os, re
+"""Splits bench_output.txt into per-figure files under bench_results/.
+
+When the captured run was made under a transport selector
+(``--transport``/``LCI_TRANSPORT``: ``sim-ibv``, ``sim-ofi``, ``shm``),
+pass it as argv[1] and the output files carry it as a suffix, e.g.
+``msgrate_thread_shm.txt`` — the same naming run_benches.sh uses.
+"""
+import os, re, sys
+
+transport = sys.argv[1] if len(sys.argv) > 1 else ""
+if transport and transport not in ("sim-ibv", "sim-ofi", "shm"):
+    sys.exit(f"unknown transport {transport!r}; expected sim-ibv, sim-ofi, or shm")
+suffix = f"_{transport}" if transport else ""
 
 src = open("bench_output.txt").read()
 os.makedirs("bench_results", exist_ok=True)
@@ -13,12 +24,19 @@ markers = {
     "fig6_kmer": "kmer.txt",
     "fig7_octotiger": "octotiger.txt",
     "ablations": "ablations.txt",
-    "micro_criterion": "micro_criterion.txt",
+    # The multi-process shm sweep is its own transport axis: no suffix.
+    "shm_scale": ("shm_scale.txt", False),
+    "micro_criterion": ("micro_criterion.txt", False),
 }
 # Sections start at "Running benches/<name>.rs"
 parts = re.split(r"\n(?=\s*Running benches/)", src)
 for part in parts:
     m = re.search(r"Running benches/(\w+)\.rs", part)
     if m and m.group(1) in markers:
-        open(f"bench_results/{markers[m.group(1)]}", "w").write(part)
-        print("wrote", markers[m.group(1)], len(part), "bytes")
+        entry = markers[m.group(1)]
+        name, suffixed = entry if isinstance(entry, tuple) else (entry, True)
+        if suffixed and suffix:
+            base, ext = name.rsplit(".", 1)
+            name = f"{base}{suffix}.{ext}"
+        open(f"bench_results/{name}", "w").write(part)
+        print("wrote", name, len(part), "bytes")
