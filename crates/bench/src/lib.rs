@@ -54,6 +54,27 @@ pub fn iters() -> usize {
     }
 }
 
+/// The scale-matrix thread axis (paper: 8→128 threads per node).
+/// `BENCH_MATRIX_THREADS` overrides it with a comma-separated list;
+/// quick mode shrinks it to a smoke-sized `2,4`. On hosts with fewer
+/// cores than threads the runs are oversubscribed — the matrix header
+/// says so rather than pretending the parallelism is real.
+pub fn matrix_thread_sweep() -> Vec<usize> {
+    let spec = std::env::var("BENCH_MATRIX_THREADS").unwrap_or_else(|_| {
+        if quick() {
+            "2,4".into()
+        } else {
+            "8,16,32,64,128".into()
+        }
+    });
+    let mut v: Vec<usize> =
+        spec.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&t| t > 0).collect();
+    if v.is_empty() {
+        v.push(2);
+    }
+    v
+}
+
 /// Prints a table header.
 pub fn print_header(title: &str, cols: &[&str]) {
     println!("\n== {title} ==");
@@ -99,6 +120,17 @@ pub fn platform_sweep() -> Vec<Platform> {
 /// Ping tag namespace: pings carry the thread id, pongs carry
 /// `PONG_BASE + thread id`.
 const PONG_BASE: u32 = 1 << 20;
+
+/// Homes worker `t` on the logical core map (`t mod cores`). A real
+/// launcher pins worker OS threads to cores; the harness mirrors that
+/// on [`lci::topology`]'s logical map so per-core resource layouts see
+/// the same worker→core picture the paper's pinned runs do. No-op for
+/// the baseline backends and with placement disabled.
+fn pin_worker(cfg: &WorldConfig, t: usize) {
+    if cfg.backend == BackendKind::Lci && cfg.placement.enabled {
+        lci::topology::bind_current_thread(t % cfg.placement.effective_cores());
+    }
+}
 
 /// Runs the paper's message-rate microbenchmark in thread-based mode:
 /// one process ("node") per rank, `nthreads` workers per rank, each
@@ -166,6 +198,7 @@ pub fn msgrate_thread_based_stats(
                     let credits = credits.clone();
                     let served = served.clone();
                     scope.spawn(move || {
+                        pin_worker(&cfg, t);
                         let mut ep = world.endpoint(t);
                         let payload = vec![0u8; msg_size];
                         if rank == 0 {
@@ -317,19 +350,37 @@ pub fn bandwidth_thread_based_cfg(
     size: usize,
     iters: usize,
 ) -> f64 {
+    bandwidth_thread_based_stats(cfg, nthreads, size, iters).0
+}
+
+/// [`bandwidth_thread_based_cfg`] that also returns rank 0's LCI device
+/// stats delta over the timed section (`None` on the baseline
+/// backends) — counter evidence for the scale matrix (pool locality,
+/// steal counts, matching contention).
+pub fn bandwidth_thread_based_stats(
+    cfg: WorldConfig,
+    nthreads: usize,
+    size: usize,
+    iters: usize,
+) -> (f64, Option<lci::StatsSnapshot>) {
     const WINDOW: usize = 8;
     let fabric = Fabric::new(2);
     let elapsed = Arc::new(AtomicU64::new(0));
+    let stats_out: Arc<parking_lot::Mutex<Option<lci::StatsSnapshot>>> =
+        Arc::new(parking_lot::Mutex::new(None));
 
     let mk_rank = |rank: usize, fabric: Arc<Fabric>, elapsed: Arc<AtomicU64>| {
+        let stats_out = stats_out.clone();
         std::thread::spawn(move || {
             let world = Arc::new(World::new(fabric.clone(), rank, cfg));
+            let stats_base = world.endpoint(0).lci_device().map(|d| d.stats()).unwrap_or_default();
             fabric.oob_barrier();
             let t0 = Instant::now();
             std::thread::scope(|scope| {
                 for t in 0..nthreads {
                     let world = world.clone();
                     scope.spawn(move || {
+                        pin_worker(&cfg, t);
                         let mut ep = world.endpoint(t);
                         let payload = vec![(t & 0xFF) as u8; size];
                         if rank == 0 {
@@ -380,6 +431,8 @@ pub fn bandwidth_thread_based_cfg(
             fabric.oob_barrier();
             if rank == 0 {
                 elapsed.store(dt.as_nanos() as u64, Ordering::Release);
+                *stats_out.lock() =
+                    world.endpoint(0).lci_device().map(|d| d.stats().since(&stats_base));
             }
         })
     };
@@ -388,6 +441,7 @@ pub fn bandwidth_thread_based_cfg(
     h0.join().unwrap();
     h1.join().unwrap();
     let ns = elapsed.load(Ordering::Acquire) as f64;
+    let stats = stats_out.lock().take();
     let bytes = (nthreads * iters * WINDOW * size) as f64;
-    bytes / (ns / 1e9) / (1024.0 * 1024.0)
+    (bytes / (ns / 1e9) / (1024.0 * 1024.0), stats)
 }

@@ -10,13 +10,28 @@
 //! held while another lock is taken, so cross-device returns — a
 //! receiver dropping a sender-staged payload — cannot deadlock).
 //!
+//! Shelves are laid out **per core** ([`topology`](crate::topology)):
+//! each logical core owns a stripe of size-class shelves plus its own
+//! counters, so the steady-state take/put fast path touches only
+//! owner-local cache lines — no shared head pointer bounces between
+//! cores. Every buffer remembers the stripe it was taken on and
+//! returns **to that origin stripe** on drop (the slab-allocator
+//! remote-free-to-owner discipline): a producer whose buffers are
+//! consumed and freed on other cores keeps finding its storage on its
+//! own shelf, so the steady-state take path stays owner-local instead
+//! of stealing every round trip. A take that still finds its home
+//! stripe empty scans the other stripes (steal) before falling back to
+//! the allocator, so shelves converge instead of leaking when threads
+//! migrate or ownership genuinely moves.
+//!
 //! A [`PoolBuf`] carries an `Arc` back to its owning pool and returns
 //! its storage on drop; [`PoolBuf::detached`] wraps a plain vector with
 //! no recycling for the ablation opt-out and for oversize payloads.
-//! Hit/miss/recycled-byte counters surface through
+//! Local-hit/steal/miss/recycled-byte counters surface through
 //! [`BufPoolStats`] and the LCI `DeviceStats` overlay.
 
 use crate::sync::SpinLock;
+use crate::topology;
 use crate::types::{WirePayload, INLINE_MAX};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,50 +67,122 @@ pub struct BufPoolConfig {
     /// Master switch; when off every request returns a detached (heap,
     /// non-recycled) buffer — the ablation baseline.
     pub enabled: bool,
-    /// Maximum buffers kept per size class; returns past this bound are
-    /// dropped (freed) instead of shelved.
+    /// Maximum buffers kept per size class **per core stripe**; returns
+    /// past this bound are dropped (freed) instead of shelved.
     pub max_per_class: usize,
+    /// Number of per-core stripes; `0` (the default) means one stripe
+    /// per detected core ([`topology::ncores`]), rounded to a power of
+    /// two.
+    pub stripes: usize,
 }
 
 impl Default for BufPoolConfig {
     fn default() -> Self {
-        Self { enabled: true, max_per_class: 64 }
+        Self { enabled: true, max_per_class: 64, stripes: 0 }
     }
 }
 
 /// Point-in-time pool counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BufPoolStats {
-    /// Requests satisfied from a shelf (no allocation).
+    /// Requests satisfied from a shelf (`local_hits + steals`).
     pub hits: u64,
-    /// Requests that had to allocate (cold shelf, oversize, or pool
+    /// Requests satisfied from the calling core's own stripe.
+    pub local_hits: u64,
+    /// Requests satisfied by stealing from another core's stripe.
+    pub steals: u64,
+    /// Requests that had to allocate (cold shelves, oversize, or pool
     /// disabled).
     pub misses: u64,
     /// Bytes of capacity returned to shelves for reuse.
     pub recycled_bytes: u64,
 }
 
-struct PoolShared {
+/// One core's shelves plus its counters, padded so neighbouring
+/// stripes never share a cache line.
+#[repr(align(128))]
+struct Stripe {
     shelves: [SpinLock<Vec<Vec<u8>>>; NCLASSES],
-    max_per_class: usize,
-    hits: AtomicU64,
+    local_hits: AtomicU64,
+    steals: AtomicU64,
     misses: AtomicU64,
     recycled_bytes: AtomicU64,
 }
 
+impl Default for Stripe {
+    fn default() -> Self {
+        Self {
+            shelves: std::array::from_fn(|_| SpinLock::new(Vec::new())),
+            local_hits: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+struct PoolShared {
+    stripes: Box<[Stripe]>,
+    /// `stripes.len() - 1`; stripe counts are powers of two.
+    mask: usize,
+    max_per_class: usize,
+}
+
 impl PoolShared {
-    /// Returns `vec`'s storage to its class shelf (or frees it when the
-    /// shelf is full or the capacity shrank below the class size).
-    fn put(&self, class: usize, mut vec: Vec<u8>) {
+    /// The calling core's home stripe.
+    #[inline]
+    fn home(&self) -> &Stripe {
+        &self.stripes[topology::current_core() & self.mask]
+    }
+
+    /// Returns `vec`'s storage to its `origin` stripe — the stripe it
+    /// was taken on — or frees it when the shelf is full or the
+    /// capacity shrank below the class size. Cross-core frees are the
+    /// slow path: they take the origin's shelf lock once, and the
+    /// owner's next take finds the storage locally.
+    fn put(&self, class: usize, origin: usize, mut vec: Vec<u8>) {
         if vec.capacity() < class_size(class) {
             return;
         }
-        let mut shelf = self.shelves[class].lock();
+        let stripe = &self.stripes[origin & self.mask];
+        let mut shelf = stripe.shelves[class].lock();
         if shelf.len() < self.max_per_class {
             vec.clear();
             shelf.push(vec);
-            self.recycled_bytes.fetch_add(class_size(class) as u64, Ordering::Relaxed);
+            drop(shelf);
+            stripe.recycled_bytes.fetch_add(class_size(class) as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Pops a recycled buffer: owner-local fast path first, then a
+    /// try-lock steal sweep over the other stripes, else `None`.
+    fn take(&self, class: usize) -> Option<Vec<u8>> {
+        let me = topology::current_core() & self.mask;
+        let stripe = &self.stripes[me];
+        if let Some(v) = stripe.shelves[class].lock().pop() {
+            stripe.local_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        // Slow path: steal a sibling stripe's *surplus* (shelf len ≥ 2).
+        // `try_lock` only — a stripe busy serving its owner is skipped,
+        // not waited on. Taking a victim's last buffer is refused: with
+        // supply exactly matching demand that only moves the hole around
+        // the ring (the victim's next owner-local take misses and steals
+        // in turn, forever). Missing here instead allocates once, and
+        // the new storage homes on this stripe — resident sets grow
+        // until every core's steady-state working set is owner-local.
+        for off in 1..self.stripes.len() {
+            let victim = &self.stripes[(me + off) & self.mask];
+            if let Some(mut shelf) = victim.shelves[class].try_lock() {
+                if shelf.len() >= 2 {
+                    let v = shelf.pop().expect("len >= 2");
+                    drop(shelf);
+                    stripe.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(v);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -110,16 +197,20 @@ pub struct BufPool {
 impl BufPool {
     /// Creates a pool with `cfg`.
     pub fn new(cfg: BufPoolConfig) -> Self {
+        let nstripes = topology::stripe_count(cfg.stripes);
         Self {
             shared: Arc::new(PoolShared {
-                shelves: std::array::from_fn(|_| SpinLock::new(Vec::new())),
+                stripes: (0..nstripes).map(|_| Stripe::default()).collect(),
+                mask: nstripes - 1,
                 max_per_class: cfg.max_per_class.max(1),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                recycled_bytes: AtomicU64::new(0),
             }),
             enabled: cfg.enabled,
         }
+    }
+
+    /// Number of per-core stripes the pool was laid out with.
+    pub fn stripes(&self) -> usize {
+        self.shared.stripes.len()
     }
 
     /// Whether buffers are actually recycled (false under the ablation
@@ -132,21 +223,18 @@ impl BufPool {
     pub fn take_empty(&self, len: usize) -> PoolBuf {
         let class = if self.enabled { class_of(len) } else { None };
         let Some(class) = class else {
-            self.shared.misses.fetch_add(1, Ordering::Relaxed);
+            self.shared.home().misses.fetch_add(1, Ordering::Relaxed);
             return PoolBuf::detached(Vec::with_capacity(len));
         };
-        let recycled = self.shared.shelves[class].lock().pop();
-        let vec = match recycled {
-            Some(v) => {
-                self.shared.hits.fetch_add(1, Ordering::Relaxed);
-                v
-            }
+        let origin = topology::current_core() & self.shared.mask;
+        let vec = match self.shared.take(class) {
+            Some(v) => v,
             None => {
-                self.shared.misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.home().misses.fetch_add(1, Ordering::Relaxed);
                 Vec::with_capacity(class_size(class))
             }
         };
-        PoolBuf { vec, class, pool: Some(self.shared.clone()) }
+        PoolBuf { vec, class, origin, pool: Some(self.shared.clone()) }
     }
 
     /// A zero-filled buffer of exactly `len` bytes.
@@ -177,13 +265,33 @@ impl BufPool {
         }
     }
 
-    /// Current counters.
+    /// One stripe's counters (`None` past the stripe count) — the
+    /// per-core view behind [`stats`](Self::stats), for diagnostics and
+    /// placement tests.
+    pub fn stripe_stats(&self, idx: usize) -> Option<BufPoolStats> {
+        let stripe = self.shared.stripes.get(idx)?;
+        let local_hits = stripe.local_hits.load(Ordering::Relaxed);
+        let steals = stripe.steals.load(Ordering::Relaxed);
+        Some(BufPoolStats {
+            hits: local_hits + steals,
+            local_hits,
+            steals,
+            misses: stripe.misses.load(Ordering::Relaxed),
+            recycled_bytes: stripe.recycled_bytes.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Current counters, folded across stripes.
     pub fn stats(&self) -> BufPoolStats {
-        BufPoolStats {
-            hits: self.shared.hits.load(Ordering::Relaxed),
-            misses: self.shared.misses.load(Ordering::Relaxed),
-            recycled_bytes: self.shared.recycled_bytes.load(Ordering::Relaxed),
+        let mut s = BufPoolStats::default();
+        for stripe in self.shared.stripes.iter() {
+            s.local_hits += stripe.local_hits.load(Ordering::Relaxed);
+            s.steals += stripe.steals.load(Ordering::Relaxed);
+            s.misses += stripe.misses.load(Ordering::Relaxed);
+            s.recycled_bytes += stripe.recycled_bytes.load(Ordering::Relaxed);
         }
+        s.hits = s.local_hits + s.steals;
+        s
     }
 }
 
@@ -202,13 +310,16 @@ pub struct PoolBuf {
     vec: Vec<u8>,
     /// Size-class index; unused when `pool` is `None`.
     class: usize,
+    /// Stripe the storage was taken on; drops return it there, whatever
+    /// core they happen on.
+    origin: usize,
     pool: Option<Arc<PoolShared>>,
 }
 
 impl PoolBuf {
     /// Wraps a plain vector with no recycling (dropped storage is freed).
     pub fn detached(vec: Vec<u8>) -> Self {
-        Self { vec, class: 0, pool: None }
+        Self { vec, class: 0, origin: 0, pool: None }
     }
 
     /// Length in bytes.
@@ -277,7 +388,7 @@ impl std::fmt::Debug for PoolBuf {
 impl Drop for PoolBuf {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
-            pool.put(self.class, std::mem::take(&mut self.vec));
+            pool.put(self.class, self.origin, std::mem::take(&mut self.vec));
         }
     }
 }
@@ -311,6 +422,7 @@ mod tests {
         assert_eq!(b2.vec.capacity(), cap, "same-class storage is reused");
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.local_hits, s.steals), (1, 0), "same-thread reuse is owner-local");
         assert_eq!(s.recycled_bytes, 512);
     }
 
@@ -340,7 +452,7 @@ mod tests {
 
     #[test]
     fn shelf_bound_is_respected() {
-        let pool = BufPool::new(BufPoolConfig { enabled: true, max_per_class: 2 });
+        let pool = BufPool::new(BufPoolConfig { enabled: true, max_per_class: 2, stripes: 1 });
         let bufs: Vec<_> = (0..4).map(|_| pool.take_len(128)).collect();
         drop(bufs);
         // Only two returns were shelved.
@@ -366,6 +478,65 @@ mod tests {
         assert!(matches!(pool.stage(&[]), WirePayload::None));
         assert!(matches!(pool.stage(&[0u8; 64]), WirePayload::Inline { .. }));
         assert!(matches!(pool.stage(&[0u8; 65]), WirePayload::Heap(_)));
+    }
+
+    #[test]
+    fn cross_core_free_returns_to_origin() {
+        // Alloc on core 0, free on core 1: the storage comes home to
+        // core 0's stripe, so core 0's next take is an owner-local hit
+        // (the remote-free-to-owner discipline).
+        let pool = BufPool::new(BufPoolConfig { enabled: true, max_per_class: 8, stripes: 2 });
+        let (b, cap) = std::thread::scope(|s| {
+            s.spawn(|| {
+                topology::bind_current_thread(0);
+                let b = pool.take_len(256);
+                let cap = b.vec.capacity();
+                (b, cap)
+            })
+            .join()
+            .unwrap()
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                topology::bind_current_thread(1);
+                drop(b);
+            });
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                topology::bind_current_thread(0);
+                let b2 = pool.take_empty(256);
+                assert_eq!(b2.vec.capacity(), cap, "cross-core free came home to the origin shelf");
+            });
+        });
+        let st = pool.stats();
+        assert_eq!((st.local_hits, st.steals, st.misses), (1, 0, 1));
+    }
+
+    #[test]
+    fn orphaned_surplus_is_stolen() {
+        // Surplus storage shelved on core 1 (taken and freed there) is
+        // found by core 0's steal sweep once core 0's own shelf is dry;
+        // the victim's last buffer is left alone (stealing it would
+        // just move the hole to core 1).
+        let pool = BufPool::new(BufPoolConfig { enabled: true, max_per_class: 8, stripes: 2 });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                topology::bind_current_thread(1);
+                let a = pool.take_len(256);
+                let b = pool.take_len(256);
+                drop((a, b)); // core 1's shelf now holds two buffers
+            });
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                topology::bind_current_thread(0);
+                let _stolen = pool.take_empty(256); // surplus: stolen
+                let _alloced = pool.take_empty(256); // last buffer: refused
+            });
+        });
+        let st = pool.stats();
+        assert_eq!((st.local_hits, st.steals, st.misses), (0, 1, 3));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! (the pooled analogue of a use-after-free).
 
 use lci_fabric::sync::SpinLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use lci_fabric::topology;
 
 /// One slot of a shard: the stored value plus its current generation.
 struct CtxSlot<T> {
@@ -31,10 +31,15 @@ struct CtxShard<T> {
 }
 
 /// Sharded generation-tagged slab pool for operation contexts.
+///
+/// Shard selection is keyed by the poster's logical core
+/// ([`topology::current_core`]): in the thread-per-core regime each
+/// core inserts into its own shard, so posting neither bounces a
+/// round-robin cursor between cores nor contends on a shared shard
+/// lock. Completion decodes the shard from the context id, so a
+/// cross-core completion returns the slot to its home shard.
 pub(crate) struct CtxPool<T> {
     shards: Box<[SpinLock<CtxShard<T>>]>,
-    /// Round-robin insertion cursor (spreads concurrent posters).
-    next: AtomicUsize,
 }
 
 impl<T> CtxPool<T> {
@@ -44,7 +49,6 @@ impl<T> CtxPool<T> {
             shards: (0..n)
                 .map(|_| SpinLock::new(CtxShard { slots: Vec::new(), free: Vec::new() }))
                 .collect(),
-            next: AtomicUsize::new(0),
         }
     }
 
@@ -53,7 +57,7 @@ impl<T> CtxPool<T> {
     /// inject/control sentinel).
     pub fn insert(&self, val: T) -> u64 {
         let nshards = self.shards.len();
-        let shard_idx = self.next.fetch_add(1, Ordering::Relaxed) % nshards;
+        let shard_idx = topology::current_core() % nshards;
         let mut shard = self.shards[shard_idx].lock();
         let slot_idx = match shard.free.pop() {
             Some(i) => i as usize,

@@ -429,6 +429,7 @@ impl Device {
         let coalescer = Coalescer::new(rt.config.coalesce, rt.fabric.nranks(), buf_pool.clone());
         let shards = rt.config.rdv_shards;
         let batch = rt.config.progress_batch;
+        let stat_stripes = rt.config.placement.stripes();
         let bell = net.doorbell();
         let dev = Device {
             inner: Arc::new(DeviceInner {
@@ -448,7 +449,7 @@ impl Device {
                 bell,
                 dedicated_active: AtomicBool::new(false),
                 pending_inbound: SpinLock::new(Vec::new()),
-                stats: DeviceStats::default(),
+                stats: DeviceStats::with_stripes(stat_stripes),
             }),
         };
         // Register in the runtime's device registry (weak: DeviceInner
@@ -484,6 +485,12 @@ impl Device {
         }
     }
 
+    /// The device's recycled staging-buffer pool (shared with the
+    /// fabric device) — for per-stripe diagnostics and placement tests.
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.inner.buf_pool
+    }
+
     /// Snapshot of this device's operation counters, with the fabric
     /// registration-cache and buffer-pool counters overlaid.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
@@ -494,8 +501,11 @@ impl Device {
         s.reg_cache_evictions = rc.evictions;
         let bp = self.inner.buf_pool.stats();
         s.buf_pool_hits = bp.hits;
+        s.buf_pool_local_hits = bp.local_hits;
+        s.buf_pool_steals = bp.steals;
         s.buf_pool_misses = bp.misses;
         s.buf_pool_recycled_bytes = bp.recycled_bytes;
+        s.matching_contended = self.inner.rt.matching.contended();
         s.doorbell_rings = self.inner.bell.as_ref().map_or(0, |b| b.rings());
         let ts = self.inner.net.transport_stats();
         s.shm_ring_hwm = ts.shm_ring_hwm;
@@ -531,9 +541,9 @@ impl Device {
         let res = self.post_comm_inner(args);
         if let Ok(r) = &res {
             if r.is_retry() {
-                DeviceStats::bump(&self.inner.stats.retries);
+                self.inner.stats.bump(|c| &c.retries);
             } else {
-                DeviceStats::bump(&self.inner.stats.posts);
+                self.inner.stats.bump(|c| &c.posts);
             }
         }
         res
@@ -615,7 +625,7 @@ impl Device {
                     })?;
                 }
             }
-            DeviceStats::bump(&self.inner.stats.coalesced_msgs);
+            self.inner.stats.bump(|c| &c.coalesced_msgs);
             return Ok(PostResult::Done(CompDesc {
                 rank: args.rank,
                 tag: args.tag,
@@ -720,7 +730,7 @@ impl Device {
         allow_retry: bool,
     ) -> Result<PostResult> {
         let size = buf.len() as u64;
-        DeviceStats::bump(&self.inner.stats.rendezvous);
+        self.inner.stats.bump(|c| &c.rendezvous);
         let send_id = self.inner.rdv_sends.insert(RdvSend { buf, comp, tag, user_ctx });
         let (ty, aux) = match rcomp {
             Some(rc) => (MsgType::RtsAm, rc),
@@ -737,7 +747,7 @@ impl Device {
                     // attempt; `rendezvous_retried` keeps the stats
                     // reconcilable (started = rendezvous - retried).
                     self.inner.rdv_sends.remove(send_id);
-                    DeviceStats::bump(&self.inner.stats.rendezvous_retried);
+                    self.inner.stats.bump(|c| &c.rendezvous_retried);
                     Ok(PostResult::Retry(r.into()))
                 } else {
                     self.push_backlog(Backlogged::Ctrl {
@@ -891,7 +901,7 @@ impl Device {
             )));
         }
         buf[..payload.len()].copy_from_slice(payload);
-        DeviceStats::bump(&self.inner.stats.copied_deliveries);
+        self.inner.stats.bump(|c| &c.copied_deliveries);
         let len = payload.len();
         Ok((
             recv.comp,
@@ -1081,7 +1091,7 @@ impl Device {
                     // A recycled transfer shell may carry slots sized for
                     // a previous (smaller) chunk size: re-check.
                     if slot.buf.as_ref().is_some_and(|b| b.len() >= active.chunk) {
-                        DeviceStats::bump(&self.inner.stats.rdv_scratch_reuses);
+                        self.inner.stats.bump(|c| &c.rdv_scratch_reuses);
                     } else {
                         slot.buf = Some(self.inner.buf_pool.take_len(active.chunk));
                     }
@@ -1107,8 +1117,8 @@ impl Device {
                     st.seg = nseg;
                     st.seg_off = nseg_off;
                     let now = active.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-                    DeviceStats::bump(&self.inner.stats.rdv_chunks_posted);
-                    DeviceStats::raise(&self.inner.stats.rdv_inflight_hwm, now as u64);
+                    self.inner.stats.bump(|c| &c.rdv_chunks_posted);
+                    self.inner.stats.raise(|c| &c.rdv_inflight_hwm, now as u64);
                 }
                 Err(NetError::Retry(_)) => {
                     // SAFETY: rejected post; context never handed over.
@@ -1139,7 +1149,7 @@ impl Device {
     /// network, reacts to completions, and replenishes pre-posted
     /// receives. Returns whether any work was done.
     pub fn progress(&self) -> Result<bool> {
-        DeviceStats::bump(&self.inner.stats.progress_calls);
+        self.inner.stats.bump(|c| &c.progress_calls);
         let mut did = false;
         did |= self.drain_backlog()?;
         did |= self.retry_pending_inbound()?;
@@ -1177,7 +1187,7 @@ impl Device {
         }
         self.replenish_recvs()?;
         if did {
-            DeviceStats::bump(&self.inner.stats.progress_useful);
+            self.inner.stats.bump(|c| &c.progress_useful);
         }
         Ok(did)
     }
@@ -1208,7 +1218,7 @@ impl Device {
             }
             _ => {}
         }
-        DeviceStats::bump(&self.inner.stats.worker_polls);
+        self.inner.stats.bump(|c| &c.worker_polls);
         let did = self.progress()?;
         if did && engine_active {
             self.inner.rt.comp_bell.ring();
@@ -1224,7 +1234,7 @@ impl Device {
 
     /// Counts a progress-thread park against this device.
     pub(crate) fn note_progress_park(&self) {
-        DeviceStats::bump(&self.inner.stats.progress_parks);
+        self.inner.stats.bump(|c| &c.progress_parks);
     }
 
     /// Whether this device holds deferred work that needs more progress
@@ -1244,7 +1254,7 @@ impl Device {
     /// work never polls, so the (possibly parked) progress thread that
     /// owns the device must be told the backlog is non-empty.
     fn push_backlog(&self, item: Backlogged) {
-        DeviceStats::bump(&self.inner.stats.backlogged);
+        self.inner.stats.bump(|c| &c.backlogged);
         self.inner.backlog.push(item);
         if let Some(bell) = &self.inner.bell {
             bell.ring();
@@ -1257,7 +1267,7 @@ impl Device {
     /// waiting there, and frames for one destination must reach the wire
     /// in creation order (the backlog drains FIFO).
     fn post_frame(&self, frame: Frame) -> Result<()> {
-        DeviceStats::bump(&self.inner.stats.coalesce_flushes);
+        self.inner.stats.bump(|c| &c.coalesce_flushes);
         let Frame { target, target_dev, data, count } = frame;
         let imm = Header::new(MsgType::Coalesced, MatchingPolicy::None, 0, count as u32).encode();
         if !self.inner.backlog.is_empty() {
@@ -1385,8 +1395,8 @@ impl Device {
                         Ok(posted) => {
                             drop(descs);
                             did |= posted > 0;
-                            DeviceStats::bump(&self.inner.stats.batch_posts);
-                            DeviceStats::add(&self.inner.stats.batch_posted_msgs, posted as u64);
+                            self.inner.stats.bump(|c| &c.batch_posts);
+                            self.inner.stats.add(|c| &c.batch_posted_msgs, posted as u64);
                             if posted < run.len() {
                                 // Partial progress: the wire filled
                                 // mid-batch. Re-park the unposted tail
@@ -1450,8 +1460,8 @@ impl Device {
         );
         match self.inner.net.post_recv_batch(descs) {
             Ok(n) => {
-                DeviceStats::bump(&self.inner.stats.replenish_batches);
-                DeviceStats::add(&self.inner.stats.replenish_posted, n as u64);
+                self.inner.stats.bump(|c| &c.replenish_batches);
+                self.inner.stats.add(|c| &c.replenish_posted, n as u64);
                 for p in packets.drain(..n) {
                     p.leak();
                 }
@@ -1470,7 +1480,7 @@ impl Device {
 
     /// Reacts to one completion (paper Figure 1, steps 4-8).
     fn handle_cqe(&self, cqe: Cqe) -> Result<()> {
-        DeviceStats::bump(&self.inner.stats.completions);
+        self.inner.stats.bump(|c| &c.completions);
         match cqe.kind {
             CqeKind::SendDone | CqeKind::WriteDone | CqeKind::ReadDone => {
                 if cqe.ctx == 0 {
@@ -1739,7 +1749,7 @@ impl Device {
                 let key = engine.key_for(src, hdr.tag, hdr.policy);
                 let entry = MatchEntry::UnexpEager { src, tag: hdr.tag, data };
                 if let Some((matched, mine)) = engine.insert(key, entry, MatchKind::Send) {
-                    DeviceStats::bump(&self.inner.stats.matched);
+                    self.inner.stats.bump(|c| &c.matched);
                     let MatchEntry::Recv(recv) = matched else {
                         return Err(FatalError::Net("eager matched non-recv".into()));
                     };
@@ -1803,9 +1813,9 @@ impl Device {
     fn deliver_eager_am(&self, comp: &Comp, src: Rank, tag: Tag, data: DataBuf) {
         match &data {
             DataBuf::Packet(..) | DataBuf::View(_) => {
-                DeviceStats::bump(&self.inner.stats.zero_copy_deliveries);
+                self.inner.stats.bump(|c| &c.zero_copy_deliveries);
             }
-            _ => DeviceStats::bump(&self.inner.stats.copied_deliveries),
+            _ => self.inner.stats.bump(|c| &c.copied_deliveries),
         }
         comp.signal(CompDesc { rank: src, tag, data, user_ctx: 0, kind: CompKind::Am });
     }
@@ -1814,7 +1824,7 @@ impl Device {
     /// retried on every progress call until the registration lands (see
     /// [`PendingInbound`]).
     fn park_early_inbound(&self, p: PendingInbound) {
-        DeviceStats::bump(&self.inner.stats.early_inbound);
+        self.inner.stats.bump(|c| &c.early_inbound);
         self.inner.pending_inbound.lock().push(p);
     }
 

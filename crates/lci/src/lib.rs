@@ -105,13 +105,14 @@ pub use matching::{MatchKind, MatchingConfig, MatchingEngine};
 pub use packet_pool::{Packet, PacketPool, PacketPoolConfig, PacketView, SharedPacket};
 pub use post::CommBuilder;
 pub use progress::ProgressMode;
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{Placement, Runtime, RuntimeConfig};
 pub use stats::{DeviceStats, StatsSnapshot};
 pub use types::{
     CompDesc, CompKind, DataBuf, Direction, MatchingPolicy, RComp, Rank, SendBuf, Tag,
 };
 
 // Re-export the fabric handle types users need for setup.
+pub use lci_fabric::topology;
 pub use lci_fabric::{
     BackendKind, BufPool, BufPoolConfig, BufPoolStats, DeviceConfig, Fabric, MemoryRegion, PoolBuf,
     Rkey, TdStrategy,

@@ -22,8 +22,8 @@
 
 use crate::types::{MatchingPolicy, Rank, Tag};
 use lci_fabric::sync::SpinLock;
+use lci_fabric::topology::StripedU64;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Whether an entry is a send (unexpected message) or a receive (posted
@@ -191,10 +191,16 @@ pub struct MatchingEngine<T> {
     mask: u64,
     make_key: Option<Arc<MakeKeyFn>>,
     /// Stored-entry count, maintained on insert/match so [`len`](Self::len)
-    /// never walks the table. Relaxed: readers want a monotonic-ish
-    /// estimate, not a linearizable snapshot (matching correctness never
-    /// depends on it).
-    entries: AtomicUsize,
+    /// never walks the table. Striped per core (an insert on core A
+    /// matched on core B adjusts two different cells; the fold stays
+    /// exact) so the hot path shares no counter line between cores.
+    /// Readers want a monotonic-ish estimate, not a linearizable
+    /// snapshot (matching correctness never depends on it).
+    entries: StripedU64,
+    /// Bucket-lock acquisitions that found the lock busy — the
+    /// contention signal the scale matrix uses to attribute msgrate
+    /// cliffs to matching pressure (tune `MatchingConfig::buckets`).
+    contended: StripedU64,
 }
 
 impl<T> MatchingEngine<T> {
@@ -212,7 +218,8 @@ impl<T> MatchingEngine<T> {
             buckets: buckets.into_boxed_slice(),
             mask: (n - 1) as u64,
             make_key: None,
-            entries: AtomicUsize::new(0),
+            entries: StripedU64::new(0),
+            contended: StripedU64::new(0),
         }
     }
 
@@ -243,36 +250,58 @@ impl<T> MatchingEngine<T> {
     /// with the caller's value (which is then *not* stored); otherwise
     /// stores the value and returns `None`.
     pub fn insert(&self, key: u64, value: T, kind: MatchKind) -> Option<(T, T)> {
-        let mut bucket = self.bucket_of(key).lock();
+        let lock = self.bucket_of(key);
+        // Try-lock first so bucket contention is *observable*: a busy
+        // lock bumps the per-core contended counter before falling back
+        // to the blocking acquire (§4.2.2 trylock discipline).
+        let mut bucket = match lock.try_lock() {
+            Some(b) => b,
+            None => {
+                self.contended.bump();
+                lock.lock()
+            }
+        };
         if let Some(q) = bucket.find_mut(key) {
             if q.kind == kind.opposite() {
                 if let Some(matched) = q.pop() {
                     if q.is_empty() {
                         bucket.remove_if_empty(key);
                     }
-                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    drop(bucket);
+                    self.entries.sub(1);
                     return Some((matched, value));
                 }
                 // Complementary queue exists but is empty (transient;
                 // normally removed) — repurpose it.
                 q.kind = kind;
                 q.push(value);
-                self.entries.fetch_add(1, Ordering::Relaxed);
+                drop(bucket);
+                self.entries.add(1);
                 return None;
             }
             q.push(value);
-            self.entries.fetch_add(1, Ordering::Relaxed);
+            drop(bucket);
+            self.entries.add(1);
             return None;
         }
         bucket.insert_queue(EntryQueue::new(key, kind, value));
-        self.entries.fetch_add(1, Ordering::Relaxed);
+        drop(bucket);
+        self.entries.add(1);
         None
     }
 
-    /// Total stored entries: an O(1) counter read, approximate while
-    /// inserts race (each insert either stores one entry or removes one).
+    /// Total stored entries: an O(stripes) fold of per-core cells,
+    /// approximate while inserts race (each insert either stores one
+    /// entry or removes one).
     pub fn len(&self) -> usize {
-        self.entries.load(Ordering::Relaxed)
+        self.entries.sum() as usize
+    }
+
+    /// Bucket-lock acquisitions that found the lock busy since
+    /// construction (surfaced as `matching_contended` in
+    /// [`StatsSnapshot`](crate::stats::StatsSnapshot)).
+    pub fn contended(&self) -> u64 {
+        self.contended.sum()
     }
 
     /// Whether the engine holds no entries (O(1); see [`len`](Self::len)).

@@ -1,13 +1,17 @@
 //! The packet pool (paper §4.1.2): efficient allocation (`get`) and
 //! deallocation (`put`) of fixed-sized pre-registered buffers ("packets").
 //!
-//! Implemented as a collection of thread-local double-ended queues managed
-//! by an MPMC array (§4.1.1). Every thread puts/gets packets at the *tail*
-//! of its own deque; when the local deque is empty the thread steals half
-//! of the packets of a randomly selected victim from the *head* end —
+//! Implemented as a collection of **per-core** double-ended queues
+//! (§4.1.1, laid out over the [`topology`](lci_fabric::topology) core
+//! map). Every thread puts/gets packets at the *tail* of its home
+//! core's deque; when that deque is empty the thread steals half of the
+//! packets of a randomly selected victim core from the *head* end —
 //! tail for locality, head for stealing, exactly the paper's layout.
-//! Thread safety comes from a per-deque spinlock, so there is no
-//! contention during normal (local) operation.
+//! Thread safety comes from a per-stripe leaf spinlock: in the
+//! thread-per-core regime the owner is the only visitor, so the
+//! steady-state get/put path never bounces a shared head pointer
+//! between cores. Threads sharing a core (oversubscription) share a
+//! stripe — they contend on the leaf lock but stay core-local.
 //!
 //! `get` is non-blocking: when the first stealing attempt round fails it
 //! returns `None`, which the posting path surfaces as the `retry`
@@ -15,27 +19,13 @@
 
 use crate::error::{FatalError, Result};
 use lci_fabric::sync::{MpmcArray, SpinLock};
-use std::cell::RefCell;
+use lci_fabric::topology::{self, CachePadded};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Packets per allocation chunk.
 const CHUNK_PACKETS: usize = 64;
-
-/// Global pool-id source so thread-local state can key by pool.
-static POOL_ID: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    /// Per-pool thread-local state: (pool id, deque index, the deque
-    /// itself). A small linear-scan vector — a thread touches very few
-    /// pools, and this lookup sits on the packet hot path. Caching the
-    /// `Arc` here keeps the fast path free of registry reads and
-    /// refcount traffic.
-    #[allow(clippy::type_complexity)]
-    static LOCAL_DEQUE: RefCell<Vec<(usize, usize, Arc<SpinLock<VecDeque<u32>>>)>> =
-        const { RefCell::new(Vec::new()) };
-}
 
 /// One raw memory chunk holding `CHUNK_PACKETS` packets.
 struct Chunk {
@@ -56,15 +46,18 @@ impl Drop for Chunk {
 }
 
 struct PoolShared {
-    id: usize,
     payload_size: usize,
     capacity: usize,
     /// Chunk base addresses for lock-free idx->ptr translation.
     chunk_bases: MpmcArray<usize>,
     /// Chunk owners (kept for deallocation).
     chunks: SpinLock<Vec<Chunk>>,
-    /// The thread-local deques, discoverable for stealing.
-    deques: MpmcArray<Arc<SpinLock<VecDeque<u32>>>>,
+    /// Per-core packet deques, padded so neighbouring stripes never
+    /// share a cache line; fixed at construction, indexed by
+    /// `current_core() & mask`.
+    stripes: Box<[CachePadded<SpinLock<VecDeque<u32>>>]>,
+    /// `stripes.len() - 1`; stripe counts are powers of two.
+    mask: usize,
 }
 
 impl PoolShared {
@@ -73,6 +66,12 @@ impl PoolShared {
         let slot = idx as usize % CHUNK_PACKETS;
         let base = self.chunk_bases.read(chunk).expect("packet chunk missing");
         (base + slot * self.payload_size) as *mut u8
+    }
+
+    /// The calling core's home deque.
+    #[inline]
+    fn home(&self) -> &SpinLock<VecDeque<u32>> {
+        &self.stripes[topology::current_core() & self.mask].0
     }
 }
 
@@ -319,19 +318,28 @@ pub struct PacketPool {
 }
 
 impl PacketPool {
-    /// Creates a pool with the given configuration. All packets initially
-    /// live on the creating thread's deque.
+    /// Creates a pool with one stripe per detected core. All packets
+    /// initially live on the creating thread's home stripe.
     pub fn new(cfg: PacketPoolConfig) -> Result<Self> {
+        Self::with_stripes(cfg, 0)
+    }
+
+    /// Creates a pool with an explicit stripe count (`0` = one per
+    /// detected core; rounded up to a power of two). Placement-aware
+    /// callers pass their core-map width so the pool and the other
+    /// per-core structures shard identically.
+    pub fn with_stripes(cfg: PacketPoolConfig, stripes: usize) -> Result<Self> {
         if cfg.payload_size == 0 || cfg.count == 0 {
             return Err(FatalError::InvalidArg("packet pool needs size and count > 0".into()));
         }
+        let nstripes = topology::stripe_count(stripes);
         let shared = Arc::new(PoolShared {
-            id: POOL_ID.fetch_add(1, Ordering::Relaxed),
             payload_size: cfg.payload_size,
             capacity: cfg.count,
             chunk_bases: MpmcArray::with_capacity(16),
             chunks: SpinLock::new(Vec::new()),
-            deques: MpmcArray::with_capacity(8),
+            stripes: (0..nstripes).map(|_| CachePadded(SpinLock::new(VecDeque::new()))).collect(),
+            mask: nstripes - 1,
         });
         // Allocate chunks.
         let nchunks = cfg.count.div_ceil(CHUNK_PACKETS);
@@ -350,15 +358,14 @@ impl PacketPool {
                 chunks.push(Chunk { base, layout });
             }
         }
-        let pool = Self { shared };
-        // Seed the creator's deque with every packet.
-        pool.with_local_deque(|deque| {
-            let mut q = deque.lock();
+        // Seed the creator's home stripe with every packet.
+        {
+            let mut q = shared.home().lock();
             for i in 0..cfg.count as u32 {
                 q.push_back(i);
             }
-        });
-        Ok(pool)
+        }
+        Ok(Self { shared })
     }
 
     /// Pool configuration: packet payload size.
@@ -372,65 +379,46 @@ impl PacketPool {
     }
 
     /// Packets currently checked out (to users or to the fabric as
-    /// pre-posted receives). Diagnostics: takes every deque lock.
+    /// pre-posted receives). Diagnostics: takes every stripe lock.
     pub fn outstanding(&self) -> usize {
-        let pooled: usize = (0..self.shared.deques.len())
-            .filter_map(|i| self.shared.deques.read(i))
-            .map(|d| d.lock().len())
-            .sum();
+        let pooled: usize = self.shared.stripes.iter().map(|d| d.0.lock().len()).sum();
         self.shared.capacity - pooled
     }
 
-    /// Runs `f` with this thread's deque (creating and caching it on
-    /// first use). The cached `Arc` keeps the hot path free of registry
-    /// lookups.
-    #[inline]
-    fn with_local_deque<R>(&self, f: impl FnOnce(&SpinLock<VecDeque<u32>>) -> R) -> R {
-        Self::with_local_deque_of(&self.shared, f)
+    /// Number of per-core stripes the pool was laid out with.
+    pub fn stripes(&self) -> usize {
+        self.shared.stripes.len()
     }
 
-    #[inline]
-    fn with_local_deque_of<R>(
-        shared: &Arc<PoolShared>,
-        f: impl FnOnce(&SpinLock<VecDeque<u32>>) -> R,
-    ) -> R {
-        let pid = shared.id;
-        LOCAL_DEQUE.with(|m| {
-            let mut m = m.borrow_mut();
-            if let Some((_, _, d)) = m.iter().find(|(p, _, _)| *p == pid) {
-                return f(d);
-            }
-            let deque = Arc::new(SpinLock::new(VecDeque::new()));
-            let idx = shared.deques.push(deque.clone());
-            m.push((pid, idx, deque));
-            let (_, _, d) = m.last().expect("just pushed");
-            f(d)
-        })
-    }
-
-    /// Non-blocking packet acquisition. Returns `None` when the local
-    /// deque is empty and one stealing round finds nothing — the caller
+    /// Non-blocking packet acquisition. Returns `None` when the home
+    /// stripe is empty and one stealing round finds nothing — the caller
     /// maps this to the `retry`/`NoPacket` status.
     pub fn get(&self) -> Option<Packet> {
-        // Fast path: local tail pop (cache locality with recent puts).
-        // Distinguish "locked" from "empty": when a thief holds our lock
-        // the deque may still have local packets, so retry with a
-        // blocking lock before paying for a steal round of our own.
-        let fast = self.with_local_deque(|deque| match deque.try_lock() {
+        // Fast path: home-stripe tail pop (cache locality with recent
+        // puts). Distinguish "locked" from "empty": when a thief holds
+        // our lock the deque may still have local packets, so retry
+        // with a blocking lock before paying for a steal round of our
+        // own. Same-core siblings (oversubscription) land here too.
+        let home = self.shared.home();
+        let fast = match home.try_lock() {
             Some(mut q) => q.pop_back(),
-            None => deque.lock().pop_back(),
-        });
+            None => home.lock().pop_back(),
+        };
         if let Some(idx) = fast {
             return Some(Packet { shared: self.shared.clone(), idx, len: 0 });
         }
-        // Steal: visit victims starting at a pseudo-random position,
-        // taking half of the first non-empty deque from its *head*.
-        let deques_len = self.shared.deques.len();
-        let start = rand_seed() % deques_len.max(1);
-        for k in 0..deques_len {
-            let v = (start + k) % deques_len;
-            let Some(victim) = self.shared.deques.read(v) else { continue };
-            let Some(mut vq) = victim.try_lock() else { continue };
+        // Steal: visit victim stripes starting at a pseudo-random
+        // position, taking half of the first non-empty deque from its
+        // *head*.
+        let nstripes = self.shared.stripes.len();
+        let me = topology::current_core() & self.shared.mask;
+        let start = rand_seed() % nstripes;
+        for k in 0..nstripes {
+            let v = (start + k) % nstripes;
+            if v == me {
+                continue;
+            }
+            let Some(mut vq) = self.shared.stripes[v].0.try_lock() else { continue };
             if vq.is_empty() {
                 continue;
             }
@@ -439,22 +427,21 @@ impl PacketPool {
             drop(vq);
             let first = stolen[0];
             if stolen.len() > 1 {
-                self.with_local_deque(|deque| {
-                    let mut q = deque.lock();
-                    for idx in &stolen[1..] {
-                        q.push_back(*idx);
-                    }
-                });
+                let mut q = home.lock();
+                for idx in &stolen[1..] {
+                    q.push_back(*idx);
+                }
             }
             return Some(Packet { shared: self.shared.clone(), idx: first, len: 0 });
         }
         None
     }
 
-    /// Returns a packet index to the current thread's deque.
+    /// Returns a packet index to the current core's stripe (a
+    /// cross-core free re-homes the packet to the freeing core).
     #[inline]
     fn put_idx(shared: &Arc<PoolShared>, idx: u32) {
-        Self::with_local_deque_of(shared, |deque| deque.lock().push_back(idx));
+        shared.home().lock().push_back(idx);
     }
 
     /// Reconstructs a packet from an index previously obtained with
@@ -510,6 +497,7 @@ fn rand_seed() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn get_put_roundtrip() {
@@ -548,11 +536,16 @@ mod tests {
 
     #[test]
     fn stealing_across_threads() {
-        let pool = PacketPool::new(PacketPoolConfig { payload_size: 32, count: 64 }).unwrap();
-        // All packets live on this thread's deque; a new thread must
-        // steal to make progress.
+        // Two explicit stripes so the test exercises the cross-core
+        // steal path even on a single-core host: the pool is seeded on
+        // this thread's home stripe, and a thread bound to the *other*
+        // logical core must steal to make progress.
+        let pool =
+            PacketPool::with_stripes(PacketPoolConfig { payload_size: 32, count: 64 }, 2).unwrap();
+        let my_core = topology::current_core();
         let pool2 = pool.clone();
         let t = std::thread::spawn(move || {
+            topology::bind_current_thread(my_core + 1);
             let mut got = Vec::new();
             for _ in 0..16 {
                 if let Some(p) = pool2.get() {
@@ -562,7 +555,8 @@ mod tests {
             got.len()
         });
         let stolen = t.join().unwrap();
-        assert!(stolen > 0, "remote thread should steal packets");
+        assert!(stolen > 0, "remote core should steal packets");
+        drop(pool);
     }
 
     #[test]

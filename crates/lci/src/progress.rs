@@ -32,9 +32,10 @@
 
 use crate::device::Device;
 use crate::runtime::RuntimeInner;
-use lci_fabric::sync::Doorbell;
+use lci_fabric::sync::{Doorbell, MpmcArray, SpinLock};
+use lci_fabric::topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Who drives progress for a runtime (`RuntimeConfig::progress_mode`).
@@ -103,14 +104,15 @@ pub(crate) struct ProgressEngine {
     /// themselves (never spawned, explicitly stopped, or died on a fatal
     /// error — the error then resurfaces on the worker's own poll).
     active: AtomicUsize,
-    state: Mutex<EngineState>,
-}
-
-#[derive(Default)]
-struct EngineState {
-    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Join handles, drained under a short lock at shutdown; the
+    /// crate-idiomatic leaf [`SpinLock`] guards only the vector flips
+    /// (push/drain) — never a join, a ring, or any polling.
+    threads: SpinLock<Vec<std::thread::JoinHandle<()>>>,
     /// One aggregate bell per thread, for shutdown/new-device wakeups.
-    bells: Vec<Arc<Doorbell>>,
+    /// An [`MpmcArray`] so [`ring_all`](Self::ring_all) — called on
+    /// every device creation — reads lock-free; slots are cleared (not
+    /// popped) at shutdown, so a later respawn appends fresh bells.
+    bells: MpmcArray<Arc<Doorbell>>,
 }
 
 impl ProgressEngine {
@@ -118,7 +120,8 @@ impl ProgressEngine {
         Self {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            state: Mutex::new(EngineState::default()),
+            threads: SpinLock::new(Vec::new()),
+            bells: MpmcArray::with_capacity(8),
         }
     }
 
@@ -138,13 +141,20 @@ impl ProgressEngine {
             ));
         }
         let engine = &rt.progress;
-        let mut state = engine.state.lock().expect("progress engine poisoned");
-        if !state.threads.is_empty() {
-            return Err(crate::error::FatalError::InvalidArg(
-                "progress threads already running".into(),
-            ));
+        // Reserve the engine under a short lock (a state flip: empty →
+        // claimed); the actual spawning happens outside any lock.
+        {
+            let threads = engine.threads.lock();
+            if !threads.is_empty() || engine.engine_active() {
+                return Err(crate::error::FatalError::InvalidArg(
+                    "progress threads already running".into(),
+                ));
+            }
+            engine.shutdown.store(false, Ordering::Release);
+            // Claiming token: `active` goes non-zero before the lock
+            // drops, so a racing spawn sees the engine taken.
+            engine.active.fetch_add(nthreads, Ordering::AcqRel);
         }
-        engine.shutdown.store(false, Ordering::Release);
         for slot in 0..nthreads {
             let bell = Arc::new(Doorbell::new());
             let weak = Arc::downgrade(rt);
@@ -153,40 +163,43 @@ impl ProgressEngine {
                 .name(format!("lci-progress-{slot}"))
                 .spawn(move || progress_thread_main(weak, slot, nthreads, thread_bell))
                 .map_err(|e| {
+                    engine.active.fetch_sub(nthreads - slot, Ordering::AcqRel);
                     crate::error::FatalError::Net(format!("spawning progress thread: {e}"))
                 })?;
-            engine.active.fetch_add(1, Ordering::AcqRel);
-            state.threads.push(handle);
-            state.bells.push(bell);
+            engine.threads.lock().push(handle);
+            engine.bells.push(bell);
         }
         Ok(())
     }
 
     /// Wakes every progress thread (e.g. after a new device is
     /// allocated, so its owner subscribes to the device's doorbell).
+    /// Lock-free: reads the bell registry without touching any lock.
     pub(crate) fn ring_all(&self) {
-        let state = self.state.lock().expect("progress engine poisoned");
-        for bell in &state.bells {
-            bell.ring();
+        for i in 0..self.bells.len() {
+            if let Some(bell) = self.bells.read(i) {
+                bell.ring();
+            }
         }
     }
 
     /// Stops and joins all progress threads. Safe to call from a progress
     /// thread itself (it skips self-join; that thread exits on its own
-    /// right after, since the shutdown flag is set).
+    /// right after, since the shutdown flag is set). Handles are drained
+    /// under a short lock; ringing and joining happen outside it.
     pub(crate) fn shutdown_and_join(&self) {
-        let mut state = self.state.lock().expect("progress engine poisoned");
         self.shutdown.store(true, Ordering::Release);
-        for bell in &state.bells {
-            bell.ring();
-        }
+        self.ring_all();
+        let drained: Vec<_> = std::mem::take(&mut *self.threads.lock());
         let me = std::thread::current().id();
-        for handle in state.threads.drain(..) {
+        for handle in drained {
             if handle.thread().id() != me {
                 let _ = handle.join();
             }
         }
-        state.bells.clear();
+        for i in 0..self.bells.len() {
+            self.bells.clear_at(i);
+        }
         self.active.store(0, Ordering::Release);
     }
 }
@@ -199,6 +212,18 @@ fn progress_thread_main(
     nthreads: usize,
     bell: Arc<Doorbell>,
 ) {
+    // Core-affine placement: home this thread on the logical core of
+    // its device partition (device i belongs to thread i % nthreads, so
+    // thread `slot` sits on core `slot` of the placement map). Its
+    // stats cells, ctx-pool shard, and pool stripes all key off this
+    // binding, keeping engine-side bookkeeping on the engine's core.
+    // Logical only — OS affinity is the launcher's job (topology docs).
+    if let Some(rt) = rt_weak.upgrade() {
+        let p = rt.config.placement;
+        if p.enabled && p.pin_progress {
+            topology::bind_current_thread(slot % p.effective_cores());
+        }
+    }
     let mut idle: u32 = 0;
     // Consecutive useful sweeps; reaching `BUSY_STREAK` restores the
     // full spin ramp after a parked (doorbell-driven) phase.

@@ -20,9 +20,70 @@ use crate::packet_pool::{PacketPool, PacketPoolConfig};
 use crate::progress::{ProgressEngine, ProgressMode};
 use crate::types::{RComp, Rank};
 use lci_fabric::sync::{Doorbell, MpmcArray};
+use lci_fabric::topology;
 use lci_fabric::{DeviceConfig, Fabric, NetContext};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
+
+/// Thread-per-core placement policy (`RuntimeConfig::placement`).
+///
+/// When enabled (the default), the runtime lays its hot-path resources
+/// out over the [`topology`] core map: per-core packet-pool stripes,
+/// per-core buffer-pool shelves, per-core stats cells, core-keyed
+/// ctx-pool shard selection, core-pinned `Dedicated`/`Hybrid` progress
+/// threads, and core-keyed default-device routing
+/// ([`Runtime::home_device`]). Disabled, every structure collapses to
+/// one stripe — the core-oblivious layout, kept as an ablation
+/// baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Master switch for core-aware resource layout.
+    pub enabled: bool,
+    /// Home each dedicated progress thread on the logical core of its
+    /// device partition (thread `slot` → core `slot`), so engine-side
+    /// bookkeeping stays on the engine's core. Logical binding only;
+    /// OS affinity belongs to the launcher.
+    pub pin_progress: bool,
+    /// Core-map width override; `None` detects
+    /// ([`topology::ncores`], overridable with `LCI_CORES`). Tests use
+    /// an explicit width to exercise multi-stripe layouts on small
+    /// hosts.
+    pub cores: Option<usize>,
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Self { enabled: true, pin_progress: true, cores: None }
+    }
+}
+
+impl Placement {
+    /// The core-map width this placement resolves to (1 when disabled).
+    pub fn effective_cores(&self) -> usize {
+        if !self.enabled {
+            1
+        } else {
+            self.cores.unwrap_or_else(topology::ncores).max(1)
+        }
+    }
+
+    /// Stripe count the per-core structures are laid out with (the
+    /// effective core count rounded up to a power of two).
+    pub fn stripes(&self) -> usize {
+        topology::stripe_count(self.effective_cores())
+    }
+
+    /// Placement with an explicit core-map width.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = Some(cores);
+        self
+    }
+
+    /// The core-oblivious single-stripe layout (ablation baseline).
+    pub fn disabled() -> Self {
+        Self { enabled: false, pin_progress: false, cores: None }
+    }
+}
 
 /// Runtime configuration: the attributes a runtime is allocated with.
 #[derive(Clone, Debug)]
@@ -86,6 +147,13 @@ pub struct RuntimeConfig {
     /// [`crate::progress`]). `Dedicated`/`Hybrid` auto-spawn their
     /// threads at runtime allocation.
     pub progress_mode: ProgressMode,
+    /// Thread-per-core resource layout (see [`Placement`]). On by
+    /// default; packet-pool stripes, buffer-pool shelves, and stats
+    /// cells are laid out per logical core, dedicated progress threads
+    /// pin next to their device partition, and
+    /// [`Runtime::home_device`] routes each worker to a core-local
+    /// device.
+    pub placement: Placement,
 }
 
 impl Default for RuntimeConfig {
@@ -109,6 +177,7 @@ impl Default for RuntimeConfig {
             rdv_shards: 8,
             alloc_recycling: true,
             progress_mode: ProgressMode::Workers,
+            placement: Placement::default(),
         }
     }
 }
@@ -166,6 +235,12 @@ impl RuntimeConfig {
     /// [`progress_mode`](Self::progress_mode)).
     pub fn with_progress_mode(mut self, mode: ProgressMode) -> Self {
         self.progress_mode = mode;
+        self
+    }
+
+    /// Sets the thread-per-core placement policy (see [`Placement`]).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -263,14 +338,33 @@ impl Runtime {
             }
             _ => {}
         }
+        if config.placement.cores == Some(0) {
+            return Err(FatalError::InvalidArg("placement.cores must be nonzero".into()));
+        }
+        if config.placement.cores.is_some_and(|c| c > topology::MAX_CORES) {
+            return Err(FatalError::InvalidArg(format!(
+                "placement.cores must be at most {}",
+                topology::MAX_CORES
+            )));
+        }
         if rank >= fabric.nranks() {
             return Err(FatalError::InvalidArg(format!(
                 "rank {rank} out of range for fabric of {}",
                 fabric.nranks()
             )));
         }
+        // The placement policy decides every per-core layout from here
+        // on: the packet-pool stripe count here, and (via the stored
+        // config) buffer-pool shelves, stats cells, and progress-thread
+        // pinning inside `Device::create`/`ProgressEngine`. Devices
+        // inherit the stripe count through `device.buf_pool.stripes`
+        // unless the caller forced one explicitly.
+        let mut config = config;
+        if config.device.buf_pool.stripes == 0 {
+            config.device.buf_pool.stripes = config.placement.stripes();
+        }
         let netctx = NetContext::new(fabric.clone(), rank);
-        let pool = PacketPool::new(config.packet)?;
+        let pool = PacketPool::with_stripes(config.packet, config.placement.stripes())?;
         let inner = Arc::new(RuntimeInner {
             fabric,
             rank,
@@ -326,6 +420,23 @@ impl Runtime {
     /// operating on different devices do not interfere.
     pub fn alloc_device(&self) -> Result<Device> {
         Device::create(self.inner.clone())
+    }
+
+    /// The calling thread's core-local device: with placement enabled
+    /// and several devices allocated, workers on different cores spread
+    /// over the device list (`core % ndevices`) instead of all
+    /// funnelling through device 0. Falls back to the default device
+    /// when placement is disabled, only one device exists, or the
+    /// core-mapped device has been dropped.
+    pub fn home_device(&self) -> Device {
+        let n = self.inner.devices.len();
+        if self.inner.config.placement.enabled && n > 1 {
+            let idx = topology::current_core() % n;
+            if let Some(inner) = self.inner.devices.read(idx).and_then(|w| w.upgrade()) {
+                return Device { inner };
+            }
+        }
+        self.default_dev.clone()
     }
 
     /// The runtime's packet pool.

@@ -1,121 +1,237 @@
-//! Per-device operation counters.
+//! Per-device operation counters, striped per core.
 //!
 //! Production communication runtimes expose counters for tuning; these
 //! back the ablation analyses (retry rates under different lock
 //! disciplines) and give applications the visibility the paper's
-//! "explicit control" philosophy implies. All counters are relaxed
-//! atomics — negligible cost on the critical path.
+//! "explicit control" philosophy implies.
+//!
+//! Counters live in **per-core cells** ([`StatsCell`]) laid out over
+//! the [`topology`](lci_fabric::topology) core map: a bump touches only
+//! the calling core's cache line, so the hot path shares no counter
+//! line between cores (the scale matrix showed shared relaxed atomics
+//! bouncing at high thread counts). [`DeviceStats::snapshot`] folds the
+//! cells.
+//!
+//! ## Snapshot consistency
+//!
+//! A snapshot taken while progress engines are live cannot be a true
+//! point-in-time cut across independent relaxed counters, but it is
+//! made *tear-proof for the derived rates*: the fold reads every cell's
+//! `progress_useful` before any cell's `progress_calls` (the bump order
+//! is calls-then-useful, so reading in the reverse order can only
+//! under-count useful relative to calls), and
+//! [`StatsSnapshot::useful_poll_rate`] clamps at 1.0.
+//! [`StatsSnapshot::since`] uses saturating subtraction so an interval
+//! against a live earlier snapshot can never underflow.
 
+use lci_fabric::topology;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters for one device.
+/// One core's counter cell. Padded to its own (double) cache line so
+/// neighbouring cores never write-share. Field meanings are documented
+/// on [`StatsSnapshot`].
+#[repr(align(128))]
 #[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    pub(crate) posts: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) progress_calls: AtomicU64,
+    pub(crate) progress_useful: AtomicU64,
+    pub(crate) completions: AtomicU64,
+    pub(crate) matched: AtomicU64,
+    pub(crate) rendezvous: AtomicU64,
+    pub(crate) backlogged: AtomicU64,
+    pub(crate) coalesced_msgs: AtomicU64,
+    pub(crate) coalesce_flushes: AtomicU64,
+    pub(crate) batch_posts: AtomicU64,
+    pub(crate) batch_posted_msgs: AtomicU64,
+    pub(crate) zero_copy_deliveries: AtomicU64,
+    pub(crate) copied_deliveries: AtomicU64,
+    pub(crate) replenish_batches: AtomicU64,
+    pub(crate) replenish_posted: AtomicU64,
+    pub(crate) rendezvous_retried: AtomicU64,
+    pub(crate) rdv_chunks_posted: AtomicU64,
+    pub(crate) rdv_inflight_hwm: AtomicU64,
+    pub(crate) rdv_scratch_reuses: AtomicU64,
+    pub(crate) worker_polls: AtomicU64,
+    pub(crate) progress_parks: AtomicU64,
+    pub(crate) early_inbound: AtomicU64,
+}
+
+/// Monotonic counters for one device, striped per core and folded at
+/// snapshot time.
+#[derive(Debug)]
 pub struct DeviceStats {
+    cells: Box<[StatsCell]>,
+    /// `cells.len() - 1`; cell counts are powers of two.
+    mask: usize,
+}
+
+impl Default for DeviceStats {
+    fn default() -> Self {
+        Self::with_stripes(0)
+    }
+}
+
+/// Projects one counter out of a cell; plain fn pointers keep the
+/// accessors monomorphic and inline-friendly.
+pub(crate) type CellField = fn(&StatsCell) -> &AtomicU64;
+
+impl DeviceStats {
+    /// Stats with `stripes` per-core cells (`0` = one per detected
+    /// core, rounded to a power of two).
+    pub fn with_stripes(stripes: usize) -> Self {
+        let n = topology::stripe_count(stripes);
+        Self { cells: (0..n).map(|_| StatsCell::default()).collect(), mask: n - 1 }
+    }
+
+    /// The calling core's cell.
+    #[inline]
+    fn cell(&self) -> &StatsCell {
+        &self.cells[topology::current_core() & self.mask]
+    }
+
+    /// Increments `field` in the calling core's cell.
+    #[inline]
+    pub(crate) fn bump(&self, field: CellField) {
+        field(self.cell()).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to `field` in the calling core's cell.
+    #[inline]
+    pub(crate) fn add(&self, field: CellField, n: u64) {
+        field(self.cell()).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises `field` in the calling core's cell to at least `v`
+    /// (per-cell maxima; the fold takes the max across cells).
+    #[inline]
+    pub(crate) fn raise(&self, field: CellField, v: u64) {
+        field(self.cell()).fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of per-core cells.
+    pub fn stripes(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn fold(&self, field: CellField) -> u64 {
+        self.cells.iter().map(|c| field(c).load(Ordering::Relaxed)).sum()
+    }
+
+    fn fold_max(&self, field: CellField) -> u64 {
+        self.cells.iter().map(|c| field(c).load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// Folds all cells into a snapshot. See the module docs for the
+    /// tear-proofing order of the progress counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        // `progress_useful` first, across every cell, *then*
+        // `progress_calls`: bumps go calls-then-useful, so this read
+        // order guarantees useful <= calls in the folded result even
+        // while engines are live.
+        let progress_useful = self.fold(|c| &c.progress_useful);
+        let progress_calls = self.fold(|c| &c.progress_calls);
+        StatsSnapshot {
+            posts: self.fold(|c| &c.posts),
+            retries: self.fold(|c| &c.retries),
+            progress_calls,
+            progress_useful: progress_useful.min(progress_calls),
+            completions: self.fold(|c| &c.completions),
+            matched: self.fold(|c| &c.matched),
+            rendezvous: self.fold(|c| &c.rendezvous),
+            backlogged: self.fold(|c| &c.backlogged),
+            coalesced_msgs: self.fold(|c| &c.coalesced_msgs),
+            coalesce_flushes: self.fold(|c| &c.coalesce_flushes),
+            batch_posts: self.fold(|c| &c.batch_posts),
+            batch_posted_msgs: self.fold(|c| &c.batch_posted_msgs),
+            zero_copy_deliveries: self.fold(|c| &c.zero_copy_deliveries),
+            copied_deliveries: self.fold(|c| &c.copied_deliveries),
+            replenish_batches: self.fold(|c| &c.replenish_batches),
+            replenish_posted: self.fold(|c| &c.replenish_posted),
+            rendezvous_retried: self.fold(|c| &c.rendezvous_retried),
+            rdv_chunks_posted: self.fold(|c| &c.rdv_chunks_posted),
+            rdv_inflight_hwm: self.fold_max(|c| &c.rdv_inflight_hwm),
+            rdv_scratch_reuses: self.fold(|c| &c.rdv_scratch_reuses),
+            worker_polls: self.fold(|c| &c.worker_polls),
+            progress_parks: self.fold(|c| &c.progress_parks),
+            early_inbound: self.fold(|c| &c.early_inbound),
+            doorbell_rings: 0,
+            reg_cache_hits: 0,
+            reg_cache_misses: 0,
+            reg_cache_evictions: 0,
+            buf_pool_hits: 0,
+            buf_pool_local_hits: 0,
+            buf_pool_steals: 0,
+            buf_pool_misses: 0,
+            buf_pool_recycled_bytes: 0,
+            matching_contended: 0,
+            shm_ring_hwm: 0,
+            doorbell_cross_proc_wakes: 0,
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`DeviceStats`] (cells folded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
     /// Communication posting operations accepted (posted or done).
-    pub posts: AtomicU64,
+    pub posts: u64,
     /// Posting operations that returned `retry`.
-    pub retries: AtomicU64,
+    pub retries: u64,
     /// Progress invocations.
-    pub progress_calls: AtomicU64,
-    /// Progress invocations that found work.
-    pub progress_useful: AtomicU64,
+    pub progress_calls: u64,
+    /// Progress invocations that found work (folded so that
+    /// `progress_useful <= progress_calls` always holds, even for
+    /// snapshots taken while engines are live).
+    pub progress_useful: u64,
     /// Completions handled (CQEs).
-    pub completions: AtomicU64,
+    pub completions: u64,
     /// Messages delivered through the matching engine (eager receives).
-    pub matched: AtomicU64,
+    pub matched: u64,
     /// Rendezvous transfers started (RTS sent or received+matched).
-    pub rendezvous: AtomicU64,
+    pub rendezvous: u64,
     /// Requests parked in the backlog queue.
-    pub backlogged: AtomicU64,
+    pub backlogged: u64,
     /// Small sends absorbed into coalescing buffers.
-    pub coalesced_msgs: AtomicU64,
+    pub coalesced_msgs: u64,
     /// Coalesced frames shipped (threshold, ordering, or idle flushes).
-    pub coalesce_flushes: AtomicU64,
+    pub coalesce_flushes: u64,
     /// Batched backlog submissions (one posting-lock acquisition each).
-    pub batch_posts: AtomicU64,
+    pub batch_posts: u64,
     /// Messages posted through batched submissions.
-    pub batch_posted_msgs: AtomicU64,
+    pub batch_posted_msgs: u64,
     /// Eager payloads delivered zero-copy (packet- or view-backed).
-    pub zero_copy_deliveries: AtomicU64,
+    pub zero_copy_deliveries: u64,
     /// Eager payloads delivered through a copy (posted user buffer or
     /// owned staging when zero-copy delivery is disabled).
-    pub copied_deliveries: AtomicU64,
+    pub copied_deliveries: u64,
     /// Batched SRQ restocks (one SRQ/endpoint-lock acquisition each).
-    pub replenish_batches: AtomicU64,
+    pub replenish_batches: u64,
     /// Receive buffers posted through batched restocks.
-    pub replenish_posted: AtomicU64,
+    pub replenish_posted: u64,
     /// Rendezvous posts that backed out with `retry` (RTS could not be
     /// sent). `rendezvous - rendezvous_retried` is the number of
     /// transfers actually started.
-    pub rendezvous_retried: AtomicU64,
+    pub rendezvous_retried: u64,
     /// RDMA-write chunks posted by the rendezvous pipeline.
-    pub rdv_chunks_posted: AtomicU64,
+    pub rdv_chunks_posted: u64,
     /// High-water mark of in-flight chunks across all transfers of this
-    /// device (not a delta counter; see [`StatsSnapshot::since`]).
-    pub rdv_inflight_hwm: AtomicU64,
+    /// device (max across cells, not a delta counter; see
+    /// [`StatsSnapshot::since`]).
+    pub rdv_inflight_hwm: u64,
     /// Scratch-ring slots reused (gather copies that did not allocate).
-    pub rdv_scratch_reuses: AtomicU64,
+    pub rdv_scratch_reuses: u64,
     /// Progress polls driven by *worker* threads (through
     /// [`Device::worker_progress`](crate::device::Device::worker_progress)).
     /// Zero in `Dedicated` mode: the worker entry point never polls there.
-    pub worker_polls: AtomicU64,
+    pub worker_polls: u64,
     /// Times a dedicated progress thread parked this device on its
     /// doorbell (idle, consuming no CPU).
-    pub progress_parks: AtomicU64,
+    pub progress_parks: u64,
     /// Inbound deliveries that arrived before their target rcomp was
     /// registered and were parked for retry (the registration race an
     /// auto-spawned progress engine makes real).
-    pub early_inbound: AtomicU64,
-}
-
-/// A point-in-time snapshot of [`DeviceStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// See [`DeviceStats::posts`].
-    pub posts: u64,
-    /// See [`DeviceStats::retries`].
-    pub retries: u64,
-    /// See [`DeviceStats::progress_calls`].
-    pub progress_calls: u64,
-    /// See [`DeviceStats::progress_useful`].
-    pub progress_useful: u64,
-    /// See [`DeviceStats::completions`].
-    pub completions: u64,
-    /// See [`DeviceStats::matched`].
-    pub matched: u64,
-    /// See [`DeviceStats::rendezvous`].
-    pub rendezvous: u64,
-    /// See [`DeviceStats::backlogged`].
-    pub backlogged: u64,
-    /// See [`DeviceStats::coalesced_msgs`].
-    pub coalesced_msgs: u64,
-    /// See [`DeviceStats::coalesce_flushes`].
-    pub coalesce_flushes: u64,
-    /// See [`DeviceStats::batch_posts`].
-    pub batch_posts: u64,
-    /// See [`DeviceStats::batch_posted_msgs`].
-    pub batch_posted_msgs: u64,
-    /// See [`DeviceStats::zero_copy_deliveries`].
-    pub zero_copy_deliveries: u64,
-    /// See [`DeviceStats::copied_deliveries`].
-    pub copied_deliveries: u64,
-    /// See [`DeviceStats::replenish_batches`].
-    pub replenish_batches: u64,
-    /// See [`DeviceStats::replenish_posted`].
-    pub replenish_posted: u64,
-    /// See [`DeviceStats::rendezvous_retried`].
-    pub rendezvous_retried: u64,
-    /// See [`DeviceStats::rdv_chunks_posted`].
-    pub rdv_chunks_posted: u64,
-    /// See [`DeviceStats::rdv_inflight_hwm`].
-    pub rdv_inflight_hwm: u64,
-    /// See [`DeviceStats::rdv_scratch_reuses`].
-    pub rdv_scratch_reuses: u64,
-    /// See [`DeviceStats::worker_polls`].
-    pub worker_polls: u64,
-    /// See [`DeviceStats::progress_parks`].
-    pub progress_parks: u64,
-    /// See [`DeviceStats::early_inbound`].
     pub early_inbound: u64,
     /// Times the device's fabric doorbell rang (overlaid by
     /// [`Device::stats`](crate::device::Device::stats) from the
@@ -129,15 +245,27 @@ pub struct StatsSnapshot {
     pub reg_cache_misses: u64,
     /// Registration-cache evictions (see [`Self::reg_cache_hits`]).
     pub reg_cache_evictions: u64,
-    /// Buffer-pool requests served from a shelf, no allocation (overlaid
-    /// by [`Device::stats`](crate::device::Device::stats) from the shared
+    /// Buffer-pool requests served from a shelf, no allocation
+    /// (`buf_pool_local_hits + buf_pool_steals`; overlaid by
+    /// [`Device::stats`](crate::device::Device::stats) from the shared
     /// fabric pool, not tracked in [`DeviceStats`]).
     pub buf_pool_hits: u64,
+    /// Buffer-pool requests served from the calling core's own stripe —
+    /// the owner-local fast path (see [`Self::buf_pool_hits`]).
+    pub buf_pool_local_hits: u64,
+    /// Buffer-pool requests served by stealing from another core's
+    /// stripe (see [`Self::buf_pool_hits`]).
+    pub buf_pool_steals: u64,
     /// Buffer-pool requests that allocated (see [`Self::buf_pool_hits`]).
     pub buf_pool_misses: u64,
     /// Bytes of buffer capacity recycled through pool shelves (see
     /// [`Self::buf_pool_hits`]).
     pub buf_pool_recycled_bytes: u64,
+    /// Matching-engine bucket-lock acquisitions that found the lock
+    /// busy (overlaid by [`Device::stats`](crate::device::Device::stats)
+    /// from the runtime's shared matching engine — every device of one
+    /// runtime reports the same engine-wide value).
+    pub matching_contended: u64,
     /// High-water mark of shared-memory ring occupancy (frames) over
     /// every shm channel touching this device's rank (overlaid by
     /// [`Device::stats`](crate::device::Device::stats) from the
@@ -150,101 +278,60 @@ pub struct StatsSnapshot {
     pub doorbell_cross_proc_wakes: u64,
 }
 
-impl DeviceStats {
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn raise(counter: &AtomicU64, v: u64) {
-        counter.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Takes a snapshot of all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            posts: self.posts.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            progress_calls: self.progress_calls.load(Ordering::Relaxed),
-            progress_useful: self.progress_useful.load(Ordering::Relaxed),
-            completions: self.completions.load(Ordering::Relaxed),
-            matched: self.matched.load(Ordering::Relaxed),
-            rendezvous: self.rendezvous.load(Ordering::Relaxed),
-            backlogged: self.backlogged.load(Ordering::Relaxed),
-            coalesced_msgs: self.coalesced_msgs.load(Ordering::Relaxed),
-            coalesce_flushes: self.coalesce_flushes.load(Ordering::Relaxed),
-            batch_posts: self.batch_posts.load(Ordering::Relaxed),
-            batch_posted_msgs: self.batch_posted_msgs.load(Ordering::Relaxed),
-            zero_copy_deliveries: self.zero_copy_deliveries.load(Ordering::Relaxed),
-            copied_deliveries: self.copied_deliveries.load(Ordering::Relaxed),
-            replenish_batches: self.replenish_batches.load(Ordering::Relaxed),
-            replenish_posted: self.replenish_posted.load(Ordering::Relaxed),
-            rendezvous_retried: self.rendezvous_retried.load(Ordering::Relaxed),
-            rdv_chunks_posted: self.rdv_chunks_posted.load(Ordering::Relaxed),
-            rdv_inflight_hwm: self.rdv_inflight_hwm.load(Ordering::Relaxed),
-            rdv_scratch_reuses: self.rdv_scratch_reuses.load(Ordering::Relaxed),
-            worker_polls: self.worker_polls.load(Ordering::Relaxed),
-            progress_parks: self.progress_parks.load(Ordering::Relaxed),
-            early_inbound: self.early_inbound.load(Ordering::Relaxed),
-            doorbell_rings: 0,
-            reg_cache_hits: 0,
-            reg_cache_misses: 0,
-            reg_cache_evictions: 0,
-            buf_pool_hits: 0,
-            buf_pool_misses: 0,
-            buf_pool_recycled_bytes: 0,
-            shm_ring_hwm: 0,
-            doorbell_cross_proc_wakes: 0,
-        }
-    }
-}
-
 impl StatsSnapshot {
-    /// Difference against an earlier snapshot (for per-phase accounting).
+    /// Difference against an earlier snapshot (for per-phase
+    /// accounting). Saturating: counters racing with live engines can
+    /// never drive an interval negative.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            posts: self.posts - earlier.posts,
-            retries: self.retries - earlier.retries,
-            progress_calls: self.progress_calls - earlier.progress_calls,
-            progress_useful: self.progress_useful - earlier.progress_useful,
-            completions: self.completions - earlier.completions,
-            matched: self.matched - earlier.matched,
-            rendezvous: self.rendezvous - earlier.rendezvous,
-            backlogged: self.backlogged - earlier.backlogged,
-            coalesced_msgs: self.coalesced_msgs - earlier.coalesced_msgs,
-            coalesce_flushes: self.coalesce_flushes - earlier.coalesce_flushes,
-            batch_posts: self.batch_posts - earlier.batch_posts,
-            batch_posted_msgs: self.batch_posted_msgs - earlier.batch_posted_msgs,
-            zero_copy_deliveries: self.zero_copy_deliveries - earlier.zero_copy_deliveries,
-            copied_deliveries: self.copied_deliveries - earlier.copied_deliveries,
-            replenish_batches: self.replenish_batches - earlier.replenish_batches,
-            replenish_posted: self.replenish_posted - earlier.replenish_posted,
-            rendezvous_retried: self.rendezvous_retried - earlier.rendezvous_retried,
-            rdv_chunks_posted: self.rdv_chunks_posted - earlier.rdv_chunks_posted,
+            posts: self.posts.saturating_sub(earlier.posts),
+            retries: self.retries.saturating_sub(earlier.retries),
+            progress_calls: self.progress_calls.saturating_sub(earlier.progress_calls),
+            progress_useful: self.progress_useful.saturating_sub(earlier.progress_useful),
+            completions: self.completions.saturating_sub(earlier.completions),
+            matched: self.matched.saturating_sub(earlier.matched),
+            rendezvous: self.rendezvous.saturating_sub(earlier.rendezvous),
+            backlogged: self.backlogged.saturating_sub(earlier.backlogged),
+            coalesced_msgs: self.coalesced_msgs.saturating_sub(earlier.coalesced_msgs),
+            coalesce_flushes: self.coalesce_flushes.saturating_sub(earlier.coalesce_flushes),
+            batch_posts: self.batch_posts.saturating_sub(earlier.batch_posts),
+            batch_posted_msgs: self.batch_posted_msgs.saturating_sub(earlier.batch_posted_msgs),
+            zero_copy_deliveries: self
+                .zero_copy_deliveries
+                .saturating_sub(earlier.zero_copy_deliveries),
+            copied_deliveries: self.copied_deliveries.saturating_sub(earlier.copied_deliveries),
+            replenish_batches: self.replenish_batches.saturating_sub(earlier.replenish_batches),
+            replenish_posted: self.replenish_posted.saturating_sub(earlier.replenish_posted),
+            rendezvous_retried: self.rendezvous_retried.saturating_sub(earlier.rendezvous_retried),
+            rdv_chunks_posted: self.rdv_chunks_posted.saturating_sub(earlier.rdv_chunks_posted),
             // A high-water mark, not a flow counter: the later value is
             // the mark over the whole interval.
             rdv_inflight_hwm: self.rdv_inflight_hwm,
-            rdv_scratch_reuses: self.rdv_scratch_reuses - earlier.rdv_scratch_reuses,
-            worker_polls: self.worker_polls - earlier.worker_polls,
-            progress_parks: self.progress_parks - earlier.progress_parks,
-            early_inbound: self.early_inbound - earlier.early_inbound,
-            doorbell_rings: self.doorbell_rings - earlier.doorbell_rings,
-            reg_cache_hits: self.reg_cache_hits - earlier.reg_cache_hits,
-            reg_cache_misses: self.reg_cache_misses - earlier.reg_cache_misses,
-            reg_cache_evictions: self.reg_cache_evictions - earlier.reg_cache_evictions,
-            buf_pool_hits: self.buf_pool_hits - earlier.buf_pool_hits,
-            buf_pool_misses: self.buf_pool_misses - earlier.buf_pool_misses,
-            buf_pool_recycled_bytes: self.buf_pool_recycled_bytes - earlier.buf_pool_recycled_bytes,
+            rdv_scratch_reuses: self.rdv_scratch_reuses.saturating_sub(earlier.rdv_scratch_reuses),
+            worker_polls: self.worker_polls.saturating_sub(earlier.worker_polls),
+            progress_parks: self.progress_parks.saturating_sub(earlier.progress_parks),
+            early_inbound: self.early_inbound.saturating_sub(earlier.early_inbound),
+            doorbell_rings: self.doorbell_rings.saturating_sub(earlier.doorbell_rings),
+            reg_cache_hits: self.reg_cache_hits.saturating_sub(earlier.reg_cache_hits),
+            reg_cache_misses: self.reg_cache_misses.saturating_sub(earlier.reg_cache_misses),
+            reg_cache_evictions: self
+                .reg_cache_evictions
+                .saturating_sub(earlier.reg_cache_evictions),
+            buf_pool_hits: self.buf_pool_hits.saturating_sub(earlier.buf_pool_hits),
+            buf_pool_local_hits: self
+                .buf_pool_local_hits
+                .saturating_sub(earlier.buf_pool_local_hits),
+            buf_pool_steals: self.buf_pool_steals.saturating_sub(earlier.buf_pool_steals),
+            buf_pool_misses: self.buf_pool_misses.saturating_sub(earlier.buf_pool_misses),
+            buf_pool_recycled_bytes: self
+                .buf_pool_recycled_bytes
+                .saturating_sub(earlier.buf_pool_recycled_bytes),
+            matching_contended: self.matching_contended.saturating_sub(earlier.matching_contended),
             // High-water mark: the later value covers the interval.
             shm_ring_hwm: self.shm_ring_hwm,
-            doorbell_cross_proc_wakes: self.doorbell_cross_proc_wakes
-                - earlier.doorbell_cross_proc_wakes,
+            doorbell_cross_proc_wakes: self
+                .doorbell_cross_proc_wakes
+                .saturating_sub(earlier.doorbell_cross_proc_wakes),
         }
     }
 
@@ -252,12 +339,13 @@ impl StatsSnapshot {
     /// efficiency metric of ablation section 10. Low under all-worker
     /// polling (most polls are wasted lock traffic, paper §5.3); high
     /// under dedicated progress (the thread polls only when the doorbell
-    /// says there is plausible work).
+    /// says there is plausible work). Clamped to `[0, 1]` — the fold
+    /// order plus this clamp is what makes live snapshots tear-proof.
     pub fn useful_poll_rate(&self) -> f64 {
         if self.progress_calls == 0 {
             0.0
         } else {
-            self.progress_useful as f64 / self.progress_calls as f64
+            (self.progress_useful as f64 / self.progress_calls as f64).min(1.0)
         }
     }
 
@@ -317,6 +405,18 @@ impl StatsSnapshot {
             self.buf_pool_hits as f64 / total as f64
         }
     }
+
+    /// Owner-local share of buffer-pool shelf hits (0 when no hit
+    /// happened) — the thread-per-core placement quality metric: near
+    /// 1.0 when every core recycles through its own stripe.
+    pub fn buf_pool_local_rate(&self) -> f64 {
+        let total = self.buf_pool_local_hits + self.buf_pool_steals;
+        if total == 0 {
+            0.0
+        } else {
+            self.buf_pool_local_hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,13 +426,13 @@ mod tests {
     #[test]
     fn snapshot_and_since() {
         let s = DeviceStats::default();
-        DeviceStats::bump(&s.posts);
-        DeviceStats::bump(&s.posts);
-        DeviceStats::bump(&s.retries);
+        s.bump(|c| &c.posts);
+        s.bump(|c| &c.posts);
+        s.bump(|c| &c.retries);
         let a = s.snapshot();
         assert_eq!(a.posts, 2);
         assert_eq!(a.retries, 1);
-        DeviceStats::bump(&s.posts);
+        s.bump(|c| &c.posts);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.posts, 1);
@@ -344,5 +444,47 @@ mod tests {
         let snap = StatsSnapshot { posts: 3, retries: 1, ..Default::default() };
         assert!((snap.retry_rate() - 0.25).abs() < 1e-12);
         assert_eq!(StatsSnapshot::default().retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn cells_fold_across_cores() {
+        let s = DeviceStats::with_stripes(4);
+        assert_eq!(s.stripes(), 4);
+        std::thread::scope(|sc| {
+            for core in 0..4 {
+                let s = &s;
+                sc.spawn(move || {
+                    lci_fabric::topology::bind_current_thread(core);
+                    for _ in 0..10 {
+                        s.bump(|c| &c.posts);
+                    }
+                    s.raise(|c| &c.rdv_inflight_hwm, core as u64 + 1);
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.posts, 40, "cells fold by summing");
+        assert_eq!(snap.rdv_inflight_hwm, 4, "high-water marks fold by max");
+    }
+
+    #[test]
+    fn useful_poll_rate_cannot_tear() {
+        // Even a hand-built torn snapshot (useful > calls) clamps.
+        let torn = StatsSnapshot { progress_calls: 10, progress_useful: 12, ..Default::default() };
+        assert_eq!(torn.useful_poll_rate(), 1.0);
+        // And the fold itself clamps: bump useful without calls on one
+        // cell (emulating a read racing a calls-then-useful writer).
+        let s = DeviceStats::with_stripes(2);
+        s.bump(|c| &c.progress_useful);
+        let snap = s.snapshot();
+        assert!(snap.progress_useful <= snap.progress_calls);
+        assert!(snap.useful_poll_rate() <= 1.0);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let a = StatsSnapshot { posts: 5, ..Default::default() };
+        let b = StatsSnapshot { posts: 3, ..Default::default() };
+        assert_eq!(b.since(&a).posts, 0, "live-race interval must not underflow");
     }
 }

@@ -69,8 +69,7 @@ struct Pair {
 }
 
 impl Pair {
-    fn new_on(device: lci_fabric::DeviceConfig, recycling: bool) -> Pair {
-        let cfg = RuntimeConfig::small().with_device(device).with_alloc_recycling(recycling);
+    fn new_cfg(cfg: RuntimeConfig) -> Pair {
         let fabric = Fabric::new(2);
         let rt0 = Runtime::new(fabric.clone(), 0, cfg.clone()).unwrap();
         let rt1 = Runtime::new(fabric, 1, cfg).unwrap();
@@ -150,7 +149,16 @@ fn steady_state_allocs_on(
     warmup: usize,
     iters: usize,
 ) -> u64 {
-    let pair = Pair::new_on(device, recycling);
+    steady_state_allocs_cfg(
+        RuntimeConfig::small().with_device(device).with_alloc_recycling(recycling),
+        size,
+        warmup,
+        iters,
+    )
+}
+
+fn steady_state_allocs_cfg(cfg: RuntimeConfig, size: usize, warmup: usize, iters: usize) -> u64 {
+    let pair = Pair::new_cfg(cfg);
     let mut payload: SendBuf = vec![0xA5u8; size].into();
     let mut landing: Box<[u8]> = vec![0u8; size].into();
     for _ in 0..warmup {
@@ -216,6 +224,51 @@ fn shm_rendezvous_steady_state_is_allocation_free() {
     let _g = SERIAL.lock().unwrap();
     let allocs = steady_state_allocs_on(lci_fabric::DeviceConfig::shm(), true, 256 << 10, 16, 32);
     assert_eq!(allocs, 0, "shm 256 KiB rendezvous loop made {allocs} allocator calls after warmup");
+}
+
+/// Builds the config the thread-per-core matrix runs under: placement
+/// enabled with 4 logical cores, so the buffer pool, packet pool, and
+/// stats all carry 4 stripes.
+fn placed_cfg(size_hint: lci_fabric::DeviceConfig) -> RuntimeConfig {
+    RuntimeConfig::small()
+        .with_device(size_hint)
+        .with_alloc_recycling(true)
+        .with_placement(lci::Placement::default().with_cores(4))
+}
+
+/// Per-core striping must not reintroduce allocation: with placement
+/// enabled (4 stripes), the single-threaded harness stays owner-local
+/// on its home stripe and the inject loop still makes zero allocator
+/// calls once warm.
+#[test]
+fn placed_inject_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs_cfg(placed_cfg(lci_fabric::DeviceConfig::ibv()), 8, 64, 256);
+    assert_eq!(allocs, 0, "placed 8-byte inject loop made {allocs} allocator calls after warmup");
+}
+
+/// Eager staging under placement: takes come from the home shelf and
+/// frees return to their origin stripe — the striped fast path is as
+/// allocation-free as the single-shelf one.
+#[test]
+fn placed_eager_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs = steady_state_allocs_cfg(placed_cfg(lci_fabric::DeviceConfig::ibv()), 512, 64, 256);
+    assert_eq!(allocs, 0, "placed 512-byte eager loop made {allocs} allocator calls after warmup");
+}
+
+/// Rendezvous under placement: striped op-context and packet pools plus
+/// the registration cache keep the large-message pipeline at zero
+/// allocator calls per transfer.
+#[test]
+fn placed_rendezvous_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    let allocs =
+        steady_state_allocs_cfg(placed_cfg(lci_fabric::DeviceConfig::ibv()), 256 << 10, 16, 32);
+    assert_eq!(
+        allocs, 0,
+        "placed 256 KiB rendezvous loop made {allocs} allocator calls after warmup"
+    );
 }
 
 /// The ablation baseline really does allocate: with recycling off the

@@ -175,6 +175,13 @@ pub struct WorldConfig {
     /// the hybrid. With `Dedicated`/`Hybrid`, [`Endpoint::progress`]
     /// defers to the engine per the mode instead of always polling.
     pub progress_mode: lci::ProgressMode,
+    /// Matching-engine bucket count (LCI backend only): the hash-table
+    /// width the tag-matching engine shards its bucket locks over.
+    pub matching_buckets: usize,
+    /// Thread-per-core resource layout (LCI backend only): per-core
+    /// packet/buffer-pool stripes, per-core stats cells, core-pinned
+    /// progress threads (see [`lci::Placement`]).
+    pub placement: lci::Placement,
 }
 
 impl WorldConfig {
@@ -192,6 +199,8 @@ impl WorldConfig {
             reg_cache: true,
             alloc_recycling: true,
             progress_mode: lci::ProgressMode::Workers,
+            matching_buckets: 1024,
+            placement: lci::Placement::default(),
         }
     }
 
@@ -236,6 +245,20 @@ impl WorldConfig {
     /// for the progress engine.
     pub fn with_progress_mode(mut self, mode: lci::ProgressMode) -> Self {
         self.progress_mode = mode;
+        self
+    }
+
+    /// Sets the matching-engine bucket count (LCI backend only) — the
+    /// contention knob for the tag-matching hash table.
+    pub fn with_matching_buckets(mut self, buckets: usize) -> Self {
+        self.matching_buckets = buckets;
+        self
+    }
+
+    /// Sets the thread-per-core placement policy (LCI backend only) —
+    /// the ablation knob for core-aware resource layout.
+    pub fn with_placement(mut self, placement: lci::Placement) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -303,11 +326,12 @@ impl World {
                     },
                     eager_size: cfg.eager_size,
                     prepost: 64,
-                    matching: lci::MatchingConfig { buckets: 1024 },
+                    matching: lci::MatchingConfig { buckets: cfg.matching_buckets },
                     coalesce,
                     zero_copy_recv: cfg.zero_copy,
                     alloc_recycling: cfg.alloc_recycling,
                     progress_mode: cfg.progress_mode,
+                    placement: cfg.placement,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
@@ -428,8 +452,11 @@ impl World {
     pub fn endpoint(&self, tid: usize) -> Endpoint {
         let inner = match &self.inner {
             WorldInner::Lci { rt, devices, am_cqs, noop } => {
+                // Shared mode routes through the caller's home device
+                // (the default device unless extra devices exist);
+                // dedicated mode keeps the explicit tid → device map.
                 let device = match self.cfg.mode {
-                    ResourceMode::Shared => rt.device().clone(),
+                    ResourceMode::Shared => rt.home_device(),
                     ResourceMode::Dedicated(_) => devices[tid].clone(),
                 };
                 EpInner::Lci {

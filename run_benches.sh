@@ -1,15 +1,22 @@
 #!/bin/bash
 # Regenerates every paper table/figure into bench_results/.
-# Usage: ./run_benches.sh [quick] [--transport sim-ibv|sim-ofi|shm]
+# Usage: ./run_benches.sh [quick] [--matrix] [--transport sim-ibv|sim-ofi|shm]
 #
 # With --transport (or LCI_TRANSPORT set) the microbenchmark sweeps run
 # on that single transport and the output files carry its name, e.g.
 # bench_results/msgrate_thread_shm.txt.
+#
+# --matrix runs ONLY the thread-per-core scale matrix (the 8→128-thread
+# sweep; BENCH_MATRIX_THREADS overrides the axis) into
+# bench_results/scale_matrix.txt. Without it the matrix runs after the
+# figure benches.
 set -u
 TRANSPORT="${LCI_TRANSPORT:-}"
+MATRIX_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     quick) export BENCH_QUICK=1 ;;
+    --matrix) MATRIX_ONLY=1 ;;
     --transport) shift; TRANSPORT="$1" ;;
     --transport=*) TRANSPORT="${1#*=}" ;;
     *) echo "unknown arg: $1" >&2; exit 2 ;;
@@ -27,11 +34,24 @@ if [ "${BENCH_QUICK:-}" != "1" ]; then
   export BENCH_ITERS=${BENCH_ITERS:-2000}
 fi
 mkdir -p bench_results
+# The scale matrix sweeps its own transport axis in-process, so its
+# output file is unsuffixed (like shm_scale) unless a transport was
+# forced, in which case only that transport ran.
+run_matrix() {
+  echo "=== running scale_matrix ==="
+  cargo bench -p bench --bench scale_matrix 2>/dev/null \
+    | tee "bench_results/scale_matrix${SUFFIX}.txt" | tail -8
+}
+if [ "$MATRIX_ONLY" = 1 ]; then
+  run_matrix
+  exit 0
+fi
 for b in table1_semantics fig2_msgrate_process fig3_msgrate_thread fig4_bandwidth \
          fig5_resources fig6_kmer fig7_octotiger ablations; do
   echo "=== running $b ==="
   cargo bench -p bench --bench "$b" 2>/dev/null | tee "bench_results/${b#*_}${SUFFIX}.txt" | tail -4
 done
+run_matrix
 # Real multi-process shared-memory scaling (its own transport axis:
 # always runs on shm, whatever the sweep transport above was).
 echo "=== running shm_scale ==="

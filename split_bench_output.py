@@ -27,6 +27,9 @@ markers = {
     # The multi-process shm sweep is its own transport axis: no suffix.
     "shm_scale": ("shm_scale.txt", False),
     "micro_criterion": ("micro_criterion.txt", False),
+    # The thread-per-core scale matrix sweeps all transports in-process
+    # by default; with a forced transport the suffix records it.
+    "scale_matrix": "scale_matrix.txt",
 }
 # Sections start at "Running benches/<name>.rs"
 parts = re.split(r"\n(?=\s*Running benches/)", src)
