@@ -500,7 +500,13 @@ pub fn run_octo_rank(fabric: Arc<Fabric>, rank: usize, cfg: OctoConfig) -> StepS
         particles.extend(inbox.migrants.lock().drain(..));
         inbox.migrants_from.store(0, Ordering::Release);
 
-        fabric.oob_barrier();
+        // End-of-step barrier rides the data path on the LCI backend
+        // (dissemination over send/recv); baselines use the OOB channel.
+        if world.lci_runtime().is_some() {
+            world.barrier().expect("data-path step barrier");
+        } else {
+            fabric.oob_barrier();
+        }
         step_times.push(t0.elapsed());
     }
 

@@ -6,10 +6,12 @@
 //! both produce (extract + aggregate + send) and consume (serve incoming
 //! RPCs) — the *all-worker* setup the paper uses for LCI.
 //!
-//! Pass termination uses the fabric's out-of-band allgather (the PMI
-//! stand-in) to exchange per-destination sent counts once all local
+//! Pass termination exchanges per-destination sent counts once all local
 //! producers finished; every rank then drains until its received count
-//! matches. This mirrors HipMer's barrier-separated stages.
+//! matches. This mirrors HipMer's barrier-separated stages. On the LCI
+//! backend the exchange rides the data-path collectives ([`lci::coll`]);
+//! baseline backends fall back to the fabric's out-of-band allgather
+//! (the PMI stand-in).
 
 use crate::bloom::TwoLayerBloom;
 use crate::chashmap::ShardedMap;
@@ -81,6 +83,28 @@ struct RankShared {
     expected_ready: AtomicBool,
 }
 
+/// Allgather equal-size byte blocks over the data path when the LCI
+/// backend is live, falling back to the out-of-band channel otherwise.
+fn exchange_allgather(world: &World, fabric: &Fabric, rank: usize, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    if world.lci_runtime().is_some() && !mine.is_empty() {
+        let len = mine.len();
+        let mut flat = vec![0u8; len * fabric.nranks()];
+        world.allgather_bytes(&mine, &mut flat).expect("data-path allgather");
+        flat.chunks_exact(len).map(|c| c.to_vec()).collect()
+    } else {
+        fabric.oob_allgather(rank, mine)
+    }
+}
+
+/// Data-path barrier on the LCI backend; out-of-band barrier otherwise.
+fn exchange_barrier(world: &World, fabric: &Fabric) {
+    if world.lci_runtime().is_some() {
+        world.barrier().expect("data-path barrier");
+    } else {
+        fabric.oob_barrier();
+    }
+}
+
 /// Runs the mini-app on `rank`. Every rank of the fabric must call this
 /// with identical `cfg`. Returns the merged global result.
 pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult {
@@ -102,6 +126,8 @@ pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult
 
     // Deterministic read set; this rank's threads take strided slices.
     let reads = Arc::new(generate_reads(&cfg.reads));
+    // Bootstrap barrier: other ranks may still be constructing their
+    // runtimes, so this one stays on the out-of-band channel.
     fabric.oob_barrier();
     let t0 = Instant::now();
 
@@ -131,7 +157,7 @@ pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult
                 .map(|a| a.load(Ordering::Acquire))
                 .flat_map(|v| v.to_le_bytes())
                 .collect();
-            let all = fabric.oob_allgather(rank, mine);
+            let all = exchange_allgather(&world, &fabric, rank, mine);
             let mut expected = 0u64;
             for row in &all {
                 let chunk = &row[rank * 8..rank * 8 + 8];
@@ -144,20 +170,27 @@ pub fn run_rank(fabric: Arc<Fabric>, rank: usize, cfg: KmerConfig) -> KmerResult
             shared.expected_ready.store(false, Ordering::Release);
             shared.received.store(0, Ordering::Release);
         });
-        fabric.oob_barrier();
+        exchange_barrier(&world, &fabric);
     }
     let count_time = t0.elapsed();
 
-    // Merge histograms across ranks over the out-of-band channel.
+    // Merge histograms across ranks: a sum-allreduce. On LCI this rides
+    // the chunk-pipelined ring; baselines sum the out-of-band allgather.
     let local_hist = shared.map.histogram(cfg.max_count);
-    let bytes: Vec<u8> = local_hist.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let all = fabric.oob_allgather(rank, bytes);
-    let mut histogram = vec![0u64; cfg.max_count + 1];
-    for row in &all {
-        for (i, chunk) in row.chunks_exact(8).enumerate() {
-            histogram[i] += u64::from_le_bytes(chunk.try_into().unwrap());
+    let mut bytes: Vec<u8> = local_hist.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let histogram: Vec<u64> = if world.lci_runtime().is_some() {
+        world.allreduce(&mut bytes, &lci::SumU64).expect("data-path allreduce");
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    } else {
+        let all = fabric.oob_allgather(rank, bytes);
+        let mut histogram = vec![0u64; cfg.max_count + 1];
+        for row in &all {
+            for (i, chunk) in row.chunks_exact(8).enumerate() {
+                histogram[i] += u64::from_le_bytes(chunk.try_into().unwrap());
+            }
         }
-    }
+        histogram
+    };
     let distinct = histogram.iter().sum();
     KmerResult { histogram, distinct, count_time }
 }

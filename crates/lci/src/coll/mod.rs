@@ -1,0 +1,565 @@
+//! Performance-grade collective communication (paper §6).
+//!
+//! The paper's position is that LCI's point-to-point primitives are the
+//! building blocks for collectives; this module builds them for real:
+//!
+//! * **Chunk-pipelined ring allreduce** ([`allreduce`]): reduce-scatter
+//!   and allgather phases moving the bandwidth-optimal `2(n−1)/n ·
+//!   bytes` per rank, each block split into [`coll_chunk_size`] chunks whose
+//!   sends overlap the folds of earlier chunks under a bounded
+//!   [`coll_max_inflight`] window (see [`ring`]).
+//! * **Bounded-inflight pairwise alltoall** ([`alltoall_bytes`]): all
+//!   receives pre-posted, sends posted without per-send wait barriers,
+//!   large blocks riding the chunked rendezvous pump.
+//! * **Bruck allgather** ([`allgather_bytes`]) in `⌈log₂ n⌉` rounds and
+//!   a **chunk-pipelined binomial broadcast** ([`broadcast_bytes`]),
+//!   both clone-free over slices with pool-recycled staging.
+//!
+//! Every payload a collective stages rides the device's recycled buffer
+//! pool ([`SendBuf::Pooled`]) and every landing buffer comes from a
+//! per-runtime shelf ([`CollState`]), so a warm collective loop
+//! allocates nothing (enforced by `tests/alloc_steady_state.rs`).
+//! Blocking waits go through the mode-aware [`Runtime::wait_until`], so
+//! collectives park on the completion doorbell under
+//! `Dedicated`/`Hybrid` progress instead of burning a core.
+//!
+//! The naive implementations (clone-per-round, serialized sends,
+//! allreduce as reduce+broadcast at twice the optimal byte volume) are
+//! kept behind the [`coll_naive`] runtime knob as the measured ablation
+//! baseline; `benches/collectives.rs` sweeps both.
+//!
+//! Non-blocking `i*` variants composed on the completion graph live in
+//! [`nb`] (re-exported here): [`ibarrier`], [`ibroadcast`],
+//! [`ireduce_u64`], [`iallgather`], [`ialltoall`], [`iallreduce_u64`].
+//!
+//! ## Tags and ordering
+//!
+//! Tags with the highest bit set are reserved for collectives. The tag
+//! packs a 22-bit per-runtime sequence number and a 9-bit round index
+//! (`1 + 22 + 9 = 32`): collectives must be invoked in the same order
+//! on every rank (the usual MPI-style contract), the sequence keeps
+//! consecutive collectives apart, and the round keeps a collective's
+//! internal stages apart. The sequence wraps at ~4.2 M collectives,
+//! which is safe because at most one collective per runtime is live at
+//! a time (the state lock serializes them) — a wrapped tag can only
+//! collide with a collective that fully completed long ago. Chunks of
+//! one round share the round's tag and are told apart by the posting
+//! order (`user_ctx` carries the chunk index): per-`(rank, tag)`
+//! matching is FIFO and all three transports deliver in order per peer
+//! pair, so the k-th posted receive gets the k-th sent chunk.
+
+mod naive;
+pub mod nb;
+pub mod ops;
+mod ring;
+
+pub use nb::{iallgather, iallreduce_u64, ialltoall, ibarrier, ibroadcast, ireduce_u64, IColl};
+pub use ops::{FnOpU64, MaxF32, MaxU64, ReduceOp, SumF32, SumU64};
+
+use crate::comp::Comp;
+use crate::device::Device;
+use crate::error::{FatalError, PostResult, Result};
+use crate::runtime::Runtime;
+use crate::types::{CompDesc, DataBuf, Rank, SendBuf, Tag};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Reserved tag-space marker (collectives own the high bit).
+pub(crate) const COLL_TAG: Tag = 0x8000_0000;
+/// Sequence-number width (bits 9..31 of the tag).
+const SEQ_BITS: u32 = 22;
+/// Round-index width (bits 0..9 of the tag).
+const ROUND_BITS: u32 = 9;
+/// Largest rank count the pipelined ring allreduce supports: its
+/// `2(n−1)` rounds must fit the tag's round field. Bigger worlds fall
+/// back to the naive (binomial) path, whose round codes are O(log n).
+pub(crate) const MAX_RING_RANKS: usize = 256;
+
+/// Round codes for single-stage collectives (must fit [`ROUND_BITS`];
+/// distinct sequences already separate collectives, so these only
+/// separate stages *within* one collective call).
+pub(crate) const ROUND_BCAST: u32 = 0x1BC & 0x1FF;
+pub(crate) const ROUND_REDUCE: u32 = 0x14D & 0x1FF;
+pub(crate) const ROUND_A2A: u32 = 0x1AA & 0x1FF;
+pub(crate) const ROUND_AG_BASE: u32 = 0x1C0;
+
+pub(crate) fn coll_tag(seq: u32, round: u32) -> Tag {
+    debug_assert!(round < (1 << ROUND_BITS), "collective round {round} overflows the tag field");
+    COLL_TAG | ((seq & ((1 << SEQ_BITS) - 1)) << ROUND_BITS) | (round & ((1 << ROUND_BITS) - 1))
+}
+
+/// Collective sequence number for `rt` (ranks advance in lockstep; the
+/// 22-bit wrap is benign, see the module docs).
+pub(crate) fn next_seq(rt: &Runtime) -> u32 {
+    rt.coll_seq().fetch_add(1, Ordering::Relaxed)
+}
+
+/// Internal hook: collective sequence counter accessor on Runtime.
+impl Runtime {
+    pub(crate) fn coll_seq(&self) -> &AtomicU32 {
+        &self.inner.coll_seq
+    }
+}
+
+/// How many recycled landing boxes the state keeps across collectives.
+const SHELF_CAP: usize = 128;
+
+/// Cached collective-engine state, lazily created per runtime and
+/// reused across collectives so the warm path allocates nothing:
+/// a reusable completion queue for receives (FAA-array backed,
+/// alloc-free push/pop), a shared send-completion handler with an
+/// in-flight counter (the pipelining window), and a shelf of
+/// chunk-capacity landing boxes recycled between rounds.
+pub struct CollState {
+    /// Receive-completion queue shared by every posted receive.
+    recv_cq: Comp,
+    /// Chunk sends outstanding (incremented at post, decremented on
+    /// completion or immediate `done`).
+    inflight: Arc<AtomicU64>,
+    /// Handler comp decrementing [`inflight`](Self::inflight).
+    send_comp: Comp,
+    /// Recycled landing boxes, all of [`chunk_cap`](Self::chunk_cap)
+    /// capacity.
+    shelf: Vec<Box<[u8]>>,
+    /// Landing-box capacity (`coll_chunk_size` at creation).
+    chunk_cap: usize,
+    /// Per-round arrival counters, reused across collectives.
+    arrived: Vec<u32>,
+}
+
+impl CollState {
+    fn new(rt: &Runtime) -> CollState {
+        let inflight = Arc::new(AtomicU64::new(0));
+        let dec = inflight.clone();
+        CollState {
+            recv_cq: Comp::alloc_cq(),
+            inflight,
+            send_comp: Comp::alloc_handler(move |_| {
+                dec.fetch_sub(1, Ordering::AcqRel);
+            }),
+            shelf: Vec::new(),
+            chunk_cap: rt.config().coll_chunk_size,
+            arrived: Vec::new(),
+        }
+    }
+
+    /// A landing box of at least `len` bytes: shelf-recycled when the
+    /// chunk capacity suffices, freshly allocated otherwise (oversize
+    /// alltoall/allgather blocks).
+    fn take_box(&mut self, len: usize) -> Box<[u8]> {
+        if len <= self.chunk_cap {
+            if let Some(b) = self.shelf.pop() {
+                return b;
+            }
+            vec![0u8; self.chunk_cap].into_boxed_slice()
+        } else {
+            vec![0u8; len].into_boxed_slice()
+        }
+    }
+
+    /// Recycles a delivered landing box back onto the shelf. Only
+    /// chunk-capacity boxes are kept (posted receives always get their
+    /// box back as `Owned`/`Partial`: the user-posted-buffer path
+    /// copies into it, and rendezvous lands directly in it).
+    fn put_databuf(&mut self, data: DataBuf) {
+        let b = match data {
+            DataBuf::Partial(b, _) | DataBuf::Owned(b) => b,
+            _ => return,
+        };
+        if b.len() == self.chunk_cap && self.shelf.len() < SHELF_CAP {
+            self.shelf.push(b);
+        }
+    }
+}
+
+/// Runs `f` with the runtime's (lazily created) collective state.
+/// Collectives on one runtime serialize on this lock.
+fn with_state<R>(rt: &Runtime, f: impl FnOnce(&mut CollState) -> Result<R>) -> Result<R> {
+    let mut guard = rt.inner.coll.lock();
+    let state = guard.get_or_insert_with(|| CollState::new(rt));
+    f(state)
+}
+
+// ---------------------------------------------------------------------
+// Shared posting helpers (pipelined engines and barrier)
+// ---------------------------------------------------------------------
+
+/// Posts one collective payload to `peer` under the in-flight window:
+/// waits (mode-aware) for a window slot, stages the payload through the
+/// device's recycled buffer pool, and retries transient backpressure.
+/// Never waits for the send itself — completion decrements the window
+/// through the state's handler comp.
+fn post_windowed(
+    rt: &Runtime,
+    dev: &Device,
+    st: &CollState,
+    peer: Rank,
+    payload: &[u8],
+    tag: Tag,
+) -> Result<()> {
+    let window = rt.config().coll_max_inflight as u64;
+    let inflight = &st.inflight;
+    rt.wait_until(|| inflight.load(Ordering::Acquire) < window)?;
+    loop {
+        let staged: SendBuf = dev.buf_pool().stage_copy(payload).into();
+        st.inflight.fetch_add(1, Ordering::AcqRel);
+        // Collectives batch at chunk granularity themselves, and the
+        // drain contract ("window empty" = "bytes on the wire") requires
+        // real completions — coalesced sends complete at append time
+        // with the frame still buffered, which would let the last rank
+        // exit before its final frame ships. Opt out.
+        let res = rt
+            .post_send_x(peer, staged, tag, st.send_comp.clone())
+            .device(dev)
+            .allow_coalescing(false)
+            .call()?;
+        match res {
+            PostResult::Posted => break,
+            PostResult::Done(_) => {
+                // Completed at post time: `done` results never signal
+                // the handler, so back the window slot out here.
+                settle_done(st, &res);
+                break;
+            }
+            PostResult::Retry(_) => {
+                // The staged copy was consumed; back out the window
+                // slot, make progress, and restage.
+                st.inflight.fetch_sub(1, Ordering::AcqRel);
+                rt.worker_progress_all()?;
+                std::thread::yield_now();
+            }
+        }
+    }
+    let now = st.inflight.load(Ordering::Acquire);
+    dev.inner.stats.raise(|c| &c.coll_chunks_inflight_hwm, now);
+    dev.inner.stats.add(|c| &c.coll_bytes, payload.len() as u64);
+    Ok(())
+}
+
+/// Backs out one window slot for a send that completed at post time
+/// (`done` results never signal the completion handler).
+fn settle_done(st: &CollState, res: &PostResult) {
+    if matches!(res, PostResult::Done(_)) {
+        st.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Waits (mode-aware) until every windowed send has completed.
+fn drain_sends(rt: &Runtime, st: &CollState) -> Result<()> {
+    let inflight = &st.inflight;
+    rt.wait_until(|| inflight.load(Ordering::Acquire) == 0)
+}
+
+/// Pops the next receive completion, blocking mode-aware.
+fn pop_recv(rt: &Runtime, st: &CollState) -> Result<CompDesc> {
+    let mut got = None;
+    let cq = &st.recv_cq;
+    rt.wait_until(|| {
+        got = cq.pop();
+        got.is_some()
+    })?;
+    Ok(got.expect("recv completion"))
+}
+
+/// Posts a receive whose completion lands in the state's receive queue;
+/// immediate (`done`) matches are forwarded into the queue so the
+/// processing loop sees one uniform stream. `ctx` identifies the
+/// arrival (round/chunk/peer, collective-specific).
+fn post_recv_cq(
+    rt: &Runtime,
+    dev: &Device,
+    st: &mut CollState,
+    from: Rank,
+    len: usize,
+    tag: Tag,
+    ctx: u64,
+) -> Result<()> {
+    let bx = st.take_box(len);
+    let res = rt.post_recv_x(from, bx, tag, st.recv_cq.clone()).user_ctx(ctx).device(dev).call()?;
+    match res {
+        PostResult::Done(d) => st.recv_cq.signal(d),
+        PostResult::Posted => {}
+        PostResult::Retry(_) => unreachable!("recv never retries"),
+    }
+    Ok(())
+}
+
+/// Mode-aware wait for a synchronizer comp; resets it for reuse and
+/// returns the delivered descriptors' count worth of state via `take`.
+pub(crate) fn wait_sync(rt: &Runtime, comp: &Comp) -> Result<()> {
+    let sync = comp.as_sync().expect("synchronizer comp");
+    rt.wait_until(|| sync.test())?;
+    sync.reset();
+    Ok(())
+}
+
+/// Mode-aware wait for a synchronizer comp, taking its descriptor.
+pub(crate) fn wait_sync_take(rt: &Runtime, comp: &Comp) -> Result<CompDesc> {
+    let sync = comp.as_sync().expect("synchronizer comp");
+    rt.wait_until(|| sync.test())?;
+    Ok(sync.take().pop().expect("sync descriptor"))
+}
+
+// ---------------------------------------------------------------------
+// Public collectives
+// ---------------------------------------------------------------------
+
+/// Dissemination barrier across all ranks.
+///
+/// Round `r`: rank `i` signals `(i + 2^r) mod n` and waits for a signal
+/// from `(i - 2^r) mod n`; after `⌈log₂ n⌉` rounds every rank has
+/// transitively heard from every other. Waits are mode-aware (parks
+/// under a dedicated progress engine).
+pub fn barrier(rt: &Runtime) -> Result<()> {
+    let n = rt.rank_n();
+    if n == 1 {
+        return Ok(());
+    }
+    let me = rt.rank_me();
+    with_state(rt, |st| {
+        let dev = rt.device().clone();
+        let seq = next_seq(rt);
+        let mut round: u32 = 0;
+        let mut dist = 1usize;
+        while dist < n {
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            let tag = coll_tag(seq, round);
+            let recv_comp = Comp::alloc_sync(1);
+            // Post the receive first so an eager peer matches instantly.
+            let posted = rt.post_recv(from, st.take_box(1), tag, recv_comp.clone())?;
+            // Inject-sized send: anything but retry is `done` (no
+            // signal) or parked in the backlog.
+            st.inflight.fetch_add(1, Ordering::AcqRel);
+            loop {
+                let res = rt
+                    .post_send_x(to, &[round as u8][..], tag, st.send_comp.clone())
+                    .device(&dev)
+                    .allow_coalescing(false)
+                    .call()?;
+                match res {
+                    PostResult::Retry(_) => {
+                        rt.worker_progress_all()?;
+                        std::thread::yield_now();
+                    }
+                    _ => {
+                        settle_done(st, &res);
+                        break;
+                    }
+                }
+            }
+            match posted {
+                PostResult::Done(d) => st.put_databuf(d.data),
+                PostResult::Posted => {
+                    let d = wait_sync_take(rt, &recv_comp)?;
+                    st.put_databuf(d.data);
+                }
+                PostResult::Retry(_) => unreachable!("recv never retries"),
+            }
+            dev.inner.stats.bump(|c| &c.coll_rounds);
+            dist <<= 1;
+            round += 1;
+        }
+        drain_sends(rt, st)
+    })
+}
+
+/// In-place allreduce over raw bytes with a byte-generic [`ReduceOp`]:
+/// every rank passes an identical-length buffer; on return every rank
+/// holds the element-wise reduction. The primary collective — the
+/// chunk-pipelined bandwidth-optimal ring unless [`coll_naive`] is set
+/// (or the world exceeds [`MAX_RING_RANKS`]), in which case the
+/// reduce+broadcast baseline runs.
+///
+/// [`coll_naive`]: crate::RuntimeConfig::coll_naive
+pub fn allreduce<O: ReduceOp + ?Sized>(rt: &Runtime, buf: &mut [u8], op: &O) -> Result<()> {
+    let elem = op.elem_size();
+    if elem == 0 || !buf.len().is_multiple_of(elem) {
+        return Err(FatalError::InvalidArg(format!(
+            "allreduce buffer length {} is not a multiple of the element size {elem}",
+            buf.len()
+        )));
+    }
+    if rt.rank_n() == 1 {
+        return Ok(());
+    }
+    if rt.config().coll_naive || rt.rank_n() > MAX_RING_RANKS {
+        return naive::allreduce(rt, buf, op);
+    }
+    with_state(rt, |st| ring::allreduce(rt, st, buf, op))
+}
+
+/// Allreduce of `u64` lanes with a closure operator (legacy-shaped
+/// convenience over [`allreduce`]; allocates its result vector).
+pub fn allreduce_u64(
+    rt: &Runtime,
+    contrib: &[u64],
+    op: impl Fn(u64, u64) -> u64 + Copy,
+) -> Result<Vec<u64>> {
+    let mut bytes: Vec<u8> = contrib.iter().flat_map(|v| v.to_le_bytes()).collect();
+    allreduce(rt, &mut bytes, &FnOpU64(op))?;
+    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Binomial-tree broadcast of `buf` from `root` over a mutable slice;
+/// chunk-pipelined (children forward chunk `c` as soon as it arrives)
+/// unless [`coll_naive`](crate::RuntimeConfig::coll_naive) selects the
+/// whole-buffer clone-per-child baseline. Every rank passes a buffer of
+/// identical length; non-root buffers are overwritten.
+pub fn broadcast_bytes(rt: &Runtime, root: Rank, buf: &mut [u8]) -> Result<()> {
+    if rt.rank_n() == 1 || buf.is_empty() {
+        return Ok(());
+    }
+    if rt.config().coll_naive {
+        return naive::broadcast_bytes(rt, root, buf);
+    }
+    with_state(rt, |st| ring::broadcast(rt, st, root, buf))
+}
+
+/// Legacy-shaped broadcast over a `Vec` (see [`broadcast_bytes`]).
+pub fn broadcast(rt: &Runtime, root: Rank, buf: &mut Vec<u8>) -> Result<()> {
+    broadcast_bytes(rt, root, buf.as_mut_slice())
+}
+
+/// Binomial-tree reduction of `u64` vectors to `root` with `op`.
+/// Returns `Some(result)` on the root, `None` elsewhere.
+pub fn reduce_u64(
+    rt: &Runtime,
+    root: Rank,
+    contrib: &[u64],
+    op: impl Fn(u64, u64) -> u64 + Copy,
+) -> Result<Option<Vec<u64>>> {
+    let mut acc: Vec<u8> = contrib.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let mine = reduce_bytes(rt, root, &mut acc, &FnOpU64(op))?;
+    Ok(mine
+        .then(|| acc.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()))
+}
+
+/// Binomial-tree byte reduction to `root`, in place: on return the
+/// root's `acc` holds the reduction (returns `true` there), other
+/// ranks' buffers are unspecified partials (returns `false`).
+pub fn reduce_bytes<O: ReduceOp + ?Sized>(
+    rt: &Runtime,
+    root: Rank,
+    acc: &mut [u8],
+    op: &O,
+) -> Result<bool> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    if n == 1 {
+        return Ok(true);
+    }
+    let vr = (me + n - root) % n;
+    with_state(rt, |st| {
+        let dev = rt.device().clone();
+        let seq = next_seq(rt);
+        let tag = coll_tag(seq, ROUND_REDUCE);
+        let mut m = 1usize;
+        loop {
+            if vr & m != 0 {
+                // Send the partial to the parent and exit.
+                let parent = ((vr - m) + root) % n;
+                post_windowed(rt, &dev, st, parent, acc, tag)?;
+                dev.inner.stats.bump(|c| &c.coll_rounds);
+                drain_sends(rt, st)?;
+                return Ok(false);
+            }
+            if vr + m < n {
+                // Receive a child's partial and fold it in.
+                let child = ((vr + m) + root) % n;
+                post_recv_cq(rt, &dev, st, child, acc.len(), tag, 0)?;
+                let desc = pop_recv(rt, st)?;
+                op.fold(acc, desc.data.as_slice());
+                st.put_databuf(desc.data);
+                dev.inner.stats.bump(|c| &c.coll_rounds);
+            }
+            m <<= 1;
+            if m >= n {
+                break;
+            }
+        }
+        drain_sends(rt, st)?;
+        Ok(true)
+    })
+}
+
+/// Allgather over flat buffers: every rank contributes `mine`
+/// (identical length everywhere); `out` (`n × mine.len()` bytes)
+/// receives all contributions in rank order. Bruck's algorithm in
+/// `⌈log₂ n⌉` rounds unless
+/// [`coll_naive`](crate::RuntimeConfig::coll_naive) selects the
+/// `n−1`-round forwarding-ring baseline.
+pub fn allgather_bytes(rt: &Runtime, mine: &[u8], out: &mut [u8]) -> Result<()> {
+    let n = rt.rank_n();
+    if out.len() != n * mine.len() {
+        return Err(FatalError::InvalidArg(format!(
+            "allgather output must be n*len = {} bytes, got {}",
+            n * mine.len(),
+            out.len()
+        )));
+    }
+    if n == 1 {
+        out.copy_from_slice(mine);
+        return Ok(());
+    }
+    if rt.config().coll_naive {
+        return naive::allgather_bytes(rt, mine, out);
+    }
+    with_state(rt, |st| ring::allgather(rt, st, mine, out))
+}
+
+/// Legacy-shaped allgather returning one `Vec` per rank (see
+/// [`allgather_bytes`]; all contributions must have equal length).
+pub fn allgather(rt: &Runtime, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let n = rt.rank_n();
+    let len = mine.len();
+    let mut flat = vec![0u8; n * len];
+    allgather_bytes(rt, mine, &mut flat)?;
+    Ok((0..n).map(|r| flat[r * len..(r + 1) * len].to_vec()).collect())
+}
+
+/// All-to-all personalized exchange over flat buffers: `send` holds `n`
+/// equal blocks (`block = send.len() / n`), block `i` goes to rank `i`;
+/// `recv` (same length) receives rank `j`'s block for us at offset
+/// `j * block`. All receives are pre-posted, sends ride the bounded
+/// in-flight window with no per-send wait (the rendezvous pump chunks
+/// large blocks internally) unless
+/// [`coll_naive`](crate::RuntimeConfig::coll_naive) selects the
+/// serialized baseline.
+pub fn alltoall_bytes(rt: &Runtime, send: &[u8], recv: &mut [u8]) -> Result<()> {
+    let n = rt.rank_n();
+    if !send.len().is_multiple_of(n) || recv.len() != send.len() {
+        return Err(FatalError::InvalidArg(format!(
+            "alltoall buffers must be n equal blocks each way ({} ranks, {} send, {} recv)",
+            n,
+            send.len(),
+            recv.len()
+        )));
+    }
+    let block = send.len() / n;
+    let me = rt.rank_me();
+    recv[me * block..(me + 1) * block].copy_from_slice(&send[me * block..(me + 1) * block]);
+    if n == 1 {
+        return Ok(());
+    }
+    if rt.config().coll_naive {
+        return naive::alltoall_bytes(rt, send, recv, block);
+    }
+    with_state(rt, |st| ring::alltoall(rt, st, send, recv, block))
+}
+
+/// Legacy-shaped alltoall over per-rank `Vec` blocks (see
+/// [`alltoall_bytes`]; all blocks must have equal length across ranks).
+pub fn alltoall(rt: &Runtime, send: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+    let n = rt.rank_n();
+    assert_eq!(send.len(), n, "alltoall needs one block per rank");
+    let block = send.first().map_or(0, |b| b.len());
+    assert!(send.iter().all(|b| b.len() == block), "alltoall blocks must have equal length");
+    let mut flat = Vec::with_capacity(n * block);
+    for b in send {
+        flat.extend_from_slice(b);
+    }
+    let mut out = vec![0u8; n * block];
+    alltoall_bytes(rt, &flat, &mut out)?;
+    Ok((0..n).map(|r| out[r * block..(r + 1) * block].to_vec()).collect())
+}

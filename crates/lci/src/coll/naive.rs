@@ -1,0 +1,170 @@
+//! Naive collective baselines, kept as the measured ablation behind the
+//! [`coll_naive`](crate::RuntimeConfig::coll_naive) knob (and as the
+//! fallback for worlds too large for the ring's tag round field).
+//!
+//! These are the pre-pipelining algorithms: allreduce as binomial
+//! reduce + broadcast (2·log₂ n latency, ~2× the ring's byte volume on
+//! the root's links), whole-buffer clone-per-child broadcast, an
+//! `n−1`-round forwarding ring allgather, and an alltoall whose sends
+//! each wait for completion before the next is posted. They clone
+//! payloads freely — that is the point of the baseline — but their
+//! blocking waits still go through the mode-aware
+//! [`Runtime::wait_until`](crate::Runtime::wait_until) (via
+//! `wait_sync`), so even the ablation parks instead of burning a core
+//! under a dedicated progress engine.
+
+use super::ops::ReduceOp;
+use super::{
+    coll_tag, next_seq, wait_sync, wait_sync_take, ROUND_A2A, ROUND_AG_BASE, ROUND_BCAST,
+    ROUND_REDUCE,
+};
+use crate::comp::Comp;
+use crate::error::{PostResult, Result};
+use crate::runtime::Runtime;
+use crate::types::Rank;
+
+/// Sends `payload` (cloned) and waits for the send to complete before
+/// returning — the per-send barrier the pipelined engines avoid.
+fn send_wait(rt: &Runtime, peer: Rank, payload: &[u8], tag: crate::types::Tag) -> Result<()> {
+    let comp = Comp::alloc_sync(1);
+    loop {
+        // Coalesced sends complete with the frame still buffered; the
+        // blocking baseline needs on-wire completions too (the last rank
+        // out of a collective stops progressing), so opt out.
+        match rt
+            .post_send_x(peer, payload.to_vec(), tag, comp.clone())
+            .allow_coalescing(false)
+            .call()?
+        {
+            PostResult::Done(_) => return Ok(()),
+            PostResult::Posted => return wait_sync(rt, &comp),
+            PostResult::Retry(_) => {
+                rt.worker_progress_all()?;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Posts a fresh-buffer receive and blocks for its delivery.
+fn recv_wait(
+    rt: &Runtime,
+    peer: Rank,
+    len: usize,
+    tag: crate::types::Tag,
+) -> Result<crate::types::CompDesc> {
+    let comp = Comp::alloc_sync(1);
+    match rt.post_recv(peer, vec![0u8; len.max(1)], tag, comp.clone())? {
+        PostResult::Done(d) => Ok(d),
+        PostResult::Posted => wait_sync_take(rt, &comp),
+        PostResult::Retry(_) => unreachable!("recv never retries"),
+    }
+}
+
+/// Allreduce as binomial reduce to rank 0 followed by a broadcast.
+pub(super) fn allreduce<O: ReduceOp + ?Sized>(rt: &Runtime, buf: &mut [u8], op: &O) -> Result<()> {
+    let n = rt.rank_n();
+    let vr = rt.rank_me(); // root 0, so virtual rank == rank
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_REDUCE);
+    let mut m = 1usize;
+    loop {
+        if vr & m != 0 {
+            send_wait(rt, vr - m, buf, tag)?;
+            break;
+        }
+        if vr + m < n {
+            let desc = recv_wait(rt, vr + m, buf.len(), tag)?;
+            op.fold(buf, &desc.data.as_slice()[..buf.len()]);
+        }
+        m <<= 1;
+        if m >= n {
+            break;
+        }
+    }
+    broadcast_bytes(rt, 0, buf)
+}
+
+/// Binomial-tree broadcast, whole buffer per edge, clone per child.
+pub(super) fn broadcast_bytes(rt: &Runtime, root: Rank, buf: &mut [u8]) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let vr = (me + n - root) % n;
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_BCAST);
+    if vr != 0 {
+        let hb = 1usize << (usize::BITS - 1 - vr.leading_zeros());
+        let parent = ((vr - hb) + root) % n;
+        let desc = recv_wait(rt, parent, buf.len(), tag)?;
+        buf.copy_from_slice(&desc.data.as_slice()[..buf.len()]);
+    }
+    let mut m = if vr == 0 { 1 } else { 1usize << (usize::BITS - vr.leading_zeros()) };
+    while vr + m < n {
+        let child = ((vr + m) + root) % n;
+        send_wait(rt, child, buf, tag)?;
+        m <<= 1;
+    }
+    Ok(())
+}
+
+/// Forwarding-ring allgather: `n − 1` rounds, each forwarding one
+/// cloned block to the right neighbour.
+pub(super) fn allgather_bytes(rt: &Runtime, mine: &[u8], out: &mut [u8]) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let len = mine.len();
+    out[me * len..(me + 1) * len].copy_from_slice(mine);
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_AG_BASE);
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for r in 0..n - 1 {
+        let src = (me + n - r) % n; // whose block we forward this round
+        let payload = out[src * len..(src + 1) * len].to_vec();
+        let recv_comp = Comp::alloc_sync(1);
+        let posted = rt.post_recv(left, vec![0u8; len.max(1)], tag, recv_comp.clone())?;
+        send_wait(rt, right, &payload, tag)?;
+        let desc = match posted {
+            PostResult::Done(d) => d,
+            PostResult::Posted => wait_sync_take(rt, &recv_comp)?,
+            PostResult::Retry(_) => unreachable!("recv never retries"),
+        };
+        let inc = (left + n - r) % n; // whose block just arrived
+        out[inc * len..(inc + 1) * len].copy_from_slice(&desc.data.as_slice()[..len]);
+    }
+    Ok(())
+}
+
+/// Pairwise alltoall with serialized sends (each waits before the next
+/// posts); receives are still pre-posted so rounds can't deadlock.
+pub(super) fn alltoall_bytes(
+    rt: &Runtime,
+    send: &[u8],
+    recv: &mut [u8],
+    block: usize,
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_A2A);
+    let mut pending = Vec::new();
+    for peer in (0..n).filter(|&p| p != me) {
+        let comp = Comp::alloc_sync(1);
+        match rt.post_recv(peer, vec![0u8; block.max(1)], tag, comp.clone())? {
+            PostResult::Done(d) => {
+                recv[peer * block..(peer + 1) * block].copy_from_slice(&d.data.as_slice()[..block]);
+            }
+            PostResult::Posted => pending.push((peer, comp)),
+            PostResult::Retry(_) => unreachable!("recv never retries"),
+        }
+    }
+    for r in 1..n {
+        let peer = (me + r) % n;
+        send_wait(rt, peer, &send[peer * block..(peer + 1) * block], tag)?;
+    }
+    for (peer, comp) in pending {
+        let desc = wait_sync_take(rt, &comp)?;
+        recv[peer * block..(peer + 1) * block].copy_from_slice(&desc.data.as_slice()[..block]);
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Byte-generic reduction operators for collectives.
+//!
+//! The ring allreduce works over raw byte buffers so one pipelined
+//! engine serves every element type; a [`ReduceOp`] tells it the
+//! element width and how to fold an incoming lane into the local
+//! accumulator. Operators must be associative and commutative — the
+//! chunk pipeline folds arrivals in whatever order the wire delivers
+//! rounds, and the ring visits peers in rank order per chunk.
+
+/// A byte-generic, element-wise reduction operator.
+pub trait ReduceOp {
+    /// Element width in bytes; buffers passed to collectives using this
+    /// operator must be a multiple of this long.
+    fn elem_size(&self) -> usize;
+
+    /// Folds `incoming` into `acc` element-wise (`acc[i] = op(acc[i],
+    /// incoming[i])`). Both slices have equal length, a multiple of
+    /// [`elem_size`](Self::elem_size).
+    fn fold(&self, acc: &mut [u8], incoming: &[u8]);
+}
+
+macro_rules! lane_op {
+    ($name:ident, $ty:ty, $width:expr, $doc:expr, |$a:ident, $b:ident| $fold:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+
+        impl ReduceOp for $name {
+            fn elem_size(&self) -> usize {
+                $width
+            }
+
+            fn fold(&self, acc: &mut [u8], incoming: &[u8]) {
+                debug_assert_eq!(acc.len(), incoming.len());
+                for (a, b) in acc.chunks_exact_mut($width).zip(incoming.chunks_exact($width)) {
+                    let $a = <$ty>::from_le_bytes(a.try_into().unwrap());
+                    let $b = <$ty>::from_le_bytes(b.try_into().unwrap());
+                    a.copy_from_slice(&($fold).to_le_bytes());
+                }
+            }
+        }
+    };
+}
+
+lane_op!(SumU64, u64, 8, "Element-wise `u64` sum.", |a, b| a.wrapping_add(b));
+lane_op!(MaxU64, u64, 8, "Element-wise `u64` max.", |a, b| a.max(b));
+lane_op!(SumF32, f32, 4, "Element-wise `f32` sum.", |a, b| a + b);
+lane_op!(MaxF32, f32, 4, "Element-wise `f32` max.", |a, b| a.max(b));
+
+/// Adapts a `u64` closure (the legacy `allreduce_u64`/`reduce_u64`
+/// operator shape) into a [`ReduceOp`] over little-endian 8-byte lanes.
+#[derive(Clone, Copy, Debug)]
+pub struct FnOpU64<F: Fn(u64, u64) -> u64>(pub F);
+
+impl<F: Fn(u64, u64) -> u64> ReduceOp for FnOpU64<F> {
+    fn elem_size(&self) -> usize {
+        8
+    }
+
+    fn fold(&self, acc: &mut [u8], incoming: &[u8]) {
+        debug_assert_eq!(acc.len(), incoming.len());
+        for (a, b) in acc.chunks_exact_mut(8).zip(incoming.chunks_exact(8)) {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            a.copy_from_slice(&(self.0)(x, y).to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_u64_folds_lanes() {
+        let mut acc: Vec<u8> = [1u64, 2].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let inc: Vec<u8> = [10u64, 20].iter().flat_map(|v| v.to_le_bytes()).collect();
+        SumU64.fold(&mut acc, &inc);
+        let out: Vec<u64> =
+            acc.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(out, vec![11, 22]);
+    }
+
+    #[test]
+    fn max_f32_folds_lanes() {
+        let mut acc: Vec<u8> = [1.5f32, 9.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let inc: Vec<u8> = [2.5f32, 3.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        MaxF32.fold(&mut acc, &inc);
+        let out: Vec<f32> =
+            acc.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(out, vec![2.5, 9.0]);
+    }
+
+    #[test]
+    fn fn_op_adapts_closures() {
+        let op = FnOpU64(|a, b| a ^ b);
+        assert_eq!(op.elem_size(), 8);
+        let mut acc = 0b1100u64.to_le_bytes().to_vec();
+        op.fold(&mut acc, &0b1010u64.to_le_bytes());
+        assert_eq!(u64::from_le_bytes(acc.try_into().unwrap()), 0b0110);
+    }
+}

@@ -1,0 +1,298 @@
+//! Pipelined collective engines: chunked ring allreduce, chunk-streamed
+//! binomial broadcast, Bruck allgather, bounded-inflight pairwise
+//! alltoall.
+//!
+//! ## Ring allreduce (the tentpole)
+//!
+//! The buffer is cut into `n` near-equal blocks. Over `2(n−1)` rounds
+//! each rank sends one block to its right neighbour and receives one
+//! from its left: rounds `0..n−1` fold the arrival into the local block
+//! (reduce-scatter — after them rank `b+1 mod n` owns the fully reduced
+//! block `b`), rounds `n−1..2(n−1)` copy it (allgather). Per rank this
+//! moves `2(n−1)/n · bytes` each way — bandwidth-optimal.
+//!
+//! Pipelining happens at chunk granularity *across* rounds: the arrival
+//! of round `t`'s chunk `c` is exactly what enables sending round
+//! `t+1`'s chunk `c` (it is the same byte range, now carrying one more
+//! fold), so a chunk's next hop departs while later chunks of the same
+//! round are still in flight. Sends never wait individually; they ride
+//! a `coll_max_inflight` window with pool-recycled staging.
+//!
+//! Receives are posted two rounds ahead of the processing frontier.
+//! That window is a *performance* lookahead (arrivals usually match a
+//! posted landing box and skip the unexpected path), not a correctness
+//! requirement: ring skew between neighbours is bounded by the
+//! send-enablement chain, and anything arriving early is held by the
+//! matching engine's unexpected queue (eager copies on match,
+//! rendezvous RTS answered on match) and still lands in our posted box.
+//!
+//! Chunk identity rides `user_ctx = round << 32 | chunk` on each posted
+//! receive, so completion-order interleavings (immediate `done` vs
+//! queued, rendezvous FIN reordering) cannot misattribute an arrival.
+
+use super::ops::ReduceOp;
+use super::{
+    coll_tag, drain_sends, next_seq, pop_recv, post_recv_cq, post_windowed, CollState, ROUND_A2A,
+    ROUND_AG_BASE, ROUND_BCAST,
+};
+use crate::error::Result;
+use crate::runtime::Runtime;
+
+pub(super) fn allreduce<O: ReduceOp + ?Sized>(
+    rt: &Runtime,
+    st: &mut CollState,
+    buf: &mut [u8],
+    op: &O,
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let elem = op.elem_size();
+    let nelems = buf.len() / elem;
+    let dev = rt.device().clone();
+    let seq = next_seq(rt);
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    let rounds = 2 * (n - 1);
+    // Chunk granularity: the configured size, aligned down to whole
+    // elements so folds never split a lane.
+    let chunk = (rt.config().coll_chunk_size / elem).max(1) * elem;
+
+    // Block `b` covers elements `[b·q + min(b, r), +q + (b < r))` —
+    // near-equal blocks that also handle `nelems < n` (empty blocks).
+    let q = nelems / n;
+    let r = nelems % n;
+    let block = |b: usize| -> (usize, usize) {
+        let start = b * q + b.min(r);
+        let len = q + usize::from(b < r);
+        (start * elem, len * elem)
+    };
+    // Round `t`: send block `(me − t) mod n`, receive `(me − t − 1)
+    // mod n` (each rank's receive is its send of the next round).
+    let send_block = |t: usize| (me + 2 * n - t) % n;
+    let recv_block = |t: usize| (me + 2 * n - t - 1) % n;
+    let chunks_of = |bytes: usize| bytes.div_ceil(chunk);
+    let round_full =
+        |st: &CollState, t: usize| st.arrived[t] as usize == chunks_of(block(recv_block(t)).1);
+
+    let total: usize = (0..rounds).map(|t| chunks_of(block(recv_block(t)).1)).sum();
+    st.arrived.clear();
+    st.arrived.resize(rounds, 0);
+
+    // Advance the receive window: rounds `[0, posted)` have landing
+    // boxes posted; round `t + 2` opens when round `t` fully arrived
+    // (zero-chunk rounds cascade straight through).
+    let mut posted = 0usize;
+    let advance = |rt: &Runtime, st: &mut CollState, posted: &mut usize| -> Result<()> {
+        while *posted < rounds {
+            if *posted >= 2 && !round_full(st, *posted - 2) {
+                break;
+            }
+            let t = *posted;
+            let (_, blen) = block(recv_block(t));
+            for c in 0..chunks_of(blen) {
+                let clen = chunk.min(blen - c * chunk);
+                let ctx = ((t as u64) << 32) | c as u64;
+                post_recv_cq(rt, &dev, st, left, clen, coll_tag(seq, t as u32), ctx)?;
+            }
+            *posted += 1;
+        }
+        Ok(())
+    };
+    advance(rt, st, &mut posted)?;
+
+    // Seed the pipeline: round 0 sends the whole owned block, chunk by
+    // chunk, under the in-flight window.
+    {
+        let (boff, blen) = block(send_block(0));
+        for c in 0..chunks_of(blen) {
+            let off = boff + c * chunk;
+            let clen = chunk.min(boff + blen - off);
+            post_windowed(rt, &dev, st, right, &buf[off..off + clen], coll_tag(seq, 0))?;
+        }
+    }
+
+    let mut processed = 0usize;
+    while processed < total {
+        let desc = pop_recv(rt, st)?;
+        let t = (desc.user_ctx >> 32) as usize;
+        let c = (desc.user_ctx & 0xffff_ffff) as usize;
+        let (boff, blen) = block(recv_block(t));
+        let off = boff + c * chunk;
+        let clen = chunk.min(boff + blen - off);
+        {
+            let incoming = &desc.data.as_slice()[..clen];
+            if t < n - 1 {
+                op.fold(&mut buf[off..off + clen], incoming);
+            } else {
+                buf[off..off + clen].copy_from_slice(incoming);
+            }
+        }
+        st.put_databuf(desc.data);
+        st.arrived[t] += 1;
+        processed += 1;
+        // This arrival is exactly what enables the same chunk's
+        // next-round departure.
+        if t + 1 < rounds {
+            post_windowed(
+                rt,
+                &dev,
+                st,
+                right,
+                &buf[off..off + clen],
+                coll_tag(seq, (t + 1) as u32),
+            )?;
+        }
+        if round_full(st, t) {
+            dev.inner.stats.bump(|cell| &cell.coll_rounds);
+            advance(rt, st, &mut posted)?;
+        }
+    }
+    drain_sends(rt, st)
+}
+
+/// Chunk-streamed binomial broadcast: each parent→child edge carries
+/// the buffer as a stream of `coll_chunk_size` chunks on one tag, and a
+/// non-root forwards chunk `c` to all its children as soon as it
+/// arrives — the subtree below starts filling before the parent has the
+/// full buffer.
+pub(super) fn broadcast(
+    rt: &Runtime,
+    st: &mut CollState,
+    root: usize,
+    buf: &mut [u8],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let dev = rt.device().clone();
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_BCAST);
+    let chunk = rt.config().coll_chunk_size;
+    let k = buf.len().div_ceil(chunk);
+    let vr = (me + n - root) % n;
+
+    // Binomial-tree children of virtual rank `vr`: `vr + m` for every
+    // power of two `m > vr` with `vr + m < n` (at most `log₂ n` of
+    // them, so a fixed array avoids allocation).
+    let mut children = [0usize; usize::BITS as usize];
+    let mut nch = 0;
+    // Smallest power of two strictly greater than vr (1 for the root).
+    let mut m =
+        if vr == 0 { 1usize } else { (1usize << (usize::BITS - 1 - vr.leading_zeros())) << 1 };
+    while vr + m < n {
+        children[nch] = (vr + m + root) % n;
+        nch += 1;
+        m <<= 1;
+    }
+
+    if vr == 0 {
+        for c in 0..k {
+            let off = c * chunk;
+            let clen = chunk.min(buf.len() - off);
+            for &ch in &children[..nch] {
+                post_windowed(rt, &dev, st, ch, &buf[off..off + clen], tag)?;
+            }
+        }
+    } else {
+        let hb = 1usize << (usize::BITS - 1 - vr.leading_zeros());
+        let parent = ((vr - hb) + root) % n;
+        // Pre-post every chunk's landing box; the stream is FIFO per
+        // (rank, tag), so posted order pairs with sent order.
+        for c in 0..k {
+            let clen = chunk.min(buf.len() - c * chunk);
+            post_recv_cq(rt, &dev, st, parent, clen, tag, c as u64)?;
+        }
+        let mut done = 0;
+        while done < k {
+            let desc = pop_recv(rt, st)?;
+            let c = desc.user_ctx as usize;
+            let off = c * chunk;
+            let clen = chunk.min(buf.len() - off);
+            buf[off..off + clen].copy_from_slice(&desc.data.as_slice()[..clen]);
+            st.put_databuf(desc.data);
+            for &ch in &children[..nch] {
+                post_windowed(rt, &dev, st, ch, &buf[off..off + clen], tag)?;
+            }
+            done += 1;
+        }
+    }
+    dev.inner.stats.bump(|cell| &cell.coll_rounds);
+    drain_sends(rt, st)
+}
+
+/// Bruck allgather in `⌈log₂ n⌉` rounds: after round `k` every rank
+/// holds `2^k` blocks (its own plus the next `2^k − 1` ranks'), kept
+/// rotated so each round sends one contiguous prefix; a final in-place
+/// rotation restores rank order. Sends ride the in-flight window (the
+/// staging copy decouples them from the buffer being received into).
+pub(super) fn allgather(
+    rt: &Runtime,
+    st: &mut CollState,
+    mine: &[u8],
+    out: &mut [u8],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let len = mine.len();
+    out[..len].copy_from_slice(mine);
+    if len == 0 {
+        return Ok(());
+    }
+    let dev = rt.device().clone();
+    let seq = next_seq(rt);
+    let mut have = 1usize;
+    let mut round = 0u32;
+    while have < n {
+        let cnt = have.min(n - have);
+        let to = (me + n - have) % n;
+        let from = (me + have) % n;
+        let tag = coll_tag(seq, ROUND_AG_BASE + round);
+        post_recv_cq(rt, &dev, st, from, cnt * len, tag, round as u64)?;
+        post_windowed(rt, &dev, st, to, &out[..cnt * len], tag)?;
+        let desc = pop_recv(rt, st)?;
+        out[have * len..(have + cnt) * len].copy_from_slice(&desc.data.as_slice()[..cnt * len]);
+        st.put_databuf(desc.data);
+        dev.inner.stats.bump(|cell| &cell.coll_rounds);
+        have += cnt;
+        round += 1;
+    }
+    drain_sends(rt, st)?;
+    // Position `j` holds rank `(me + j) mod n`; rotate into rank order.
+    out.rotate_right(me * len);
+    Ok(())
+}
+
+/// Bounded-inflight pairwise alltoall: all `n − 1` receives are posted
+/// up front (identified by sender rank), then all sends are posted in
+/// `(me + r) mod n` order under the in-flight window with no per-send
+/// wait — large blocks ride the chunked rendezvous pump concurrently.
+pub(super) fn alltoall(
+    rt: &Runtime,
+    st: &mut CollState,
+    send: &[u8],
+    recv: &mut [u8],
+    block: usize,
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let dev = rt.device().clone();
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_A2A);
+    for r in 1..n {
+        let peer = (me + r) % n;
+        post_recv_cq(rt, &dev, st, peer, block, tag, peer as u64)?;
+    }
+    for r in 1..n {
+        let peer = (me + r) % n;
+        post_windowed(rt, &dev, st, peer, &send[peer * block..(peer + 1) * block], tag)?;
+    }
+    let mut done = 0;
+    while done < n - 1 {
+        let desc = pop_recv(rt, st)?;
+        let peer = desc.user_ctx as usize;
+        recv[peer * block..(peer + 1) * block].copy_from_slice(&desc.data.as_slice()[..block]);
+        st.put_databuf(desc.data);
+        done += 1;
+    }
+    dev.inner.stats.bump(|cell| &cell.coll_rounds);
+    drain_sends(rt, st)
+}

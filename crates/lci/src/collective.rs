@@ -1,383 +1,9 @@
-//! Basic collective communication (paper §6): a dissemination-based
-//! barrier and binomial-tree broadcast/reduce, built entirely from LCI
-//! point-to-point primitives — the paper's position is that point-to-
-//! point operations are the building blocks for collectives.
-//!
-//! Tags with the highest bit set are reserved for collectives; a
-//! per-runtime sequence number keeps concurrent collectives of the same
-//! kind apart (all ranks must invoke collectives in the same order, the
-//! usual MPI-style contract).
-//!
-//! These are *blocking* convenience wrappers that pump progress on the
-//! runtime's default device; non-blocking collectives can be composed by
-//! the user with the completion graph (see `comp::graph`).
+//! Legacy alias of [`crate::coll`], kept so existing `lci::collective`
+//! call sites compile unchanged. New code should use [`crate::coll`]
+//! directly — it adds the byte-slice collectives
+//! ([`coll::allreduce`](crate::coll::allreduce),
+//! [`coll::alltoall_bytes`](crate::coll::alltoall_bytes), …), the
+//! [`ReduceOp`](crate::coll::ReduceOp) operators, and the non-blocking
+//! [`IColl`](crate::coll::IColl) variants.
 
-use crate::comp::Comp;
-use crate::error::{PostResult, Result};
-use crate::runtime::Runtime;
-use crate::types::{Rank, Tag};
-use std::sync::atomic::{AtomicU32, Ordering};
-
-/// Reserved tag space marker.
-const COLL_TAG: Tag = 0x8000_0000;
-
-fn coll_tag(seq: u32, round: u32) -> Tag {
-    COLL_TAG | ((seq & 0x7FFF) << 16) | (round & 0xFFFF)
-}
-
-/// Waits for `expected` signals on a synchronizer comp.
-fn wait_sync(rt: &Runtime, comp: &Comp) -> Result<()> {
-    let sync = comp.as_sync().expect("synchronizer comp");
-    while !sync.test() {
-        rt.progress()?;
-        std::hint::spin_loop();
-    }
-    sync.reset();
-    Ok(())
-}
-
-/// Collective sequence number for `rt` (ranks advance in lockstep).
-fn next_seq(rt: &Runtime) -> u32 {
-    // One counter per runtime would be ideal; runtimes are per-rank
-    // objects here, so a per-process counter would be shared across
-    // ranks. Instead derive the sequence from a per-runtime atomic
-    // stored in the runtime's collective state.
-    rt.coll_seq().fetch_add(1, Ordering::Relaxed)
-}
-
-/// Dissemination barrier across all ranks.
-///
-/// Round `r`: rank `i` signals `(i + 2^r) mod n` and waits for a signal
-/// from `(i - 2^r) mod n`; after `ceil(log2 n)` rounds every rank has
-/// transitively heard from every other.
-pub fn barrier(rt: &Runtime) -> Result<()> {
-    let n = rt.rank_n();
-    if n == 1 {
-        return Ok(());
-    }
-    let me = rt.rank_me();
-    let seq = next_seq(rt);
-    let mut round: u32 = 0;
-    let mut dist = 1usize;
-    while dist < n {
-        let to = (me + dist) % n;
-        let from = (me + n - dist) % n;
-        let tag = coll_tag(seq, round);
-        let recv_comp = Comp::alloc_sync(1);
-        // Post the receive first so an eager peer matches instantly.
-        let posted = rt.post_recv(from, vec![0u8; 1], tag, recv_comp.clone())?;
-        // Inject-sized: anything but retry is `done` (no signal) or
-        // parked in the backlog.
-        while let PostResult::Retry(_) =
-            rt.post_send(to, vec![round as u8], tag, Comp::alloc_sync(1))?
-        {
-            rt.progress()?;
-        }
-        match posted {
-            PostResult::Done(_) => {}
-            PostResult::Posted => wait_sync(rt, &recv_comp)?,
-            PostResult::Retry(_) => unreachable!("recv never retries"),
-        }
-        dist <<= 1;
-        round += 1;
-    }
-    Ok(())
-}
-
-/// Binomial-tree broadcast of `buf` from `root`. Every rank passes a
-/// buffer of identical length; on non-root ranks it is overwritten.
-pub fn broadcast(rt: &Runtime, root: Rank, buf: &mut Vec<u8>) -> Result<()> {
-    let n = rt.rank_n();
-    if n == 1 {
-        return Ok(());
-    }
-    let me = rt.rank_me();
-    let vr = (me + n - root) % n; // rank relative to root
-    let seq = next_seq(rt);
-    let tag = coll_tag(seq, 0xBC);
-
-    // Receive phase: every non-root receives once, from the relative
-    // rank with the highest set bit of `vr` cleared.
-    if vr != 0 {
-        let hb = 1usize << (usize::BITS - 1 - vr.leading_zeros());
-        let parent = ((vr - hb) + root) % n;
-        let comp = Comp::alloc_sync(1);
-        match rt.post_recv(parent, std::mem::take(buf).into_boxed_slice(), tag, comp.clone())? {
-            PostResult::Done(desc) => *buf = desc.data.into_vec(),
-            PostResult::Posted => {
-                let sync = comp.as_sync().unwrap();
-                while !sync.test() {
-                    rt.progress()?;
-                }
-                let desc = sync.take().pop().expect("bcast recv desc");
-                *buf = desc.data.into_vec();
-            }
-            PostResult::Retry(_) => unreachable!("recv never retries"),
-        }
-    }
-
-    // Send phase: forward to children vr + m for doubling m.
-    let mut m = if vr == 0 { 1 } else { 1usize << (usize::BITS - vr.leading_zeros()) };
-    while vr + m < n {
-        let child = ((vr + m) + root) % n;
-        let comp = Comp::alloc_sync(1);
-        loop {
-            match rt.post_send(child, buf.clone(), tag, comp.clone())? {
-                PostResult::Done(_) => break,
-                PostResult::Posted => {
-                    wait_sync(rt, &comp)?;
-                    break;
-                }
-                PostResult::Retry(_) => rt.progress().map(|_| ())?,
-            }
-        }
-        m <<= 1;
-    }
-    Ok(())
-}
-
-/// Binomial-tree reduction of `u64` vectors to `root` with `op`.
-/// Returns `Some(result)` on the root, `None` elsewhere.
-pub fn reduce_u64(
-    rt: &Runtime,
-    root: Rank,
-    contrib: &[u64],
-    op: impl Fn(u64, u64) -> u64 + Copy,
-) -> Result<Option<Vec<u64>>> {
-    let n = rt.rank_n();
-    let me = rt.rank_me();
-    let mut acc: Vec<u64> = contrib.to_vec();
-    if n == 1 {
-        return Ok(Some(acc));
-    }
-    let vr = (me + n - root) % n;
-    let seq = next_seq(rt);
-    let tag = coll_tag(seq, 0x4D);
-
-    let mut m = 1usize;
-    loop {
-        if vr & m != 0 {
-            // Send the partial to the parent and exit.
-            let parent = ((vr - m) + root) % n;
-            let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
-            let comp = Comp::alloc_sync(1);
-            loop {
-                match rt.post_send(parent, bytes.clone(), tag, comp.clone())? {
-                    PostResult::Done(_) => break,
-                    PostResult::Posted => {
-                        wait_sync(rt, &comp)?;
-                        break;
-                    }
-                    PostResult::Retry(_) => {
-                        rt.progress()?;
-                    }
-                }
-            }
-            return Ok(None);
-        }
-        if vr + m < n {
-            // Receive a child's partial and fold it in.
-            let child = ((vr + m) + root) % n;
-            let comp = Comp::alloc_sync(1);
-            let buf = vec![0u8; acc.len() * 8];
-            let desc = match rt.post_recv(child, buf, tag, comp.clone())? {
-                PostResult::Done(desc) => desc,
-                PostResult::Posted => {
-                    let sync = comp.as_sync().unwrap();
-                    while !sync.test() {
-                        rt.progress()?;
-                    }
-                    sync.take().pop().expect("reduce recv desc")
-                }
-                PostResult::Retry(_) => unreachable!("recv never retries"),
-            };
-            let bytes = desc.data.as_slice();
-            for (i, chunk) in bytes.chunks_exact(8).enumerate() {
-                let v = u64::from_le_bytes(chunk.try_into().unwrap());
-                acc[i] = op(acc[i], v);
-            }
-        }
-        m <<= 1;
-        if m >= n {
-            break;
-        }
-    }
-    Ok(Some(acc))
-}
-
-/// Allgather: every rank contributes `mine`; returns all contributions
-/// rank-ordered. All contributions must have equal length.
-pub fn allgather(rt: &Runtime, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
-    let n = rt.rank_n();
-    let me = rt.rank_me();
-    let seq = next_seq(rt);
-    let tag = coll_tag(seq, 0xA6);
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
-    out[me] = mine.to_vec();
-    if n == 1 {
-        return Ok(out);
-    }
-    // Bruck-style ring: in round r every rank sends what it has from
-    // rank (me - r) to its right neighbour; n-1 rounds.
-    let right = (me + 1) % n;
-    let left = (me + n - 1) % n;
-    for r in 0..n - 1 {
-        let src_rank = (me + n - r) % n; // whose data we forward
-        let payload = out[src_rank].clone();
-        let comp = Comp::alloc_sync(1);
-        let recv_comp = Comp::alloc_sync(1);
-        let posted = rt.post_recv(left, vec![0u8; mine.len().max(8)], tag, recv_comp.clone())?;
-        loop {
-            match rt.post_send(right, payload.clone(), tag, comp.clone())? {
-                PostResult::Done(_) => break,
-                PostResult::Posted => {
-                    wait_sync(rt, &comp)?;
-                    break;
-                }
-                PostResult::Retry(_) => {
-                    rt.progress()?;
-                }
-            }
-        }
-        let desc = match posted {
-            PostResult::Done(d) => d,
-            PostResult::Posted => {
-                let sync = recv_comp.as_sync().unwrap();
-                while !sync.test() {
-                    rt.progress()?;
-                }
-                sync.take().pop().expect("allgather recv desc")
-            }
-            PostResult::Retry(_) => unreachable!("recv never retries"),
-        };
-        let incoming_rank = (left + n - r) % n;
-        out[incoming_rank] = desc.data.into_vec();
-    }
-    Ok(out)
-}
-
-/// All-to-all personalized exchange: `send[i]` goes to rank `i`; returns
-/// what every rank sent to us, rank-ordered. All blocks must have equal
-/// length across ranks.
-pub fn alltoall(rt: &Runtime, send: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
-    let n = rt.rank_n();
-    let me = rt.rank_me();
-    assert_eq!(send.len(), n, "alltoall needs one block per rank");
-    let seq = next_seq(rt);
-    let tag = coll_tag(seq, 0xAA);
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
-    out[me] = send[me].clone();
-    // Post all receives first, then pairwise-exchange by XOR-like
-    // rotation (works for any n with (me + r) % n scheduling).
-    let mut recvs = Vec::new();
-    for peer in (0..n).filter(|&p| p != me) {
-        let comp = Comp::alloc_sync(1);
-        match rt.post_recv(peer, vec![0u8; send[peer].len().max(8)], tag, comp.clone())? {
-            PostResult::Done(d) => out[peer] = d.data.into_vec(),
-            PostResult::Posted => recvs.push((peer, comp)),
-            PostResult::Retry(_) => unreachable!("recv never retries"),
-        }
-    }
-    for r in 1..n {
-        let peer = (me + r) % n;
-        let comp = Comp::alloc_sync(1);
-        loop {
-            match rt.post_send(peer, send[peer].clone(), tag, comp.clone())? {
-                PostResult::Done(_) => break,
-                PostResult::Posted => {
-                    wait_sync(rt, &comp)?;
-                    break;
-                }
-                PostResult::Retry(_) => {
-                    rt.progress()?;
-                }
-            }
-        }
-    }
-    for (peer, comp) in recvs {
-        let sync = comp.as_sync().unwrap();
-        while !sync.test() {
-            rt.progress()?;
-        }
-        out[peer] = sync.take().pop().expect("alltoall desc").data.into_vec();
-    }
-    Ok(out)
-}
-
-/// Non-blocking dissemination barrier composed as a completion graph
-/// (paper §3.2.5: "the local partial execution order and the ordering
-/// imposed by communication operations allow intuitive implementations
-/// of complex nonblocking collective algorithms").
-///
-/// Returns the started graph; poll it with
-/// [`Graph::test`](crate::Graph::test) while progressing the runtime.
-pub fn ibarrier(rt: &Runtime) -> Result<std::sync::Arc<crate::Graph>> {
-    use crate::GraphBuilder;
-    let n = rt.rank_n();
-    let me = rt.rank_me();
-    let seq = next_seq(rt);
-    let mut gb = GraphBuilder::new();
-    if n == 1 {
-        let g = gb.build();
-        g.start();
-        return Ok(g);
-    }
-    let mut prev: Option<crate::NodeId> = None;
-    let mut dist = 1usize;
-    let mut round: u32 = 0;
-    while dist < n {
-        let to = (me + dist) % n;
-        let from = (me + n - dist) % n;
-        let tag = coll_tag(seq, round);
-        // One node per round: completes when both the round's send has
-        // been accepted and its receive delivered (the receive is the
-        // ordering carrier; sends are fire-and-forget inject messages).
-        let rt2 = rt.clone();
-        let node = gb.add_comm(move |comp| {
-            while let Ok(PostResult::Retry(_)) =
-                rt2.post_send(to, vec![0u8; 1], tag, Comp::alloc_handler(|_| {}))
-            {
-                let _ = rt2.progress();
-            }
-            match rt2.post_recv(from, vec![0u8; 8], tag, comp.clone()) {
-                Ok(PostResult::Done(d)) => comp.signal(d),
-                Ok(PostResult::Posted) => {}
-                _ => unreachable!("recv never retries"),
-            }
-        });
-        if let Some(p) = prev {
-            gb.add_edge(p, node);
-        }
-        prev = Some(node);
-        dist <<= 1;
-        round += 1;
-    }
-    let g = gb.build();
-    g.start();
-    Ok(g)
-}
-
-/// Allreduce = reduce to rank `0` + broadcast.
-pub fn allreduce_u64(
-    rt: &Runtime,
-    contrib: &[u64],
-    op: impl Fn(u64, u64) -> u64 + Copy,
-) -> Result<Vec<u64>> {
-    let reduced = reduce_u64(rt, 0, contrib, op)?;
-    let mut bytes: Vec<u8> = match reduced {
-        Some(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        None => vec![0u8; contrib.len() * 8],
-    };
-    broadcast(rt, 0, &mut bytes)?;
-    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
-}
-
-/// Internal hook: collective sequence counter accessor on Runtime.
-impl Runtime {
-    pub(crate) fn coll_seq(&self) -> &AtomicU32 {
-        // The counter lives beside the runtime's inner state; a process-
-        // global fallback would break multi-runtime composition, so it is
-        // stored per runtime.
-        &self.inner.coll_seq
-    }
-}
+pub use crate::coll::*;

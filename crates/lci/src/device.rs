@@ -297,7 +297,10 @@ pub(crate) struct DeviceInner {
     /// an auto-spawned progress engine makes real (it can poll a wire
     /// message in before the application finishes registering handlers).
     pending_inbound: SpinLock<Vec<PendingInbound>>,
-    stats: DeviceStats,
+    /// Per-core operation counters; `pub(crate)` so the collectives
+    /// layer can attribute its rounds/bytes/inflight marks to the
+    /// device that carried them.
+    pub(crate) stats: DeviceStats,
 }
 
 /// An inbound delivery parked until its rcomp is registered (see

@@ -74,10 +74,11 @@
 //! | §4.1.5 backlog queue | `backlog` (internal) |
 //! | §4.2 network backends | [`lci_fabric`] |
 //! | §4.3 protocols | [`proto`] |
-//! | §6 collectives | [`collective`] |
+//! | §6 collectives | [`coll`] (chunk-pipelined; [`collective`] is the legacy alias) |
 
 mod backlog;
 pub mod coalesce;
+pub mod coll;
 pub mod collective;
 pub mod comp;
 mod ctx_pool;
@@ -94,6 +95,7 @@ pub mod types;
 mod util;
 
 pub use coalesce::CoalesceConfig;
+pub use coll::{FnOpU64, IColl, MaxF32, MaxU64, ReduceOp, SumF32, SumU64};
 pub use comp::graph::{Graph, GraphBuilder, NodeId, NodeOp};
 pub use comp::lcrq::Lcrq;
 pub use comp::queue::{CompQueue, CqConfig, CqImpl};

@@ -64,6 +64,18 @@ pub fn make_key(rank: Rank, tag: Tag, policy: MatchingPolicy) -> u64 {
     }
 }
 
+/// Recycled overflow deques the engine keeps (see
+/// [`MatchingEngine`]'s `spares`): collectives burst many same-key
+/// entries on fresh tags, so the spilled `VecDeque` would otherwise be
+/// allocated and dropped once per burst.
+const SPARES_CAP: usize = 32;
+/// Largest capacity (entries) a deque may have and still be recycled —
+/// bounds the freelist's worst-case footprint.
+const SPARE_MAX_ELEMS: usize = 512;
+
+/// The engine-wide freelist of emptied overflow deques.
+type Spares<T> = SpinLock<Vec<Box<VecDeque<T>>>>;
+
 /// A same-key FIFO of entries, two inline slots before heap spill.
 struct EntryQueue<T> {
     key: u64,
@@ -80,7 +92,7 @@ impl<T> EntryQueue<T> {
         Self { key, kind, a: Some(first), b: None, overflow: None }
     }
 
-    fn push(&mut self, v: T) {
+    fn push(&mut self, v: T, spares: &Spares<T>) {
         if self.a.is_none()
             && self.overflow.as_ref().is_none_or(|o| o.is_empty())
             && self.b.is_none()
@@ -89,7 +101,27 @@ impl<T> EntryQueue<T> {
         } else if self.b.is_none() && self.overflow.as_ref().is_none_or(|o| o.is_empty()) {
             self.b = Some(v);
         } else {
-            self.overflow.get_or_insert_with(Default::default).push_back(v);
+            // Spill: reuse a recycled deque (warm capacity included)
+            // before asking the allocator for a fresh one.
+            let of = match &mut self.overflow {
+                Some(of) => of,
+                slot @ None => slot.insert(spares.lock().pop().unwrap_or_default()),
+            };
+            of.push_back(v);
+        }
+    }
+
+    /// Hands the (empty) overflow deque back to the freelist; called
+    /// when this queue is removed from its bucket.
+    fn reclaim_overflow(mut self, spares: &Spares<T>) {
+        if let Some(mut of) = self.overflow.take() {
+            if of.capacity() <= SPARE_MAX_ELEMS {
+                of.clear();
+                let mut s = spares.lock();
+                if s.len() < SPARES_CAP {
+                    s.push(of);
+                }
+            }
         }
     }
 
@@ -141,15 +173,19 @@ impl<T> Bucket<T> {
         self.overflow.as_mut()?.iter_mut().find(|q| q.key == key)
     }
 
-    fn remove_if_empty(&mut self, key: u64) {
+    fn remove_if_empty(&mut self, key: u64, spares: &Spares<T>) {
         for slot in self.q.iter_mut() {
             if slot.as_ref().is_some_and(|q| q.key == key && q.is_empty()) {
-                *slot = None;
+                slot.take().expect("checked above").reclaim_overflow(spares);
                 return;
             }
         }
         if let Some(of) = self.overflow.as_mut() {
-            of.retain(|q| !(q.key == key && q.is_empty()));
+            if let Some(pos) = of.iter().position(|q| q.key == key && q.is_empty()) {
+                // Queue order within a bucket only matters per key, so
+                // the swap removal is safe.
+                of.swap_remove(pos).reclaim_overflow(spares);
+            }
         }
     }
 
@@ -197,6 +233,12 @@ pub struct MatchingEngine<T> {
     /// Readers want a monotonic-ish estimate, not a linearizable
     /// snapshot (matching correctness never depends on it).
     entries: StripedU64,
+    /// Recycled overflow deques: a same-key burst past the two inline
+    /// slots spills to a `VecDeque`, and bursts arrive on fresh keys
+    /// (collective tags carry a sequence number), so without recycling
+    /// every burst would allocate the deque anew. Only touched on the
+    /// spill path — point-to-point inserts never look at it.
+    spares: Spares<T>,
     /// Bucket-lock acquisitions that found the lock busy — the
     /// contention signal the scale matrix uses to attribute msgrate
     /// cliffs to matching pressure (tune `MatchingConfig::buckets`).
@@ -219,6 +261,7 @@ impl<T> MatchingEngine<T> {
             mask: (n - 1) as u64,
             make_key: None,
             entries: StripedU64::new(0),
+            spares: SpinLock::new(Vec::new()),
             contended: StripedU64::new(0),
         }
     }
@@ -265,7 +308,7 @@ impl<T> MatchingEngine<T> {
             if q.kind == kind.opposite() {
                 if let Some(matched) = q.pop() {
                     if q.is_empty() {
-                        bucket.remove_if_empty(key);
+                        bucket.remove_if_empty(key, &self.spares);
                     }
                     drop(bucket);
                     self.entries.sub(1);
@@ -274,12 +317,12 @@ impl<T> MatchingEngine<T> {
                 // Complementary queue exists but is empty (transient;
                 // normally removed) — repurpose it.
                 q.kind = kind;
-                q.push(value);
+                q.push(value, &self.spares);
                 drop(bucket);
                 self.entries.add(1);
                 return None;
             }
-            q.push(value);
+            q.push(value, &self.spares);
             drop(bucket);
             self.entries.add(1);
             return None;

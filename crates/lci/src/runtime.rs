@@ -135,6 +135,18 @@ pub struct RuntimeConfig {
     /// Stripe count for the pending-rendezvous tables (send and receive
     /// state each sharded over this many independently locked slabs).
     pub rdv_shards: usize,
+    /// Use the naive (clone-per-round, serialized-send) collective
+    /// implementations instead of the chunk-pipelined ones — the
+    /// measured ablation baseline for the collectives bench (see
+    /// [`crate::coll`]).
+    pub coll_naive: bool,
+    /// Chunk size the pipelined ring allreduce splits each block into.
+    /// Must be nonzero and at most 1 MiB (the buffer pool's largest
+    /// recycled size class — bigger chunks would defeat pooled staging).
+    pub coll_chunk_size: usize,
+    /// Maximum collective chunk sends outstanding per rank (the
+    /// pipelining window of ring allreduce and the pairwise alltoall).
+    pub coll_max_inflight: usize,
     /// Recycle steady-state data-path storage: pooled operation contexts
     /// (slab-backed, generation-tagged) instead of per-post boxes, and
     /// shelf-recycled staging/bounce buffers instead of fresh heap
@@ -175,6 +187,9 @@ impl Default for RuntimeConfig {
             rdv_chunk_size: 64 << 10,
             rdv_max_inflight: 4,
             rdv_shards: 8,
+            coll_naive: false,
+            coll_chunk_size: 64 << 10,
+            coll_max_inflight: 4,
             alloc_recycling: true,
             progress_mode: ProgressMode::Workers,
             placement: Placement::default(),
@@ -244,6 +259,27 @@ impl RuntimeConfig {
         self
     }
 
+    /// Selects the naive collective implementations (see
+    /// [`coll_naive`](Self::coll_naive)) — the ablation baseline.
+    pub fn with_coll_naive(mut self, on: bool) -> Self {
+        self.coll_naive = on;
+        self
+    }
+
+    /// Sets the collective pipelining chunk size (see
+    /// [`coll_chunk_size`](Self::coll_chunk_size)).
+    pub fn with_coll_chunk_size(mut self, bytes: usize) -> Self {
+        self.coll_chunk_size = bytes;
+        self
+    }
+
+    /// Sets the collective in-flight chunk window (see
+    /// [`coll_max_inflight`](Self::coll_max_inflight)).
+    pub fn with_coll_max_inflight(mut self, window: usize) -> Self {
+        self.coll_max_inflight = window;
+        self
+    }
+
     /// Scales pool/prepost sizes down, for tests and high-rank-count
     /// benchmarks inside one process.
     pub fn small() -> Self {
@@ -265,8 +301,15 @@ pub(crate) struct RuntimeInner {
     pub pool: PacketPool,
     pub matching: Arc<MatchingEngine<MatchEntry>>,
     pub rcomp: MpmcArray<Comp>,
-    /// Collective sequence counter (see `crate::collective`).
+    /// Collective sequence counter (see `crate::coll`).
     pub coll_seq: std::sync::atomic::AtomicU32,
+    /// Cached collective-engine state (lazily initialised by
+    /// [`crate::coll`]): reusable completion objects, recycled landing
+    /// buffers, and bookkeeping scratch, so warm collectives allocate
+    /// nothing. Collectives on one runtime serialize on this lock —
+    /// the usual "all ranks call collectives in the same order"
+    /// contract already implies one collective at a time per rank.
+    pub coll: parking_lot::Mutex<Option<crate::coll::CollState>>,
     /// Every device allocated on this runtime, in creation order. Weak:
     /// `DeviceInner` holds `rt: Arc<RuntimeInner>`, so a strong registry
     /// would cycle and leak. Progress threads and
@@ -330,6 +373,14 @@ impl Runtime {
         if config.rdv_shards == 0 || config.rdv_shards > 256 {
             return Err(FatalError::InvalidArg("rdv_shards must be in 1..=256".into()));
         }
+        if config.coll_chunk_size == 0 || config.coll_chunk_size > (1 << 20) {
+            return Err(FatalError::InvalidArg(
+                "coll_chunk_size must be in 1..=1MiB (the largest pooled size class)".into(),
+            ));
+        }
+        if config.coll_max_inflight == 0 {
+            return Err(FatalError::InvalidArg("coll_max_inflight must be nonzero".into()));
+        }
         match config.progress_mode {
             ProgressMode::Dedicated(n) | ProgressMode::Hybrid(n) if n == 0 || n > 64 => {
                 return Err(FatalError::InvalidArg(
@@ -373,6 +424,7 @@ impl Runtime {
             matching: Arc::new(MatchingEngine::with_config(config.matching)),
             rcomp: MpmcArray::with_capacity(16),
             coll_seq: std::sync::atomic::AtomicU32::new(0),
+            coll: parking_lot::Mutex::new(None),
             devices: MpmcArray::with_capacity(4),
             comp_bell: Arc::new(Doorbell::new()),
             progress: ProgressEngine::new(),

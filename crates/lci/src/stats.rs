@@ -56,6 +56,9 @@ pub(crate) struct StatsCell {
     pub(crate) worker_polls: AtomicU64,
     pub(crate) progress_parks: AtomicU64,
     pub(crate) early_inbound: AtomicU64,
+    pub(crate) coll_rounds: AtomicU64,
+    pub(crate) coll_bytes: AtomicU64,
+    pub(crate) coll_chunks_inflight_hwm: AtomicU64,
 }
 
 /// Monotonic counters for one device, striped per core and folded at
@@ -156,6 +159,9 @@ impl DeviceStats {
             worker_polls: self.fold(|c| &c.worker_polls),
             progress_parks: self.fold(|c| &c.progress_parks),
             early_inbound: self.fold(|c| &c.early_inbound),
+            coll_rounds: self.fold(|c| &c.coll_rounds),
+            coll_bytes: self.fold(|c| &c.coll_bytes),
+            coll_chunks_inflight_hwm: self.fold_max(|c| &c.coll_chunks_inflight_hwm),
             doorbell_rings: 0,
             reg_cache_hits: 0,
             reg_cache_misses: 0,
@@ -233,6 +239,19 @@ pub struct StatsSnapshot {
     /// registered and were parked for retry (the registration race an
     /// auto-spawned progress engine makes real).
     pub early_inbound: u64,
+    /// Collective communication rounds executed through this device
+    /// (ring/dissemination/binomial steps; one bump per peer exchange a
+    /// rank takes part in).
+    pub coll_rounds: u64,
+    /// Payload bytes moved by collectives through this device (sends
+    /// only, so cross-rank sums count each byte once).
+    pub coll_bytes: u64,
+    /// High-water mark of concurrently in-flight collective chunks
+    /// (pipelined ring-allreduce chunk sends + bounded-inflight alltoall
+    /// block sends; max across cells, not a delta counter — see
+    /// [`StatsSnapshot::since`]). Values above 1 demonstrate real
+    /// chunk-level overlap.
+    pub coll_chunks_inflight_hwm: u64,
     /// Times the device's fabric doorbell rang (overlaid by
     /// [`Device::stats`](crate::device::Device::stats) from the
     /// [`lci_fabric::Doorbell`] counter, not tracked in [`DeviceStats`]).
@@ -311,6 +330,10 @@ impl StatsSnapshot {
             worker_polls: self.worker_polls.saturating_sub(earlier.worker_polls),
             progress_parks: self.progress_parks.saturating_sub(earlier.progress_parks),
             early_inbound: self.early_inbound.saturating_sub(earlier.early_inbound),
+            coll_rounds: self.coll_rounds.saturating_sub(earlier.coll_rounds),
+            coll_bytes: self.coll_bytes.saturating_sub(earlier.coll_bytes),
+            // High-water mark: the later value covers the interval.
+            coll_chunks_inflight_hwm: self.coll_chunks_inflight_hwm,
             doorbell_rings: self.doorbell_rings.saturating_sub(earlier.doorbell_rings),
             reg_cache_hits: self.reg_cache_hits.saturating_sub(earlier.reg_cache_hits),
             reg_cache_misses: self.reg_cache_misses.saturating_sub(earlier.reg_cache_misses),

@@ -87,6 +87,11 @@ pub enum SendBuf {
     /// A list of owned buffers transmitted as one message (§3.3.1,
     /// "transmitting a list of source and target buffers").
     Iovec(Vec<Box<[u8]>>),
+    /// A pool-recycled staging buffer: its storage returns to the
+    /// buffer pool when the completion descriptor carrying it back is
+    /// dropped, so steady-state senders (collectives staging per-round
+    /// payloads) allocate nothing.
+    Pooled(lci_fabric::PoolBuf),
 }
 
 impl SendBuf {
@@ -97,6 +102,7 @@ impl SendBuf {
             SendBuf::Owned(b) => b.len(),
             SendBuf::Packet(p) => p.len(),
             SendBuf::Iovec(v) => v.iter().map(|b| b.len()).sum(),
+            SendBuf::Pooled(b) => b.len(),
         }
     }
 
@@ -114,6 +120,7 @@ impl SendBuf {
             SendBuf::Packet(p) => Some(&p.as_slice()[..p.len()]),
             SendBuf::Iovec(v) if v.len() == 1 => Some(&v[0]),
             SendBuf::Iovec(_) => None,
+            SendBuf::Pooled(b) => Some(b),
         }
     }
 
@@ -169,6 +176,12 @@ impl From<Packet> for SendBuf {
 impl From<Vec<Box<[u8]>>> for SendBuf {
     fn from(v: Vec<Box<[u8]>>) -> Self {
         SendBuf::Iovec(v)
+    }
+}
+
+impl From<lci_fabric::PoolBuf> for SendBuf {
+    fn from(b: lci_fabric::PoolBuf) -> Self {
+        SendBuf::Pooled(b)
     }
 }
 

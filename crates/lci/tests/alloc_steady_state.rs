@@ -271,6 +271,59 @@ fn placed_rendezvous_steady_state_is_allocation_free() {
     );
 }
 
+/// Warm chunk-pipelined ring allreduce: once the collective engine's
+/// landing-buffer shelf, staging pool, op-context slabs, and round
+/// bookkeeping are warm, a full allreduce — 2(n−1) rounds of windowed
+/// sends, pre-posted recvs, and in-place folds, 8 chunks per block —
+/// makes zero allocator calls on either rank. Blocking collectives
+/// need both ranks live simultaneously, so this audit runs one thread
+/// per rank and the global counter covers both sides of the exchange.
+#[test]
+fn collective_allreduce_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    const WARMUP: usize = 8;
+    const ITERS: usize = 32;
+    // 64 KiB payload -> 32 KiB ring blocks -> eight 4 KiB chunks per
+    // round, so the bounded-inflight window actually pipelines.
+    const ELEMS: usize = 8 << 10;
+    let fabric = Fabric::new(2);
+    // Rank threads rendezvous with the measuring main thread here;
+    // `Barrier::wait` is futex-based and allocation-free once the
+    // warmup crossing has happened.
+    let gate = Arc::new(std::sync::Barrier::new(3));
+    let mut threads = Vec::new();
+    for rank in 0..2 {
+        let fabric = fabric.clone();
+        let gate = gate.clone();
+        threads.push(std::thread::spawn(move || {
+            let cfg = RuntimeConfig { coll_chunk_size: 4096, ..RuntimeConfig::small() };
+            let rt = Runtime::new(fabric, rank, cfg).unwrap();
+            let mut buf = vec![1u8; ELEMS * 8];
+            for _ in 0..WARMUP {
+                lci::coll::allreduce(&rt, &mut buf, &lci::SumU64).unwrap();
+            }
+            gate.wait(); // measurement window opens
+            for _ in 0..ITERS {
+                lci::coll::allreduce(&rt, &mut buf, &lci::SumU64).unwrap();
+            }
+            gate.wait(); // window closes
+            gate.wait(); // counter read; teardown may allocate freely now
+        }));
+    }
+    gate.wait();
+    let before = alloc_calls();
+    gate.wait();
+    let allocs = alloc_calls() - before;
+    gate.wait();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        allocs, 0,
+        "warm ring-allreduce loop made {allocs} allocator calls across both ranks over {ITERS} iterations"
+    );
+}
+
 /// The ablation baseline really does allocate: with recycling off the
 /// same eager loop hits the allocator every iteration, which also
 /// proves the harness counts what it claims to count.

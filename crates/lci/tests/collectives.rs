@@ -1,0 +1,291 @@
+//! Integration and property tests for the chunk-pipelined collectives
+//! (`lci::coll`): ring allreduce, binomial broadcast/reduce, Bruck
+//! allgather, bounded-inflight alltoall, their non-blocking `i*`
+//! variants, and the equivalence of the pipelined engines with the
+//! store-and-forward `coll_naive` baselines on awkward shapes
+//! (non-power-of-two rank counts, zero-length blocks, block sizes
+//! straddling chunk boundaries).
+
+use lci::prelude::*;
+use lci::{coll, MaxF32, RuntimeConfig, SumF32, SumU64};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn with_ranks(n: usize, cfg: RuntimeConfig, f: impl Fn(usize, Runtime) + Send + Sync + 'static) {
+    with_ranks_ret(n, cfg, f);
+}
+
+/// Spawns one runtime per rank and returns each rank's callback result
+/// in rank order.
+fn with_ranks_ret<T: Send + 'static>(
+    n: usize,
+    cfg: RuntimeConfig,
+    f: impl Fn(usize, Runtime) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let fabric = Fabric::new(n);
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|r| {
+            let fabric = fabric.clone();
+            let cfg = cfg.clone();
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("rank{r}"))
+                .spawn(move || {
+                    let rt = Runtime::new(fabric, r, cfg).unwrap();
+                    rt.oob_barrier();
+                    f(r, rt)
+                })
+                .unwrap()
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// A config that forces many small chunks through the ring so the
+/// pipeline (not just the algorithm) is exercised.
+fn tiny_chunk_cfg(chunk: usize) -> RuntimeConfig {
+    RuntimeConfig { coll_chunk_size: chunk, ..RuntimeConfig::small() }
+}
+
+#[test]
+fn ring_allreduce_multi_chunk_nonpow2() {
+    // 5 ranks (non-power-of-two), 999 u64s (not divisible by 5), 64-byte
+    // chunks: blocks of 199/200 elements split across ~25 chunks each.
+    let n = 5;
+    with_ranks(n, tiny_chunk_cfg(64), move |rank, rt| {
+        let mut vals: Vec<u64> = (0..999).map(|i| (rank as u64) << 32 | i).collect();
+        let mut bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        coll::allreduce(&rt, &mut bytes, &SumU64).unwrap();
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let got = u64::from_le_bytes(chunk.try_into().unwrap());
+            let want: u64 = (0..n as u64).map(|r| r << 32 | i as u64).sum();
+            assert_eq!(got, want, "element {i}");
+        }
+        // The engine's new counters moved: rounds were counted and
+        // bytes were sent. (`coll_chunks_inflight_hwm` only counts
+        // sends still outstanding after posting — tiny eager chunks
+        // complete at post time, so it is asserted in the
+        // rendezvous-sized test below instead.)
+        let stats = rt.device().stats();
+        assert!(stats.coll_rounds >= 2 * (n as u64 - 1), "rounds {}", stats.coll_rounds);
+        assert!(stats.coll_bytes > 0);
+        vals.clear();
+    });
+}
+
+#[test]
+fn ring_allreduce_rendezvous_chunks_pipeline() {
+    // Chunks over the 4 KiB eager threshold ride rendezvous, so sends
+    // stay genuinely in flight and the window high-water mark must show
+    // the pipeline held at least one chunk outstanding.
+    with_ranks(3, tiny_chunk_cfg(8 << 10), |rank, rt| {
+        let elems = 24 << 10; // 192 KiB -> 64 KiB blocks -> 8 chunks each
+        let mut bytes = vec![0u8; elems * 8];
+        for (i, c) in bytes.chunks_exact_mut(8).enumerate() {
+            c.copy_from_slice(&((rank * 1000 + i) as u64).to_le_bytes());
+        }
+        coll::allreduce(&rt, &mut bytes, &SumU64).unwrap();
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            let want: u64 = (0..3).map(|r| (r * 1000 + i) as u64).sum();
+            assert_eq!(u64::from_le_bytes(c.try_into().unwrap()), want, "element {i}");
+        }
+        let stats = rt.device().stats();
+        assert!(stats.coll_chunks_inflight_hwm >= 1, "hwm {}", stats.coll_chunks_inflight_hwm);
+    });
+}
+
+#[test]
+fn allreduce_f32_ops() {
+    with_ranks(4, RuntimeConfig::small(), |rank, rt| {
+        let mine = [rank as f32 + 0.5, -(rank as f32)];
+        let mut bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+        coll::allreduce(&rt, &mut bytes, &MaxF32).unwrap();
+        let got: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(got, vec![3.5, 0.0]);
+
+        let mut bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+        coll::allreduce(&rt, &mut bytes, &SumF32).unwrap();
+        let got: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(got, vec![0.5 + 1.5 + 2.5 + 3.5, -(0.0 + 1.0 + 2.0 + 3.0)]);
+    });
+}
+
+#[test]
+fn broadcast_multi_chunk_streams() {
+    // 40 KiB from rank 1 through 512-byte chunks: the root streams ~80
+    // chunks to each child while children forward on arrival.
+    with_ranks(3, tiny_chunk_cfg(512), |rank, rt| {
+        let want: Vec<u8> = (0..40 << 10).map(|i| (i % 251) as u8).collect();
+        let mut buf = if rank == 1 { want.clone() } else { vec![0u8; 40 << 10] };
+        coll::broadcast_bytes(&rt, 1, &mut buf).unwrap();
+        assert_eq!(buf, want);
+    });
+}
+
+#[test]
+fn reduce_only_root_gets_result() {
+    with_ranks(4, RuntimeConfig::small(), |rank, rt| {
+        let contrib = vec![rank as u64 + 1, 10 * (rank as u64 + 1)];
+        let res = coll::reduce_u64(&rt, 2, &contrib, |a, b| a + b).unwrap();
+        if rank == 2 {
+            assert_eq!(res.unwrap(), vec![10, 100]);
+        } else {
+            assert!(res.is_none());
+        }
+    });
+}
+
+#[test]
+fn allgather_zero_length_blocks() {
+    with_ranks(3, RuntimeConfig::small(), |_rank, rt| {
+        let mut out = vec![];
+        coll::allgather_bytes(&rt, &[], &mut out).unwrap();
+        assert!(out.is_empty());
+
+        let all = coll::allgather(&rt, &[]).unwrap();
+        assert_eq!(all, vec![Vec::<u8>::new(); 3]);
+    });
+}
+
+#[test]
+fn alltoall_rendezvous_blocks() {
+    // Blocks over the small config's 4 KiB eager threshold ride the
+    // rendezvous chunk pump; all receives are pre-posted.
+    with_ranks(3, RuntimeConfig::small(), |rank, rt| {
+        let block = 12 << 10;
+        let send: Vec<u8> = (0..3 * block).map(|i| (rank * 64 + i / block) as u8).collect();
+        let mut recv = vec![0u8; 3 * block];
+        coll::alltoall_bytes(&rt, &send, &mut recv).unwrap();
+        for src in 0..3 {
+            assert!(
+                recv[src * block..(src + 1) * block].iter().all(|&b| b == (src * 64 + rank) as u8),
+                "rank {rank} block from {src}"
+            );
+        }
+    });
+}
+
+#[test]
+fn nonblocking_variants_roundtrip() {
+    with_ranks(3, RuntimeConfig::small(), |rank, rt| {
+        // ibroadcast
+        let buf = if rank == 0 { b"graphcast".to_vec() } else { vec![0u8; 9] };
+        let op = coll::ibroadcast(&rt, 0, buf).unwrap();
+        assert_eq!(op.wait(&rt).unwrap(), b"graphcast");
+
+        // ireduce (sum to rank 2)
+        let op = coll::ireduce_u64(&rt, 2, &[rank as u64, 1], |a, b| a + b).unwrap();
+        let res = op.wait(&rt).unwrap();
+        if rank == 2 {
+            assert_eq!(res.unwrap(), vec![3, 3]);
+        } else {
+            assert!(res.is_none());
+        }
+
+        // iallreduce (max)
+        let op = coll::iallreduce_u64(&rt, &[rank as u64 * 7], u64::max).unwrap();
+        assert_eq!(op.wait(&rt).unwrap(), vec![14]);
+
+        // iallgather
+        let op = coll::iallgather(&rt, &[rank as u8; 4]).unwrap();
+        let all = op.wait(&rt).unwrap();
+        for (r, blk) in all.iter().enumerate() {
+            assert_eq!(blk, &vec![r as u8; 4]);
+        }
+
+        // ialltoall
+        let send: Vec<Vec<u8>> = (0..3).map(|i| vec![(rank * 10 + i) as u8; 6]).collect();
+        let op = coll::ialltoall(&rt, &send).unwrap();
+        let recvd = op.wait(&rt).unwrap();
+        for (src, blk) in recvd.iter().enumerate() {
+            assert_eq!(blk, &vec![(src * 10 + rank) as u8; 6], "from {src}");
+        }
+
+        // ibarrier (legacy graph handle)
+        let g = coll::ibarrier(&rt).unwrap();
+        rt.wait_until(|| g.test()).unwrap();
+    });
+}
+
+#[test]
+fn nonblocking_overlaps_with_sends() {
+    // Start an iallgather, run unrelated tagged traffic to completion,
+    // then harvest the collective: the graph must make progress in the
+    // background rather than monopolize the runtime.
+    with_ranks(2, RuntimeConfig::small(), |rank, rt| {
+        let op = coll::iallgather(&rt, &[rank as u8 + 40; 8]).unwrap();
+
+        let peer = 1 - rank;
+        let comp = Comp::alloc_sync(1);
+        rt.post_send(peer, vec![rank as u8; 32], 7, comp.clone()).unwrap();
+        let rcomp = Comp::alloc_sync(1);
+        let posted = rt.post_recv(peer, vec![0u8; 32], 7, rcomp.clone()).unwrap();
+        if matches!(posted, PostResult::Posted) {
+            rt.wait_until(|| rcomp.as_sync().unwrap().test()).unwrap();
+        }
+
+        let all = op.wait(&rt).unwrap();
+        assert_eq!(all, vec![vec![40u8; 8], vec![41u8; 8]]);
+    });
+}
+
+/// Runs one fixed scenario (allreduce + allgather + alltoall) across
+/// `n` ranks and returns rank 0's observed outputs.
+fn run_scenario(n: usize, cfg: RuntimeConfig, elems: usize, block: usize) -> Vec<Vec<u8>> {
+    let out = with_ranks_ret(n, cfg, move |rank, rt| {
+        // Allreduce: position-tagged contributions, sum.
+        let vals: Vec<u64> = (0..elems).map(|i| (rank as u64 + 1) * (i as u64 + 1)).collect();
+        let mut ar: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        coll::allreduce(&rt, &mut ar, &SumU64).unwrap();
+
+        // Allgather: per-rank fill pattern.
+        let mine: Vec<u8> = (0..block).map(|i| (rank * 31 + i) as u8).collect();
+        let mut ag = vec![0u8; block * n];
+        coll::allgather_bytes(&rt, &mine, &mut ag).unwrap();
+
+        // Alltoall: (src, dst)-tagged blocks.
+        let send: Vec<u8> =
+            (0..block * n).map(|i| (rank * 17 + (i / block.max(1)) * 5 + i) as u8).collect();
+        let mut a2a = vec![0u8; block * n];
+        coll::alltoall_bytes(&rt, &send, &mut a2a).unwrap();
+
+        vec![ar, ag, a2a]
+    });
+    out.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..Default::default() })]
+
+    /// The pipelined engines and the `coll_naive` baselines compute the
+    /// same results on awkward shapes: non-power-of-two rank counts,
+    /// zero-length payloads, and block sizes straddling multiples of
+    /// the chunk size (k*chunk - 1, k*chunk, k*chunk + 1).
+    #[test]
+    fn pipelined_matches_naive(
+        n in 2usize..6,
+        chunk_elems in 1usize..5,
+        k in 0usize..4,
+        off in 0i64..3,
+    ) {
+        let chunk = chunk_elems * 8;
+        let elems = ((k * chunk_elems) as i64 + off - 1).max(0) as usize;
+        let block = elems * 8;
+        let pipelined = run_scenario(
+            n,
+            RuntimeConfig { coll_chunk_size: chunk, ..RuntimeConfig::small() },
+            elems,
+            block,
+        );
+        let naive = run_scenario(
+            n,
+            RuntimeConfig { coll_naive: true, ..RuntimeConfig::small() },
+            elems,
+            block,
+        );
+        prop_assert_eq!(pipelined, naive);
+    }
+}

@@ -182,6 +182,17 @@ pub struct WorldConfig {
     /// packet/buffer-pool stripes, per-core stats cells, core-pinned
     /// progress threads (see [`lci::Placement`]).
     pub placement: lci::Placement,
+    /// Collectives ablation (LCI backend only): route `lci::coll` calls
+    /// through the naive clone-heavy baselines instead of the
+    /// chunk-pipelined engines.
+    pub coll_naive: bool,
+    /// Collective pipeline chunk granularity in bytes (LCI backend
+    /// only; see [`lci::RuntimeConfig::coll_chunk_size`]).
+    pub coll_chunk_size: usize,
+    /// Collective send-window depth — chunks in flight per rank before
+    /// a post blocks (LCI backend only; see
+    /// [`lci::RuntimeConfig::coll_max_inflight`]).
+    pub coll_max_inflight: usize,
 }
 
 impl WorldConfig {
@@ -201,6 +212,9 @@ impl WorldConfig {
             progress_mode: lci::ProgressMode::Workers,
             matching_buckets: 1024,
             placement: lci::Placement::default(),
+            coll_naive: false,
+            coll_chunk_size: 64 << 10,
+            coll_max_inflight: 4,
         }
     }
 
@@ -259,6 +273,26 @@ impl WorldConfig {
     /// the ablation knob for core-aware resource layout.
     pub fn with_placement(mut self, placement: lci::Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Selects the naive collective baselines instead of the pipelined
+    /// engines (LCI backend only) — the collectives ablation knob.
+    pub fn with_coll_naive(mut self, on: bool) -> Self {
+        self.coll_naive = on;
+        self
+    }
+
+    /// Sets the collective pipeline chunk granularity in bytes (LCI
+    /// backend only).
+    pub fn with_coll_chunk_size(mut self, bytes: usize) -> Self {
+        self.coll_chunk_size = bytes;
+        self
+    }
+
+    /// Sets the collective send-window depth (LCI backend only).
+    pub fn with_coll_max_inflight(mut self, chunks: usize) -> Self {
+        self.coll_max_inflight = chunks;
         self
     }
 }
@@ -332,6 +366,9 @@ impl World {
                     alloc_recycling: cfg.alloc_recycling,
                     progress_mode: cfg.progress_mode,
                     placement: cfg.placement,
+                    coll_naive: cfg.coll_naive,
+                    coll_chunk_size: cfg.coll_chunk_size,
+                    coll_max_inflight: cfg.coll_max_inflight,
                     ..lci::RuntimeConfig::default()
                 };
                 let rt = lci::Runtime::new(fabric, rank, rt_cfg).expect("lci runtime");
@@ -444,6 +481,52 @@ impl World {
     /// (GASNet-sim does not, as in the paper).
     pub fn supports_sendrecv(&self) -> bool {
         !matches!(self.inner, WorldInner::Gasnet { .. })
+    }
+
+    /// The backing LCI runtime, when this world runs the LCI backend —
+    /// the handle the `lci::coll` collectives (and anything else beyond
+    /// the wrapper surface) operate on.
+    pub fn lci_runtime(&self) -> Option<&lci::Runtime> {
+        match &self.inner {
+            WorldInner::Lci { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    fn coll_rt(&self) -> lci::Result<&lci::Runtime> {
+        self.lci_runtime().ok_or_else(|| {
+            lci::FatalError::InvalidArg("collectives require the LCI backend".into())
+        })
+    }
+
+    /// Data-path barrier across all ranks (LCI backend only; see
+    /// [`lci::coll::barrier`]).
+    pub fn barrier(&self) -> lci::Result<()> {
+        lci::coll::barrier(self.coll_rt()?)
+    }
+
+    /// In-place byte allreduce (LCI backend only; see
+    /// [`lci::coll::allreduce`]).
+    pub fn allreduce<O: lci::ReduceOp + ?Sized>(&self, buf: &mut [u8], op: &O) -> lci::Result<()> {
+        lci::coll::allreduce(self.coll_rt()?, buf, op)
+    }
+
+    /// Broadcast over a byte slice (LCI backend only; see
+    /// [`lci::coll::broadcast_bytes`]).
+    pub fn broadcast_bytes(&self, root: Rank, buf: &mut [u8]) -> lci::Result<()> {
+        lci::coll::broadcast_bytes(self.coll_rt()?, root, buf)
+    }
+
+    /// Flat-buffer allgather (LCI backend only; see
+    /// [`lci::coll::allgather_bytes`]).
+    pub fn allgather_bytes(&self, mine: &[u8], out: &mut [u8]) -> lci::Result<()> {
+        lci::coll::allgather_bytes(self.coll_rt()?, mine, out)
+    }
+
+    /// Flat-buffer alltoall (LCI backend only; see
+    /// [`lci::coll::alltoall_bytes`]).
+    pub fn alltoall_bytes(&self, send: &[u8], recv: &mut [u8]) -> lci::Result<()> {
+        lci::coll::alltoall_bytes(self.coll_rt()?, send, recv)
     }
 
     /// Takes the per-thread endpoint `tid`. In dedicated mode `tid`

@@ -144,6 +144,55 @@ fn multiproc_rendezvous_256k() {
 /// rank 0 has a rendezvous send in flight to it; rank 0's `quiesce`
 /// returns `PeerDead`/`Timeout` instead of spinning forever, and the
 /// launcher reports rank 1's real exit code.
+/// Three processes run the full blocking collective surface through
+/// the World wrappers: barrier, chunk-pipelined ring allreduce (blocks
+/// split across multiple rendezvous chunks), Bruck allgather, and the
+/// bounded-inflight alltoall — every byte crossing the segment between
+/// real address spaces.
+#[test]
+fn multiproc_collectives() {
+    let cfg = shm_cfg().with_coll_chunk_size(16 << 10);
+    let Some(w) = launch(3, "multiproc_collectives", cfg) else { return };
+    let n = w.size();
+    let rank = w.rank();
+
+    w.barrier().expect("barrier");
+
+    // Allreduce: 64 Ki u64s -> ~170 KiB blocks, several chunks each.
+    let elems = 64 << 10;
+    let mut bytes = vec![0u8; elems * 8];
+    for (i, c) in bytes.chunks_exact_mut(8).enumerate() {
+        c.copy_from_slice(&((rank * 7 + i) as u64).to_le_bytes());
+    }
+    w.allreduce(&mut bytes, &lci::SumU64).expect("allreduce");
+    for (i, c) in bytes.chunks_exact(8).enumerate() {
+        let want: u64 = (0..n).map(|r| (r * 7 + i) as u64).sum();
+        assert_eq!(u64::from_le_bytes(c.try_into().unwrap()), want, "element {i}");
+    }
+
+    // Allgather: distinct per-rank fill.
+    let mine = vec![rank as u8 + 1; 4096];
+    let mut all = vec![0u8; 4096 * n];
+    w.allgather_bytes(&mine, &mut all).expect("allgather");
+    for r in 0..n {
+        assert!(all[r * 4096..(r + 1) * 4096].iter().all(|&b| b == r as u8 + 1), "slot {r}");
+    }
+
+    // Alltoall: rendezvous-sized (src, dst)-tagged blocks.
+    let block = 32 << 10;
+    let send: Vec<u8> = (0..n * block).map(|i| (rank * 8 + i / block) as u8).collect();
+    let mut recv = vec![0u8; n * block];
+    w.alltoall_bytes(&send, &mut recv).expect("alltoall");
+    for src in 0..n {
+        assert!(
+            recv[src * block..(src + 1) * block].iter().all(|&b| b == (src * 8 + rank) as u8),
+            "block from {src}"
+        );
+    }
+
+    w.barrier().expect("closing barrier");
+}
+
 #[test]
 fn multiproc_abrupt_peer_exit() {
     match World::from_env(shm_cfg()).expect("attach") {

@@ -1,6 +1,6 @@
 #!/bin/bash
 # Regenerates every paper table/figure into bench_results/.
-# Usage: ./run_benches.sh [quick] [--matrix] [--transport sim-ibv|sim-ofi|shm]
+# Usage: ./run_benches.sh [quick] [--matrix] [--coll] [--transport sim-ibv|sim-ofi|shm]
 #
 # With --transport (or LCI_TRANSPORT set) the microbenchmark sweeps run
 # on that single transport and the output files carry its name, e.g.
@@ -10,13 +10,20 @@
 # sweep; BENCH_MATRIX_THREADS overrides the axis) into
 # bench_results/scale_matrix.txt. Without it the matrix runs after the
 # figure benches.
+#
+# --coll runs ONLY the collectives sweep (chunk-pipelined ring/pairwise
+# vs the coll_naive ablation; BENCH_COLL_SIZES/BENCH_COLL_RANKS override
+# the axes) into bench_results/collectives.txt. Without it the sweep
+# runs after the figure benches.
 set -u
 TRANSPORT="${LCI_TRANSPORT:-}"
 MATRIX_ONLY=0
+COLL_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     quick) export BENCH_QUICK=1 ;;
     --matrix) MATRIX_ONLY=1 ;;
+    --coll) COLL_ONLY=1 ;;
     --transport) shift; TRANSPORT="$1" ;;
     --transport=*) TRANSPORT="${1#*=}" ;;
     *) echo "unknown arg: $1" >&2; exit 2 ;;
@@ -42,8 +49,19 @@ run_matrix() {
   cargo bench -p bench --bench scale_matrix 2>/dev/null \
     | tee "bench_results/scale_matrix${SUFFIX}.txt" | tail -8
 }
+# The collectives sweep covers its own transport axis in one run
+# (sim-ibv + sim-ofi thread-per-rank, multi-process shm): unsuffixed.
+run_coll() {
+  echo "=== running collectives ==="
+  cargo bench -p bench --bench collectives 2>/dev/null \
+    | tee bench_results/collectives.txt | tail -8
+}
 if [ "$MATRIX_ONLY" = 1 ]; then
   run_matrix
+  exit 0
+fi
+if [ "$COLL_ONLY" = 1 ]; then
+  run_coll
   exit 0
 fi
 for b in table1_semantics fig2_msgrate_process fig3_msgrate_thread fig4_bandwidth \
@@ -52,6 +70,7 @@ for b in table1_semantics fig2_msgrate_process fig3_msgrate_thread fig4_bandwidt
   cargo bench -p bench --bench "$b" 2>/dev/null | tee "bench_results/${b#*_}${SUFFIX}.txt" | tail -4
 done
 run_matrix
+run_coll
 # Real multi-process shared-memory scaling (its own transport axis:
 # always runs on shm, whatever the sweep transport above was).
 echo "=== running shm_scale ==="

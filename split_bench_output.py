@@ -30,6 +30,9 @@ markers = {
     # The thread-per-core scale matrix sweeps all transports in-process
     # by default; with a forced transport the suffix records it.
     "scale_matrix": "scale_matrix.txt",
+    # The collectives sweep covers its own transport axis in one run
+    # (sim-ibv/sim-ofi thread-per-rank + multi-process shm): no suffix.
+    "collectives": ("collectives.txt", False),
 }
 # Sections start at "Running benches/<name>.rs"
 parts = re.split(r"\n(?=\s*Running benches/)", src)
