@@ -64,11 +64,13 @@ fn variants(threads: usize) -> [(&'static str, lci::Placement); 2] {
 fn matrix_platforms() -> Vec<Platform> {
     match Platform::selected() {
         Some(p) => vec![p],
-        // The two sims plus the in-process shm transport; the
-        // multi-process shm matrix lives in `shm_scale`.
+        // The two sims plus the in-process real transports (shm rings,
+        // tcp loopback sockets); the multi-process matrix lives in
+        // `shm_scale`.
         None => {
             let mut v = platform_sweep();
             v.push(Platform::ShmHost);
+            v.push(Platform::TcpHost);
             v
         }
     }

@@ -1,15 +1,22 @@
-//! Multi-process scaling over the shared-memory transport ("sim →
-//! wire"): message rate and bandwidth at 2/4/8 *real OS processes*,
-//! the shm analogue of the Fig. 2 process-based sweep.
+//! Multi-process scaling over the real transports ("sim → wire"):
+//! message rate and bandwidth at 2/4/8 *real OS processes* on the shm
+//! segment **and** the tcp loopback mesh — the same workload on both
+//! wires, so the shm-vs-tcp rows in EXPERIMENTS.md come from one run.
 //!
 //! The harness re-executes itself as the worker ranks (env rendezvous,
 //! see `lci_fabric::bootstrap`). Ranks pair up as in Fig. 2: rank `i`
 //! of the first half talks to rank `pairs + i`; each sender times its
-//! own loop, the per-rank times are allgathered through the segment,
+//! own loop, the per-rank times are allgathered through the rendezvous,
 //! and rank 0 prints the aggregated row.
 //!
+//! The third job is the tentpole ablation: a windowed 4-process tcp
+//! stream with vectored write batching on vs off (`BENCH_TCP_BATCH`),
+//! reporting message rate plus the `writev` gather-fill counters —
+//! batching must hold a ≥2x rate edge (checked in CI).
+//!
 //! Env knobs: `BENCH_SHM_RANKS` (comma list, default `2,4,8`),
-//! `BENCH_ITERS`, `BENCH_BW_ITERS`, `BENCH_QUICK=1`.
+//! `BENCH_ITERS`, `BENCH_BW_ITERS`, `BENCH_QUICK=1`, `LCI_TRANSPORT`
+//! (pin the wire axis to `shm` or `tcp`).
 
 use bench::env_usize;
 use lcw::{BackendKind, Endpoint, Platform, ResourceMode, World, WorldConfig};
@@ -22,15 +29,30 @@ const BW_SIZE: usize = 64 << 10;
 const BW_WINDOW: usize = 8;
 
 fn main() {
-    match World::from_env(WorldConfig::new(
-        BackendKind::Lci,
-        Platform::ShmHost,
-        ResourceMode::Shared,
-    ))
-    .expect("attach")
-    {
+    let cfg = WorldConfig::new(BackendKind::Lci, Platform::ShmHost, ResourceMode::Shared)
+        .with_tcp_batch(std::env::var("BENCH_TCP_BATCH").map(|v| v != "0").unwrap_or(true));
+    match World::from_env(cfg).expect("attach") {
         Some(world) => child(world),
         None => parent(),
+    }
+}
+
+/// The wire axis: both real transports, or just the one `LCI_TRANSPORT`
+/// pins (the env var doubles as the launcher's rendezvous selector).
+fn wire_sweep() -> Vec<&'static str> {
+    match std::env::var(lci_fabric::bootstrap::ENV_TRANSPORT).ok().as_deref() {
+        Some("tcp") => vec!["tcp"],
+        Some(_) => vec!["shm"],
+        None => vec!["shm", "tcp"],
+    }
+}
+
+/// The wire this child landed on (the launcher exports the selector to
+/// tcp children; absence means the shm segment).
+fn my_wire() -> &'static str {
+    match std::env::var(lci_fabric::bootstrap::ENV_TRANSPORT).ok().as_deref() {
+        Some("tcp") => "tcp",
+        _ => "shm",
     }
 }
 
@@ -55,16 +77,47 @@ fn parent() {
          bandwidth: {BW_SIZE} B send-receive, window={BW_WINDOW}, x{bw_iters}"
     );
     let args: Vec<OsString> = Vec::new();
+    let wires = wire_sweep();
     for job in ["msgrate", "bandwidth"] {
         let metric = if job == "msgrate" { "Mmsg/s" } else { "MiB/s" };
-        bench::print_header(&format!("shm_scale {job}"), &["procs", "pairs", "lib", metric]);
-        for nranks in rank_sweep() {
-            std::env::set_var(JOB_ENV, job); // children inherit our env
-            let report = World::spawn_local(nranks, &args, JOB_TIMEOUT).expect("spawn");
-            assert!(report.all_ok(), "{job} at {nranks} procs: exits {:?}", report.exit_codes);
+        bench::print_header(
+            &format!("shm_scale {job}"),
+            &["procs", "pairs", "wire", "lib", metric],
+        );
+        for &wire in &wires {
+            for nranks in rank_sweep() {
+                std::env::set_var(lci_fabric::bootstrap::ENV_TRANSPORT, wire);
+                std::env::set_var(JOB_ENV, job); // children inherit our env
+                let report = World::spawn_local(nranks, &args, JOB_TIMEOUT).expect("spawn");
+                assert!(
+                    report.all_ok(),
+                    "{job} on {wire} at {nranks} procs: exits {:?}",
+                    report.exit_codes
+                );
+            }
         }
     }
+    // The writev-batching ablation: a 4-process tcp stream, batching on
+    // vs off. Same workload, same wire — only the syscall shape differs.
+    if wires.contains(&"tcp") {
+        let stream_iters =
+            if bench::quick() { 2_000 } else { env_usize("BENCH_STREAM_ITERS", 50_000) };
+        println!("# tcp stream ablation: one-way 8 B stream x{stream_iters}/pair, window={STREAM_WINDOW}");
+        bench::print_header(
+            "shm_scale tcp_stream",
+            &["procs", "pairs", "batch", "Mmsg/s", "writevs", "frames", "avg_fill"],
+        );
+        for batch in ["on", "off"] {
+            std::env::set_var(lci_fabric::bootstrap::ENV_TRANSPORT, "tcp");
+            std::env::set_var(JOB_ENV, "stream");
+            std::env::set_var("BENCH_TCP_BATCH", if batch == "on" { "1" } else { "0" });
+            let report = World::spawn_local(4, &args, JOB_TIMEOUT).expect("spawn");
+            assert!(report.all_ok(), "stream batch={batch}: exits {:?}", report.exit_codes);
+        }
+        std::env::remove_var("BENCH_TCP_BATCH");
+    }
     std::env::remove_var(JOB_ENV);
+    std::env::remove_var(lci_fabric::bootstrap::ENV_TRANSPORT);
 }
 
 fn child(world: World) {
@@ -72,6 +125,7 @@ fn child(world: World) {
     match job.as_str() {
         "msgrate" => msgrate(world),
         "bandwidth" => bandwidth(world),
+        "stream" => stream(world),
         other => panic!("unknown shm_scale job {other:?}"),
     }
 }
@@ -163,6 +217,71 @@ fn bandwidth(world: World) {
     });
 }
 
+const STREAM_WINDOW: usize = 256;
+
+/// One-way windowed small-message stream (the syscall-amortization
+/// workload): senders burst `STREAM_WINDOW` messages — so frames pile
+/// up in the per-peer send queue between progress calls — then wait for
+/// one credit ack. Reports the aggregate rate plus this rank's `writev`
+/// counters; run twice (batch on/off) it is the tentpole ablation.
+fn stream(world: World) {
+    let iters = if bench::quick() { 2_000 } else { env_usize("BENCH_STREAM_ITERS", 50_000) };
+    let pairs = world.size() / 2;
+    let rank = world.rank();
+    let mut ep = world.endpoint(0);
+    let payload = [0u8; 8];
+    world.fabric().oob_barrier();
+    let t0 = Instant::now();
+    if rank < pairs {
+        let peer = pairs + rank;
+        let mut sent = 0usize;
+        while sent < iters {
+            let burst = STREAM_WINDOW.min(iters - sent);
+            for _ in 0..burst {
+                while !ep.send_am(peer, &payload, 3) {
+                    ep.progress();
+                }
+            }
+            sent += burst;
+            recv_one(&mut ep); // credit ack
+        }
+    } else {
+        let peer = rank - pairs;
+        let mut got = 0usize;
+        while got < iters {
+            recv_one(&mut ep);
+            got += 1;
+            if got.is_multiple_of(STREAM_WINDOW) || got == iters {
+                while !ep.send_am(peer, &[1], 4) {
+                    ep.progress();
+                }
+            }
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    // Drain (flushing any still-queued frames) *before* blocking in the
+    // OOB collective: an unflushed final ack would strand the peer.
+    ep.quiesce(Duration::from_secs(30)).expect("drain");
+    let stats = ep.lci_device().expect("lci").stats();
+    let all = world.fabric().oob_allgather(world.rank(), ns.to_le_bytes().to_vec());
+    if world.rank() == 0 {
+        let per_pair: Vec<u64> =
+            all[..pairs].iter().map(|b| u64::from_le_bytes(b[..8].try_into().unwrap())).collect();
+        let rate: f64 = per_pair.iter().map(|&ns| iters as f64 / (ns as f64 / 1e9)).sum();
+        let batch = std::env::var("BENCH_TCP_BATCH").map(|v| v != "0").unwrap_or(true);
+        bench::print_row(&[
+            world.size().to_string(),
+            pairs.to_string(),
+            (if batch { "on" } else { "off" }).to_string(),
+            format!("{:.4}", rate / 1e6),
+            stats.tcp_writev_calls.to_string(),
+            stats.tcp_writev_frames.to_string(),
+            format!("{:.2}", stats.avg_writev_fill()),
+        ]);
+    }
+    world.fabric().oob_barrier();
+}
+
 fn recv_one(ep: &mut Endpoint) {
     loop {
         ep.progress();
@@ -178,6 +297,10 @@ fn recv_one(ep: &mut Endpoint) {
 /// Allgathers the per-rank elapsed times and has rank 0 print the row
 /// from the *senders'* clocks; every rank then drains cleanly.
 fn report(world: &World, ep: &mut Endpoint, my_ns: u64, row: impl Fn(&[u64]) -> String) {
+    // Drain before blocking in the OOB collective: over tcp the final
+    // message of the timed loop may still sit in a send queue that only
+    // progress calls flush, and the peer cannot finish without it.
+    ep.quiesce(Duration::from_secs(30)).expect("drain");
     let all = world.fabric().oob_allgather(world.rank(), my_ns.to_le_bytes().to_vec());
     if world.rank() == 0 {
         let pairs = world.size() / 2;
@@ -186,10 +309,10 @@ fn report(world: &World, ep: &mut Endpoint, my_ns: u64, row: impl Fn(&[u64]) -> 
         bench::print_row(&[
             world.size().to_string(),
             pairs.to_string(),
+            my_wire().to_string(),
             "lci".to_string(),
             row(&per_pair),
         ]);
     }
-    ep.quiesce(Duration::from_secs(30)).expect("drain");
     world.fabric().oob_barrier();
 }

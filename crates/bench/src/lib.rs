@@ -102,6 +102,7 @@ pub fn platform_name(p: Platform) -> &'static str {
         Platform::Expanse => "expanse(ibv-sim)",
         Platform::Delta => "delta(ofi-sim)",
         Platform::ShmHost => "shm",
+        Platform::TcpHost => "tcp",
     }
 }
 

@@ -39,6 +39,11 @@ pub enum BackendKind {
     /// processes can map, with ibv-style lock granularity on the
     /// posting side.
     Shm,
+    /// Real TCP transport (DESIGN.md §4.12): a full socket mesh with
+    /// per-peer send queues drained by vectored writes and an
+    /// epoll-driven doorbell bridge, with ibv-style lock granularity on
+    /// the posting side. Unix only.
+    Tcp,
 }
 
 /// How queue pairs share posting locks on the ibv backend — the
@@ -82,6 +87,11 @@ pub struct DeviceConfig {
     /// `WirePayload::Heap` staging on both backends and the LCI layer's
     /// staging copies; disable for the allocate-per-message ablation.
     pub buf_pool: BufPoolConfig,
+    /// Whether the tcp backend gathers its whole per-peer send queue
+    /// into one `writev` per readiness cycle (default) or issues one
+    /// write per frame (the syscall-amortization ablation). Ignored by
+    /// other backends.
+    pub tcp_batch: bool,
 }
 
 impl Default for DeviceConfig {
@@ -94,6 +104,7 @@ impl Default for DeviceConfig {
             cq_drain_batch: 64,
             reg_cache: RegCacheConfig::default(),
             buf_pool: BufPoolConfig::default(),
+            tcp_batch: true,
         }
     }
 }
@@ -113,6 +124,12 @@ impl DeviceConfig {
     /// `ibv`; the wire is a real cross-process segment).
     pub fn shm() -> Self {
         Self { backend: BackendKind::Shm, ..Self::default() }
+    }
+
+    /// Config preset for the tcp backend (same lock layout as `ibv`;
+    /// the wire is a real socket mesh).
+    pub fn tcp() -> Self {
+        Self { backend: BackendKind::Tcp, ..Self::default() }
     }
 
     /// Sets the lock discipline.
@@ -157,6 +174,12 @@ impl DeviceConfig {
         self.buf_pool.enabled = enabled;
         self
     }
+
+    /// Enables or disables tcp `writev` batching (the ablation knob).
+    pub fn with_tcp_batch(mut self, enabled: bool) -> Self {
+        self.tcp_batch = enabled;
+        self
+    }
 }
 
 /// Transport-level counters exposed by backends that have a physical
@@ -170,6 +193,13 @@ pub struct TransportStats {
     /// Times the cross-process doorbell bridge woke this rank's devices
     /// on behalf of a remote producer. Monotone; zero in-process.
     pub doorbell_cross_proc_wakes: u64,
+    /// `writev` syscalls issued by the tcp backend that made progress.
+    /// Monotone; zero on other backends.
+    pub tcp_writev_calls: u64,
+    /// Frames fully shipped by those `writev` calls. The ratio
+    /// `tcp_writev_frames / tcp_writev_calls` is the average gather
+    /// fill — the syscall-amortization factor.
+    pub tcp_writev_frames: u64,
 }
 
 /// One send in a [`NetDevice::post_send_batch`] call.
@@ -346,6 +376,15 @@ pub trait NetDevice: Send + Sync {
         0
     }
 
+    /// Outbound work accepted by a post call but not yet on the wire
+    /// (deferred-flush transports: the tcp send queues). Quiescence
+    /// checks poll this — a send that completed locally may still need
+    /// progress calls before the peer can observe it. Zero for
+    /// transports that ship at post time.
+    fn outbound_pending(&self) -> usize {
+        0
+    }
+
     /// Transport-level counters (ring occupancy HWM, cross-process
     /// doorbell wakes). All-zero for backends without a transport layer.
     fn transport_stats(&self) -> TransportStats {
@@ -406,6 +445,17 @@ impl NetContext {
             BackendKind::Shm => {
                 Arc::new(ShmDevice::new(self.fabric.clone(), self.rank, dev_id, rx, bell, cfg))
             }
+            #[cfg(unix)]
+            BackendKind::Tcp => Arc::new(crate::tcp::TcpDevice::new(
+                self.fabric.clone(),
+                self.rank,
+                dev_id,
+                rx,
+                bell,
+                cfg,
+            )),
+            #[cfg(not(unix))]
+            BackendKind::Tcp => panic!("the tcp backend requires a unix platform"),
         }
     }
 }

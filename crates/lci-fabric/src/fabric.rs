@@ -107,6 +107,11 @@ pub struct Fabric {
     /// `shm` device is built (in-process mode) or eagerly by the
     /// multi-process bootstrap ([`Fabric::attached`]).
     shm: OnceLock<Arc<ShmFabric>>,
+    /// TCP transport state, created lazily the first time a `tcp`
+    /// device is built (in-process loopback mesh) or eagerly by the
+    /// multi-process bootstrap (`Fabric::attached_tcp`).
+    #[cfg(unix)]
+    tcp: OnceLock<Arc<crate::tcp::TcpFabric>>,
 }
 
 impl Fabric {
@@ -126,6 +131,8 @@ impl Fabric {
                 cond: Condvar::new(),
             },
             shm: OnceLock::new(),
+            #[cfg(unix)]
+            tcp: OnceLock::new(),
         })
     }
 
@@ -166,6 +173,68 @@ impl Fabric {
         self.shm.get().and_then(|s| s.dead_peer())
     }
 
+    /// Creates a fabric attached to a multi-process TCP mesh: this
+    /// process hosts only `my_rank`; `conns` holds one established mesh
+    /// socket per peer. OOB collectives go through the root service.
+    #[cfg(unix)]
+    pub(crate) fn attached_tcp(
+        conns: Vec<Option<std::net::TcpStream>>,
+        my_rank: Rank,
+        nranks: usize,
+        oob: crate::tcp::oob::OobClient,
+    ) -> Arc<Self> {
+        assert!(my_rank < nranks, "rank {my_rank} out of range");
+        let f = Self::new(nranks);
+        f.tcp
+            .set(Arc::new(crate::tcp::TcpFabric::attached(conns, my_rank, nranks, oob)))
+            .ok()
+            .expect("fresh fabric cannot already have tcp state");
+        f
+    }
+
+    /// The TCP transport state, creating an in-process loopback mesh on
+    /// first use (so any test or bench switches to the tcp transport
+    /// with a `DeviceConfig` alone).
+    #[cfg(unix)]
+    pub(crate) fn tcp_fabric(&self) -> &Arc<crate::tcp::TcpFabric> {
+        self.tcp.get_or_init(|| {
+            Arc::new(
+                crate::tcp::TcpFabric::in_process(self.nranks)
+                    .expect("failed to create in-process tcp loopback mesh"),
+            )
+        })
+    }
+
+    /// This process's rank when attached to a multi-process TCP mesh.
+    pub fn tcp_rank(&self) -> Option<Rank> {
+        #[cfg(unix)]
+        {
+            self.tcp.get().filter(|t| t.multiproc).map(|t| t.my_rank)
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    /// First tcp peer known to be dead or cleanly exited, if any
+    /// (multi-process mode only).
+    pub fn tcp_dead_peer(&self) -> Option<Rank> {
+        #[cfg(unix)]
+        {
+            self.tcp.get().and_then(|t| t.dead_peer())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    /// First peer known dead on any attached multi-process transport.
+    pub fn dead_peer(&self) -> Option<Rank> {
+        self.shm_dead_peer().or_else(|| self.tcp_dead_peer())
+    }
+
     /// Number of ranks the fabric connects.
     pub fn nranks(&self) -> usize {
         self.nranks
@@ -204,6 +273,17 @@ impl Fabric {
                 return;
             }
         }
+        #[cfg(unix)]
+        if let Some(tcp) = self.tcp.get() {
+            if tcp.multiproc {
+                tcp.oob
+                    .as_ref()
+                    .expect("multiproc tcp fabric has an oob client")
+                    .barrier()
+                    .expect("tcp oob barrier failed (a peer rank died)");
+                return;
+            }
+        }
         let mut g = self.oob.mutex.lock().expect("oob poisoned");
         let gen = g.barrier_gen;
         g.barrier_count += 1;
@@ -227,6 +307,17 @@ impl Fabric {
         if let Some(shm) = self.shm.get() {
             if shm.multiproc {
                 return shm.seg.allgather(rank, &data);
+            }
+        }
+        #[cfg(unix)]
+        if let Some(tcp) = self.tcp.get() {
+            if tcp.multiproc {
+                return tcp
+                    .oob
+                    .as_ref()
+                    .expect("multiproc tcp fabric has an oob client")
+                    .allgather(&data)
+                    .expect("tcp oob allgather failed (a peer rank died)");
             }
         }
         {

@@ -60,6 +60,7 @@ pub mod shm;
 pub mod sim_ibv;
 pub mod sim_ofi;
 pub mod sync;
+pub mod tcp;
 pub mod topology;
 pub mod types;
 

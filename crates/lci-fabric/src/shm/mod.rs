@@ -23,7 +23,7 @@ pub mod os;
 pub mod ring;
 pub mod segment;
 
-mod device;
+pub(crate) mod device;
 
 pub use device::ShmDevice;
 pub use segment::{geometry_from_env, ShmSegment, ALLGATHER_MAX};
@@ -157,7 +157,7 @@ pub(crate) struct ReadTable {
 }
 
 impl ReadTable {
-    fn new() -> ReadTable {
+    pub(crate) fn new() -> ReadTable {
         ReadTable {
             slots: (0..READ_TABLE_CAP).map(|_| None).collect(),
             free: (0..READ_TABLE_CAP as u32).rev().collect(),

@@ -1,33 +1,33 @@
-//! The shm `NetDevice`: same lock structure as the ibv-like backend
+//! The tcp `NetDevice`: ibv-style lock structure on the posting side
 //! (per-QP posting locks, lock-free CQE staging, SRQ + CQ spinlocks,
-//! trylock wrapper discipline), but the wire is a real shared-memory
-//! channel other *processes* can produce into.
+//! trylock wrapper discipline), with a real socket mesh as the wire.
 //!
-//! Posting encodes a frame into the outbound rank-pair channel under
-//! the QP lock (which doubles as the ring's single-producer guarantee,
-//! together with the rank-level producer lock shared by sibling
-//! devices). Polling first **drains** inbound channels — routing each
-//! frame by `dst_dev` into the right local device's RX endpoint or
-//! applying it to registered memory — then consumes the RX endpoint
-//! against pre-posted receives exactly like the simulated backends, so
-//! the desc-first FIFO/RNR discipline is preserved unchanged.
+//! Posting encodes the frame into one contiguous pooled buffer and
+//! *enqueues* it on the per-peer send queue under the QP lock —
+//! completing locally, like a NIC accepting a WQE. The progress path
+//! ([`poll_cq`](TcpDevice::poll_cq)) then drains each queue into as few
+//! `writev` calls as the socket accepts (each queued frame is one
+//! iovec; no flatten copy), bulk-reads inbound bytes into the stream
+//! decoder, and routes reassembled frames by `dst_dev` through the same
+//! desc-first FIFO/RNR discipline as the shm drain.
 
-use super::ring::{
-    FrameHeader, ProduceError, FLAG_HAS_IMM, KIND_READ_REQ, KIND_READ_RESP, KIND_SEND, KIND_WRITE,
-};
-use super::segment::{PEER_ABSENT, PEER_ATTACHED};
-use super::{PendingRead, ShmFabric, ShmRankState};
+use super::stream::{self, MAX_FRAME_PAYLOAD};
+use super::{Conn, ConnIo, TcpFabric, TcpRankState};
 use crate::backend::{deliver_into, DeviceConfig, NetDevice, SendDesc, TdStrategy, TransportStats};
 use crate::buf_pool::{BufPool, BufPoolStats};
 use crate::fabric::{Fabric, RxEndpoint};
 use crate::mem::{MemoryRegion, Rkey};
 use crate::reg_cache::{RegCache, RegCacheStats};
+use crate::shm::device::DevShared;
+use crate::shm::ring::{
+    FrameHeader, FLAG_HAS_IMM, KIND_READ_REQ, KIND_READ_RESP, KIND_SEND, KIND_WRITE,
+};
+use crate::shm::PendingRead;
 use crate::sync::{Doorbell, LockDiscipline, SpinLock};
 use crate::types::{
     Cqe, CqeKind, DevId, NetError, NetResult, Rank, RecvBufDesc, RetryReason, WireMsg, WireMsgKind,
     WirePayload,
 };
-use crossbeam::queue::ArrayQueue;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -38,71 +38,17 @@ struct QpState {
     posted: u64,
 }
 
-/// The completion-side of a device, shared with the rank state so the
-/// channel drain (which may run on a *sibling* device's poll) can stage
-/// `ReadDone` CQEs and ring the doorbell of the posting device.
-pub(crate) struct DevShared {
-    dev_id: DevId,
-    cq_staging: ArrayQueue<Cqe>,
-    cq: SpinLock<VecDeque<Cqe>>,
-    bell: Arc<Doorbell>,
-}
-
-impl DevShared {
-    /// Builds the shared completion state for a device. Also used by the
-    /// tcp backend, whose devices carry the identical CQ structure.
-    pub(crate) fn new(dev_id: DevId, staging_cap: usize, bell: Arc<Doorbell>) -> DevShared {
-        DevShared {
-            dev_id,
-            cq_staging: ArrayQueue::new(staging_cap),
-            cq: SpinLock::new(VecDeque::new()),
-            bell,
-        }
-    }
-
-    pub(crate) fn dev_id(&self) -> DevId {
-        self.dev_id
-    }
-
-    /// The lock-free staging ring (tcp backend access).
-    pub(crate) fn staging(&self) -> &ArrayQueue<Cqe> {
-        &self.cq_staging
-    }
-
-    /// The polled CQ (tcp backend access).
-    pub(crate) fn polled_cq(&self) -> &SpinLock<VecDeque<Cqe>> {
-        &self.cq
-    }
-
-    pub(crate) fn bell(&self) -> &Arc<Doorbell> {
-        &self.bell
-    }
-
-    /// Same overflow contract as the ibv backend's `stage_cqe`: staging
-    /// ring first, polled CQ as spillover, never dropped; ring the bell
-    /// either way.
-    pub(crate) fn stage_cqe(&self, cqe: Cqe) {
-        if let Err(cqe) = self.cq_staging.push(cqe) {
-            self.cq.lock().push_back(cqe);
-        }
-        self.bell.ring();
-    }
-}
-
-/// Outcome of routing one inbound frame.
+/// Outcome of routing one inbound frame (same discipline as shm).
 enum Routed {
-    /// Frame fully applied; release its slot.
     Done,
-    /// Frame cannot be applied yet (RX full, device absent, response
-    /// ring full): leave it in place — strict FIFO, like RNR.
     Parked,
 }
 
-/// The shared-memory device.
-pub struct ShmDevice {
+/// The TCP device.
+pub struct TcpDevice {
     fabric: Arc<Fabric>,
-    shm: Arc<ShmFabric>,
-    state: Arc<ShmRankState>,
+    tcp: Arc<TcpFabric>,
+    state: Arc<TcpRankState>,
     rank: Rank,
     dev_id: DevId,
     cfg: DeviceConfig,
@@ -114,9 +60,12 @@ pub struct ShmDevice {
     reg_cache: RegCache,
     buf_pool: BufPool,
     posted_recvs: AtomicUsize,
+    /// The writev-batching knob: `false` is the one-write-per-frame
+    /// ablation.
+    batched: bool,
 }
 
-impl ShmDevice {
+impl TcpDevice {
     /// Creates the device. Called by
     /// [`NetContext::create_device`](crate::backend::NetContext::create_device).
     pub(crate) fn new(
@@ -127,8 +76,8 @@ impl ShmDevice {
         bell: Arc<Doorbell>,
         cfg: DeviceConfig,
     ) -> Self {
-        let shm = fabric.shm_fabric().clone();
-        let state = shm.state(rank);
+        let tcp = fabric.tcp_fabric().clone();
+        let state = tcp.state(rank);
         let nranks = fabric.nranks();
         let (qps, qp_discipline) = match cfg.td_strategy {
             TdStrategy::PerQp => (
@@ -144,16 +93,14 @@ impl ShmDevice {
                 ((0..nranks).map(|_| shared.clone()).collect(), LockDiscipline::Blocking)
             }
         };
-        let shared = Arc::new(DevShared {
-            dev_id,
-            cq_staging: ArrayQueue::new((cfg.rx_capacity * 2).max(256)),
-            cq: SpinLock::new(VecDeque::new()),
-            bell,
-        });
+        let shared = Arc::new(DevShared::new(dev_id, (cfg.rx_capacity * 2).max(256), bell));
         state.register_dev(shared.clone());
+        // The bridge's backstop flush follows the same gather/no-gather
+        // mode as this rank's devices (ablation runs set it uniformly).
+        state.set_batched_hint(cfg.tcp_batch);
         Self {
             fabric,
-            shm,
+            tcp,
             state,
             rank,
             dev_id,
@@ -166,34 +113,26 @@ impl ShmDevice {
             reg_cache: RegCache::new(cfg.reg_cache),
             buf_pool: BufPool::new(cfg.buf_pool),
             posted_recvs: AtomicUsize::new(0),
+            batched: cfg.tcp_batch,
         }
     }
 
-    fn map_produce(e: ProduceError) -> NetError {
-        match e {
-            ProduceError::RingFull | ProduceError::SpillFull => {
-                NetError::Retry(RetryReason::RxFull)
-            }
-            ProduceError::TooLarge => {
-                NetError::fatal("payload exceeds the shm frame limit (spill region / 2)")
-            }
-        }
+    fn too_large() -> NetError {
+        NetError::fatal("payload exceeds the tcp frame limit")
     }
 
-    /// Peer-readiness check with the same surface as the sims: absent
-    /// peer → `Retry(PeerNotReady)`. In multi-process mode the remote
-    /// device table is unknowable, so liveness comes from the segment's
-    /// peer table; a cleanly-exited or dead peer is a fatal target.
+    /// Peer-readiness check. The mesh is fully connected at attach, so
+    /// cross-process the only failure is a dead peer; in-process (and
+    /// self) the target device table is local and checked directly.
     fn ready(&self, target: Rank, target_dev: DevId) -> NetResult<()> {
-        if self.shm.multiproc && target != self.rank {
-            if target >= self.fabric.nranks() {
-                return Err(NetError::fatal(format!("target rank {target} out of range")));
-            }
-            match self.shm.seg.peer(target).state.load(Ordering::Acquire) {
-                PEER_ATTACHED => Ok(()),
-                PEER_ABSENT => Err(NetError::Retry(RetryReason::PeerNotReady)),
-                _ => Err(NetError::fatal(format!("shm peer rank {target} has exited"))),
-            }
+        if target >= self.fabric.nranks() {
+            return Err(NetError::fatal(format!("target rank {target} out of range")));
+        }
+        if self.state.peer_dead(target) {
+            return Err(NetError::fatal(format!("tcp peer rank {target} has exited")));
+        }
+        if self.tcp.multiproc && target != self.rank {
+            Ok(())
         } else {
             self.fabric.endpoint(target, target_dev).map(|_| ())
         }
@@ -209,52 +148,73 @@ impl ShmDevice {
         self.qp_discipline.acquire(lock).ok_or(NetError::Retry(RetryReason::LockBusy))
     }
 
-    /// Acquires the rank-level producer lock for the outbound channel.
-    #[inline]
-    fn lock_prod(&self, target: Rank) -> NetResult<crate::sync::SpinGuard<'_, ()>> {
-        self.qp_discipline
-            .acquire(self.state.prod_lock(target))
-            .ok_or(NetError::Retry(RetryReason::LockBusy))
+    /// The mesh connection toward `target` (never `self.rank`).
+    fn conn(&self, target: Rank) -> NetResult<&Arc<Conn>> {
+        self.state
+            .conn(target)
+            .ok_or_else(|| NetError::fatal(format!("no tcp connection to rank {target}")))
     }
 
-    /// Wakes the consuming rank: in-process (or self) by ringing its
-    /// device doorbells directly, cross-process via the segment futex
-    /// (the peer's bridge thread fans it out).
-    fn notify(&self, target: Rank) {
-        if let Some(st) = self.shm.local_state(target) {
-            st.ring_all_bells();
-        } else {
-            self.shm.seg.ring_doorbell(target);
-        }
+    /// Encodes and enqueues one frame toward `target` under the QP +
+    /// send-queue locks; the socket flush happens on the progress path.
+    fn enqueue_frame(&self, target: Rank, h: &FrameHeader, segs: &[&[u8]]) -> NetResult<()> {
+        let conn = self.conn(target)?;
+        let frame = stream::encode_frame(&self.buf_pool, h, segs).ok_or_else(Self::too_large)?;
+        let mut qp = self.lock_qp(target)?;
+        let mut sg =
+            self.qp_discipline.acquire(&conn.send).ok_or(NetError::Retry(RetryReason::LockBusy))?;
+        conn.enqueue_locked(&mut sg, frame)?;
+        qp.posted += 1;
+        Ok(())
     }
 
-    /// Routes every inbound channel's queued frames, bounded per
-    /// channel by `budget`. Channels busy under a sibling device's
-    /// drain are skipped (try-lock), keeping pollers contention-free.
-    fn drain_channels(&self, budget: usize) -> NetResult<()> {
-        for src in 0..self.fabric.nranks() {
-            let Some(_guard) = self.state.drain_lock(src).try_lock() else { continue };
-            let chan = self.state.inbound(src);
+    /// Flushes send queues and drains inbound sockets for every
+    /// connection of this rank, routing up to `budget` frames per
+    /// connection. Connections busy under a sibling device's progress
+    /// pass are skipped (try-lock), keeping pollers contention-free.
+    fn progress_conns(&self, budget: usize) -> NetResult<()> {
+        for peer in 0..self.fabric.nranks() {
+            let Some(conn) = self.state.conn(peer) else { continue };
+            if conn.is_dead() {
+                self.state.mark_peer_dead(peer);
+                continue;
+            }
+            if let Some(mut sg) = conn.send.try_lock() {
+                if conn.flush_locked(&mut sg, self.batched, &self.state) == ConnIo::Dead {
+                    self.state.mark_peer_dead(peer);
+                    continue;
+                }
+            }
+            let Some(mut rg) = conn.recv.try_lock() else { continue };
+            if conn.fill_and_decode(&mut rg, &self.buf_pool) == ConnIo::Dead {
+                self.state.mark_peer_dead(peer);
+                continue;
+            }
             let mut done = 0;
             while done < budget {
-                let Some(frame) = chan.peek() else { break };
-                match self.route_frame(src, &frame)? {
+                let Some(front) = rg.inbox.front() else { break };
+                let header = front.header;
+                match self.route_frame(peer, &header, &front.payload)? {
                     Routed::Done => {
-                        chan.release(&frame);
+                        rg.inbox.pop_front();
                         done += 1;
                     }
                     Routed::Parked => break,
                 }
             }
+            conn.recv_pending.store(
+                rg.inbox.len()
+                    + usize::from(rg.dec.pending_bytes() >= crate::shm::ring::HEADER_LEN),
+                Ordering::Release,
+            );
         }
         Ok(())
     }
 
-    /// Applies one frame on the consuming side. Rkeys are validated
-    /// here, in the process that owns the registration table — the
-    /// producer cannot see it across a process boundary.
-    fn route_frame(&self, src: Rank, frame: &super::ring::Frame<'_>) -> NetResult<Routed> {
-        let h = &frame.header;
+    /// Applies one reassembled frame on the consuming side. Identical
+    /// routing to the shm drain; rkeys are validated here, in the
+    /// process that owns the registration table.
+    fn route_frame(&self, src: Rank, h: &FrameHeader, payload: &[u8]) -> NetResult<Routed> {
         match h.kind {
             KIND_SEND => {
                 let ep = match self.fabric.endpoint(self.rank, h.dst_dev as DevId) {
@@ -268,7 +228,7 @@ impl ShmDevice {
                     src_dev: h.src_dev as DevId,
                     imm: h.imm,
                     kind: WireMsgKind::Send,
-                    payload: self.buf_pool.stage(frame.payload()),
+                    payload: self.buf_pool.stage(payload),
                 };
                 match ep.push(msg) {
                     Ok(()) => Ok(Routed::Done),
@@ -279,12 +239,12 @@ impl ShmDevice {
                 }
             }
             KIND_WRITE => {
-                let len = frame.payload_len;
+                let len = payload.len();
                 let base = self.fabric.mem().validate(Rkey(h.a as u32), h.b as usize, len)?;
                 // SAFETY: `validate` bounds-checked against a live local
-                // registration; frame payload is contiguous ring bytes.
+                // registration; the payload is contiguous decoder bytes.
                 unsafe {
-                    std::ptr::copy_nonoverlapping(frame.payload().as_ptr(), base as *mut u8, len);
+                    std::ptr::copy_nonoverlapping(payload.as_ptr(), base as *mut u8, len);
                 }
                 if h.flags & FLAG_HAS_IMM != 0 {
                     let ep = match self.fabric.endpoint(self.rank, h.dst_dev as DevId) {
@@ -311,9 +271,10 @@ impl ShmDevice {
             KIND_READ_REQ => {
                 let len = h.imm as usize;
                 let base = self.fabric.mem().validate(Rkey(h.a as u32), h.b as usize, len)?;
-                // Respond on our outbound channel to the requester; the
-                // producer lock is shared with local posters.
-                let Some(_pg) = self.state.prod_lock(src).try_lock() else {
+                // Respond on the same connection; its send queue is
+                // shared with local posters, so try-lock only.
+                let conn = self.conn(src)?;
+                let Some(mut sg) = conn.send.try_lock() else {
                     return Ok(Routed::Parked);
                 };
                 let resp = FrameHeader {
@@ -328,26 +289,26 @@ impl ShmDevice {
                 };
                 // SAFETY: validated registered bytes, alive for the
                 // duration of the registration.
-                let payload = unsafe { std::slice::from_raw_parts(base as *const u8, len) };
-                match self.state.outbound(src).produce(&resp, &[payload]) {
-                    Ok(()) => {
-                        self.notify(src);
-                        Ok(Routed::Done)
-                    }
-                    Err(ProduceError::TooLarge) => Err(Self::map_produce(ProduceError::TooLarge)),
-                    Err(_) => Ok(Routed::Parked),
+                let resp_payload = unsafe { std::slice::from_raw_parts(base as *const u8, len) };
+                let frame = stream::encode_frame(&self.buf_pool, &resp, &[resp_payload])
+                    .ok_or_else(Self::too_large)?;
+                match conn.enqueue_locked(&mut sg, frame) {
+                    Ok(()) => Ok(Routed::Done),
+                    Err(NetError::Retry(_)) => Ok(Routed::Parked),
+                    // Requester died: nobody is waiting for the bytes.
+                    Err(NetError::Fatal(_)) => Ok(Routed::Done),
                 }
             }
             KIND_READ_RESP => {
                 let pending = self.state.reads().lock().take(h.c as u32);
                 let Some(PendingRead { desc, dev }) = pending else {
-                    return Err(NetError::fatal(format!("unknown shm read response id {}", h.c)));
+                    return Err(NetError::fatal(format!("unknown tcp read response id {}", h.c)));
                 };
-                let n = frame.payload_len.min(desc.len);
+                let n = payload.len().min(desc.len);
                 // SAFETY: the descriptor contract keeps `ptr..len` valid
                 // until the ReadDone completion we are about to stage.
                 unsafe {
-                    std::ptr::copy_nonoverlapping(frame.payload().as_ptr(), desc.ptr, n);
+                    std::ptr::copy_nonoverlapping(payload.as_ptr(), desc.ptr, n);
                 }
                 if let Some(d) = self.state.dev_by_id(dev) {
                     let mut cqe = Cqe::local(CqeKind::ReadDone, desc.ctx);
@@ -356,7 +317,7 @@ impl ShmDevice {
                 }
                 Ok(Routed::Done)
             }
-            k => Err(NetError::fatal(format!("unknown shm frame kind {k}"))),
+            k => Err(NetError::fatal(format!("unknown tcp frame kind {k}"))),
         }
     }
 
@@ -387,7 +348,7 @@ impl ShmDevice {
     }
 }
 
-impl NetDevice for ShmDevice {
+impl NetDevice for TcpDevice {
     fn rank(&self) -> Rank {
         self.rank
     }
@@ -409,11 +370,23 @@ impl NetDevice for ShmDevice {
         ctx: u64,
     ) -> NetResult<()> {
         self.ready(target, target_dev)?;
-        if self.shared.cq_staging.is_full() {
+        if self.shared.staging().is_full() {
             return Err(NetError::Retry(RetryReason::QueueFull));
         }
-        let mut qp = self.lock_qp(target)?;
-        let prod = self.lock_prod(target)?;
+        if target == self.rank {
+            // Self-sends skip the socket: push straight onto the local
+            // endpoint (a Retry surfaces before any completion stages).
+            let ep = self.fabric.endpoint(target, target_dev)?;
+            ep.push(WireMsg {
+                src_rank: self.rank,
+                src_dev: self.dev_id,
+                imm,
+                kind: WireMsgKind::Send,
+                payload: self.buf_pool.stage(data),
+            })?;
+            self.shared.stage_cqe(Cqe::local(CqeKind::SendDone, ctx));
+            return Ok(());
+        }
         let h = FrameHeader {
             kind: KIND_SEND,
             flags: 0,
@@ -424,11 +397,7 @@ impl NetDevice for ShmDevice {
             b: 0,
             c: 0,
         };
-        self.state.outbound(target).produce(&h, &[data]).map_err(Self::map_produce)?;
-        qp.posted += 1;
-        drop(prod);
-        drop(qp);
-        self.notify(target);
+        self.enqueue_frame(target, &h, &[data])?;
         self.shared.stage_cqe(Cqe::local(CqeKind::SendDone, ctx));
         Ok(())
     }
@@ -440,15 +409,30 @@ impl NetDevice for ShmDevice {
         msgs: &[SendDesc<'_>],
     ) -> NetResult<usize> {
         self.ready(target, target_dev)?;
-        if self.shared.cq_staging.is_full() {
+        if self.shared.staging().is_full() {
             return Err(NetError::Retry(RetryReason::QueueFull));
         }
-        // One QP + producer lock acquisition covers the whole batch.
+        if target == self.rank {
+            let mut posted = 0;
+            for m in msgs {
+                match self.post_send(target, target_dev, m.data, m.imm, m.ctx) {
+                    Ok(()) => posted += 1,
+                    Err(e) if posted == 0 => return Err(e),
+                    Err(_) => break,
+                }
+            }
+            return Ok(posted);
+        }
+        let conn = self.conn(target)?;
+        // One QP + send-queue lock acquisition covers the whole batch.
         let mut qp = self.lock_qp(target)?;
-        let prod = self.lock_prod(target)?;
-        let chan = self.state.outbound(target);
+        let mut sg =
+            self.qp_discipline.acquire(&conn.send).ok_or(NetError::Retry(RetryReason::LockBusy))?;
         let mut posted = 0;
         for m in msgs {
+            if m.data.len() > MAX_FRAME_PAYLOAD {
+                return Err(Self::too_large());
+            }
             let h = FrameHeader {
                 kind: KIND_SEND,
                 flags: 0,
@@ -459,19 +443,17 @@ impl NetDevice for ShmDevice {
                 b: 0,
                 c: 0,
             };
-            match chan.produce(&h, &[m.data]) {
+            let frame =
+                stream::encode_frame(&self.buf_pool, &h, &[m.data]).ok_or_else(Self::too_large)?;
+            match conn.enqueue_locked(&mut sg, frame) {
                 Ok(()) => posted += 1,
-                Err(ProduceError::TooLarge) => {
-                    return Err(Self::map_produce(ProduceError::TooLarge))
-                }
-                Err(e) if posted == 0 => return Err(Self::map_produce(e)),
-                Err(_) => break, // ring full mid-batch: partial progress
+                Err(e) if posted == 0 => return Err(e),
+                Err(_) => break, // queue full mid-batch: partial progress
             }
         }
         qp.posted += posted as u64;
-        drop(prod);
+        drop(sg);
         drop(qp);
-        self.notify(target);
         for m in &msgs[..posted] {
             self.shared.stage_cqe(Cqe::local(CqeKind::SendDone, m.ctx));
         }
@@ -484,8 +466,8 @@ impl NetDevice for ShmDevice {
         srq.push_back(desc);
         self.posted_recvs.fetch_add(1, Ordering::AcqRel);
         drop(srq);
-        if self.rx.occupancy() > 0 || self.state.inbound_occupancy() > 0 {
-            self.shared.bell.ring();
+        if self.rx.occupancy() > 0 || self.state.conn_pending() > 0 {
+            self.shared.bell().ring();
         }
         Ok(())
     }
@@ -496,24 +478,24 @@ impl NetDevice for ShmDevice {
         srq.extend(descs.iter().copied());
         self.posted_recvs.fetch_add(descs.len(), Ordering::AcqRel);
         drop(srq);
-        if !descs.is_empty() && (self.rx.occupancy() > 0 || self.state.inbound_occupancy() > 0) {
-            self.shared.bell.ring();
+        if !descs.is_empty() && (self.rx.occupancy() > 0 || self.state.conn_pending() > 0) {
+            self.shared.bell().ring();
         }
         Ok(descs.len())
     }
 
     fn poll_cq(&self, out: &mut Vec<Cqe>, max: usize) -> NetResult<usize> {
         let budget = max.max(self.cfg.cq_drain_batch);
-        // Drain the shared channels *before* taking our CQ lock: the
-        // router may stage CQEs (ReadDone) onto this very device, and
-        // `stage_cqe`'s overflow path locks the polled CQ.
-        self.drain_channels(budget)?;
+        // Progress the sockets *before* taking our CQ lock: routing may
+        // stage CQEs (ReadDone) onto this very device, and `stage_cqe`'s
+        // overflow path locks the polled CQ.
+        self.progress_conns(budget)?;
         let mut cq = self
             .cfg
             .discipline
-            .acquire(&self.shared.cq)
+            .acquire(self.shared.polled_cq())
             .ok_or(NetError::Retry(RetryReason::LockBusy))?;
-        while let Some(cqe) = self.shared.cq_staging.pop() {
+        while let Some(cqe) = self.shared.staging().pop() {
             cq.push_back(cqe);
         }
         self.deliver_inbound(&mut cq, budget)?;
@@ -533,15 +515,32 @@ impl NetDevice for ShmDevice {
         ctx: u64,
     ) -> NetResult<()> {
         self.ready(target, target_dev)?;
-        if !self.shm.multiproc {
+        if !self.tcp.multiproc {
             // In-process the registration table is shared: validate at
             // post time, same fatal surface as the sims. Cross-process
             // the rkey belongs to the target's table; the drain there
             // validates.
             self.fabric.mem().validate(rkey, offset, data.len())?;
         }
-        let mut qp = self.lock_qp(target)?;
-        let prod = self.lock_prod(target)?;
+        if target == self.rank {
+            let base = self.fabric.mem().validate(rkey, offset, data.len())?;
+            // SAFETY: bounds-checked against a live local registration.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), base as *mut u8, data.len());
+            }
+            if let Some(imm) = imm {
+                let ep = self.fabric.endpoint(target, target_dev)?;
+                ep.push(WireMsg {
+                    src_rank: self.rank,
+                    src_dev: self.dev_id,
+                    imm,
+                    kind: WireMsgKind::WriteImm,
+                    payload: WirePayload::None,
+                })?;
+            }
+            self.shared.stage_cqe(Cqe::local(CqeKind::WriteDone, ctx));
+            return Ok(());
+        }
         let h = FrameHeader {
             kind: KIND_WRITE,
             flags: if imm.is_some() { FLAG_HAS_IMM } else { 0 },
@@ -552,11 +551,7 @@ impl NetDevice for ShmDevice {
             b: offset as u64,
             c: 0,
         };
-        self.state.outbound(target).produce(&h, &[data]).map_err(Self::map_produce)?;
-        qp.posted += 1;
-        drop(prod);
-        drop(qp);
-        self.notify(target);
+        self.enqueue_frame(target, &h, &[data])?;
         self.shared.stage_cqe(Cqe::local(CqeKind::WriteDone, ctx));
         Ok(())
     }
@@ -569,8 +564,20 @@ impl NetDevice for ShmDevice {
         offset: usize,
     ) -> NetResult<()> {
         self.ready(target, self.dev_id)?;
-        if !self.shm.multiproc {
+        if !self.tcp.multiproc {
             self.fabric.mem().validate(rkey, offset, local.len)?;
+        }
+        if target == self.rank {
+            let base = self.fabric.mem().validate(rkey, offset, local.len)?;
+            // SAFETY: validated registered source; the descriptor
+            // contract keeps the destination valid until ReadDone.
+            unsafe {
+                std::ptr::copy_nonoverlapping(base as *const u8, local.ptr, local.len);
+            }
+            let mut cqe = Cqe::local(CqeKind::ReadDone, local.ctx);
+            cqe.len = local.len;
+            self.shared.stage_cqe(cqe);
+            return Ok(());
         }
         let len = local.len;
         let req_id = self
@@ -579,30 +586,18 @@ impl NetDevice for ShmDevice {
             .lock()
             .alloc(PendingRead { desc: local, dev: self.dev_id })
             .ok_or(NetError::Retry(RetryReason::QueueFull))?;
-        let res = (|| {
-            let mut qp = self.lock_qp(target)?;
-            let prod = self.lock_prod(target)?;
-            let h = FrameHeader {
-                kind: KIND_READ_REQ,
-                flags: 0,
-                imm: len as u64,
-                src_dev: self.dev_id as u32,
-                dst_dev: 0,
-                a: rkey.0 as u64,
-                b: offset as u64,
-                c: req_id as u64,
-            };
-            self.state.outbound(target).produce(&h, &[]).map_err(Self::map_produce)?;
-            qp.posted += 1;
-            drop(prod);
-            drop(qp);
-            Ok(())
-        })();
-        match res {
-            Ok(()) => {
-                self.notify(target);
-                Ok(())
-            }
+        let h = FrameHeader {
+            kind: KIND_READ_REQ,
+            flags: 0,
+            imm: len as u64,
+            src_dev: self.dev_id as u32,
+            dst_dev: 0,
+            a: rkey.0 as u64,
+            b: offset as u64,
+            c: req_id as u64,
+        };
+        match self.enqueue_frame(target, &h, &[]) {
+            Ok(()) => Ok(()),
             Err(e) => {
                 // Back the pending slot out; the descriptor was never
                 // exposed to a peer.
@@ -638,30 +633,43 @@ impl NetDevice for ShmDevice {
     }
 
     fn doorbell(&self) -> Option<Arc<Doorbell>> {
-        Some(self.shared.bell.clone())
+        Some(self.shared.bell().clone())
     }
 
     fn inbound_pending(&self) -> usize {
-        // Undrained channel frames count too: a parked progress engine
-        // must not sleep while frames wait in the shared rings.
-        self.rx.occupancy() + self.state.inbound_occupancy()
+        // Undrained socket/queue work counts too: a parked progress
+        // engine must not sleep while frames wait for a flush or route.
+        self.rx.occupancy() + self.state.conn_pending()
+    }
+
+    fn outbound_pending(&self) -> usize {
+        self.state.outbound_pending()
     }
 
     fn transport_stats(&self) -> TransportStats {
         TransportStats {
-            shm_ring_hwm: self.state.ring_occ_hwm(),
+            shm_ring_hwm: 0,
             doorbell_cross_proc_wakes: self.state.cross_proc_wakes(),
-            ..TransportStats::default()
+            tcp_writev_calls: self.state.writev_calls.load(Ordering::Relaxed),
+            tcp_writev_frames: self.state.writev_frames.load(Ordering::Relaxed),
         }
     }
 
     fn teardown(&self) -> (Vec<Cqe>, Vec<RecvBufDesc>) {
         self.rx.close();
+        // Best-effort flush so peers see our final frames before the
+        // sockets close with this process.
+        for peer in 0..self.fabric.nranks() {
+            if let Some(conn) = self.state.conn(peer) {
+                let mut sg = conn.send.lock();
+                let _ = conn.flush_locked(&mut sg, self.batched, &self.state);
+            }
+        }
         let mut cqes = Vec::new();
-        while let Some(c) = self.shared.cq_staging.pop() {
+        while let Some(c) = self.shared.staging().pop() {
             cqes.push(c);
         }
-        cqes.extend(self.shared.cq.lock().drain(..));
+        cqes.extend(self.shared.polled_cq().lock().drain(..));
         let mut descs: Vec<RecvBufDesc> = self.srq.lock().drain(..).collect();
         // Reads this device posted that will never complete hand their
         // landing buffers back too.

@@ -1,0 +1,343 @@
+//! Out-of-band bootstrap channel for multi-process TCP jobs: a tiny
+//! root service (the PMI stand-in) hosted by the launcher.
+//!
+//! Every child keeps one *blocking* socket to the root, entirely off
+//! the data path: it carries the mesh address exchange at attach time
+//! and the `Fabric::oob_barrier` / `oob_allgather` collectives the
+//! upper layers use for setup. The wire protocol is deliberately tiny:
+//!
+//! ```text
+//! hello     (child → root, once):  "LCIT" · rank u32 · nranks u32
+//! request   (child → root):        op u8 (1=barrier, 2=allgather)
+//!                                  · len u32 · payload
+//! response  (root → child):        status u8 (0=ok, 1=peer dead)
+//!                                  · [allgather: nranks × (len u32 · bytes)]
+//! ```
+//!
+//! A child that exits (cleanly or not) EOFs its root socket; the root
+//! marks it dead and fails every in-flight and future round with
+//! status 1, so surviving ranks get an error instead of a hang —
+//! the OOB mirror of the data path's `PeerDead` surfacing.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const MAGIC: &[u8; 4] = b"LCIT";
+const OP_BARRIER: u8 = 1;
+const OP_ALLGATHER: u8 = 2;
+
+/// Upper bound on one OOB contribution (bootstrap metadata only).
+const MAX_OOB_LEN: usize = 1 << 20;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Child-side handle on the root service.
+pub(crate) struct OobClient {
+    stream: Mutex<TcpStream>,
+    nranks: usize,
+}
+
+impl OobClient {
+    /// Connects to the root and sends the hello. Retries refused
+    /// connections until `deadline` (the root listens before spawning,
+    /// so this is belt-and-braces).
+    pub(crate) fn connect(
+        root: SocketAddr,
+        rank: usize,
+        nranks: usize,
+        deadline: Instant,
+    ) -> io::Result<OobClient> {
+        let mut stream = loop {
+            match TcpStream::connect(root) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream.write_all(MAGIC)?;
+        write_u32(&mut stream, rank as u32)?;
+        write_u32(&mut stream, nranks as u32)?;
+        Ok(OobClient { stream: Mutex::new(stream), nranks })
+    }
+
+    fn request(&self, op: u8, payload: &[u8]) -> io::Result<Option<Vec<Vec<u8>>>> {
+        let mut s = self.stream.lock().expect("oob client poisoned");
+        s.write_all(&[op])?;
+        write_u32(&mut *s, payload.len() as u32)?;
+        s.write_all(payload)?;
+        let mut status = [0u8; 1];
+        s.read_exact(&mut status)?;
+        if status[0] != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "tcp oob: a peer rank died during the collective",
+            ));
+        }
+        if op != OP_ALLGATHER {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(self.nranks);
+        for _ in 0..self.nranks {
+            let len = read_u32(&mut *s)? as usize;
+            if len > MAX_OOB_LEN {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "oob blob oversized"));
+            }
+            let mut b = vec![0u8; len];
+            s.read_exact(&mut b)?;
+            out.push(b);
+        }
+        Ok(Some(out))
+    }
+
+    pub(crate) fn barrier(&self) -> io::Result<()> {
+        self.request(OP_BARRIER, &[]).map(|_| ())
+    }
+
+    pub(crate) fn allgather(&self, data: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+        self.request(OP_ALLGATHER, data).map(|o| o.expect("allgather returns blobs"))
+    }
+}
+
+/// Shared state of one rendezvous round at the root.
+struct RoundState {
+    contrib: Vec<Option<Vec<u8>>>,
+    arrived: usize,
+    /// Completed-round counter; waiters wake when it advances.
+    gen: u64,
+    /// Result of the round that completed at `gen` (kept until the next
+    /// round completes; every waiter reads it before contributing again).
+    result: Arc<Vec<Vec<u8>>>,
+    dead: bool,
+}
+
+/// Launcher-side root service: accepts one connection per rank, then
+/// serves barrier/allgather rounds until every child disconnects.
+pub(crate) struct RootServer {
+    addr: SocketAddr,
+}
+
+impl RootServer {
+    /// Binds a loopback listener and spawns the service threads. The
+    /// returned server only carries the address children dial; service
+    /// threads exit on their own once all children hang up (the
+    /// listener socket closes with the accept thread).
+    pub(crate) fn spawn(
+        host: &str,
+        nranks: usize,
+        accept_deadline: Instant,
+    ) -> io::Result<RootServer> {
+        let listener = TcpListener::bind((host, 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new((
+            Mutex::new(RoundState {
+                contrib: vec![None; nranks],
+                arrived: 0,
+                gen: 0,
+                result: Arc::new(Vec::new()),
+                dead: false,
+            }),
+            Condvar::new(),
+        ));
+        std::thread::Builder::new()
+            .name("lci-tcp-root".into())
+            .spawn(move || accept_loop(listener, nranks, accept_deadline, state))
+            .expect("failed to spawn tcp oob root");
+        Ok(RootServer { addr })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    nranks: usize,
+    deadline: Instant,
+    state: Arc<(Mutex<RoundState>, Condvar)>,
+) {
+    let mut seen = vec![false; nranks];
+    let mut accepted = 0;
+    while accepted < nranks && Instant::now() < deadline {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => return,
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut hello = [0u8; 12];
+        if stream.read_exact(&mut hello).is_err() || &hello[..4] != MAGIC {
+            continue;
+        }
+        let rank = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes")) as usize;
+        let n = u32::from_le_bytes(hello[8..12].try_into().expect("4 bytes")) as usize;
+        if rank >= nranks || n != nranks || std::mem::replace(&mut seen[rank], true) {
+            continue;
+        }
+        let _ = stream.set_read_timeout(None);
+        accepted += 1;
+        let state = state.clone();
+        std::thread::Builder::new()
+            .name(format!("lci-tcp-oob{rank}"))
+            .spawn(move || serve_child(stream, rank, nranks, state))
+            .expect("failed to spawn oob handler");
+    }
+    // Ranks that never registered would wedge every round: fail them.
+    if accepted < nranks {
+        let (lock, cond) = &*state;
+        lock.lock().expect("oob state poisoned").dead = true;
+        cond.notify_all();
+    }
+}
+
+fn serve_child(
+    mut stream: TcpStream,
+    rank: usize,
+    nranks: usize,
+    state: Arc<(Mutex<RoundState>, Condvar)>,
+) {
+    let (lock, cond) = &*state;
+    loop {
+        let mut op = [0u8; 1];
+        if stream.read_exact(&mut op).is_err() {
+            // Child gone: poison current and future rounds.
+            let mut g = lock.lock().expect("oob state poisoned");
+            g.dead = true;
+            cond.notify_all();
+            return;
+        }
+        let payload = match read_u32(&mut stream) {
+            Ok(len) if (len as usize) <= MAX_OOB_LEN => {
+                let mut b = vec![0u8; len as usize];
+                if stream.read_exact(&mut b).is_err() {
+                    let mut g = lock.lock().expect("oob state poisoned");
+                    g.dead = true;
+                    cond.notify_all();
+                    return;
+                }
+                b
+            }
+            _ => {
+                let mut g = lock.lock().expect("oob state poisoned");
+                g.dead = true;
+                cond.notify_all();
+                return;
+            }
+        };
+        let result = {
+            let mut g = lock.lock().expect("oob state poisoned");
+            let my_gen = g.gen;
+            g.contrib[rank] = Some(payload);
+            g.arrived += 1;
+            if g.arrived == nranks {
+                g.arrived = 0;
+                let blobs: Vec<Vec<u8>> =
+                    g.contrib.iter_mut().map(|c| c.take().expect("contribution set")).collect();
+                g.result = Arc::new(blobs);
+                g.gen += 1;
+                cond.notify_all();
+                Ok(g.result.clone())
+            } else {
+                loop {
+                    // Round completion wins over death: a rank that got
+                    // its response and exited cleanly EOFs its socket,
+                    // which must not poison rounds that already closed.
+                    if g.gen != my_gen {
+                        break Ok(g.result.clone());
+                    }
+                    if g.dead {
+                        break Err(());
+                    }
+                    g = cond.wait(g).expect("oob state poisoned");
+                }
+            }
+        };
+        let ok = match result {
+            Err(()) => stream.write_all(&[1]).is_ok(),
+            Ok(blobs) => {
+                let mut ok = stream.write_all(&[0]).is_ok();
+                if ok && op[0] == OP_ALLGATHER {
+                    for b in blobs.iter() {
+                        ok = write_u32(&mut stream, b.len() as u32).is_ok()
+                            && stream.write_all(b).is_ok();
+                        if !ok {
+                            break;
+                        }
+                    }
+                }
+                ok
+            }
+        };
+        if !ok {
+            let mut g = lock.lock().expect("oob state poisoned");
+            g.dead = true;
+            cond.notify_all();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_and_allgather_rounds() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let root = RootServer::spawn("127.0.0.1", 3, deadline).unwrap();
+        let addr = root.addr();
+        let handles: Vec<_> = (0..3usize)
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    let c = OobClient::connect(addr, rank, 3, deadline).unwrap();
+                    c.barrier().unwrap();
+                    for round in 0..3u8 {
+                        let out = c.allgather(&[round * 10 + rank as u8]).unwrap();
+                        assert_eq!(
+                            out,
+                            (0..3).map(|r| vec![round * 10 + r as u8]).collect::<Vec<_>>()
+                        );
+                    }
+                    c.barrier().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_peer_fails_round_instead_of_hanging() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let root = RootServer::spawn("127.0.0.1", 2, deadline).unwrap();
+        let addr = root.addr();
+        let c0 = OobClient::connect(addr, 0, 2, deadline).unwrap();
+        let c1 = OobClient::connect(addr, 1, 2, deadline).unwrap();
+        // Rank 1 registers, then vanishes without entering the barrier.
+        drop(c1);
+        let err = c0.barrier().expect_err("barrier with a dead peer must fail");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+}

@@ -1,0 +1,251 @@
+//! The TCP stream codec: the shm frame format on a byte stream.
+//!
+//! A frame on the wire is the 64-byte [`shm::ring`] header followed by
+//! the payload; the `spill` word is always zero (streams have no spill
+//! region — the length field alone delimits frames). Unlike the shm
+//! rings, where frames arrive whole by construction, a TCP stream
+//! fragments arbitrarily: a header can straddle two reads, a payload
+//! can arrive one byte at a time, a `writev` can be torn mid-iovec.
+//! [`FrameDecoder`] reassembles against all of that — it buffers
+//! undecoded bytes across reads and yields a frame only when header and
+//! payload are both complete.
+//!
+//! [`shm::ring`]: crate::shm::ring
+
+use crate::buf_pool::{BufPool, MAX_CLASS};
+use crate::shm::ring::{
+    decode_header, encode_header, FrameHeader, HEADER_LEN, KIND_READ_REQ, KIND_READ_RESP,
+    KIND_SEND, KIND_WRITE,
+};
+
+/// Largest payload one TCP frame carries: the whole frame (header +
+/// payload) must fit a pooled buffer class so send queues gather iovecs
+/// from recycled storage. The upper stack chunks rendezvous transfers
+/// far below this.
+pub const MAX_FRAME_PAYLOAD: usize = MAX_CLASS - HEADER_LEN;
+
+/// Initial (and steady-state minimum) reassembly buffer size.
+const DECODER_INIT_CAP: usize = 64 << 10;
+
+/// A corrupt or unsupported byte stream. Unlike ring frames — which are
+/// trusted shared memory — stream bytes cross a socket, so the decoder
+/// validates before believing a length field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// Unknown frame kind: the stream is corrupt or desynchronized.
+    BadKind(u8),
+    /// Length field exceeds [`MAX_FRAME_PAYLOAD`]: corrupt stream.
+    Oversize(usize),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadKind(k) => write!(f, "tcp stream: unknown frame kind {k}"),
+            StreamError::Oversize(n) => write!(f, "tcp stream: frame payload {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Encodes one frame (header + gathered payload segments) into a single
+/// contiguous pooled buffer, ready to sit in a per-peer send queue as
+/// one `writev` iovec. Returns `None` when the payload can never fit a
+/// frame (fatal, mirrors `ProduceError::TooLarge`).
+pub fn encode_frame(
+    pool: &BufPool,
+    h: &FrameHeader,
+    segs: &[&[u8]],
+) -> Option<crate::buf_pool::PoolBuf> {
+    let len: usize = segs.iter().map(|s| s.len()).sum();
+    if len > MAX_FRAME_PAYLOAD {
+        return None;
+    }
+    let mut buf = pool.take_empty(HEADER_LEN + len);
+    let v = buf.vec_mut();
+    v.resize(HEADER_LEN, 0);
+    encode_header(v, h, len as u32, 0);
+    for s in segs {
+        v.extend_from_slice(s);
+    }
+    Some(buf)
+}
+
+/// One reassembled frame, borrowing the decoder's buffer. The payload
+/// must be consumed (copied/staged) before the next decode call.
+#[derive(Debug)]
+pub struct DecodedFrame<'a> {
+    pub header: FrameHeader,
+    pub payload: &'a [u8],
+}
+
+/// Incremental frame reassembler over an arbitrarily fragmented byte
+/// stream.
+///
+/// The buffer is a flat `Vec` with a consume cursor: bytes land at
+/// `filled` (either via [`push`](Self::push) or by reading straight
+/// into [`fill_space`](Self::fill_space)), frames are carved off at
+/// `pos`, and the un-consumed tail is compacted to the front before
+/// each refill. Storage grows only when a single frame outsizes the
+/// current buffer, then stays — no steady-state allocation.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes `[pos, filled)` are received and not yet decoded.
+    pos: usize,
+    filled: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder { buf: vec![0; DECODER_INIT_CAP], pos: 0, filled: 0 }
+    }
+
+    /// Bytes received but not yet carved into frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.filled - self.pos
+    }
+
+    /// Compacts and returns the writable tail for a socket read; call
+    /// [`advance_filled`](Self::advance_filled) with the byte count
+    /// actually read. Never empty: grows the buffer when a partial
+    /// oversized frame has filled it.
+    pub fn fill_space(&mut self) -> &mut [u8] {
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos..self.filled, 0);
+            self.filled -= self.pos;
+            self.pos = 0;
+        }
+        if self.filled == self.buf.len() {
+            let new_len = (self.buf.len() * 2).min(HEADER_LEN + MAX_FRAME_PAYLOAD);
+            debug_assert!(new_len > self.buf.len(), "frame larger than the frame limit");
+            self.buf.resize(new_len.max(self.buf.len() + 1), 0);
+        }
+        &mut self.buf[self.filled..]
+    }
+
+    /// Marks `n` bytes of [`fill_space`](Self::fill_space) as received.
+    pub fn advance_filled(&mut self, n: usize) {
+        debug_assert!(self.filled + n <= self.buf.len());
+        self.filled += n;
+    }
+
+    /// Copies `bytes` in (test/bench convenience; the device reads the
+    /// socket directly into [`fill_space`](Self::fill_space)).
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let space = self.fill_space();
+            let n = space.len().min(bytes.len());
+            space[..n].copy_from_slice(&bytes[..n]);
+            self.advance_filled(n);
+            bytes = &bytes[n..];
+        }
+    }
+
+    /// Carves the next complete frame off the stream, if one has fully
+    /// arrived. `Ok(None)` means "need more bytes".
+    pub fn decode_next(&mut self) -> Result<Option<DecodedFrame<'_>>, StreamError> {
+        if self.pending_bytes() < HEADER_LEN {
+            return Ok(None);
+        }
+        let (header, len, _spill) = decode_header(&self.buf[self.pos..self.pos + HEADER_LEN]);
+        let len = len as usize;
+        if !matches!(header.kind, KIND_SEND | KIND_WRITE | KIND_READ_REQ | KIND_READ_RESP) {
+            return Err(StreamError::BadKind(header.kind));
+        }
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(StreamError::Oversize(len));
+        }
+        if self.pending_bytes() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = self.pos + HEADER_LEN;
+        self.pos = start + len;
+        Ok(Some(DecodedFrame { header, payload: &self.buf[start..start + len] }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buf_pool::{BufPool, BufPoolConfig};
+
+    fn hdr(kind: u8, imm: u64) -> FrameHeader {
+        FrameHeader { kind, flags: 0, imm, src_dev: 1, dst_dev: 2, a: 3, b: 4, c: 5 }
+    }
+
+    #[test]
+    fn roundtrip_whole_frames() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let mut dec = FrameDecoder::new();
+        for i in 0..4u64 {
+            let payload = vec![i as u8; 10 * i as usize];
+            let f = encode_frame(&pool, &hdr(KIND_SEND, i), &[&payload]).unwrap();
+            dec.push(&f);
+        }
+        for i in 0..4u64 {
+            let f = dec.decode_next().unwrap().expect("frame");
+            assert_eq!(f.header.imm, i);
+            assert_eq!(f.payload, vec![i as u8; 10 * i as usize].as_slice());
+        }
+        assert!(dec.decode_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn survives_byte_at_a_time() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let f = encode_frame(&pool, &hdr(KIND_WRITE, 9), &[b"abc", b"def"]).unwrap();
+        let mut dec = FrameDecoder::new();
+        for (i, b) in f.iter().enumerate() {
+            if i + 1 < f.len() {
+                dec.push(std::slice::from_ref(b));
+                assert!(dec.decode_next().unwrap().is_none(), "frame appeared early at byte {i}");
+            } else {
+                dec.push(std::slice::from_ref(b));
+            }
+        }
+        let out = dec.decode_next().unwrap().expect("frame");
+        assert_eq!(out.header.imm, 9);
+        assert_eq!(out.payload, b"abcdef");
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_oversize() {
+        let mut raw = vec![0u8; HEADER_LEN];
+        encode_header(&mut raw, &hdr(77, 0), 0, 0);
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw);
+        assert_eq!(dec.decode_next().unwrap_err(), StreamError::BadKind(77));
+
+        let mut raw = vec![0u8; HEADER_LEN];
+        encode_header(&mut raw, &hdr(KIND_SEND, 0), (MAX_FRAME_PAYLOAD + 1) as u32, 0);
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw);
+        assert!(matches!(dec.decode_next(), Err(StreamError::Oversize(_))));
+    }
+
+    #[test]
+    fn grows_for_oversized_frame_then_reuses() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let big = vec![7u8; 200 << 10]; // larger than the 64 KiB initial buffer
+        let f = encode_frame(&pool, &hdr(KIND_READ_RESP, 1), &[&big]).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&f);
+        let out = dec.decode_next().unwrap().expect("frame");
+        assert_eq!(out.payload.len(), big.len());
+        assert!(out.payload.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn encode_rejects_over_limit() {
+        let pool = BufPool::new(BufPoolConfig::default());
+        let too_big = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        assert!(encode_frame(&pool, &hdr(KIND_SEND, 0), &[&too_big]).is_none());
+    }
+}

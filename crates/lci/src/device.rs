@@ -513,6 +513,8 @@ impl Device {
         let ts = self.inner.net.transport_stats();
         s.shm_ring_hwm = ts.shm_ring_hwm;
         s.doorbell_cross_proc_wakes = ts.doorbell_cross_proc_wakes;
+        s.tcp_writev_calls = ts.tcp_writev_calls;
+        s.tcp_writev_frames = ts.tcp_writev_frames;
         s
     }
 
@@ -1892,6 +1894,16 @@ impl Device {
     /// Backlog depth (diagnostics).
     pub fn backlog_len(&self) -> usize {
         self.inner.backlog.len()
+    }
+
+    /// Posted-but-unshipped wire work (diagnostics): frames a
+    /// deferred-flush transport (tcp) has accepted but not yet written
+    /// to a socket. They only move on progress calls, so quiescence
+    /// loops must keep polling until this drains — a rank that blocks
+    /// elsewhere (an out-of-band collective, say) with frames queued
+    /// strands every peer waiting on those bytes.
+    pub fn outbound_pending(&self) -> usize {
+        self.inner.net.outbound_pending()
     }
 
     /// Pending rendezvous operations (diagnostics): sends awaiting RTR

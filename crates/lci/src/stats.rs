@@ -174,6 +174,8 @@ impl DeviceStats {
             matching_contended: 0,
             shm_ring_hwm: 0,
             doorbell_cross_proc_wakes: 0,
+            tcp_writev_calls: 0,
+            tcp_writev_frames: 0,
         }
     }
 }
@@ -295,6 +297,15 @@ pub struct StatsSnapshot {
     /// [`Device::stats`](crate::device::Device::stats); zero in-process
     /// and on simulated backends).
     pub doorbell_cross_proc_wakes: u64,
+    /// `writev` syscalls that made progress on this rank's tcp mesh
+    /// (overlaid by [`Device::stats`](crate::device::Device::stats);
+    /// zero on non-tcp transports).
+    pub tcp_writev_calls: u64,
+    /// Frames fully shipped by those `writev` calls; the ratio
+    /// `tcp_writev_frames / tcp_writev_calls` (see
+    /// [`Self::avg_writev_fill`]) is the average gather fill — the
+    /// syscall-amortization figure of merit for the batching ablation.
+    pub tcp_writev_frames: u64,
 }
 
 impl StatsSnapshot {
@@ -355,6 +366,20 @@ impl StatsSnapshot {
             doorbell_cross_proc_wakes: self
                 .doorbell_cross_proc_wakes
                 .saturating_sub(earlier.doorbell_cross_proc_wakes),
+            tcp_writev_calls: self.tcp_writev_calls.saturating_sub(earlier.tcp_writev_calls),
+            tcp_writev_frames: self.tcp_writev_frames.saturating_sub(earlier.tcp_writev_frames),
+        }
+    }
+
+    /// Average frames shipped per productive `writev` — the vectored
+    /// write batching fill factor (1.0 with batching disabled; greater
+    /// when the send queue amortizes syscalls). Zero when the tcp
+    /// transport was not in use.
+    pub fn avg_writev_fill(&self) -> f64 {
+        if self.tcp_writev_calls == 0 {
+            0.0
+        } else {
+            self.tcp_writev_frames as f64 / self.tcp_writev_calls as f64
         }
     }
 

@@ -48,6 +48,10 @@ pub enum Platform {
     /// Same-host shared-memory rings: real inter-process transport (or
     /// the in-process segment when the fabric is not attached).
     ShmHost,
+    /// Real TCP sockets: full mesh with epoll-parked progress and
+    /// vectored write batching (DESIGN.md §4.12). Works loopback
+    /// in-process, or across processes via `LCI_TRANSPORT=tcp`.
+    TcpHost,
 }
 
 impl Platform {
@@ -57,16 +61,19 @@ impl Platform {
             Platform::Expanse => DeviceConfig::ibv(),
             Platform::Delta => DeviceConfig::ofi(),
             Platform::ShmHost => DeviceConfig::shm(),
+            Platform::TcpHost => DeviceConfig::tcp(),
         }
     }
 
     /// Parses a transport selector (the `--transport` flag /
-    /// `LCI_TRANSPORT` values): `sim-ibv`/`ibv`, `sim-ofi`/`ofi`, `shm`.
+    /// `LCI_TRANSPORT` values): `sim-ibv`/`ibv`, `sim-ofi`/`ofi`, `shm`,
+    /// `tcp`.
     pub fn from_name(name: &str) -> Option<Platform> {
         match name {
             "sim-ibv" | "ibv" => Some(Platform::Expanse),
             "sim-ofi" | "ofi" => Some(Platform::Delta),
             "shm" => Some(Platform::ShmHost),
+            "tcp" => Some(Platform::TcpHost),
             _ => None,
         }
     }
@@ -86,7 +93,7 @@ impl Platform {
     pub fn from_args_or_env(default: Platform) -> Platform {
         let parse = |v: &str| {
             Platform::from_name(v).unwrap_or_else(|| {
-                panic!("unknown transport {v:?}; expected sim-ibv, sim-ofi, or shm")
+                panic!("unknown transport {v:?}; expected sim-ibv, sim-ofi, shm, or tcp")
             })
         };
         let mut args = std::env::args().skip(1);
@@ -126,6 +133,7 @@ impl Platform {
             Platform::Expanse => "sim-ibv",
             Platform::Delta => "sim-ofi",
             Platform::ShmHost => "shm",
+            Platform::TcpHost => "tcp",
         }
     }
 }
@@ -193,6 +201,10 @@ pub struct WorldConfig {
     /// a post blocks (LCI backend only; see
     /// [`lci::RuntimeConfig::coll_max_inflight`]).
     pub coll_max_inflight: usize,
+    /// Vectored write batching on the tcp transport (tcp platform
+    /// only) — the ablation knob for syscall amortization: off forces
+    /// one `write` per frame.
+    pub tcp_batch: bool,
 }
 
 impl WorldConfig {
@@ -215,7 +227,21 @@ impl WorldConfig {
             coll_naive: false,
             coll_chunk_size: 64 << 10,
             coll_max_inflight: 4,
+            tcp_batch: true,
         }
+    }
+
+    /// The fabric device configuration this world's platform and knobs
+    /// select (single source for every backend's channel config).
+    fn device_config(&self) -> DeviceConfig {
+        self.platform.device_config().with_tcp_batch(self.tcp_batch)
+    }
+
+    /// Enables or disables vectored write batching on the tcp transport
+    /// — the ablation knob for `writev` syscall amortization.
+    pub fn with_tcp_batch(mut self, on: bool) -> Self {
+        self.tcp_batch = on;
+        self
     }
 
     /// Enables LCI sender-side coalescing with a `max_bytes` flush
@@ -352,7 +378,7 @@ impl World {
                 let mut coalesce = cfg.coalesce;
                 coalesce.max_bytes = coalesce.max_bytes.min(cfg.eager_size);
                 let rt_cfg = lci::RuntimeConfig {
-                    device: cfg.platform.device_config().with_reg_cache(cfg.reg_cache),
+                    device: cfg.device_config().with_reg_cache(cfg.reg_cache),
                     rdv_chunking: cfg.rdv_chunking,
                     packet: lci::PacketPoolConfig {
                         payload_size: cfg.eager_size,
@@ -393,8 +419,7 @@ impl World {
             }
             BackendKind::Mpi => {
                 let mut mcfg = MpiConfig::ibv();
-                mcfg.channel.device =
-                    cfg.platform.device_config().with_discipline(LockDiscipline::Blocking);
+                mcfg.channel.device = cfg.device_config().with_discipline(LockDiscipline::Blocking);
                 mcfg.channel.eager_size = cfg.eager_size;
                 WorldInner::Mpi {
                     comm: MpiComm::init(fabric, rank, mcfg),
@@ -402,7 +427,7 @@ impl World {
                 }
             }
             BackendKind::Vci => {
-                let dev = cfg.platform.device_config().with_discipline(LockDiscipline::Blocking);
+                let dev = cfg.device_config().with_discipline(LockDiscipline::Blocking);
                 let ccfg = ChannelConfig { device: dev, eager_size: cfg.eager_size, prepost: 64 };
                 WorldInner::Vci {
                     comm: VciComm::init(fabric, rank, nthreads, ccfg),
@@ -413,7 +438,7 @@ impl World {
             }
             BackendKind::Gasnet => {
                 let gcfg = GasnetConfig {
-                    device: cfg.platform.device_config().with_discipline(LockDiscipline::TryLock),
+                    device: cfg.device_config().with_discipline(LockDiscipline::TryLock),
                     max_medium: cfg.eager_size,
                     prepost: 64,
                 };
@@ -434,9 +459,10 @@ impl World {
     /// builds the worker's world over it; `Ok(None)` when this process
     /// was started directly (run the launcher side instead).
     ///
-    /// The platform is forced to [`Platform::ShmHost`] — an attached
-    /// fabric's peers live in other processes, which only the shm
-    /// backend can reach — and only the LCI backend is supported
+    /// The platform is forced to the transport the rendezvous selected
+    /// ([`Platform::ShmHost`] or [`Platform::TcpHost`]) — an attached
+    /// fabric's peers live in other processes, which only the real
+    /// transports can reach — and only the LCI backend is supported
     /// (the baseline sims are in-process by construction).
     pub fn from_env(mut cfg: WorldConfig) -> std::io::Result<Option<World>> {
         let Some(ctx) = lci_fabric::bootstrap::from_env()? else { return Ok(None) };
@@ -446,7 +472,8 @@ impl World {
                 "multi-process worlds require the LCI backend",
             ));
         }
-        cfg.platform = Platform::ShmHost;
+        cfg.platform =
+            if ctx.fabric.tcp_rank().is_some() { Platform::TcpHost } else { Platform::ShmHost };
         Ok(Some(World::new(ctx.fabric, ctx.rank, cfg)))
     }
 
@@ -790,7 +817,11 @@ impl Endpoint {
         match &self.inner {
             EpInner::Lci { device, .. } => {
                 let (s, r) = device.pending_rendezvous();
-                s == 0 && r == 0 && device.backlog_len() == 0 && device.coalesce_pending() == 0
+                s == 0
+                    && r == 0
+                    && device.backlog_len() == 0
+                    && device.coalesce_pending() == 0
+                    && device.outbound_pending() == 0
             }
             EpInner::Mpi { comm, .. } => comm.pending() == 0,
             EpInner::Vci { comm, vci, .. } => comm.pending(*vci) == 0,
@@ -799,8 +830,8 @@ impl Endpoint {
     }
 
     /// Drives progress until [`quiesced`](Endpoint::quiesced) holds,
-    /// giving up when the deadline expires or — on the shared-memory
-    /// transport — when a peer process is observed dead. A survivor of
+    /// giving up when the deadline expires or — on the shm and tcp
+    /// transports — when a peer process is observed dead. A survivor of
     /// an abrupt peer exit gets `Err(PeerDead(rank))` here instead of
     /// spinning forever on a handshake the peer will never answer.
     pub fn quiesce(&mut self, timeout: std::time::Duration) -> Result<(), QuiesceError> {
@@ -809,7 +840,7 @@ impl Endpoint {
             if self.quiesced() {
                 return Ok(());
             }
-            if let Some(r) = self.fabric.shm_dead_peer() {
+            if let Some(r) = self.fabric.dead_peer() {
                 return Err(QuiesceError::PeerDead(r));
             }
             if std::time::Instant::now() >= deadline {

@@ -1,0 +1,111 @@
+//! Multi-process smoke tests pinned to the tcp transport (the generic
+//! suite in `shm_smoke.rs` covers both wires via `LCI_TRANSPORT`; these
+//! tests force tcp so `cargo test` always exercises the socket mesh,
+//! and add the tcp-specific assertions: writev counters, and positive
+//! `PeerDead` detection from a killed peer's socket EOF).
+#![cfg(unix)]
+
+use lci_fabric::bootstrap::test_child_args;
+use lcw::{BackendKind, Platform, QuiesceError, ResourceMode, World, WorldConfig};
+use std::time::Duration;
+
+const JOB_TIMEOUT: Duration = Duration::from_secs(120);
+const QUIESCE: Duration = Duration::from_secs(30);
+
+fn tcp_cfg() -> WorldConfig {
+    WorldConfig::new(BackendKind::Lci, Platform::TcpHost, ResourceMode::Shared)
+}
+
+/// Parent side: force the tcp rendezvous, fork `nranks` children and
+/// check exit codes. Child side: return the attached world.
+fn launch(nranks: usize, test_name: &str, cfg: WorldConfig) -> Option<World> {
+    match World::from_env(cfg).expect("attach") {
+        Some(w) => Some(w),
+        None => {
+            std::env::set_var(lci_fabric::bootstrap::ENV_TRANSPORT, "tcp");
+            let report = World::spawn_local(nranks, &test_child_args(test_name), JOB_TIMEOUT)
+                .expect("spawn");
+            assert!(report.all_ok(), "child exit codes: {:?}", report.exit_codes);
+            None
+        }
+    }
+}
+
+fn recv_msg(ep: &mut lcw::Endpoint) -> lcw::Msg {
+    loop {
+        ep.progress();
+        if let Some(m) = ep.poll_msg() {
+            return m;
+        }
+    }
+}
+
+/// Four processes stream tagged messages rank-to-rank around a ring;
+/// every rank's device must show vectored writes on the wire.
+#[test]
+fn tcp_multiproc_ring_stream() {
+    let Some(w) = launch(4, "tcp_multiproc_ring_stream", tcp_cfg()) else { return };
+    let mut ep = w.endpoint(0);
+    let n = w.size();
+    let rank = w.rank();
+    let right = (rank + 1) % n;
+    const MSGS: u64 = 200;
+    let mut sent = 0u64;
+    let mut got = 0u64;
+    while sent < MSGS || got < MSGS {
+        if sent < MSGS && ep.send_am(right, &sent.to_le_bytes(), 5) {
+            sent += 1;
+        }
+        ep.progress();
+        if let Some(m) = ep.poll_msg() {
+            assert_eq!(m.src, (rank + n - 1) % n);
+            assert_eq!(m.tag, 5);
+            assert_eq!(u64::from_le_bytes(m.data[..].try_into().unwrap()), got, "reordered");
+            got += 1;
+        }
+    }
+    ep.quiesce(QUIESCE).expect("drain");
+    let stats = ep.lci_device().expect("lci").stats();
+    assert!(stats.tcp_writev_frames >= MSGS, "stream never crossed the socket mesh");
+    assert!(stats.tcp_writev_calls > 0);
+    assert!(stats.avg_writev_fill() >= 1.0);
+    assert_eq!(stats.shm_ring_hwm, 0, "tcp job must not touch shm rings");
+}
+
+/// A killed peer surfaces as `PeerDead` — positively, within the
+/// quiesce timeout — because its mesh sockets EOF. Rank 1 exits
+/// abruptly (code 7) with rank 0's rendezvous handshake in flight.
+#[test]
+fn tcp_multiproc_peer_kill() {
+    match World::from_env(tcp_cfg()).expect("attach") {
+        None => {
+            std::env::set_var(lci_fabric::bootstrap::ENV_TRANSPORT, "tcp");
+            let report =
+                World::spawn_local(2, &test_child_args("tcp_multiproc_peer_kill"), JOB_TIMEOUT)
+                    .expect("spawn");
+            assert_eq!(report.exit_codes, vec![0, 7], "expected rank 0 ok, rank 1 abrupt");
+        }
+        Some(w) => {
+            if w.rank() == 1 {
+                let mut ep = w.endpoint(0);
+                let m = recv_msg(&mut ep);
+                assert_eq!(m.tag, 99);
+                std::process::exit(7);
+            }
+            let mut ep = w.endpoint(0);
+            // A rendezvous-sized send needs the peer to answer the RTS;
+            // it never will. Post it, then tell the peer to die.
+            let doomed = vec![0xEEu8; 256 << 10];
+            while !ep.send(1, &doomed, 11) {
+                ep.progress();
+            }
+            while !ep.send_am(1, &[0], 99) {
+                ep.progress();
+            }
+            match ep.quiesce(QUIESCE) {
+                Err(QuiesceError::PeerDead(r)) => assert_eq!(r, 1),
+                other => panic!("expected PeerDead(1) from the socket EOF, got {other:?}"),
+            }
+        }
+    }
+}

@@ -2,47 +2,147 @@
 """Splits bench_output.txt into per-figure files under bench_results/.
 
 When the captured run was made under a transport selector
-(``--transport``/``LCI_TRANSPORT``: ``sim-ibv``, ``sim-ofi``, ``shm``),
-pass it as argv[1] and the output files carry it as a suffix, e.g.
-``msgrate_thread_shm.txt`` — the same naming run_benches.sh uses.
+(``--transport``/``LCI_TRANSPORT``: ``sim-ibv``, ``sim-ofi``, ``shm``,
+``tcp``), pass it as argv[1] and the output files carry it as a suffix,
+e.g. ``msgrate_thread_tcp.txt`` — the same naming run_benches.sh uses.
+
+With ``--json`` (either invocation) every emitted/selected results file
+also gets a machine-readable ``.json`` sibling, and the parsed tables of
+all of them are consolidated into ``bench_results/BENCH_9.json``::
+
+    ./split_bench_output.py [transport] --json      # split + JSON
+    ./split_bench_output.py --json-only [files...]  # JSON for existing
+                                                    # bench_results/*.txt
+
+Table format (``bench::print_header``/``print_row``)::
+
+    == <title> ==
+    col1\tcol2...
+    cell1\tcell2...
 """
-import os, re, sys
+import json
+import os
+import re
+import sys
 
-transport = sys.argv[1] if len(sys.argv) > 1 else ""
-if transport and transport not in ("sim-ibv", "sim-ofi", "shm"):
-    sys.exit(f"unknown transport {transport!r}; expected sim-ibv, sim-ofi, or shm")
-suffix = f"_{transport}" if transport else ""
+TRANSPORTS = ("sim-ibv", "sim-ofi", "shm", "tcp")
+CONSOLIDATED = "bench_results/BENCH_9.json"
 
-src = open("bench_output.txt").read()
-os.makedirs("bench_results", exist_ok=True)
-markers = {
-    "table1_semantics": "semantics.txt",
-    "fig2_msgrate_process": "msgrate_process.txt",
-    "fig3_msgrate_thread": "msgrate_thread.txt",
-    "fig4_bandwidth": "bandwidth.txt",
-    "fig5_resources": "resources.txt",
-    "fig6_kmer": "kmer.txt",
-    "fig7_octotiger": "octotiger.txt",
-    "ablations": "ablations.txt",
-    # The multi-process shm sweep is its own transport axis: no suffix.
-    "shm_scale": ("shm_scale.txt", False),
-    "micro_criterion": ("micro_criterion.txt", False),
-    # The thread-per-core scale matrix sweeps all transports in-process
-    # by default; with a forced transport the suffix records it.
-    "scale_matrix": "scale_matrix.txt",
-    # The collectives sweep covers its own transport axis in one run
-    # (sim-ibv/sim-ofi thread-per-rank + multi-process shm): no suffix.
-    "collectives": ("collectives.txt", False),
-}
-# Sections start at "Running benches/<name>.rs"
-parts = re.split(r"\n(?=\s*Running benches/)", src)
-for part in parts:
-    m = re.search(r"Running benches/(\w+)\.rs", part)
-    if m and m.group(1) in markers:
-        entry = markers[m.group(1)]
-        name, suffixed = entry if isinstance(entry, tuple) else (entry, True)
-        if suffixed and suffix:
-            base, ext = name.rsplit(".", 1)
-            name = f"{base}{suffix}.{ext}"
-        open(f"bench_results/{name}", "w").write(part)
-        print("wrote", name, len(part), "bytes")
+
+def parse_tables(text):
+    """Parses ``== title ==`` tables out of one bench's stdout capture."""
+    tables = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = re.match(r"^== (.+) ==$", lines[i].strip())
+        if not m:
+            i += 1
+            continue
+        title = m.group(1)
+        i += 1
+        if i >= len(lines) or "\t" not in lines[i]:
+            continue
+        cols = lines[i].rstrip("\n").split("\t")
+        i += 1
+        rows = []
+        while i < len(lines):
+            line = lines[i].rstrip("\n")
+            if not line.strip() or line.strip().startswith(("==", "#")):
+                break
+            cells = line.split("\t")
+            if len(cells) != len(cols):
+                break
+            rows.append(cells)
+            i += 1
+        tables.append({"title": title, "columns": cols, "rows": rows})
+    return tables
+
+
+def emit_json(txt_path):
+    """Writes ``<file>.json`` next to a results file; returns its record."""
+    text = open(txt_path).read()
+    bench = os.path.splitext(os.path.basename(txt_path))[0]
+    record = {"bench": bench, "tables": parse_tables(text)}
+    json_path = os.path.splitext(txt_path)[0] + ".json"
+    with open(json_path, "w") as f:
+        json.dump(record, f, indent=1)
+        f.write("\n")
+    print("wrote", json_path, f"({len(record['tables'])} tables)")
+    return record
+
+
+def consolidate(records):
+    with open(CONSOLIDATED, "w") as f:
+        json.dump({"benches": records}, f, indent=1)
+        f.write("\n")
+    print("wrote", CONSOLIDATED, f"({len(records)} benches)")
+
+
+def main():
+    args = sys.argv[1:]
+    want_json = "--json" in args
+    json_only = "--json-only" in args
+    args = [a for a in args if a not in ("--json", "--json-only")]
+
+    if json_only:
+        files = args or sorted(
+            os.path.join("bench_results", n)
+            for n in os.listdir("bench_results")
+            if n.endswith(".txt")
+        )
+        consolidate([emit_json(p) for p in files])
+        return
+
+    transport = args[0] if args else ""
+    if transport and transport not in TRANSPORTS:
+        sys.exit(
+            f"unknown transport {transport!r}; expected {', '.join(TRANSPORTS)}"
+        )
+    suffix = f"_{transport}" if transport else ""
+
+    src = open("bench_output.txt").read()
+    os.makedirs("bench_results", exist_ok=True)
+    markers = {
+        "table1_semantics": "semantics.txt",
+        "fig2_msgrate_process": "msgrate_process.txt",
+        "fig3_msgrate_thread": "msgrate_thread.txt",
+        "fig4_bandwidth": "bandwidth.txt",
+        "fig5_resources": "resources.txt",
+        "fig6_kmer": "kmer.txt",
+        "fig7_octotiger": "octotiger.txt",
+        "ablations": "ablations.txt",
+        # The multi-process shm/tcp sweep is its own transport axis
+        # (wire column per row): no suffix.
+        "shm_scale": ("shm_scale.txt", False),
+        "micro_criterion": ("micro_criterion.txt", False),
+        # The thread-per-core scale matrix sweeps all transports
+        # in-process by default; with a forced transport the suffix
+        # records it.
+        "scale_matrix": "scale_matrix.txt",
+        # The collectives sweep covers its own transport axis in one run
+        # (sim-ibv/sim-ofi thread-per-rank + multi-process shm): no
+        # suffix.
+        "collectives": ("collectives.txt", False),
+    }
+    # Sections start at "Running benches/<name>.rs"
+    parts = re.split(r"\n(?=\s*Running benches/)", src)
+    written = []
+    for part in parts:
+        m = re.search(r"Running benches/(\w+)\.rs", part)
+        if m and m.group(1) in markers:
+            entry = markers[m.group(1)]
+            name, suffixed = entry if isinstance(entry, tuple) else (entry, True)
+            if suffixed and suffix:
+                base, ext = name.rsplit(".", 1)
+                name = f"{base}{suffix}.{ext}"
+            path = f"bench_results/{name}"
+            open(path, "w").write(part)
+            print("wrote", name, len(part), "bytes")
+            written.append(path)
+    if want_json:
+        consolidate([emit_json(p) for p in written])
+
+
+if __name__ == "__main__":
+    main()
