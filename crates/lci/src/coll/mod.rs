@@ -11,6 +11,10 @@
 //! * **Bounded-inflight pairwise alltoall** ([`alltoall_bytes`]): all
 //!   receives pre-posted, sends posted without per-send wait barriers,
 //!   large blocks riding the chunked rendezvous pump.
+//! * **Sparse size-adaptive alltoallv** ([`alltoallv`]): uneven blocks
+//!   per pair, zero-byte pairs skipped, size-adaptive per-block
+//!   protocol, largest-block-first scheduling (see [`v`];
+//!   [`alltoallv_counts`] handles the recv-side-unknown MoE case).
 //! * **Bruck allgather** ([`allgather_bytes`]) in `⌈log₂ n⌉` rounds and
 //!   a **chunk-pipelined binomial broadcast** ([`broadcast_bytes`]),
 //!   both clone-free over slices with pool-recycled staging.
@@ -30,7 +34,8 @@
 //!
 //! Non-blocking `i*` variants composed on the completion graph live in
 //! [`nb`] (re-exported here): [`ibarrier`], [`ibroadcast`],
-//! [`ireduce_u64`], [`iallgather`], [`ialltoall`], [`iallreduce_u64`].
+//! [`ireduce_u64`], [`iallgather`], [`ialltoall`], [`ialltoallv`],
+//! [`iallreduce_u64`].
 //!
 //! ## Tags and ordering
 //!
@@ -52,8 +57,11 @@ mod naive;
 pub mod nb;
 pub mod ops;
 mod ring;
+mod v;
 
-pub use nb::{iallgather, iallreduce_u64, ialltoall, ibarrier, ibroadcast, ireduce_u64, IColl};
+pub use nb::{
+    iallgather, iallreduce_u64, ialltoall, ialltoallv, ibarrier, ibroadcast, ireduce_u64, IColl,
+};
 pub use ops::{FnOpU64, MaxF32, MaxU64, ReduceOp, SumF32, SumU64};
 
 use crate::comp::Comp;
@@ -81,6 +89,8 @@ pub(crate) const MAX_RING_RANKS: usize = 256;
 pub(crate) const ROUND_BCAST: u32 = 0x1BC & 0x1FF;
 pub(crate) const ROUND_REDUCE: u32 = 0x14D & 0x1FF;
 pub(crate) const ROUND_A2A: u32 = 0x1AA & 0x1FF;
+pub(crate) const ROUND_A2AV: u32 = 0x1A5 & 0x1FF;
+pub(crate) const ROUND_A2AV_CNT: u32 = 0x1A6 & 0x1FF;
 pub(crate) const ROUND_AG_BASE: u32 = 0x1C0;
 
 pub(crate) fn coll_tag(seq: u32, round: u32) -> Tag {
@@ -125,6 +135,17 @@ pub struct CollState {
     chunk_cap: usize,
     /// Per-round arrival counters, reused across collectives.
     arrived: Vec<u32>,
+    /// `alltoallv` send-schedule scratch (peer indices, sorted
+    /// largest-block-first), reused so the warm path allocates nothing.
+    v_order: Vec<usize>,
+    /// `alltoallv` block-offset scratch (send prefix sums), reused.
+    v_send_offs: Vec<usize>,
+    /// `alltoallv` block-offset scratch (recv prefix sums), reused.
+    v_recv_offs: Vec<usize>,
+    /// Count-exchange staging (send side), reused across exchanges.
+    cnt_send: Vec<u8>,
+    /// Count-exchange staging (recv side), reused across exchanges.
+    cnt_recv: Vec<u8>,
 }
 
 impl CollState {
@@ -140,6 +161,11 @@ impl CollState {
             shelf: Vec::new(),
             chunk_cap: rt.config().coll_chunk_size,
             arrived: Vec::new(),
+            v_order: Vec::new(),
+            v_send_offs: Vec::new(),
+            v_recv_offs: Vec::new(),
+            cnt_send: Vec::new(),
+            cnt_recv: Vec::new(),
         }
     }
 
@@ -201,7 +227,15 @@ fn post_windowed(
     let inflight = &st.inflight;
     rt.wait_until(|| inflight.load(Ordering::Acquire) < window)?;
     loop {
-        let staged: SendBuf = dev.buf_pool().stage_copy(payload).into();
+        // Size-adaptive staging: payloads that fit the inline send
+        // variant skip the pool entirely (no staging copy bookkeeping);
+        // everything else stages through the recycled buffer pool and
+        // the runtime's protocol thresholds pick eager vs rendezvous.
+        let staged: SendBuf = if payload.len() <= crate::types::SENDBUF_INLINE_CAP {
+            payload.into()
+        } else {
+            dev.buf_pool().stage_copy(payload).into()
+        };
         st.inflight.fetch_add(1, Ordering::AcqRel);
         // Collectives batch at chunk granularity themselves, and the
         // drain contract ("window empty" = "bytes on the wire") requires
@@ -546,6 +580,143 @@ pub fn alltoall_bytes(rt: &Runtime, send: &[u8], recv: &mut [u8]) -> Result<()> 
         return naive::alltoall_bytes(rt, send, recv, block);
     }
     with_state(rt, |st| ring::alltoall(rt, st, send, recv, block))
+}
+
+/// Uneven-block all-to-all personalized exchange (`MPI_Alltoallv`
+/// shape): `send` is the concatenation of `n` blocks where block `i`
+/// (`send_counts[i]` bytes) goes to rank `i`, and `recv` receives rank
+/// `j`'s block for us (`recv_counts[j]` bytes) at the `j`-th recv
+/// offset. Counts may differ per pair and per direction; the count
+/// vectors must agree pairwise across ranks (rank `a`'s
+/// `send_counts[b]` == rank `b`'s `recv_counts[a]` — use
+/// [`alltoallv_counts`] when the receive side is unknown, the MoE
+/// dispatch case).
+///
+/// Performance engineering (see [`v`] and DESIGN.md §4.13):
+/// **zero-byte pairs post nothing** (`coll_skipped_pairs` counts them —
+/// MoE routing matrices are mostly sparse), each block rides a
+/// **size-adaptive protocol** (inline / pooled eager / chunked
+/// rendezvous per `coll_chunk_size` piece, so one giant hot-expert
+/// block pipelines through the rendezvous chunk pumps while small
+/// blocks stay eager), and sends are issued **largest-block-first with
+/// rank-rotated tie-breaking** under the bounded `coll_max_inflight`
+/// window, so the straggler block departs first and equal-size blocks
+/// do not hotspot one receiver. `coll_chunk_size` must match across
+/// ranks (it fixes the chunk split both sides compute), like the
+/// invocation-order contract itself.
+///
+/// [`coll_naive`](crate::RuntimeConfig::coll_naive) selects the
+/// store-and-forward ablation instead: dense (a full message per empty
+/// pair), whole-block clones, one send in flight.
+pub fn alltoallv(
+    rt: &Runtime,
+    send: &[u8],
+    send_counts: &[usize],
+    recv: &mut [u8],
+    recv_counts: &[usize],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    if send_counts.len() != n || recv_counts.len() != n {
+        return Err(FatalError::InvalidArg(format!(
+            "alltoallv needs one count per rank each way ({n} ranks, {} send counts, {} recv counts)",
+            send_counts.len(),
+            recv_counts.len()
+        )));
+    }
+    let send_total: usize = send_counts.iter().sum();
+    let recv_total: usize = recv_counts.iter().sum();
+    if send.len() != send_total || recv.len() != recv_total {
+        return Err(FatalError::InvalidArg(format!(
+            "alltoallv buffers must match their count sums (send {} vs {send_total}, recv {} vs {recv_total})",
+            send.len(),
+            recv.len()
+        )));
+    }
+    if send_counts[me] != recv_counts[me] {
+        return Err(FatalError::InvalidArg(format!(
+            "alltoallv self block disagrees ({} send vs {} recv bytes)",
+            send_counts[me], recv_counts[me]
+        )));
+    }
+    // The self block never touches the wire.
+    let soff: usize = send_counts[..me].iter().sum();
+    let roff: usize = recv_counts[..me].iter().sum();
+    recv[roff..roff + recv_counts[me]].copy_from_slice(&send[soff..soff + send_counts[me]]);
+    if n == 1 {
+        return Ok(());
+    }
+    if rt.config().coll_naive {
+        return naive::alltoallv(rt, send, send_counts, recv, recv_counts);
+    }
+    with_state(rt, |st| v::alltoallv(rt, st, send, send_counts, recv, recv_counts))
+}
+
+/// One-round count exchange for the receive-side-unknown `alltoallv`
+/// case (MoE dispatch: every rank knows how many bytes it routes *to*
+/// each peer, none knows what it will get): a dense 8-byte alltoall of
+/// the send-count vector. On return `recv_counts[j]` is rank `j`'s
+/// `send_counts[me]` — exactly the vector to pass as `recv_counts` to
+/// [`alltoallv`]. Allocation-free once the collective state is warm
+/// (the staging rides reusable [`CollState`] scratch).
+pub fn exchange_counts(
+    rt: &Runtime,
+    send_counts: &[usize],
+    recv_counts: &mut [usize],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    if send_counts.len() != n || recv_counts.len() != n {
+        return Err(FatalError::InvalidArg(format!(
+            "count exchange needs one count per rank each way ({n} ranks, {} send, {} recv)",
+            send_counts.len(),
+            recv_counts.len()
+        )));
+    }
+    if n == 1 {
+        recv_counts[0] = send_counts[0];
+        return Ok(());
+    }
+    if rt.config().coll_naive {
+        let bytes: Vec<u8> = send_counts.iter().flat_map(|&c| (c as u64).to_le_bytes()).collect();
+        let mut out = vec![0u8; n * 8];
+        out[me * 8..(me + 1) * 8].copy_from_slice(&bytes[me * 8..(me + 1) * 8]);
+        naive::alltoall_bytes(rt, &bytes, &mut out, 8)?;
+        for (dst, c) in recv_counts.iter_mut().zip(out.chunks_exact(8)) {
+            *dst = u64::from_le_bytes(c.try_into().unwrap()) as usize;
+        }
+        return Ok(());
+    }
+    with_state(rt, |st| {
+        // Take the scratch out of the state so the pairwise engine can
+        // borrow it alongside `st`; put it back for the next exchange.
+        let mut sb = std::mem::take(&mut st.cnt_send);
+        let mut rb = std::mem::take(&mut st.cnt_recv);
+        sb.clear();
+        for &c in send_counts {
+            sb.extend_from_slice(&(c as u64).to_le_bytes());
+        }
+        rb.clear();
+        rb.resize(n * 8, 0);
+        rb[me * 8..(me + 1) * 8].copy_from_slice(&sb[me * 8..(me + 1) * 8]);
+        let res = ring::alltoall(rt, st, &sb, &mut rb, 8);
+        if res.is_ok() {
+            for (dst, c) in recv_counts.iter_mut().zip(rb.chunks_exact(8)) {
+                *dst = u64::from_le_bytes(c.try_into().unwrap()) as usize;
+            }
+        }
+        st.cnt_send = sb;
+        st.cnt_recv = rb;
+        res
+    })
+}
+
+/// Allocating convenience over [`exchange_counts`]: returns the learned
+/// receive-count vector.
+pub fn alltoallv_counts(rt: &Runtime, send_counts: &[usize]) -> Result<Vec<usize>> {
+    let mut recv_counts = vec![0usize; rt.rank_n()];
+    exchange_counts(rt, send_counts, &mut recv_counts)?;
+    Ok(recv_counts)
 }
 
 /// Legacy-shaped alltoall over per-rank `Vec` blocks (see

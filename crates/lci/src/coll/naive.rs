@@ -15,8 +15,8 @@
 
 use super::ops::ReduceOp;
 use super::{
-    coll_tag, next_seq, wait_sync, wait_sync_take, ROUND_A2A, ROUND_AG_BASE, ROUND_BCAST,
-    ROUND_REDUCE,
+    coll_tag, next_seq, wait_sync, wait_sync_take, ROUND_A2A, ROUND_A2AV, ROUND_AG_BASE,
+    ROUND_BCAST, ROUND_REDUCE,
 };
 use crate::comp::Comp;
 use crate::error::{PostResult, Result};
@@ -165,6 +165,54 @@ pub(super) fn alltoall_bytes(
     for (peer, comp) in pending {
         let desc = wait_sync_take(rt, &comp)?;
         recv[peer * block..(peer + 1) * block].copy_from_slice(&desc.data.as_slice()[..block]);
+    }
+    Ok(())
+}
+
+/// Dense store-and-forward alltoallv: every pair exchanges a message
+/// even when its block is empty (a zero-byte pair still pays a full
+/// eager round-trip — the sparse-skipping contrast the pipelined engine
+/// measures against), every block is cloned whole (no chunking, so one
+/// giant block serializes the rendezvous pump), and sends wait one at a
+/// time. Receives are still pre-posted so the rounds can't deadlock.
+pub(super) fn alltoallv(
+    rt: &Runtime,
+    send: &[u8],
+    send_counts: &[usize],
+    recv: &mut [u8],
+    recv_counts: &[usize],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, ROUND_A2AV);
+    let off = |counts: &[usize], p: usize| -> usize { counts[..p].iter().sum() };
+    let mut pending = Vec::new();
+    for peer in (0..n).filter(|&p| p != me) {
+        let len = recv_counts[peer];
+        let comp = Comp::alloc_sync(1);
+        match rt.post_recv(peer, vec![0u8; len.max(1)], tag, comp.clone())? {
+            PostResult::Done(d) => {
+                let ro = off(recv_counts, peer);
+                recv[ro..ro + len].copy_from_slice(&d.data.as_slice()[..len]);
+            }
+            PostResult::Posted => pending.push((peer, comp)),
+            PostResult::Retry(_) => unreachable!("recv never retries"),
+        }
+    }
+    for r in 1..n {
+        let peer = (me + r) % n;
+        let so = off(send_counts, peer);
+        let block = &send[so..so + send_counts[peer]];
+        // An empty pair still ships a 1-byte frame (into the peer's
+        // `max(1)` box): the full-message-per-pair cost being ablated.
+        send_wait(rt, peer, if block.is_empty() { &[0u8] } else { block }, tag)?;
+    }
+    for (peer, comp) in pending {
+        let desc = wait_sync_take(rt, &comp)?;
+        let ro = off(recv_counts, peer);
+        recv[ro..ro + recv_counts[peer]]
+            .copy_from_slice(&desc.data.as_slice()[..recv_counts[peer]]);
     }
     Ok(())
 }

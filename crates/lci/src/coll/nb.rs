@@ -13,7 +13,10 @@
 //! [`IColl::wait`], which parks mode-aware via
 //! [`Runtime::wait_until`](crate::Runtime::wait_until).
 
-use super::{coll_tag, next_seq, ROUND_A2A, ROUND_AG_BASE, ROUND_BCAST, ROUND_REDUCE};
+use super::{
+    coll_tag, next_seq, ROUND_A2A, ROUND_A2AV, ROUND_A2AV_CNT, ROUND_AG_BASE, ROUND_BCAST,
+    ROUND_REDUCE,
+};
 use crate::comp::Comp;
 use crate::error::{PostResult, Result};
 use crate::runtime::Runtime;
@@ -341,6 +344,106 @@ pub fn ialltoall(rt: &Runtime, send: &[Vec<u8>]) -> Result<IColl<Vec<Vec<u8>>>> 
                 post_send_ff(&rt2, peer, blocks[peer].clone(), tag);
             }
         });
+    }
+    let graph = gb.build();
+    graph.start();
+    Ok(IColl { graph, slot })
+}
+
+/// Non-blocking uneven-block alltoallv; resolves to the rank-ordered
+/// blocks received. Blocks may differ in length per pair and the
+/// receive sizes need not be known: the graph chains a **count round**
+/// (every pair exchanges its block length, 8 bytes LE) into a **data
+/// round** that posts exactly the learned landing sizes — the MoE
+/// dispatch shape, overlappable behind compute via [`IColl::test`].
+/// Zero-byte pairs post nothing in the data round (counted in
+/// `coll_skipped_pairs`); unlike [`alltoallv`](super::alltoallv) there
+/// is no chunking — each block is one message (the blocking engine is
+/// the bandwidth path, this is the overlap path).
+pub fn ialltoallv(rt: &Runtime, send: &[Vec<u8>]) -> Result<IColl<Vec<Vec<u8>>>> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    assert_eq!(send.len(), n, "alltoallv needs one block per rank");
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[me] = send[me].clone();
+    let slot = Arc::new(Mutex::new(Some(out)));
+    let seq = next_seq(rt);
+    let ctag = coll_tag(seq, ROUND_A2AV_CNT);
+    let dtag = coll_tag(seq, ROUND_A2AV);
+    let mut gb = GraphBuilder::new();
+    if n > 1 {
+        let counts: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0usize; n]));
+
+        // Count round: one node, all 8-byte count receives counted down
+        // into its signal, count sends fire-and-forget.
+        let rt2 = rt.clone();
+        let counts2 = counts.clone();
+        let lens: Vec<usize> = send.iter().map(Vec::len).collect();
+        let cnt_node = gb.add_comm(move |comp| {
+            let remaining = Arc::new(AtomicUsize::new(n - 1));
+            for peer in (0..n).filter(|&p| p != me) {
+                let counts3 = counts2.clone();
+                let remaining = remaining.clone();
+                let comp = comp.clone();
+                post_recv_node(&rt2, peer, 8, ctag, Comp::alloc_handler(|_| {}), move |data| {
+                    let c = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+                    counts3.lock()[peer] = c;
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        comp.signal(CompDesc::empty());
+                    }
+                });
+            }
+            for r in 1..n {
+                let peer = (me + r) % n;
+                post_send_ff(&rt2, peer, (lens[peer] as u64).to_le_bytes().to_vec(), ctag);
+            }
+        });
+
+        // Data round: posts exactly the learned landing sizes, skips
+        // zero pairs both ways. Runs only after every count arrived.
+        let rt2 = rt.clone();
+        let slot2 = slot.clone();
+        let blocks: Vec<Vec<u8>> = send.to_vec();
+        let data_node = gb.add_comm(move |comp| {
+            let learned = counts.lock().clone();
+            let inbound = (0..n).filter(|&p| p != me && learned[p] > 0).count();
+            if inbound == 0 {
+                comp.signal(CompDesc::empty());
+            } else {
+                let remaining = Arc::new(AtomicUsize::new(inbound));
+                for peer in (0..n).filter(|&p| p != me && learned[p] > 0) {
+                    let slot3 = slot2.clone();
+                    let remaining = remaining.clone();
+                    let comp = comp.clone();
+                    post_recv_node(
+                        &rt2,
+                        peer,
+                        learned[peer],
+                        dtag,
+                        Comp::alloc_handler(|_| {}),
+                        move |data| {
+                            slot3.lock().as_mut().expect("alltoallv slot")[peer] = data.to_vec();
+                            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                comp.signal(CompDesc::empty());
+                            }
+                        },
+                    );
+                }
+            }
+            let mut skipped = 0u64;
+            for r in 1..n {
+                let peer = (me + r) % n;
+                if blocks[peer].is_empty() {
+                    skipped += 1;
+                } else {
+                    post_send_ff(&rt2, peer, blocks[peer].clone(), dtag);
+                }
+            }
+            if skipped > 0 {
+                rt2.device().inner.stats.add(|c| &c.coll_skipped_pairs, skipped);
+            }
+        });
+        gb.add_edge(cnt_node, data_node);
     }
     let graph = gb.build();
     graph.start();

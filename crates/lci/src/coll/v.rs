@@ -1,0 +1,172 @@
+//! Pipelined uneven-block alltoallv engine (DESIGN.md §4.13).
+//!
+//! The dense pairwise alltoall in [`ring`](super::ring) posts one
+//! identical block per peer; a vector exchange can't — MoE routing
+//! matrices are ragged (every pair its own byte count) and mostly
+//! sparse (most pairs zero). This engine turns those irregularities
+//! into the optimization surface:
+//!
+//! * **Sparse pair skipping.** A zero-byte pair posts *nothing*: no
+//!   send, no landing box, no completion. Each send-side skip bumps
+//!   `coll_skipped_pairs` (send-side only, so the global counter sums
+//!   to the number of skipped edges, not twice that). The dense
+//!   baselines pay a full eager round-trip per empty pair.
+//! * **Size-adaptive per-block protocol.** A block is cut into
+//!   `coll_chunk_size` pieces; each piece rides the same
+//!   [`post_windowed`](super::post_windowed) staging ladder as every
+//!   collective payload — inline descriptor (≤ `SENDBUF_INLINE_CAP`),
+//!   pooled eager (≤ `eager_size`), chunked rendezvous above — so one
+//!   multi-megabyte hot-expert block pipelines through the rendezvous
+//!   chunk pumps while hundreds of small blocks ship in single eager
+//!   (or inline) frames with no chunking overhead.
+//! * **Skew-aware bounded-inflight scheduling.** All landing boxes are
+//!   pre-posted, then sends are issued **largest-block-first** under
+//!   the `coll_max_inflight` window: the straggler that bounds the
+//!   exchange's critical path departs first and overlaps every smaller
+//!   block behind it. Ties (the uniform case) break by rank-rotated
+//!   distance `(peer − me − 1) mod n`, the classic alltoall rotation,
+//!   so equal-size schedules do not converge on one hot receiver.
+//!
+//! Chunk identity rides `user_ctx = peer << 32 | chunk` on each posted
+//! receive; per-`(rank, tag)` matching is FIFO and all transports
+//! deliver in order per peer pair, so the k-th posted landing box gets
+//! the k-th sent piece. Both sides cut blocks with their *local*
+//! `coll_chunk_size`, which is therefore part of the collective
+//! contract: it must match across ranks (like invocation order).
+//!
+//! While sends drain, arrivals are swallowed opportunistically (a
+//! non-blocking CQ pop per posted piece) so landing boxes recycle back
+//! onto the shelf mid-exchange instead of piling up until the final
+//! drain loop — that keeps the warm loop allocation-free even when the
+//! receive side is the bottleneck.
+
+use super::{coll_tag, drain_sends, next_seq, pop_recv, post_recv_cq, post_windowed, CollState};
+use crate::device::Device;
+use crate::error::Result;
+use crate::runtime::Runtime;
+use crate::types::CompDesc;
+
+/// Copies one delivered piece into its slot in `recv` and recycles the
+/// landing box. `user_ctx = peer << 32 | chunk`.
+fn land(
+    st: &mut CollState,
+    desc: CompDesc,
+    recv: &mut [u8],
+    recv_offs: &[usize],
+    recv_counts: &[usize],
+    chunk: usize,
+) {
+    let peer = (desc.user_ctx >> 32) as usize;
+    let c = (desc.user_ctx & 0xffff_ffff) as usize;
+    let off = recv_offs[peer] + c * chunk;
+    let clen = chunk.min(recv_counts[peer] - c * chunk);
+    recv[off..off + clen].copy_from_slice(&desc.data.as_slice()[..clen]);
+    st.put_databuf(desc.data);
+}
+
+pub(super) fn alltoallv(
+    rt: &Runtime,
+    st: &mut CollState,
+    send: &[u8],
+    send_counts: &[usize],
+    recv: &mut [u8],
+    recv_counts: &[usize],
+) -> Result<()> {
+    let n = rt.rank_n();
+    let me = rt.rank_me();
+    let dev = rt.device().clone();
+    let seq = next_seq(rt);
+    let tag = coll_tag(seq, super::ROUND_A2AV);
+    let chunk = rt.config().coll_chunk_size;
+
+    // Scratch comes out of the state (so the helpers below can borrow
+    // `st` mutably) and goes back at the end; `resize`/`clear` reuse
+    // capacity, so the warm path allocates nothing.
+    let mut send_offs = std::mem::take(&mut st.v_send_offs);
+    let mut recv_offs = std::mem::take(&mut st.v_recv_offs);
+    let mut order = std::mem::take(&mut st.v_order);
+    send_offs.clear();
+    recv_offs.clear();
+    let (mut sacc, mut racc) = (0usize, 0usize);
+    for p in 0..n {
+        send_offs.push(sacc);
+        recv_offs.push(racc);
+        sacc += send_counts[p];
+        racc += recv_counts[p];
+    }
+
+    // Pre-post every landing box (sparse: zero-byte inbound pairs post
+    // nothing). Pre-posting before any send leaves the exchange
+    // deadlock-free under any schedule: every in-flight piece has a
+    // matched box waiting.
+    let mut expected = 0usize;
+    for r in 1..n {
+        let peer = (me + r) % n;
+        let blen = recv_counts[peer];
+        if blen == 0 {
+            continue;
+        }
+        for c in 0..blen.div_ceil(chunk) {
+            let clen = chunk.min(blen - c * chunk);
+            let ctx = ((peer as u64) << 32) | c as u64;
+            post_recv_cq(rt, &dev, st, peer, clen, tag, ctx)?;
+            expected += 1;
+        }
+    }
+
+    // Skew-aware send schedule: largest block first (the straggler
+    // bounds the critical path — start it before everything it must
+    // overlap), rank-rotated distance as the tie-break so uniform
+    // schedules keep the classic `(me + r) mod n` rotation instead of
+    // hammering one receiver. `sort_unstable_by_key` allocates nothing.
+    order.clear();
+    let mut skipped = 0u64;
+    for r in 1..n {
+        let peer = (me + r) % n;
+        if send_counts[peer] == 0 {
+            skipped += 1;
+        } else {
+            order.push(peer);
+        }
+    }
+    order.sort_unstable_by_key(|&p| (usize::MAX - send_counts[p], (p + n - me - 1) % n));
+    if skipped > 0 {
+        dev.inner.stats.add(|c| &c.coll_skipped_pairs, skipped);
+    }
+
+    // Issue the schedule under the in-flight window, swallowing
+    // arrivals opportunistically so landing boxes recycle mid-exchange.
+    let mut landed = 0usize;
+    for &peer in order.iter() {
+        let (boff, blen) = (send_offs[peer], send_counts[peer]);
+        for c in 0..blen.div_ceil(chunk) {
+            let off = boff + c * chunk;
+            let clen = chunk.min(boff + blen - off);
+            post_windowed(rt, &dev, st, peer, &send[off..off + clen], tag)?;
+            while let Some(desc) = st.recv_cq.pop() {
+                land(st, desc, recv, &recv_offs, recv_counts, chunk);
+                landed += 1;
+            }
+        }
+    }
+
+    // Drain the remaining arrivals, then the send window.
+    while landed < expected {
+        let desc = pop_recv(rt, st)?;
+        land(st, desc, recv, &recv_offs, recv_counts, chunk);
+        landed += 1;
+    }
+    dev.inner.stats.bump(|c| &c.coll_rounds);
+    raise_v_bytes(&dev, send_counts);
+    st.v_send_offs = send_offs;
+    st.v_recv_offs = recv_offs;
+    st.v_order = order;
+    drain_sends(rt, st)
+}
+
+/// Records the call's total contributed payload (self block included)
+/// in the `coll_v_bytes_hwm` high-water mark.
+pub(super) fn raise_v_bytes(dev: &Device, send_counts: &[usize]) {
+    let total: usize = send_counts.iter().sum();
+    dev.inner.stats.raise(|c| &c.coll_v_bytes_hwm, total as u64);
+}

@@ -59,6 +59,8 @@ pub(crate) struct StatsCell {
     pub(crate) coll_rounds: AtomicU64,
     pub(crate) coll_bytes: AtomicU64,
     pub(crate) coll_chunks_inflight_hwm: AtomicU64,
+    pub(crate) coll_skipped_pairs: AtomicU64,
+    pub(crate) coll_v_bytes_hwm: AtomicU64,
 }
 
 /// Monotonic counters for one device, striped per core and folded at
@@ -162,6 +164,8 @@ impl DeviceStats {
             coll_rounds: self.fold(|c| &c.coll_rounds),
             coll_bytes: self.fold(|c| &c.coll_bytes),
             coll_chunks_inflight_hwm: self.fold_max(|c| &c.coll_chunks_inflight_hwm),
+            coll_skipped_pairs: self.fold(|c| &c.coll_skipped_pairs),
+            coll_v_bytes_hwm: self.fold_max(|c| &c.coll_v_bytes_hwm),
             doorbell_rings: 0,
             reg_cache_hits: 0,
             reg_cache_misses: 0,
@@ -254,6 +258,18 @@ pub struct StatsSnapshot {
     /// [`StatsSnapshot::since`]). Values above 1 demonstrate real
     /// chunk-level overlap.
     pub coll_chunks_inflight_hwm: u64,
+    /// Zero-byte `alltoallv` peer pairs that posted nothing on the wire
+    /// (send-side skips; the dense `alltoall` and the `coll_naive`
+    /// store-and-forward `alltoallv` both pay a full message per empty
+    /// pair instead). MoE routing matrices are mostly sparse, so this
+    /// counter is the direct evidence the vector exchange exploited it.
+    pub coll_skipped_pairs: u64,
+    /// High-water mark of total payload bytes one `alltoallv` call
+    /// contributed (sum of its send-count vector, self block included;
+    /// max across cells, not a delta counter — see
+    /// [`StatsSnapshot::since`]). Sizes the largest vector exchange the
+    /// device has carried.
+    pub coll_v_bytes_hwm: u64,
     /// Times the device's fabric doorbell rang (overlaid by
     /// [`Device::stats`](crate::device::Device::stats) from the
     /// [`lci_fabric::Doorbell`] counter, not tracked in [`DeviceStats`]).
@@ -345,6 +361,9 @@ impl StatsSnapshot {
             coll_bytes: self.coll_bytes.saturating_sub(earlier.coll_bytes),
             // High-water mark: the later value covers the interval.
             coll_chunks_inflight_hwm: self.coll_chunks_inflight_hwm,
+            coll_skipped_pairs: self.coll_skipped_pairs.saturating_sub(earlier.coll_skipped_pairs),
+            // High-water mark: the later value covers the interval.
+            coll_v_bytes_hwm: self.coll_v_bytes_hwm,
             doorbell_rings: self.doorbell_rings.saturating_sub(earlier.doorbell_rings),
             reg_cache_hits: self.reg_cache_hits.saturating_sub(earlier.reg_cache_hits),
             reg_cache_misses: self.reg_cache_misses.saturating_sub(earlier.reg_cache_misses),

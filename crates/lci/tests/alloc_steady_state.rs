@@ -324,6 +324,64 @@ fn collective_allreduce_steady_state_is_allocation_free() {
     );
 }
 
+/// Warm sparse alltoallv — the MoE dispatch/combine inner loop: a count
+/// exchange (recv side unknown) followed by the skew-scheduled vector
+/// exchange with a zero pair, inline-sized blocks, an eager block, and
+/// a multi-chunk block. Once the landing shelf, count-staging scratch,
+/// offset/order scratch, and staging pool are warm, the whole
+/// counts+data iteration makes zero allocator calls on any rank. Three
+/// ranks so the sparse skip path (zero-byte pair) really runs.
+#[test]
+fn collective_alltoallv_steady_state_is_allocation_free() {
+    let _g = SERIAL.lock().unwrap();
+    const WARMUP: usize = 8;
+    const ITERS: usize = 32;
+    // counts[src][dst]: a skewed sparse matrix exercising every block
+    // protocol (inline 16/24/8, eager 3000, chunked 5000 at 4 KiB
+    // chunks) plus two zero pairs.
+    const COUNTS: [[usize; 3]; 3] = [[16, 0, 5000], [24, 8, 0], [0, 3000, 64]];
+    let fabric = Fabric::new(3);
+    let gate = Arc::new(std::sync::Barrier::new(4));
+    let mut threads = Vec::new();
+    for (rank, row) in COUNTS.iter().enumerate() {
+        let fabric = fabric.clone();
+        let gate = gate.clone();
+        threads.push(std::thread::spawn(move || {
+            let cfg = RuntimeConfig { coll_chunk_size: 4096, ..RuntimeConfig::small() };
+            let rt = Runtime::new(fabric, rank, cfg).unwrap();
+            let send_counts = row.to_vec();
+            let send = vec![0x5Au8; send_counts.iter().sum()];
+            let mut recv_counts = vec![0usize; 3];
+            let mut recv = vec![0u8; (0..3).map(|src| COUNTS[src][rank]).sum()];
+            let mut iter = |rt: &Runtime| {
+                lci::coll::exchange_counts(rt, &send_counts, &mut recv_counts).unwrap();
+                lci::coll::alltoallv(rt, &send, &send_counts, &mut recv, &recv_counts).unwrap();
+            };
+            for _ in 0..WARMUP {
+                iter(&rt);
+            }
+            gate.wait(); // measurement window opens
+            for _ in 0..ITERS {
+                iter(&rt);
+            }
+            gate.wait(); // window closes
+            gate.wait(); // counter read; teardown may allocate freely now
+        }));
+    }
+    gate.wait();
+    let before = alloc_calls();
+    gate.wait();
+    let allocs = alloc_calls() - before;
+    gate.wait();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        allocs, 0,
+        "warm alltoallv counts+data loop made {allocs} allocator calls across three ranks over {ITERS} iterations"
+    );
+}
+
 /// The ablation baseline really does allocate: with recycling off the
 /// same eager loop hits the allocator every iteration, which also
 /// proves the harness counts what it claims to count.

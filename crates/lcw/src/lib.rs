@@ -556,6 +556,37 @@ impl World {
         lci::coll::alltoall_bytes(self.coll_rt()?, send, recv)
     }
 
+    /// Uneven-block alltoallv over flat buffers with per-peer count
+    /// vectors (LCI backend only; see [`lci::coll::alltoallv`] for the
+    /// sparse-skipping, size-adaptive, skew-scheduled engine).
+    pub fn alltoallv(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv: &mut [u8],
+        recv_counts: &[usize],
+    ) -> lci::Result<()> {
+        lci::coll::alltoallv(self.coll_rt()?, send, send_counts, recv, recv_counts)
+    }
+
+    /// One-round count exchange for the recv-side-unknown alltoallv
+    /// case (LCI backend only; see [`lci::coll::alltoallv_counts`]):
+    /// returns the receive-count vector matching `send_counts`.
+    pub fn alltoallv_counts(&self, send_counts: &[usize]) -> lci::Result<Vec<usize>> {
+        lci::coll::alltoallv_counts(self.coll_rt()?, send_counts)
+    }
+
+    /// In-place variant of [`World::alltoallv_counts`] writing into a
+    /// caller-owned vector (allocation-free when warm; see
+    /// [`lci::coll::exchange_counts`]).
+    pub fn exchange_counts(
+        &self,
+        send_counts: &[usize],
+        recv_counts: &mut [usize],
+    ) -> lci::Result<()> {
+        lci::coll::exchange_counts(self.coll_rt()?, send_counts, recv_counts)
+    }
+
     /// Takes the per-thread endpoint `tid`. In dedicated mode `tid`
     /// selects the thread's device/VCI; in shared mode all endpoints
     /// reference the same resources. Call once per thread.

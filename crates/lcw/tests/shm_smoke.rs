@@ -152,8 +152,9 @@ fn multiproc_rendezvous_256k() {
 /// launcher reports rank 1's real exit code.
 /// Three processes run the full blocking collective surface through
 /// the World wrappers: barrier, chunk-pipelined ring allreduce (blocks
-/// split across multiple rendezvous chunks), Bruck allgather, and the
-/// bounded-inflight alltoall — every byte crossing the segment between
+/// split across multiple rendezvous chunks), Bruck allgather, the
+/// bounded-inflight alltoall, and the sparse size-adaptive alltoallv
+/// with its count exchange — every byte crossing the segment between
 /// real address spaces.
 #[test]
 fn multiproc_collectives() {
@@ -195,6 +196,32 @@ fn multiproc_collectives() {
             "block from {src}"
         );
     }
+
+    // Alltoallv: a skewed sparse matrix — zero pairs skipped, an
+    // inline-sized block, an eager block, and a multi-chunk block — with
+    // the receive side learned through the count exchange (the MoE
+    // dispatch shape). counts[src][dst], diagonal self-copied locally.
+    let counts = [[64usize, 0, 40 << 10], [16, 8, 0], [0, 24 << 10, 5]];
+    let send_counts = counts[rank].to_vec();
+    let recv_counts = w.alltoallv_counts(&send_counts).expect("count exchange");
+    for (src, &c) in recv_counts.iter().enumerate() {
+        assert_eq!(c, counts[src][rank], "learned count from {src}");
+    }
+    let vsend: Vec<u8> = (0..n)
+        .flat_map(|dst| (0..send_counts[dst]).map(move |i| (rank * 41 + dst * 13 + i) as u8))
+        .collect();
+    let mut vrecv = vec![0u8; recv_counts.iter().sum()];
+    w.alltoallv(&vsend, &send_counts, &mut vrecv, &recv_counts).expect("alltoallv");
+    let mut off = 0;
+    for (src, &c) in recv_counts.iter().enumerate() {
+        for i in 0..c {
+            assert_eq!(vrecv[off + i], (src * 41 + rank * 13 + i) as u8, "byte {i} from {src}");
+        }
+        off += c;
+    }
+    let skipped = w.lci_runtime().expect("lci").device().stats().coll_skipped_pairs;
+    let want_skipped = [1u64, 1, 1][rank];
+    assert_eq!(skipped, want_skipped, "sparse pairs must post nothing");
 
     w.barrier().expect("closing barrier");
 }

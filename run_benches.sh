@@ -1,6 +1,6 @@
 #!/bin/bash
 # Regenerates every paper table/figure into bench_results/.
-# Usage: ./run_benches.sh [quick] [--matrix] [--coll] [--json]
+# Usage: ./run_benches.sh [quick] [--matrix] [--coll] [--a2av] [--json]
 #                         [--transport sim-ibv|sim-ofi|shm|tcp]
 #
 # With --transport (or LCI_TRANSPORT set) the microbenchmark sweeps run
@@ -9,7 +9,7 @@
 #
 # --json additionally parses every results file written by this run
 # into a machine-readable .json sibling and consolidates them all into
-# bench_results/BENCH_9.json (see split_bench_output.py --json-only).
+# bench_results/BENCH_10.json (see split_bench_output.py --json-only).
 #
 # --matrix runs ONLY the thread-per-core scale matrix (the 8→128-thread
 # sweep; BENCH_MATRIX_THREADS overrides the axis) into
@@ -20,16 +20,24 @@
 # vs the coll_naive ablation; BENCH_COLL_SIZES/BENCH_COLL_RANKS override
 # the axes) into bench_results/collectives.txt. Without it the sweep
 # runs after the figure benches.
+#
+# --a2av runs ONLY the sparse alltoallv / MoE-routing skew sweep
+# (sparse vs padded-dense vs coll_naive; BENCH_A2AV_RANKS/
+# BENCH_A2AV_SKEWS/BENCH_A2AV_TOKENS override the axes) into
+# bench_results/alltoallv.txt. Without it the sweep runs after the
+# figure benches.
 set -u
 TRANSPORT="${LCI_TRANSPORT:-}"
 MATRIX_ONLY=0
 COLL_ONLY=0
+A2AV_ONLY=0
 JSON=0
 while [ $# -gt 0 ]; do
   case "$1" in
     quick) export BENCH_QUICK=1 ;;
     --matrix) MATRIX_ONLY=1 ;;
     --coll) COLL_ONLY=1 ;;
+    --a2av) A2AV_ONLY=1 ;;
     --json) JSON=1 ;;
     --transport) shift; TRANSPORT="$1" ;;
     --transport=*) TRANSPORT="${1#*=}" ;;
@@ -71,6 +79,15 @@ run_coll() {
     | tee bench_results/collectives.txt | tail -8
   WRITTEN+=(bench_results/collectives.txt)
 }
+# The alltoallv sweep covers its own transport axis in one run
+# (sim-ibv + sim-ofi thread-per-rank, multi-process shm + tcp):
+# unsuffixed.
+run_a2av() {
+  echo "=== running alltoallv ==="
+  cargo bench -p bench --bench alltoallv 2>/dev/null \
+    | tee bench_results/alltoallv.txt | tail -8
+  WRITTEN+=(bench_results/alltoallv.txt)
+}
 if [ "$MATRIX_ONLY" = 1 ]; then
   run_matrix
   finish
@@ -78,6 +95,11 @@ if [ "$MATRIX_ONLY" = 1 ]; then
 fi
 if [ "$COLL_ONLY" = 1 ]; then
   run_coll
+  finish
+  exit 0
+fi
+if [ "$A2AV_ONLY" = 1 ]; then
+  run_a2av
   finish
   exit 0
 fi
@@ -89,6 +111,7 @@ for b in table1_semantics fig2_msgrate_process fig3_msgrate_thread fig4_bandwidt
 done
 run_matrix
 run_coll
+run_a2av
 # Real multi-process scaling over both wires (shm segment + tcp
 # loopback mesh; each row carries its wire, whatever the sweep
 # transport above was — LCI_TRANSPORT pins the axis to one wire).

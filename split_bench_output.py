@@ -8,7 +8,7 @@ e.g. ``msgrate_thread_tcp.txt`` — the same naming run_benches.sh uses.
 
 With ``--json`` (either invocation) every emitted/selected results file
 also gets a machine-readable ``.json`` sibling, and the parsed tables of
-all of them are consolidated into ``bench_results/BENCH_9.json``::
+all of them are consolidated into ``bench_results/BENCH_10.json``::
 
     ./split_bench_output.py [transport] --json      # split + JSON
     ./split_bench_output.py --json-only [files...]  # JSON for existing
@@ -26,7 +26,7 @@ import re
 import sys
 
 TRANSPORTS = ("sim-ibv", "sim-ofi", "shm", "tcp")
-CONSOLIDATED = "bench_results/BENCH_9.json"
+CONSOLIDATED = "bench_results/BENCH_10.json"
 
 
 def parse_tables(text):
@@ -124,6 +124,10 @@ def main():
         # (sim-ibv/sim-ofi thread-per-rank + multi-process shm): no
         # suffix.
         "collectives": ("collectives.txt", False),
+        # The sparse alltoallv / MoE-routing skew sweep likewise carries
+        # its transport per row (sim + multi-process shm/tcp): no
+        # suffix.
+        "alltoallv": ("alltoallv.txt", False),
     }
     # Sections start at "Running benches/<name>.rs"
     parts = re.split(r"\n(?=\s*Running benches/)", src)
